@@ -1,0 +1,279 @@
+//! Size-driven edge-collapse coarsening.
+//!
+//! The inverse of refinement: edges much shorter than the size field
+//! collapse, welding one endpoint onto the other and re-connecting the
+//! surrounding elements. A collapse is executed only if it is provably
+//! safe: the vanishing vertex may leave its geometry class
+//! ([`crate::snap::collapse_allowed`]), and every re-connected element must
+//! keep a positive measure and distinct vertices.
+
+use crate::quality::{mean_ratio_coords, tet_volume, tri_area};
+use crate::sizefield::SizeField;
+use crate::snap::collapse_allowed;
+use pumi_mesh::Mesh;
+use pumi_util::tag::TagData;
+use pumi_util::{Dim, FxHashSet, MeshEnt, TagId};
+
+/// Options for [`coarsen`].
+#[derive(Debug, Clone, Copy)]
+pub struct CoarsenOpts {
+    /// Collapse an edge when `length < collapse_ratio * h(midpoint)`.
+    pub collapse_ratio: f64,
+    /// Passes over the mesh (collapses enable further collapses).
+    pub passes: usize,
+    /// Minimum mean-ratio quality a re-connected element may have.
+    pub min_quality: f64,
+}
+
+impl Default for CoarsenOpts {
+    fn default() -> Self {
+        CoarsenOpts {
+            collapse_ratio: 0.5,
+            passes: 3,
+            min_quality: 0.05,
+        }
+    }
+}
+
+/// Statistics from a [`coarsen`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CoarsenStats {
+    /// Edges collapsed.
+    pub collapses: usize,
+    /// Collapse attempts rejected by validity checks.
+    pub rejected: usize,
+    /// Elements afterwards.
+    pub elements_after: usize,
+}
+
+fn signed_measure(coords: &[[f64; 3]]) -> f64 {
+    match coords.len() {
+        3 => tri_area(coords),
+        4 => tet_volume(coords),
+        _ => 0.0,
+    }
+}
+
+/// Try to collapse `edge`, welding vertex `gone` onto vertex `kept`.
+/// Returns false (mesh untouched) if any safety check fails.
+pub fn try_collapse(
+    mesh: &mut Mesh,
+    edge: MeshEnt,
+    kept: u32,
+    gone: u32,
+    min_quality: f64,
+) -> bool {
+    let elem_dim = mesh.elem_dim();
+    let d_elem = mesh.elem_dim_t();
+    let vg = MeshEnt::vertex(gone);
+    // Geometry rule: the vanishing vertex may only slide along its own
+    // model entity — the collapse edge must classify on it.
+    if !collapse_allowed(mesh.class_of(vg), mesh.class_of(edge), elem_dim) {
+        return false;
+    }
+    // Cavity: every element touching `gone`.
+    let cavity = mesh.adjacent(vg, d_elem);
+    let dying: FxHashSet<MeshEnt> = mesh.adjacent(edge, d_elem).into_iter().collect();
+    // Validate survivors: replace gone→kept, check measure sign and
+    // distinctness.
+    struct NewElem {
+        verts: Vec<u32>,
+        topo: pumi_mesh::Topology,
+        class: pumi_geom::GeomEnt,
+        tags: Vec<(TagId, TagData)>,
+    }
+    let mut rebuilt: Vec<NewElem> = Vec::new();
+    for &e in &cavity {
+        if dying.contains(&e) {
+            continue;
+        }
+        let old_verts = mesh.verts_of(e).to_vec();
+        let verts: Vec<u32> = old_verts
+            .iter()
+            .map(|&v| if v == gone { kept } else { v })
+            .collect();
+        let mut sorted = verts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.len() != verts.len() {
+            return false; // degenerate (kept already present)
+        }
+        let old_coords: Vec<[f64; 3]> = old_verts
+            .iter()
+            .map(|&v| mesh.coords(MeshEnt::vertex(v)))
+            .collect();
+        let new_coords: Vec<[f64; 3]> = verts
+            .iter()
+            .map(|&v| mesh.coords(MeshEnt::vertex(v)))
+            .collect();
+        let old_m = signed_measure(&old_coords);
+        let new_m = signed_measure(&new_coords);
+        if new_m * old_m <= 0.0 || new_m.abs() < 1e-14 {
+            return false; // would invert or degenerate
+        }
+        if mean_ratio_coords(&new_coords).abs() < min_quality {
+            return false; // would create a sliver
+        }
+        rebuilt.push(NewElem {
+            verts,
+            topo: mesh.topo(e),
+            class: mesh.class_of(e),
+            tags: mesh.tags().collect(e),
+        });
+    }
+    if rebuilt.is_empty() {
+        // The collapse would erase the whole patch (tiny mesh) — reject.
+        return false;
+    }
+    // Vertices the rebuilt elements still need; they may be transiently
+    // orphaned between deletion and re-creation and must not be cleaned up.
+    let mut protected: FxHashSet<u32> = FxHashSet::default();
+    for ne in &rebuilt {
+        protected.extend(ne.verts.iter().copied());
+    }
+    // Record the cavity closure before deleting, then delete elements and
+    // sweep orphans top-down, keeping protected vertices.
+    let mut closure: FxHashSet<MeshEnt> = FxHashSet::default();
+    for &e in &cavity {
+        closure.extend(mesh.closure(e));
+    }
+    for &e in &cavity {
+        mesh.delete(e);
+    }
+    for d in (0..elem_dim).rev() {
+        let mut doomed: Vec<MeshEnt> = closure
+            .iter()
+            .filter(|s| s.dim().as_usize() == d)
+            .copied()
+            .collect();
+        doomed.sort_unstable();
+        for s in doomed {
+            if !mesh.is_live(s) || mesh.up_count(s) > 0 {
+                continue;
+            }
+            if d == 0 && protected.contains(&s.index()) {
+                continue;
+            }
+            mesh.delete(s);
+        }
+    }
+    debug_assert!(!mesh.is_live(vg), "gone vertex survived cavity deletion");
+    for ne in rebuilt {
+        let child = mesh.add_entity(ne.topo, &ne.verts, ne.class);
+        for (tid, data) in ne.tags {
+            mesh.tags_mut().set(tid, child, data);
+        }
+    }
+    true
+}
+
+/// Collapse every edge shorter than the size field allows, in `passes`
+/// sweeps. Prefers welding the vertex with the higher-dimension (more
+/// interior) classification, which keeps boundary geometry intact.
+pub fn coarsen(mesh: &mut Mesh, size: &SizeField, opts: CoarsenOpts) -> CoarsenStats {
+    let mut stats = CoarsenStats::default();
+    for _ in 0..opts.passes {
+        let mut collapsed_this_pass = 0usize;
+        for e in mesh.snapshot(Dim::Edge) {
+            if !mesh.is_live(e) {
+                continue;
+            }
+            let verts = mesh.verts_of(e).to_vec();
+            let a = mesh.coords(MeshEnt::vertex(verts[0]));
+            let b = mesh.coords(MeshEnt::vertex(verts[1]));
+            let len = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2))
+                .sqrt();
+            let mid = [
+                0.5 * (a[0] + b[0]),
+                0.5 * (a[1] + b[1]),
+                0.5 * (a[2] + b[2]),
+            ];
+            if len >= opts.collapse_ratio * size.at(mid) {
+                continue;
+            }
+            // Prefer to remove the more-interior vertex.
+            let (c0, c1) = (
+                mesh.class_of(MeshEnt::vertex(verts[0])),
+                mesh.class_of(MeshEnt::vertex(verts[1])),
+            );
+            let order = if c0.dim() >= c1.dim() {
+                [(verts[1], verts[0]), (verts[0], verts[1])]
+            } else {
+                [(verts[0], verts[1]), (verts[1], verts[0])]
+            };
+            let mut done = false;
+            for (kept, gone) in order {
+                if try_collapse(mesh, e, kept, gone, opts.min_quality) {
+                    done = true;
+                    break;
+                }
+            }
+            if done {
+                stats.collapses += 1;
+                collapsed_this_pass += 1;
+            } else {
+                stats.rejected += 1;
+            }
+        }
+        if collapsed_this_pass == 0 {
+            break;
+        }
+    }
+    stats.elements_after = mesh.num_elems();
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::refine::{all_positive, refine, RefineOpts};
+    use pumi_meshgen::{tet_box, tri_rect};
+
+    #[test]
+    fn coarsen_reverses_refinement_pressure() {
+        let mut m = tri_rect(2, 2, 1.0, 1.0);
+        // Refine to h=0.15, then coarsen back toward h=0.6.
+        refine(
+            &mut m,
+            &SizeField::uniform(0.15),
+            None,
+            RefineOpts::default(),
+        );
+        let fine = m.num_elems();
+        let stats = coarsen(&mut m, &SizeField::uniform(0.8), CoarsenOpts::default());
+        assert!(stats.collapses > 0, "nothing collapsed");
+        assert!(m.num_elems() < fine, "element count not reduced");
+        m.assert_valid();
+        assert!(all_positive(&m));
+    }
+
+    #[test]
+    fn boundary_vertices_survive_coarsening() {
+        let mut m = tri_rect(4, 4, 1.0, 1.0);
+        coarsen(&mut m, &SizeField::uniform(3.0), CoarsenOpts::default());
+        m.assert_valid();
+        // The four corners are classified on model vertices and must remain.
+        let corners = m.count_classified(Dim::Vertex, Dim::Vertex);
+        assert_eq!(corners, 4);
+        assert!(all_positive(&m));
+    }
+
+    #[test]
+    fn coarsen_3d_stays_valid() {
+        let mut m = tet_box(3, 3, 3, 1.0, 1.0, 1.0);
+        let before = m.num_elems();
+        let stats = coarsen(&mut m, &SizeField::uniform(2.0), CoarsenOpts::default());
+        m.assert_valid();
+        assert!(all_positive(&m));
+        assert!(stats.elements_after <= before);
+    }
+
+    #[test]
+    fn no_collapse_when_sizes_match() {
+        let mut m = tri_rect(4, 4, 1.0, 1.0);
+        let before = m.num_elems();
+        let stats = coarsen(&mut m, &SizeField::uniform(0.25), CoarsenOpts::default());
+        assert_eq!(stats.collapses, 0);
+        assert_eq!(m.num_elems(), before);
+    }
+}

@@ -1,0 +1,24 @@
+//! Mesh adaptation — the workload that motivates PUMI's dynamic mesh
+//! updates and ParMA's predictive balancing (§I, Figs 7/8/13).
+//!
+//! * [`sizefield`] — target-size fields, including the oblique-shock layer
+//!   of the ONERA M6 experiment,
+//! * [`refine()`] — conforming edge-split refinement with boundary snapping
+//!   and tag inheritance,
+//! * [`coarsen()`] — safety-checked edge-collapse coarsening,
+//! * [`quality`] — mean-ratio element quality,
+//! * [`snap`] — geometry projection for new/welded boundary vertices,
+//! * [`predict`] — predictive post-adaptation load estimation (§III-B).
+
+pub mod coarsen;
+pub mod predict;
+pub mod quality;
+pub mod refine;
+pub mod sizefield;
+pub mod snap;
+
+pub use coarsen::{coarsen, CoarsenOpts, CoarsenStats};
+pub use predict::{element_weight, predicted_loads, predicted_total};
+pub use quality::{mean_ratio, measure, quality_stats};
+pub use refine::{refine, split_edge, RefineOpts, RefineStats};
+pub use sizefield::SizeField;

@@ -1,0 +1,98 @@
+//! Predictive load estimation (§III-B).
+//!
+//! "Large imbalance spikes are also observed when predictively load
+//! balancing for mesh adaptation based on the estimated target mesh
+//! resolution at each mesh vertex." Before adapting, each element's
+//! post-adaptation element count is estimated as `(current edge length /
+//! target size)^dim`; balancing these *weights* instead of the current
+//! element counts prevents the Fig 13 blow-up.
+
+use crate::sizefield::SizeField;
+use pumi_mesh::Mesh;
+use pumi_util::{Dim, MeshEnt, PartId};
+
+/// Estimated number of elements `e` becomes after adapting to `size`:
+/// `max(1, (L/h)^dim)` with `L` the mean edge length of the element and `h`
+/// the size-field value at its centroid.
+pub fn element_weight(mesh: &Mesh, e: MeshEnt, size: &SizeField) -> f64 {
+    let c = mesh.centroid(e);
+    let h = size.at(c);
+    let edges = mesh.adjacent(e, Dim::Edge);
+    let mut mean_len = 0.0;
+    for &edge in &edges {
+        let vs = mesh.verts_of(edge);
+        let a = mesh.coords(MeshEnt::vertex(vs[0]));
+        let b = mesh.coords(MeshEnt::vertex(vs[1]));
+        mean_len +=
+            ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
+    }
+    mean_len /= edges.len() as f64;
+    (mean_len / h).powi(mesh.elem_dim() as i32).max(1.0)
+}
+
+/// Total predicted element count.
+pub fn predicted_total(mesh: &Mesh, size: &SizeField) -> f64 {
+    mesh.elems().map(|e| element_weight(mesh, e, size)).sum()
+}
+
+/// Predicted per-part element counts for a serial mesh with element labels —
+/// what the adapted partition's loads will look like if no balancing is done
+/// first (the Fig 13 scenario, computed a priori).
+pub fn predicted_loads(
+    mesh: &Mesh,
+    labels: &[PartId],
+    nparts: usize,
+    size: &SizeField,
+) -> Vec<f64> {
+    let mut loads = vec![0f64; nparts];
+    for e in mesh.elems() {
+        loads[labels[e.idx()] as usize] += element_weight(mesh, e, size);
+    }
+    loads
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumi_meshgen::tri_rect;
+    use pumi_util::stats::imbalance;
+
+    #[test]
+    fn uniform_size_match_gives_unit_weights() {
+        // Lattice spacing 0.25; target 0.25 → weights ~1 per element.
+        let m = tri_rect(4, 4, 1.0, 1.0);
+        let size = SizeField::uniform(0.3);
+        for e in m.elems() {
+            let w = element_weight(&m, e, &size);
+            assert!((1.0..2.5).contains(&w), "weight {w}");
+        }
+    }
+
+    #[test]
+    fn refinement_demand_scales_quadratically_in_2d() {
+        let m = tri_rect(2, 2, 1.0, 1.0);
+        let w1 = predicted_total(&m, &SizeField::uniform(0.5));
+        let w2 = predicted_total(&m, &SizeField::uniform(0.25));
+        // Halving the size quadruples the 2D demand.
+        assert!(w2 / w1 > 3.0 && w2 / w1 < 5.0, "ratio {}", w2 / w1);
+    }
+
+    #[test]
+    fn shock_field_predicts_imbalance() {
+        let m = tri_rect(8, 8, 1.0, 1.0);
+        // Stripe partition in y; shock along y=0.1 hits only part 0.
+        let mut labels = vec![0 as PartId; m.index_space(m.elem_dim_t())];
+        for e in m.iter(m.elem_dim_t()) {
+            labels[e.idx()] = (m.centroid(e)[1] * 4.0).floor().min(3.0) as PartId;
+        }
+        let size = SizeField::shock(|p| p[1] - 0.1, 0.02, 0.5, 0.03);
+        let loads = predicted_loads(&m, &labels, 4, &size);
+        assert!(
+            imbalance(&loads) > 1.5,
+            "shock should predict a spike: {loads:?}"
+        );
+        // The spike is in part 0 where the shock lives.
+        let max = loads.iter().cloned().fold(f64::MIN, f64::max);
+        assert_eq!(loads[0], max);
+    }
+}

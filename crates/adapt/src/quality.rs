@@ -1,0 +1,162 @@
+//! Element quality metrics.
+//!
+//! Mean-ratio shape quality for simplices: 1 for the equilateral element,
+//! → 0 as the element degenerates, negative if inverted. Adaptation
+//! monitors this (mesh modification must not produce invalid elements), and
+//! the examples report it the way the paper's adaptive workflows do.
+
+use pumi_mesh::Mesh;
+use pumi_util::MeshEnt;
+
+fn coords_of(mesh: &Mesh, e: MeshEnt) -> Vec<[f64; 3]> {
+    mesh.verts_of(e)
+        .iter()
+        .map(|&v| mesh.coords(MeshEnt::vertex(v)))
+        .collect()
+}
+
+/// Signed area of a triangle (z ignored — 2D meshes live in the z=0 plane).
+pub fn tri_area(p: &[[f64; 3]]) -> f64 {
+    0.5 * ((p[1][0] - p[0][0]) * (p[2][1] - p[0][1])
+        - (p[2][0] - p[0][0]) * (p[1][1] - p[0][1]))
+}
+
+/// Signed volume of a tetrahedron.
+pub fn tet_volume(p: &[[f64; 3]]) -> f64 {
+    let u = [p[1][0] - p[0][0], p[1][1] - p[0][1], p[1][2] - p[0][2]];
+    let v = [p[2][0] - p[0][0], p[2][1] - p[0][1], p[2][2] - p[0][2]];
+    let w = [p[3][0] - p[0][0], p[3][1] - p[0][1], p[3][2] - p[0][2]];
+    (u[0] * (v[1] * w[2] - v[2] * w[1]) - u[1] * (v[0] * w[2] - v[2] * w[0])
+        + u[2] * (v[0] * w[1] - v[1] * w[0]))
+        / 6.0
+}
+
+fn edge_len2_sum(p: &[[f64; 3]]) -> f64 {
+    let mut s = 0.0;
+    for i in 0..p.len() {
+        for j in i + 1..p.len() {
+            s += (p[i][0] - p[j][0]).powi(2)
+                + (p[i][1] - p[j][1]).powi(2)
+                + (p[i][2] - p[j][2]).powi(2);
+        }
+    }
+    s
+}
+
+/// Signed measure (area/volume) of a simplex element.
+pub fn measure(mesh: &Mesh, e: MeshEnt) -> f64 {
+    let p = coords_of(mesh, e);
+    match p.len() {
+        3 => tri_area(&p),
+        4 => tet_volume(&p),
+        _ => panic!("measure: only simplices supported"),
+    }
+}
+
+/// Mean-ratio quality in [−1, 1]: 1 = equilateral, ≤0 = degenerate or
+/// inverted.
+pub fn mean_ratio(mesh: &Mesh, e: MeshEnt) -> f64 {
+    mean_ratio_coords(&coords_of(mesh, e))
+}
+
+/// [`mean_ratio`] on raw simplex coordinates (3 = triangle, 4 = tet) —
+/// used to evaluate hypothetical elements before creating them.
+pub fn mean_ratio_coords(p: &[[f64; 3]]) -> f64 {
+    match p.len() {
+        3 => {
+            // 4*sqrt(3)*A / (sum of squared edge lengths)
+            let a = tri_area(p);
+            let s = edge_len2_sum(p);
+            if s <= 0.0 {
+                0.0
+            } else {
+                4.0 * 3f64.sqrt() * a / s
+            }
+        }
+        4 => {
+            // Normalized mean ratio: 12 * (3V)^(2/3) / sum l^2, signed.
+            let v = tet_volume(p);
+            let s = edge_len2_sum(p);
+            if s <= 0.0 {
+                return 0.0;
+            }
+            let sign = v.signum();
+            sign * 12.0 * (3.0 * v.abs()).powf(2.0 / 3.0) / s
+        }
+        _ => panic!("mean_ratio: only simplices supported"),
+    }
+}
+
+/// (min, mean) quality over all elements.
+pub fn quality_stats(mesh: &Mesh) -> (f64, f64) {
+    let mut min = f64::MAX;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for e in mesh.elems() {
+        let q = mean_ratio(mesh, e);
+        min = min.min(q);
+        sum += q;
+        n += 1;
+    }
+    if n == 0 {
+        (0.0, 0.0)
+    } else {
+        (min, sum / n as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumi_mesh::{Topology, NO_GEOM};
+    use pumi_meshgen::tet_box;
+
+    #[test]
+    fn equilateral_triangle_quality_is_one() {
+        let mut m = Mesh::new(2);
+        let a = m.add_vertex([0., 0., 0.], NO_GEOM).index();
+        let b = m.add_vertex([1., 0., 0.], NO_GEOM).index();
+        let c = m
+            .add_vertex([0.5, 3f64.sqrt() / 2.0, 0.], NO_GEOM)
+            .index();
+        let t = m.add_element(Topology::Triangle, &[a, b, c], NO_GEOM);
+        assert!((mean_ratio(&m, t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_triangle_quality_is_zero() {
+        let mut m = Mesh::new(2);
+        let a = m.add_vertex([0., 0., 0.], NO_GEOM).index();
+        let b = m.add_vertex([1., 0., 0.], NO_GEOM).index();
+        let c = m.add_vertex([2., 0., 0.], NO_GEOM).index();
+        let t = m.add_element(Topology::Triangle, &[a, b, c], NO_GEOM);
+        assert!(mean_ratio(&m, t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_tet_quality_is_one() {
+        let mut m = Mesh::new(3);
+        // Regular tetrahedron with unit edges.
+        let a = m.add_vertex([0., 0., 0.], NO_GEOM).index();
+        let b = m.add_vertex([1., 0., 0.], NO_GEOM).index();
+        let c = m
+            .add_vertex([0.5, 3f64.sqrt() / 2.0, 0.], NO_GEOM)
+            .index();
+        let d = m
+            .add_vertex([0.5, 3f64.sqrt() / 6.0, (2f64 / 3.0).sqrt()], NO_GEOM)
+            .index();
+        let t = m.add_element(Topology::Tet, &[a, b, c, d], NO_GEOM);
+        assert!((mean_ratio(&m, t) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kuhn_tets_have_reasonable_quality() {
+        let m = tet_box(2, 2, 2, 1.0, 1.0, 1.0);
+        let (min, mean) = quality_stats(&m);
+        assert!(min > 0.3, "min quality {min}");
+        assert!(mean > min);
+        // Total volume check through the measure helper.
+        let vol: f64 = m.elems().map(|e| measure(&m, e)).map(f64::abs).sum();
+        assert!((vol - 1.0).abs() < 1e-9);
+    }
+}

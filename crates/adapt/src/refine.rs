@@ -1,0 +1,439 @@
+//! Size-driven edge-split refinement.
+//!
+//! The refinement primitive is the conforming edge split: splitting an edge
+//! bisects *every* element adjacent to it, so the mesh stays conforming
+//! after each operation — no closure templates needed. Oversized edges are
+//! processed longest-first from a lazy priority queue until every edge
+//! satisfies the size field (the standard bisection-refinement driver).
+//!
+//! Children inherit their parent's classification and tag data (so
+//! partition labels stored in tags survive adaptation — exactly what the
+//! Fig 13 experiment needs: adapt first, observe the inherited partition's
+//! imbalance).
+
+use crate::quality::measure;
+use crate::sizefield::SizeField;
+use crate::snap::snap_to_model;
+use pumi_geom::Model;
+use pumi_mesh::Mesh;
+use pumi_util::tag::TagData;
+use pumi_util::{Dim, MeshEnt, TagId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Options for [`refine`].
+#[derive(Debug, Clone, Copy)]
+pub struct RefineOpts {
+    /// Split an edge when `length > split_ratio * h(midpoint)`.
+    pub split_ratio: f64,
+    /// Hard cap on the number of splits (safety valve; default is huge).
+    pub max_splits: usize,
+}
+
+impl Default for RefineOpts {
+    fn default() -> Self {
+        RefineOpts {
+            split_ratio: 1.5,
+            max_splits: usize::MAX,
+        }
+    }
+}
+
+/// Statistics from a [`refine`] run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RefineStats {
+    /// Edge splits performed.
+    pub splits: usize,
+    /// Elements in the mesh afterwards.
+    pub elements_after: usize,
+}
+
+struct HeapItem {
+    len: f64,
+    edge: MeshEnt,
+    verts: [u32; 2],
+}
+
+impl PartialEq for HeapItem {
+    fn eq(&self, other: &Self) -> bool {
+        self.len == other.len && self.edge == other.edge
+    }
+}
+impl Eq for HeapItem {}
+impl PartialOrd for HeapItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.len
+            .partial_cmp(&other.len)
+            .unwrap_or(Ordering::Equal)
+            .then(self.edge.cmp(&other.edge))
+    }
+}
+
+fn edge_length(mesh: &Mesh, verts: &[u32]) -> f64 {
+    let a = mesh.coords(MeshEnt::vertex(verts[0]));
+    let b = mesh.coords(MeshEnt::vertex(verts[1]));
+    ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
+}
+
+fn midpoint(mesh: &Mesh, verts: &[u32]) -> [f64; 3] {
+    let a = mesh.coords(MeshEnt::vertex(verts[0]));
+    let b = mesh.coords(MeshEnt::vertex(verts[1]));
+    [
+        0.5 * (a[0] + b[0]),
+        0.5 * (a[1] + b[1]),
+        0.5 * (a[2] + b[2]),
+    ]
+}
+
+/// Split one edge, bisecting every adjacent element. Returns the new vertex.
+/// `model` enables boundary snapping of the new vertex.
+pub fn split_edge(mesh: &mut Mesh, edge: MeshEnt, model: Option<&Model>) -> MeshEnt {
+    debug_assert_eq!(edge.dim(), Dim::Edge);
+    let elem_dim = mesh.elem_dim();
+    let d_elem = mesh.elem_dim_t();
+    let [a, b] = [mesh.verts_of(edge)[0], mesh.verts_of(edge)[1]];
+    let class = mesh.class_of(edge);
+
+    // Record the cavity.
+    struct OldElem {
+        verts: Vec<u32>,
+        topo: pumi_mesh::Topology,
+        class: pumi_geom::GeomEnt,
+        tags: Vec<(TagId, TagData)>,
+    }
+    let cavity: Vec<OldElem> = mesh
+        .adjacent(edge, d_elem)
+        .into_iter()
+        .map(|e| OldElem {
+            verts: mesh.verts_of(e).to_vec(),
+            topo: mesh.topo(e),
+            class: mesh.class_of(e),
+            tags: mesh.tags().collect(e),
+        })
+        .collect();
+    debug_assert!(!cavity.is_empty(), "split of orphan edge");
+    // Faces containing the edge (3D): their children and median edges must
+    // inherit their classification (a split boundary face stays boundary).
+    let split_faces: Vec<(Vec<u32>, pumi_geom::GeomEnt)> = if elem_dim == 3 {
+        mesh.up_ents(edge)
+            .into_iter()
+            .map(|f| (mesh.verts_of(f).to_vec(), mesh.class_of(f)))
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    // Delete top-down: elements, then (3D) the faces containing the edge,
+    // then the edge itself.
+    for e in mesh.adjacent(edge, d_elem) {
+        mesh.delete(e);
+    }
+    if elem_dim == 3 {
+        for f in mesh.up_ents(edge) {
+            mesh.delete(f);
+        }
+    }
+    mesh.delete(edge);
+
+    // New vertex at the (snapped) midpoint, classified like the edge was.
+    let mut p = {
+        let pa = mesh.coords(MeshEnt::vertex(a));
+        let pb = mesh.coords(MeshEnt::vertex(b));
+        [
+            0.5 * (pa[0] + pb[0]),
+            0.5 * (pa[1] + pb[1]),
+            0.5 * (pa[2] + pb[2]),
+        ]
+    };
+    if let Some(model) = model {
+        p = snap_to_model(model, class, elem_dim, p);
+    }
+    let m = mesh.add_vertex(p, class);
+
+    // Two children per cavity element: a→m and b→m.
+    for old in &cavity {
+        for (replace, keep) in [(a, b), (b, a)] {
+            let _ = keep;
+            let verts: Vec<u32> = old
+                .verts
+                .iter()
+                .map(|&v| if v == replace { m.index() } else { v })
+                .collect();
+            let child = mesh.add_entity(old.topo, &verts, old.class);
+            for (tid, data) in &old.tags {
+                mesh.tags_mut().set(*tid, child, data.clone());
+            }
+        }
+    }
+    // Restore classification of the bisected lower entities: implicit
+    // find-or-create gave them the element's class, but entities lying
+    // inside an old entity inherit *that* entity's class.
+    // The two half edges lie inside the split edge:
+    for half in [[a, m.index()], [m.index(), b]] {
+        if let Some(e) = mesh.find_entity(Dim::Edge, &half) {
+            mesh.set_class(e, class);
+        }
+    }
+    // Child faces and median edges lie inside the split faces (3D):
+    for (fverts, fclass) in &split_faces {
+        for (replace, _) in [(a, b), (b, a)] {
+            let child_verts: Vec<u32> = fverts
+                .iter()
+                .map(|&v| if v == replace { m.index() } else { v })
+                .collect();
+            if let Some(f) = mesh.find_entity(Dim::Face, &child_verts) {
+                mesh.set_class(f, *fclass);
+            }
+        }
+        for &x in fverts.iter().filter(|&&v| v != a && v != b) {
+            if let Some(e) = mesh.find_entity(Dim::Edge, &[m.index(), x]) {
+                mesh.set_class(e, *fclass);
+            }
+        }
+    }
+    m
+}
+
+/// Refine until every edge satisfies the size field (or the split cap is
+/// hit). Returns statistics.
+pub fn refine(
+    mesh: &mut Mesh,
+    size: &SizeField,
+    model: Option<&Model>,
+    opts: RefineOpts,
+) -> RefineStats {
+    let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
+    let oversized = |mesh: &Mesh, verts: &[u32]| -> Option<f64> {
+        let len = edge_length(mesh, verts);
+        let h = size.at(midpoint(mesh, verts));
+        (len > opts.split_ratio * h).then_some(len)
+    };
+    for e in mesh.snapshot(Dim::Edge) {
+        let verts = mesh.verts_of(e);
+        if let Some(len) = oversized(mesh, verts) {
+            heap.push(HeapItem {
+                len,
+                edge: e,
+                verts: [verts[0], verts[1]],
+            });
+        }
+    }
+    let mut splits = 0usize;
+    while let Some(item) = heap.pop() {
+        if splits >= opts.max_splits {
+            break;
+        }
+        // Lazy validation: the slot may have been reused.
+        if !mesh.is_live(item.edge) {
+            continue;
+        }
+        let verts = mesh.verts_of(item.edge);
+        if [verts[0], verts[1]] != item.verts && [verts[1], verts[0]] != item.verts {
+            continue;
+        }
+        if oversized(mesh, verts).is_none() {
+            continue;
+        }
+        let m = split_edge(mesh, item.edge, model);
+        splits += 1;
+        // New candidates: every edge at the new vertex.
+        for e in mesh.adjacent(m, Dim::Edge) {
+            let verts = mesh.verts_of(e);
+            if let Some(len) = oversized(mesh, verts) {
+                heap.push(HeapItem {
+                    len,
+                    edge: e,
+                    verts: [verts[0], verts[1]],
+                });
+            }
+        }
+    }
+    RefineStats {
+        splits,
+        elements_after: mesh.num_elems(),
+    }
+}
+
+/// Check that every element of `mesh` has positive measure (no inversions) —
+/// refinement must preserve this.
+pub fn all_positive(mesh: &Mesh) -> bool {
+    mesh.elems().all(|e| measure(mesh, e).abs() > 1e-14)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumi_geom::builders::{vessel, VesselSpec};
+    use pumi_meshgen::{tet_box, tri_rect, vessel_tet};
+    use pumi_util::tag::TagKind;
+
+    #[test]
+    fn split_one_edge_of_a_triangle_pair() {
+        let mut m = tri_rect(1, 1, 1.0, 1.0);
+        assert_eq!(m.num_elems(), 2);
+        // The diagonal is interior: splitting it bisects both triangles.
+        let diag = m
+            .iter(Dim::Edge)
+            .find(|&e| !m.is_boundary_side(e))
+            .unwrap();
+        let v = split_edge(&mut m, diag, None);
+        assert_eq!(m.num_elems(), 4);
+        assert_eq!(m.count(Dim::Vertex), 5);
+        m.assert_valid();
+        assert!(all_positive(&m));
+        let p = m.coords(v);
+        assert!((p[0] - 0.5).abs() < 1e-12 && (p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn split_boundary_edge() {
+        let mut m = tri_rect(1, 1, 1.0, 1.0);
+        let bnd = m.iter(Dim::Edge).find(|&e| m.is_boundary_side(e)).unwrap();
+        split_edge(&mut m, bnd, None);
+        assert_eq!(m.num_elems(), 3);
+        m.assert_valid();
+        assert!(all_positive(&m));
+    }
+
+    #[test]
+    fn uniform_refinement_reaches_size() {
+        let mut m = tri_rect(2, 2, 1.0, 1.0);
+        let size = SizeField::uniform(0.2);
+        let stats = refine(&mut m, &size, None, RefineOpts::default());
+        assert!(stats.splits > 0);
+        m.assert_valid();
+        assert!(all_positive(&m));
+        // No remaining oversized edge.
+        for e in m.iter(Dim::Edge) {
+            let verts = m.verts_of(e);
+            let len = edge_length(&m, verts);
+            let h = size.at(midpoint(&m, verts));
+            assert!(len <= 1.5 * h + 1e-12, "edge len {len} > 1.5*{h}");
+        }
+    }
+
+    #[test]
+    fn refinement_3d_valid() {
+        let mut m = tet_box(2, 2, 2, 1.0, 1.0, 1.0);
+        let before = m.num_elems();
+        let size = SizeField::uniform(0.3);
+        let stats = refine(&mut m, &size, None, RefineOpts::default());
+        assert!(stats.elements_after > before);
+        m.assert_valid();
+        assert!(all_positive(&m));
+    }
+
+    #[test]
+    fn shock_refinement_is_localized() {
+        let mut m = tri_rect(4, 4, 1.0, 1.0);
+        let size = SizeField::shock(|p| p[1] - 0.5, 0.03, 0.5, 0.05);
+        refine(&mut m, &size, None, RefineOpts::default());
+        m.assert_valid();
+        // Elements concentrate near the shock line: the band of height 0.2
+        // around it (1/5 of the domain) holds the majority of elements.
+        let mut near = 0usize;
+        let mut far = 0usize;
+        for e in m.elems() {
+            let c = m.centroid(e);
+            if (c[1] - 0.5).abs() < 0.1 {
+                near += 1;
+            } else if (c[1] - 0.5).abs() > 0.3 {
+                far += 1;
+            }
+        }
+        assert!(near > 2 * far, "refinement not localized: near={near} far={far}");
+    }
+
+    #[test]
+    fn split_children_keep_boundary_classification() {
+        // Splitting a boundary edge must leave both halves classified on
+        // the model edge (regression: implicit creation once gave them the
+        // element's interior class, which later let coarsening collapse
+        // chords and cut area off the domain).
+        let mut m = tri_rect(2, 2, 1.0, 1.0);
+        let bnd = m
+            .iter(Dim::Edge)
+            .find(|&e| m.is_boundary_side(e))
+            .unwrap();
+        let bnd_class = m.class_of(bnd);
+        assert_eq!(bnd_class.dim(), Dim::Edge);
+        let mid = split_edge(&mut m, bnd, None);
+        for e in m.adjacent(mid, Dim::Edge) {
+            let other_boundary = m.is_boundary_side(e);
+            if other_boundary {
+                assert_eq!(m.class_of(e), bnd_class, "half edge lost its class");
+            } else {
+                assert_eq!(
+                    m.class_of(e).dim(),
+                    Dim::Face,
+                    "median edge must be interior"
+                );
+            }
+        }
+        // In 3D: child faces of a split boundary face stay on the wall.
+        let mut m3 = pumi_meshgen::tet_box(2, 2, 2, 1.0, 1.0, 1.0);
+        let bf = m3
+            .iter(Dim::Face)
+            .find(|&f| m3.is_boundary_side(f))
+            .unwrap();
+        let fclass = m3.class_of(bf);
+        let edge_on_bf = m3.down_ents(bf)[0];
+        let eclass = m3.class_of(edge_on_bf);
+        let mid = split_edge(&mut m3, edge_on_bf, None);
+        assert_eq!(m3.class_of(mid), eclass);
+        let mut checked = 0;
+        for f in m3.adjacent(mid, Dim::Face) {
+            if m3.is_boundary_side(f) {
+                assert_eq!(m3.class_of(f).dim(), Dim::Face, "boundary child face");
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+        let _ = fclass;
+        m3.assert_valid();
+    }
+
+    #[test]
+    fn tags_inherited_by_children() {
+        let mut m = tri_rect(1, 1, 1.0, 1.0);
+        let tid = m.tags_mut().declare("part", TagKind::Int, 1);
+        for (i, e) in m.snapshot(Dim::Face).into_iter().enumerate() {
+            m.tags_mut().set_int(tid, e, i as i64);
+        }
+        let size = SizeField::uniform(0.3);
+        refine(&mut m, &size, None, RefineOpts::default());
+        for e in m.elems() {
+            assert!(
+                m.tags().get_int(tid, e).is_some(),
+                "child lost its part tag"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_snapping_keeps_wall_vertices_on_geometry() {
+        let spec = VesselSpec::aaa();
+        let model = vessel(spec);
+        let mut m = vessel_tet(spec, 3, 5);
+        let size = SizeField::uniform(0.6);
+        refine(&mut m, &size, Some(&model), RefineOpts::default());
+        m.assert_valid();
+        let wall = pumi_geom::GeomEnt::new(Dim::Face, 1);
+        let mut checked = 0;
+        for v in m.iter_classified(Dim::Vertex, wall) {
+            let p = m.coords(v);
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!(
+                (r - spec.radius_at(p[2])).abs() < 1e-6,
+                "wall vertex off geometry after refinement"
+            );
+            checked += 1;
+        }
+        assert!(checked > 0);
+    }
+}

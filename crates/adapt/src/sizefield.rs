@@ -1,0 +1,97 @@
+//! Size fields: the target edge length the adapted mesh should have at each
+//! point of the domain.
+//!
+//! Analysis-driven adaptation computes these from error indicators (the
+//! paper's M6 example uses "a size field computed from the hessian of the
+//! mach number"); here they are analytic, including the oblique-shock field
+//! that regenerates Fig 13's imbalance phenomenon.
+
+use std::sync::Arc;
+
+/// A target-edge-length field over the domain.
+#[derive(Clone)]
+pub struct SizeField {
+    f: Arc<dyn Fn([f64; 3]) -> f64 + Send + Sync>,
+}
+
+impl std::fmt::Debug for SizeField {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SizeField{..}")
+    }
+}
+
+impl SizeField {
+    /// A uniform target size.
+    pub fn uniform(h: f64) -> SizeField {
+        assert!(h > 0.0);
+        SizeField {
+            f: Arc::new(move |_| h),
+        }
+    }
+
+    /// An arbitrary analytic size field.
+    pub fn analytic(f: impl Fn([f64; 3]) -> f64 + Send + Sync + 'static) -> SizeField {
+        SizeField { f: Arc::new(f) }
+    }
+
+    /// A shock-layer field: size `h_min` within `width` of the zero set of
+    /// `dist`, ramping linearly to `h_max` outside — the resolution pattern
+    /// of a captured shock front (Fig 13's workload).
+    pub fn shock(
+        dist: impl Fn([f64; 3]) -> f64 + Send + Sync + 'static,
+        h_min: f64,
+        h_max: f64,
+        width: f64,
+    ) -> SizeField {
+        assert!(h_min > 0.0 && h_max >= h_min && width > 0.0);
+        SizeField {
+            f: Arc::new(move |p| {
+                let d = dist(p).abs();
+                if d <= width {
+                    h_min
+                } else {
+                    let t = ((d - width) / (2.0 * width)).min(1.0);
+                    h_min + t * (h_max - h_min)
+                }
+            }),
+        }
+    }
+
+    /// The target size at `p`.
+    #[inline]
+    pub fn at(&self, p: [f64; 3]) -> f64 {
+        (self.f)(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_constant() {
+        let s = SizeField::uniform(0.25);
+        assert_eq!(s.at([0.; 3]), 0.25);
+        assert_eq!(s.at([9., -3., 2.]), 0.25);
+    }
+
+    #[test]
+    fn shock_profile() {
+        let s = SizeField::shock(|p| p[2] - 1.0, 0.1, 1.0, 0.2);
+        // On the shock plane: h_min.
+        assert_eq!(s.at([0., 0., 1.0]), 0.1);
+        assert_eq!(s.at([5., 5., 1.15]), 0.1);
+        // Far away: h_max.
+        assert!((s.at([0., 0., 5.0]) - 1.0).abs() < 1e-12);
+        // In between: monotone ramp.
+        let near = s.at([0., 0., 1.3]);
+        let far = s.at([0., 0., 1.5]);
+        assert!(near < far && near > 0.1 && far < 1.0);
+    }
+
+    #[test]
+    fn analytic_wraps_closure() {
+        let s = SizeField::analytic(|p| 0.1 + p[0]);
+        assert!((s.at([0.4, 0., 0.]) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,81 @@
+//! Boundary snapping.
+//!
+//! New vertices created on classified boundary entities must lie on the
+//! geometry, not on the chord of the old mesh — "accounting for curved
+//! domains in mesh adaptation", Li et al.). The geometric classification of the
+//! split edge tells which model entity to project onto.
+
+use pumi_geom::{GeomEnt, Model};
+use pumi_mesh::NO_GEOM;
+use pumi_util::Dim;
+
+/// Project `p` onto the model entity `class` if it is a boundary entity
+/// (dim < `elem_dim`); interior and unclassified points pass through.
+pub fn snap_to_model(model: &Model, class: GeomEnt, elem_dim: usize, p: [f64; 3]) -> [f64; 3] {
+    if class == NO_GEOM || class.dim().as_usize() >= elem_dim {
+        return p;
+    }
+    if !model.contains(class) {
+        return p;
+    }
+    model.closest_point(class, p)
+}
+
+/// Whether a vertex classified on `gone_class` may be collapsed along an
+/// edge classified on `edge_class` without leaving its geometry.
+///
+/// Interior vertices may always collapse. A boundary vertex may only slide
+/// *along its own model entity*: the collapse edge itself must classify on
+/// the same entity. This also rejects chords — interior edges connecting
+/// two boundary vertices — whose collapse would cut area off the domain.
+pub fn collapse_allowed(gone_class: GeomEnt, edge_class: GeomEnt, elem_dim: usize) -> bool {
+    if gone_class == NO_GEOM || gone_class.dim().as_usize() == elem_dim {
+        return true;
+    }
+    // Model vertices never move (dimension 0 has nowhere to slide).
+    if gone_class.dim() == Dim::Vertex {
+        return false;
+    }
+    edge_class == gone_class
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumi_geom::builders::{vessel, VesselSpec};
+
+    #[test]
+    fn interior_points_pass_through() {
+        let spec = VesselSpec::aaa();
+        let m = vessel(spec);
+        let interior = GeomEnt::new(Dim::Region, 1);
+        let p = [0.3, 0.2, 5.0];
+        assert_eq!(snap_to_model(&m, interior, 3, p), p);
+        assert_eq!(snap_to_model(&m, NO_GEOM, 3, p), p);
+    }
+
+    #[test]
+    fn wall_points_snap_to_radius() {
+        let spec = VesselSpec::aaa();
+        let m = vessel(spec);
+        let wall = GeomEnt::new(Dim::Face, 1);
+        // Midpoint of a chord lies inside the circle; snapping pushes it out
+        // to R(z).
+        let p = [0.9, 0.0, 5.0];
+        let q = snap_to_model(&m, wall, 3, p);
+        let r = (q[0] * q[0] + q[1] * q[1]).sqrt();
+        assert!((r - spec.radius_at(q[2])).abs() < 1e-9);
+    }
+
+    #[test]
+    fn collapse_rules() {
+        let interior = GeomEnt::new(Dim::Region, 1);
+        let wall = GeomEnt::new(Dim::Face, 1);
+        let rim = GeomEnt::new(Dim::Edge, 1);
+        assert!(collapse_allowed(interior, wall, 3));
+        assert!(collapse_allowed(wall, wall, 3));
+        assert!(!collapse_allowed(wall, interior, 3));
+        assert!(!collapse_allowed(rim, wall, 3));
+        assert!(collapse_allowed(NO_GEOM, wall, 3));
+    }
+}

@@ -1,0 +1,69 @@
+//! §I's completeness claim: "the complexity of any mesh adjacency
+//! interrogation is O(1) (i.e., not a function of mesh size)".
+//!
+//! Per-query time for upward (vertex→regions), downward (region→vertices)
+//! and same-dimension (region→region via faces) adjacency must stay flat as
+//! the mesh grows 8× per step.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pumi_meshgen::tet_box;
+use pumi_util::{Dim, MeshEnt};
+use std::hint::black_box;
+
+fn adjacency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("adjacency_o1");
+    for n in [6usize, 12, 24] {
+        let mesh = tet_box(n, n, n, 1.0, 1.0, 1.0);
+        let elems: Vec<MeshEnt> = mesh.elems().collect();
+        let verts: Vec<MeshEnt> = mesh.iter(Dim::Vertex).collect();
+        let nq = 1024usize;
+        group.throughput(Throughput::Elements(nq as u64));
+
+        group.bench_with_input(
+            BenchmarkId::new("region_to_vertices", mesh.num_elems()),
+            &mesh,
+            |b, mesh| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for i in 0..nq {
+                        let e = elems[(i * 7919) % elems.len()];
+                        acc += mesh.adjacent(black_box(e), Dim::Vertex).len();
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("vertex_to_regions", mesh.num_elems()),
+            &mesh,
+            |b, mesh| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for i in 0..nq {
+                        let v = verts[(i * 104729) % verts.len()];
+                        acc += mesh.adjacent(black_box(v), Dim::Region).len();
+                    }
+                    acc
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("region_neighbors", mesh.num_elems()),
+            &mesh,
+            |b, mesh| {
+                b.iter(|| {
+                    let mut acc = 0usize;
+                    for i in 0..nq {
+                        let e = elems[(i * 7919) % elems.len()];
+                        acc += mesh.adjacent(black_box(e), Dim::Region).len();
+                    }
+                    acc
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, adjacency);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Migration micro-benchmark (§II-C): the cost of moving one band of
+//! elements across a part boundary, the primitive under every ParMA
+//! iteration and every rebalance in an adaptive workflow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pumi_core::{distribute, migrate, MigrationPlan, PartMap};
+use pumi_meshgen::tet_box;
+use pumi_pcu::execute;
+use pumi_util::{FxHashMap, PartId};
+
+fn migrate_band(n: usize) -> u64 {
+    let serial = tet_box(n, n, n, 1.0, 1.0, 1.0);
+    let d = serial.elem_dim_t();
+    let mut labels = vec![0 as PartId; serial.index_space(d)];
+    for e in serial.iter(d) {
+        labels[e.idx()] = if serial.centroid(e)[0] < 0.5 { 0 } else { 1 };
+    }
+    let moved = execute(2, |c| {
+        let mut dm = distribute(c, PartMap::contiguous(2, 2), &serial, &labels);
+        let mut plans: FxHashMap<PartId, MigrationPlan> = FxHashMap::default();
+        if c.rank() == 0 {
+            let part = dm.part(0);
+            let mut plan = MigrationPlan::new();
+            for e in part.mesh.elems() {
+                let x = part.mesh.centroid(e);
+                if x[0] > 0.5 - 1.5 / n as f64 {
+                    plan.send(e, 1);
+                }
+            }
+            plans.insert(0, plan);
+        }
+        let stats = migrate(c, &mut dm, &plans);
+        stats.elements_moved
+    });
+    moved[0]
+}
+
+fn migration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("migration");
+    group.sample_size(10);
+    for n in [8usize, 12, 16] {
+        let elems = 6 * n * n * n;
+        group.throughput(Throughput::Elements(elems as u64));
+        group.bench_with_input(BenchmarkId::new("band", elems), &n, |b, &n| {
+            b.iter(|| migrate_band(n))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, migration);
+criterion_main!(benches);

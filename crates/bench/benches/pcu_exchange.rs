@@ -1,0 +1,46 @@
+//! PCU phased-exchange micro-benchmarks (§II-D): cost of one neighbour
+//! exchange round versus rank count and payload size, including the 32-rank
+//! single-node configuration the paper tested on Blue Gene/Q.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use pumi_pcu::phased::Exchange;
+use pumi_pcu::{execute_on, MachineModel};
+
+fn exchange_round(threads: usize, payload: usize, rounds: usize) {
+    let machine = MachineModel::new(1, threads);
+    execute_on(machine, |c| {
+        for _ in 0..rounds {
+            let mut ex = Exchange::new(c);
+            let next = (c.rank() + 1) % c.nranks();
+            if next != c.rank() {
+                ex.to(next).put_bytes(&vec![0u8; payload]);
+            }
+            let _ = ex.finish();
+        }
+    });
+}
+
+fn pcu(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pcu_exchange");
+    group.sample_size(10);
+    for threads in [2usize, 8, 32] {
+        group.throughput(Throughput::Elements(threads as u64));
+        group.bench_with_input(
+            BenchmarkId::new("ring_4KiB", threads),
+            &threads,
+            |b, &threads| b.iter(|| exchange_round(threads, 4096, 8)),
+        );
+    }
+    for payload in [64usize, 4096, 65536] {
+        group.throughput(Throughput::Bytes(payload as u64));
+        group.bench_with_input(
+            BenchmarkId::new("payload_8ranks", payload),
+            &payload,
+            |b, &payload| b.iter(|| exchange_round(8, payload, 8)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pcu);
+criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Ablation study of ParMA's design choices (DESIGN.md's ablation item).
+//!
+//! Re-runs the Table II T1 configuration (`Vtx > Rgn` on the AAA-proxy
+//! partition) with each mechanism disabled in turn:
+//!
+//! * **admission handshake** — destinations grant migration requests within
+//!   their true headroom; without it, several heavy parts can overfill the
+//!   same destination in one iteration,
+//! * **peak caps** — "no harm" lets destinations rise to a protected type's
+//!   stage-entry peak; without it, the lower-priority repair stage
+//!   deadlocks against the tolerance cap,
+//! * **strict selection** — Fig 9 / small-cavity passes run before relaxed
+//!   ones; without them selection grabs arbitrary boundary elements.
+//!
+//! Usage: `ablation_parma [--nr N] [--nz N] [--parts N] [--ranks N]`
+
+use bench::report::{f, print_table, Table};
+use bench::workloads::{aaa_scaled, distribute_labels, AaaScale};
+use parma::{improve, EntityLoads, ImproveOpts, Priority};
+use pumi_partition::partition_mesh;
+use pumi_util::Dim;
+
+fn main() {
+    let mut scale = AaaScale::default_scale();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        let v = &args[i + 1];
+        match args[i].as_str() {
+            "--nr" => scale.nr = v.parse().unwrap(),
+            "--nz" => scale.nz = v.parse().unwrap(),
+            "--parts" => scale.nparts = v.parse().unwrap(),
+            "--ranks" => scale.nranks = v.parse().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    eprintln!(
+        "ablation: {} tets, {} parts, ParMA T1 (Vtx > Rgn)",
+        scale.elements(),
+        scale.nparts
+    );
+    let serial = aaa_scaled(scale);
+    let labels = partition_mesh(&serial, scale.nparts);
+    let pri: Priority = "Vtx > Rgn".parse().unwrap();
+    let tol = 0.05; // the paper's tolerance
+
+    let configs: Vec<(&str, ImproveOpts)> = vec![
+        (
+            "full ParMA",
+            ImproveOpts {
+                tol,
+                ..ImproveOpts::default()
+            },
+        ),
+        (
+            "- admission handshake",
+            ImproveOpts {
+                tol,
+                handshake: false,
+                ..ImproveOpts::default()
+            },
+        ),
+        (
+            "- peak caps",
+            ImproveOpts {
+                tol,
+                peak_caps: false,
+                ..ImproveOpts::default()
+            },
+        ),
+        (
+            "- strict selection",
+            ImproveOpts {
+                tol,
+                strict_selection: false,
+                ..ImproveOpts::default()
+            },
+        ),
+    ];
+
+    let mut t = Table::new(
+        "ParMA ablation (T1: Vtx > Rgn; lower is better everywhere)",
+        &[
+            "config",
+            "vtx imb%",
+            "rgn imb%",
+            "moved",
+            "bnd copies",
+            "time (s)",
+        ],
+    );
+    for (name, opts) in configs {
+        let out = pumi_pcu::execute(scale.nranks, |c| {
+            let mut dm = distribute_labels(c, &serial, &labels, scale.nparts);
+            let report = improve(c, &mut dm, &pri, opts);
+            let loads = EntityLoads::gather(c, &dm);
+            let bnd = dm.global_sum(c, |p| p.shared_entities().len() as u64);
+            (c.rank() == 0).then(|| {
+                (
+                    loads.imbalance_pct(Dim::Vertex),
+                    loads.imbalance_pct(Dim::Region),
+                    report.elements_moved,
+                    bnd,
+                    report.seconds,
+                )
+            })
+        });
+        let (v, r, moved, bnd, secs) = out.into_iter().flatten().next().unwrap();
+        t.row(vec![
+            name.to_string(),
+            f(v, 2),
+            f(r, 2),
+            moved.to_string(),
+            bnd.to_string(),
+            f(secs, 2),
+        ]);
+    }
+    print_table(&t);
+    println!();
+    println!(
+        "reading: the handshake is what keeps the lower-priority (rgn) balance intact — \
+         without it heavy parts overfill shared destinations; strict selection trims the \
+         migration volume and boundary growth; peak caps only matter when a protected \
+         type sits above its tolerance cap at a stage entry (repair-stage regimes), so \
+         they can tie on well-conditioned inputs like this one"
+    );
+}

@@ -1,0 +1,73 @@
+//! Fig 12: normalized per-part vertex (a) and edge (b) counts before and
+//! after ParMA test T2 (`Vtx = Edge > Rgn`).
+//!
+//! Writes `fig12_vtx.csv` and `fig12_edge.csv` (part, before/avg, after/avg)
+//! and prints the min/max/imbalance summary of each series — the envelope
+//! the paper's scatter plots show tightening from [0.5, 1.3] to ~[0.7, 1.05].
+//!
+//! Usage: `fig12_series [--nr N] [--nz N] [--parts N] [--ranks N]`
+
+use bench::workloads::{aaa_scaled, distribute_labels, AaaScale};
+use parma::{improve, EntityLoads, ImproveOpts, Priority};
+use pumi_partition::partition_mesh;
+use pumi_util::stats::LoadStats;
+use pumi_util::Dim;
+use std::io::Write;
+
+fn main() {
+    let mut scale = AaaScale::default_scale();
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        let v = &args[i + 1];
+        match args[i].as_str() {
+            "--nr" => scale.nr = v.parse().unwrap(),
+            "--nz" => scale.nz = v.parse().unwrap(),
+            "--parts" => scale.nparts = v.parse().unwrap(),
+            "--ranks" => scale.nranks = v.parse().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    eprintln!(
+        "fig12: {} tets, {} parts, ParMA T2 (Vtx = Edge > Rgn)",
+        scale.elements(),
+        scale.nparts
+    );
+    let serial = aaa_scaled(scale);
+    let labels = partition_mesh(&serial, scale.nparts);
+    let pri: Priority = "Vtx = Edge > Rgn".parse().unwrap();
+
+    let out = pumi_pcu::execute(scale.nranks, |c| {
+        let mut dm = distribute_labels(c, &serial, &labels, scale.nparts);
+        let before = EntityLoads::gather(c, &dm);
+        improve(c, &mut dm, &pri, ImproveOpts::default());
+        let after = EntityLoads::gather(c, &dm);
+        (c.rank() == 0).then_some((before, after))
+    });
+    let (before, after) = out.into_iter().flatten().next().unwrap();
+
+    for (d, name) in [(Dim::Vertex, "vtx"), (Dim::Edge, "edge")] {
+        let b = before.of(d);
+        let a = after.of(d);
+        let avg_b = LoadStats::of(b).mean;
+        let avg_a = LoadStats::of(a).mean;
+        let path = format!("fig12_{name}.csv");
+        let mut file = std::fs::File::create(&path).expect("create csv");
+        writeln!(file, "part,before_over_avg,after_over_avg").unwrap();
+        for p in 0..b.len() {
+            writeln!(file, "{},{:.6},{:.6}", p, b[p] / avg_b, a[p] / avg_a).unwrap();
+        }
+        let sb = LoadStats::of(b);
+        let sa = LoadStats::of(a);
+        println!(
+            "fig12 ({name}): before [{:.3}, {:.3}] imb {:.2}%  ->  after [{:.3}, {:.3}] imb {:.2}%   (csv: {path})",
+            sb.min / sb.mean,
+            sb.max / sb.mean,
+            sb.imbalance_pct(),
+            sa.min / sa.mean,
+            sa.max / sa.mean,
+            sa.imbalance_pct(),
+        );
+    }
+}

@@ -1,0 +1,106 @@
+//! §III-B: heavy part splitting versus diffusion on clustered spikes.
+//!
+//! "The greedy iterative diffusive procedure ... is observed to not meet a
+//! target imbalance tolerance when the input partition is large and has
+//! multiple parts with the imbalance spikes neighboring each other."
+//!
+//! Setup: an adaptation-induced imbalance — the wing mesh is partitioned,
+//! then refined at the shock with parts frozen, producing a cluster of
+//! neighbouring heavy parts along the shock front (the Fig 13 state). Two
+//! repair strategies are compared from identical inputs:
+//!   (a) diffusion only (`improve` on elements),
+//!   (b) heavy part splitting followed by diffusion.
+//!
+//! Usage: `heavy_split [--n N] [--parts N] [--ranks N] [--hmin F]`
+
+use bench::workloads::wing_mesh;
+use parma::{heavy_part_split, improve, EntityLoads, ImproveOpts, Priority, SplitOpts};
+use pumi_adapt::{refine, RefineOpts, SizeField};
+use pumi_core::{distribute, PartMap};
+use pumi_meshgen::shock_plane_distance;
+use pumi_partition::partition_mesh;
+use pumi_util::tag::TagKind;
+use pumi_util::{Dim, PartId};
+
+fn main() {
+    let mut n = 16usize;
+    let mut nparts = 32usize;
+    let mut nranks = 4usize;
+    let mut hmin = 0.012f64;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        let v = &args[i + 1];
+        match args[i].as_str() {
+            "--n" => n = v.parse().unwrap(),
+            "--parts" => nparts = v.parse().unwrap(),
+            "--ranks" => nranks = v.parse().unwrap(),
+            "--hmin" => hmin = v.parse().unwrap(),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+
+    // Build the adapted, imbalanced mesh once (serial), with parts frozen
+    // through refinement.
+    let mut mesh = wing_mesh(n);
+    let labels0 = partition_mesh(&mesh, nparts);
+    let tid = mesh.tags_mut().declare("part", TagKind::Int, 1);
+    for e in mesh.snapshot(mesh.elem_dim_t()) {
+        mesh.tags_mut().set_int(tid, e, labels0[e.idx()] as i64);
+    }
+    let size = SizeField::shock(shock_plane_distance, hmin, 0.12, 0.02);
+    refine(&mut mesh, &size, None, RefineOpts::default());
+    let d = mesh.elem_dim_t();
+    let mut labels = vec![0 as PartId; mesh.index_space(d)];
+    for e in mesh.iter(d) {
+        labels[e.idx()] = mesh.tags().get_int(tid, e).unwrap() as PartId;
+    }
+    eprintln!(
+        "adapted mesh: {} tets on {nparts} parts (shock-front spike cluster)",
+        mesh.num_elems()
+    );
+
+    let run = |strategy: &'static str| -> (f64, f64, f64) {
+        let out = pumi_pcu::execute(nranks, |c| {
+            let map = PartMap::contiguous(nparts, c.nranks());
+            let mut dm = distribute(c, map, &mesh, &labels);
+            let before = EntityLoads::gather(c, &dm).imbalance_pct(d);
+            let pri: Priority = match d {
+                Dim::Face => "Face".parse().unwrap(),
+                _ => "Rgn".parse().unwrap(),
+            };
+            let opts = ImproveOpts {
+                max_iters: 12,
+                ..ImproveOpts::default()
+            };
+            let t = pumi_util::stats::Timer::start();
+            match strategy {
+                "diffusion" => {
+                    improve(c, &mut dm, &pri, opts);
+                }
+                "split+diffusion" => {
+                    heavy_part_split(c, &mut dm, SplitOpts::default());
+                    improve(c, &mut dm, &pri, opts);
+                }
+                _ => unreachable!(),
+            }
+            let secs = t.seconds();
+            let after = EntityLoads::gather(c, &dm).imbalance_pct(d);
+            pumi_core::verify::assert_dist_valid(c, &dm);
+            (c.rank() == 0).then_some((before, after, secs))
+        });
+        out.into_iter().flatten().next().unwrap()
+    };
+
+    let (b1, a1, s1) = run("diffusion");
+    let (b2, a2, s2) = run("split+diffusion");
+    println!("strategy            before      after     time");
+    println!("diffusion only     {b1:7.1}%  {a1:8.1}%  {s1:6.2}s");
+    println!("split + diffusion  {b2:7.1}%  {a2:8.1}%  {s2:6.2}s");
+    println!();
+    println!(
+        "check: splitting reaches {a2:.1}% where diffusion alone stalls at {a1:.1}% \
+         (paper: diffusion misses the tolerance on clustered spikes; splitting fixes it)"
+    );
+}

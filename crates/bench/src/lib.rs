@@ -1,0 +1,16 @@
+//! Experiment harness shared by the per-table/per-figure binaries.
+//!
+//! Every quantitative artifact of the paper has a binary in `src/bin/`
+//! (see EXPERIMENTS.md for the index); this library holds the common
+//! scaffolding: scaled workload construction, distribution helpers, and
+//! table formatting. Scale factors versus the paper are documented in
+//! EXPERIMENTS.md and chosen so each binary completes in minutes on a
+//! laptop while preserving the per-part statistics that drive the
+//! phenomena (a few hundred to a few thousand elements per part, as in the
+//! paper's runs).
+
+pub mod report;
+pub mod workloads;
+
+pub use report::{print_table, Table};
+pub use workloads::{aaa_mesh, aaa_scaled, distribute_labels, wing_mesh, AaaScale};

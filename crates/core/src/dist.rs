@@ -1,0 +1,415 @@
+//! The distributed mesh: parts mapped onto ranks, part-level messaging, and
+//! the bootstrap distribution.
+//!
+//! §II-C: "Multiple part per process: a capability to dynamically change the
+//! number of parts per process." A [`PartMap`] assigns each part `P_i` to a
+//! rank; a rank may hold many parts (the Table II runs use 32 parts per
+//! process). [`PartExchange`] is the part-addressed phased exchange every
+//! distributed mesh algorithm is written in: messages between co-resident
+//! parts never touch the network, mirroring the paper's on-node short-cut.
+
+use crate::part::{Part, NO_GID};
+use pumi_mesh::Mesh;
+use pumi_pcu::phased::Exchange;
+use pumi_pcu::{Comm, MsgReader, MsgWriter};
+use pumi_util::{Dim, FxHashMap, MeshEnt, PartId};
+
+/// Assignment of parts to ranks.
+#[derive(Debug, Clone)]
+pub struct PartMap {
+    /// Rank hosting each part, indexed by part id.
+    rank_of: Vec<usize>,
+    /// Parts hosted by each rank, in ascending part order.
+    by_rank: Vec<Vec<PartId>>,
+}
+
+impl PartMap {
+    /// Block-contiguous map: part `p` lives on rank `p / ceil(nparts/nranks)`
+    /// — parts 0..k on rank 0, the next k on rank 1, ...
+    pub fn contiguous(nparts: usize, nranks: usize) -> PartMap {
+        assert!(nparts >= 1 && nranks >= 1);
+        let per = nparts.div_ceil(nranks);
+        let rank_of: Vec<usize> = (0..nparts).map(|p| (p / per).min(nranks - 1)).collect();
+        Self::from_ranks(rank_of, nranks)
+    }
+
+    /// Build from an explicit part → rank vector.
+    pub fn from_ranks(rank_of: Vec<usize>, nranks: usize) -> PartMap {
+        let mut by_rank = vec![Vec::new(); nranks];
+        for (p, &r) in rank_of.iter().enumerate() {
+            assert!(r < nranks, "part {p} mapped to invalid rank {r}");
+            by_rank[r].push(p as PartId);
+        }
+        PartMap { rank_of, by_rank }
+    }
+
+    /// Total number of parts.
+    pub fn nparts(&self) -> usize {
+        self.rank_of.len()
+    }
+
+    /// The rank hosting part `p`.
+    #[inline]
+    pub fn rank_of(&self, p: PartId) -> usize {
+        self.rank_of[p as usize]
+    }
+
+    /// Parts hosted by `rank`, ascending.
+    pub fn parts_on(&self, rank: usize) -> &[PartId] {
+        &self.by_rank[rank]
+    }
+
+    /// The local slot of part `p` on its rank.
+    pub fn slot_of(&self, p: PartId) -> usize {
+        self.by_rank[self.rank_of(p)]
+            .iter()
+            .position(|&q| q == p)
+            .expect("part not in its rank's list")
+    }
+}
+
+/// The parts of a distributed mesh living on this rank.
+pub struct DistMesh {
+    /// The global part → rank assignment.
+    pub map: PartMap,
+    /// Local parts, ordered as `map.parts_on(rank)`.
+    pub parts: Vec<Part>,
+}
+
+impl DistMesh {
+    /// The local part with id `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is not hosted on this rank.
+    pub fn part(&self, p: PartId) -> &Part {
+        let i = self
+            .parts
+            .iter()
+            .position(|q| q.id == p)
+            .unwrap_or_else(|| panic!("part {p} is not local"));
+        &self.parts[i]
+    }
+
+    /// Mutable access to local part `p`.
+    pub fn part_mut(&mut self, p: PartId) -> &mut Part {
+        let i = self
+            .parts
+            .iter()
+            .position(|q| q.id == p)
+            .unwrap_or_else(|| panic!("part {p} is not local"));
+        &mut self.parts[i]
+    }
+
+    /// Ids of the local parts.
+    pub fn local_ids(&self) -> Vec<PartId> {
+        self.parts.iter().map(|p| p.id).collect()
+    }
+
+    /// Sum a per-part count over all parts of the world.
+    pub fn global_sum(&self, comm: &Comm, f: impl Fn(&Part) -> u64) -> u64 {
+        let local: u64 = self.parts.iter().map(&f).sum();
+        comm.allreduce_sum_u64(local)
+    }
+
+    /// Gather a per-part load vector (indexed by part id) across the world.
+    /// Every rank receives the full vector.
+    pub fn gather_loads(&self, comm: &Comm, f: impl Fn(&Part) -> f64) -> Vec<f64> {
+        let mut v = vec![0f64; self.map.nparts()];
+        for p in &self.parts {
+            v[p.id as usize] = f(p);
+        }
+        comm.allreduce_sum_f64_vec(&v)
+    }
+}
+
+/// Part-addressed phased exchange: pack per (from part → to part), finish,
+/// iterate. Framing rides on [`pumi_pcu::phased::Exchange`].
+pub struct PartExchange<'c, 'm> {
+    comm: &'c Comm,
+    map: &'m PartMap,
+    bufs: FxHashMap<(PartId, PartId), MsgWriter>,
+}
+
+impl<'c, 'm> PartExchange<'c, 'm> {
+    /// Begin an exchange. All ranks must participate.
+    pub fn new(comm: &'c Comm, map: &'m PartMap) -> Self {
+        PartExchange {
+            comm,
+            map,
+            bufs: FxHashMap::default(),
+        }
+    }
+
+    /// The writer packing data from part `from` to part `to`.
+    pub fn to(&mut self, from: PartId, to: PartId) -> &mut MsgWriter {
+        debug_assert!((to as usize) < self.map.nparts(), "bad destination part");
+        self.bufs.entry((from, to)).or_default()
+    }
+
+    /// Send everything; returns `(from_part, to_part, reader)` triples
+    /// sorted by (to, from) — deterministic processing order.
+    pub fn finish(self) -> Vec<(PartId, PartId, MsgReader)> {
+        let mut ex = Exchange::new(self.comm);
+        // Deterministic packing order.
+        let mut items: Vec<((PartId, PartId), MsgWriter)> = self.bufs.into_iter().collect();
+        items.sort_by_key(|&(k, _)| k);
+        for ((from, to), w) in items {
+            if w.is_empty() {
+                continue;
+            }
+            let rank = self.map.rank_of(to);
+            let out = ex.to(rank);
+            out.put_u32(from);
+            out.put_u32(to);
+            out.put_bytes(&w.into_vec());
+        }
+        let mut result = Vec::new();
+        for (_, mut r) in ex.finish() {
+            while !r.is_done() {
+                let from = r.get_u32();
+                let to = r.get_u32();
+                let body = r.get_bytes();
+                result.push((from, to, MsgReader::from_vec(body)));
+            }
+        }
+        result.sort_by_key(|&(f, t, _)| (t, f));
+        result
+    }
+}
+
+/// Distribute a serial mesh onto parts.
+///
+/// Every rank deterministically regenerates the same `serial` mesh (the
+/// simulated equivalent of parallel file loading) and keeps the closure of
+/// the elements `elem_part` assigns to its parts. Global ids are the serial
+/// indices, so part-boundary copies match across parts; remote-copy links
+/// are then established with one real exchange.
+pub fn distribute(comm: &Comm, map: PartMap, serial: &Mesh, elem_part: &[PartId]) -> DistMesh {
+    let elem_dim = serial.elem_dim();
+    let d_elem = Dim::from_usize(elem_dim);
+    assert_eq!(elem_part.len(), serial.index_space(d_elem));
+    let rank = comm.rank();
+
+    // 1. Build local parts: closure of owned elements, gid = serial index.
+    let mut parts: Vec<Part> = Vec::new();
+    for &pid in map.parts_on(rank) {
+        let mut part = Part::new(pid, elem_dim);
+        // serial-local vertex index -> part-local vertex index
+        let mut vmap: FxHashMap<u32, u32> = FxHashMap::default();
+        for e in serial.iter(d_elem) {
+            if elem_part[e.idx()] != pid {
+                continue;
+            }
+            // Create closure bottom-up with serial gids.
+            for sub in serial.closure(e) {
+                match sub.dim() {
+                    Dim::Vertex => {
+                        vmap.entry(sub.index()).or_insert_with(|| {
+                            let v = part.add_vertex(
+                                serial.coords(sub),
+                                serial.class_of(sub),
+                                sub.index() as u64,
+                            );
+                            v.index()
+                        });
+                    }
+                    _ => {
+                        let verts: Vec<u32> =
+                            serial.verts_of(sub).iter().map(|v| vmap[v]).collect();
+                        part.add_entity(
+                            serial.topo(sub),
+                            &verts,
+                            serial.class_of(sub),
+                            sub.index() as u64,
+                        );
+                    }
+                }
+            }
+        }
+        parts.push(part);
+    }
+    let mut dm = DistMesh { map, parts };
+
+    // 2. Residence from the serial mesh: an entity resides on the parts of
+    //    its adjacent elements (§II-B).
+    let mut residence: FxHashMap<MeshEnt, Vec<PartId>> = FxHashMap::default();
+    for d in 0..elem_dim {
+        let dim = Dim::from_usize(d);
+        for a in serial.iter(dim) {
+            let mut parts: Vec<PartId> = serial
+                .adjacent(a, d_elem)
+                .iter()
+                .map(|e| elem_part[e.idx()])
+                .collect();
+            parts.sort_unstable();
+            parts.dedup();
+            if parts.len() > 1 {
+                residence.insert(a, parts);
+            }
+        }
+    }
+
+    // 3. Exchange (gid, local index) among residence parts to set remotes.
+    let mut ex = PartExchange::new(comm, &dm.map);
+    for part in &dm.parts {
+        for (&sent, res) in &residence {
+            if !res.contains(&part.id) {
+                continue;
+            }
+            let local = part.find_gid(sent.dim(), sent.index() as u64);
+            let Some(local) = local else { continue };
+            for &q in res {
+                if q != part.id {
+                    let w = ex.to(part.id, q);
+                    w.put_u8(sent.dim().as_usize() as u8);
+                    w.put_u64(sent.index() as u64);
+                    w.put_u32(local.index());
+                }
+            }
+        }
+    }
+    let mut incoming: FxHashMap<PartId, FxHashMap<MeshEnt, Vec<(PartId, u32)>>> =
+        FxHashMap::default();
+    for (from, to, mut r) in ex.finish() {
+        let slot = incoming.entry(to).or_default();
+        while !r.is_done() {
+            let d = Dim::from_usize(r.get_u8() as usize);
+            let gid = r.get_u64();
+            let ridx = r.get_u32();
+            let part = dm.part(to);
+            if let Some(local) = part.find_gid(d, gid) {
+                slot.entry(local).or_default().push((from, ridx));
+            }
+        }
+    }
+    for (to, ents) in incoming {
+        let part = dm.part_mut(to);
+        for (e, copies) in ents {
+            part.set_remotes(e, copies);
+        }
+    }
+    dm
+}
+
+/// Convenience: check that every part's gid bookkeeping matches its mesh.
+pub fn check_gids(part: &Part) -> Vec<String> {
+    let mut errs = Vec::new();
+    for d in pumi_util::Dim::ALL {
+        for e in part.mesh.iter(d) {
+            if part.gid_of(e) == NO_GID {
+                errs.push(format!("part {}: {e:?} has no gid", part.id));
+            } else if part.find_gid(d, part.gid_of(e)) != Some(e) {
+                errs.push(format!("part {}: gid index broken for {e:?}", part.id));
+            }
+        }
+    }
+    errs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumi_meshgen::tri_rect;
+    use pumi_pcu::execute;
+
+    #[test]
+    fn partmap_contiguous() {
+        let m = PartMap::contiguous(8, 3);
+        assert_eq!(m.nparts(), 8);
+        assert_eq!(m.parts_on(0), &[0, 1, 2]);
+        assert_eq!(m.parts_on(1), &[3, 4, 5]);
+        assert_eq!(m.parts_on(2), &[6, 7]);
+        assert_eq!(m.rank_of(4), 1);
+        assert_eq!(m.slot_of(4), 1);
+    }
+
+    #[test]
+    fn part_exchange_routes_by_part() {
+        execute(2, |c| {
+            let map = PartMap::contiguous(4, 2); // rank0: parts 0,1; rank1: 2,3
+            let mut ex = PartExchange::new(c, &map);
+            // Each local part sends its id+100 to every other part.
+            for &from in map.parts_on(c.rank()) {
+                for to in 0..4u32 {
+                    if to != from {
+                        ex.to(from, to).put_u32(from + 100);
+                    }
+                }
+            }
+            let got = ex.finish();
+            // Each of my 2 parts receives from the 3 others: 6 messages.
+            assert_eq!(got.len(), 6);
+            let mut prev = (0, 0);
+            for (from, to, mut r) in got {
+                assert!(map.rank_of(to) == c.rank());
+                assert_eq!(r.get_u32(), from + 100);
+                assert!((to, from) >= prev, "not sorted");
+                prev = (to, from);
+            }
+        });
+    }
+
+    /// Distribute a 4x4 triangle mesh to 4 parts on 2 ranks and check the
+    /// boundary bookkeeping end to end.
+    #[test]
+    fn distribute_rect_four_parts() {
+        let results = execute(2, |c| {
+            let serial = tri_rect(4, 4, 1.0, 1.0);
+            // Quadrant partition by element centroid.
+            let elem_part: Vec<PartId> = {
+                let d = serial.elem_dim_t();
+                let mut v = vec![0; serial.index_space(d)];
+                for e in serial.iter(d) {
+                    let c = serial.centroid(e);
+                    let px = if c[0] < 0.5 { 0 } else { 1 };
+                    let py = if c[1] < 0.5 { 0 } else { 1 };
+                    v[e.idx()] = (py * 2 + px) as PartId;
+                }
+                v
+            };
+            let map = PartMap::contiguous(4, 2);
+            let dm = distribute(c, map, &serial, &elem_part);
+
+            // Every rank hosts 2 parts with 8 elements each.
+            assert_eq!(dm.parts.len(), 2);
+            for p in &dm.parts {
+                assert_eq!(p.mesh.num_elems(), 8);
+                p.mesh.assert_valid();
+                assert!(check_gids(p).is_empty());
+            }
+            // Total owned entities match the serial mesh.
+            let serial_counts = [
+                serial.count(Dim::Vertex) as u64,
+                serial.count(Dim::Edge) as u64,
+                serial.count(Dim::Face) as u64,
+            ];
+            let mut owned = [0u64; 3];
+            for p in &dm.parts {
+                for d in 0..3 {
+                    owned[d] += p
+                        .mesh
+                        .iter(Dim::from_usize(d))
+                        .filter(|&e| p.is_owned(e))
+                        .count() as u64;
+                }
+            }
+            let global: Vec<u64> = owned.iter().map(|&x| c.allreduce_sum_u64(x)).collect();
+            assert_eq!(global, serial_counts);
+
+            // The center vertex (0.5, 0.5) is shared by all 4 parts.
+            let mut center_res = None;
+            for p in &dm.parts {
+                for v in p.mesh.iter(Dim::Vertex) {
+                    let x = p.mesh.coords(v);
+                    if (x[0] - 0.5).abs() < 1e-12 && (x[1] - 0.5).abs() < 1e-12 {
+                        center_res = Some(p.residence(v));
+                    }
+                }
+            }
+            let center_res = center_res.expect("center vertex missing");
+            assert_eq!(center_res, vec![0, 1, 2, 3]);
+            true
+        });
+        assert!(results.into_iter().all(|x| x));
+    }
+}

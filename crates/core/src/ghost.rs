@@ -1,0 +1,403 @@
+//! Ghosting (§II-C).
+//!
+//! "Ghosting: a procedure to localize off-part mesh entities to avoid
+//! off-node communications for computations. A ghost is a read-only,
+//! duplicated, off-part internal entity copy including tag data."
+//!
+//! [`ghost_layers`] copies `nlayers` of elements adjacent (through a bridge
+//! dimension) to each part boundary onto the neighbouring parts. Ghost
+//! copies do not join residence sets or ownership; owners remember who holds
+//! ghosts of their entities so [`sync_ghost_tags`] can push updated tag data
+//! (the read-only contract: data flows owner → ghost only).
+
+use crate::dist::{DistMesh, PartExchange};
+use crate::migrate::{pack_tags, unpack_tags};
+use crate::part::Part;
+use pumi_geom::GeomEnt;
+use pumi_mesh::Topology;
+use pumi_pcu::Comm;
+use pumi_util::{Dim, FxHashMap, FxHashSet, MeshEnt, PartId};
+
+/// Create `nlayers` of ghost elements around every part boundary, bridged
+/// through `bridge` (e.g. `Dim::Vertex` ghosts everything sharing a boundary
+/// vertex — the widest stencil; `Dim::Face` in 3D gives face-neighbour
+/// stencils). Collective. Returns the total number of ghost element copies
+/// created world-wide.
+pub fn ghost_layers(comm: &Comm, dm: &mut DistMesh, bridge: Dim, nlayers: usize) -> u64 {
+    let elem_dim = dm.parts.first().map(|p| p.mesh.elem_dim()).unwrap_or(2);
+    let d_elem = Dim::from_usize(elem_dim);
+    assert!(bridge.as_usize() < elem_dim, "bridge must be below elements");
+    let nlocal = dm.parts.len();
+
+    // sent[slot][q] = elements already copied to part q (as handles).
+    let mut sent: Vec<FxHashMap<PartId, FxHashSet<MeshEnt>>> = vec![FxHashMap::default(); nlocal];
+    // Sender-side frontier: the elements shipped to q in the previous layer.
+    // Deeper layers grow outward from these on the owning part (as in PUMI,
+    // each layer comes from the part that owns the boundary neighbourhood).
+    let mut frontier: Vec<FxHashMap<PartId, Vec<MeshEnt>>> = vec![FxHashMap::default(); nlocal];
+    let mut total = 0u64;
+
+    for layer in 0..nlayers {
+        // 1. Determine which elements to send where.
+        let mut to_send: Vec<FxHashMap<PartId, Vec<MeshEnt>>> = vec![FxHashMap::default(); nlocal];
+        for (slot, part) in dm.parts.iter().enumerate() {
+            if layer == 0 {
+                // Seed: elements touching a boundary entity of the bridge
+                // dimension, destined to the parts sharing that entity.
+                for (e, remotes) in part.shared_entities() {
+                    if e.dim() != bridge {
+                        continue;
+                    }
+                    let elems = part.mesh.adjacent(e, d_elem);
+                    for &(q, _) in remotes {
+                        for &el in &elems {
+                            if part.is_ghost(el) {
+                                continue;
+                            }
+                            if sent[slot].entry(q).or_default().insert(el) {
+                                to_send[slot].entry(q).or_default().push(el);
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Grow: our elements bridge-adjacent to what we already
+                // shipped to q.
+                for (&q, seeds) in &frontier[slot] {
+                    for &g in seeds {
+                        for el in part.mesh.neighbors_via(g, bridge) {
+                            if part.is_ghost(el) {
+                                continue;
+                            }
+                            if sent[slot].entry(q).or_default().insert(el) {
+                                to_send[slot].entry(q).or_default().push(el);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        // The next layer grows from what each part ships now.
+        for slot in 0..nlocal {
+            frontier[slot] = to_send[slot]
+                .iter()
+                .map(|(&q, v)| (q, v.clone()))
+                .collect();
+        }
+
+        // 2. Pack closures (bottom-up) and send.
+        let mut ex = PartExchange::new(comm, &dm.map);
+        for (slot, part) in dm.parts.iter().enumerate() {
+            let mut dests: Vec<(&PartId, &Vec<MeshEnt>)> = to_send[slot].iter().collect();
+            dests.sort_by_key(|&(q, _)| *q);
+            for (&q, elems) in dests {
+                let mut packed: FxHashSet<MeshEnt> = FxHashSet::default();
+                let mut by_dim: [Vec<MeshEnt>; 4] = Default::default();
+                let mut elems = elems.clone();
+                elems.sort_unstable();
+                for &el in &elems {
+                    for sub in part.mesh.closure(el) {
+                        if packed.insert(sub) {
+                            by_dim[sub.dim().as_usize()].push(sub);
+                        }
+                    }
+                }
+                let w = ex.to(part.id, q);
+                for (d, by) in by_dim.iter().enumerate().take(elem_dim + 1) {
+                    for &e in by {
+                        w.put_u8(d as u8);
+                        w.put_u8(part.mesh.topo(e).to_u8());
+                        w.put_u64(part.gid_of(e));
+                        w.put_u32(part.mesh.class_of(e).0);
+                        w.put_u32(e.index()); // owner-side index
+                        if d == 0 {
+                            let x = part.mesh.coords(e);
+                            w.put_f64(x[0]);
+                            w.put_f64(x[1]);
+                            w.put_f64(x[2]);
+                        } else {
+                            let vgids: Vec<u64> = part
+                                .mesh
+                                .verts_of(e)
+                                .iter()
+                                .map(|&v| part.gid_of(MeshEnt::vertex(v)))
+                                .collect();
+                            w.put_u64_slice(&vgids);
+                        }
+                        pack_tags(part, e, w);
+                    }
+                }
+            }
+        }
+
+        // 3. Receive: create missing entities as ghosts; reply with local
+        //    indices so owners can track ghost holders.
+        type Ack = (u8, u32, u32); // (dim, owner idx, holder idx)
+        let mut replies: Vec<(PartId, PartId, Vec<Ack>)> = Vec::new();
+        for (from, to, mut r) in ex.finish() {
+            let slot = dm.map.slot_of(to);
+            let mut ack: Vec<Ack> = Vec::new();
+            while !r.is_done() {
+                let d = Dim::from_usize(r.get_u8() as usize);
+                let topo = Topology::from_u8(r.get_u8());
+                let gid = r.get_u64();
+                let class = GeomEnt(r.get_u32());
+                let src_idx = r.get_u32();
+                let part = &mut dm.parts[slot];
+                let (e, fresh) = if d == Dim::Vertex {
+                    let x = [r.get_f64(), r.get_f64(), r.get_f64()];
+                    match part.find_gid(d, gid) {
+                        Some(e) => (e, false),
+                        None => (part.add_vertex(x, class, gid), true),
+                    }
+                } else {
+                    let vgids = r.get_u64_slice();
+                    match part.find_gid(d, gid) {
+                        Some(e) => (e, false),
+                        None => {
+                            let verts: Vec<u32> = vgids
+                                .iter()
+                                .map(|&g| {
+                                    part.find_gid(Dim::Vertex, g)
+                                        .expect("ghost closure vertex missing")
+                                        .index()
+                                })
+                                .collect();
+                            (part.add_entity(topo, &verts, class, gid), true)
+                        }
+                    }
+                };
+                if fresh {
+                    part.set_ghost(e, (from, src_idx));
+                    ack.push((d.as_usize() as u8, src_idx, e.index()));
+                    if d == Dim::from_usize(elem_dim) {
+                        total += 1;
+                    }
+                }
+                unpack_tags(&mut dm.parts[slot], e, &mut r);
+            }
+            if !ack.is_empty() {
+                replies.push((to, from, ack));
+            }
+        }
+
+        // 4. Acknowledge: owners record ghost holders.
+        let mut ex = PartExchange::new(comm, &dm.map);
+        for (me, owner, ack) in replies {
+            let w = ex.to(me, owner);
+            for (d, src_idx, my_idx) in ack {
+                w.put_u8(d);
+                w.put_u32(src_idx);
+                w.put_u32(my_idx);
+            }
+        }
+        for (from, to, mut r) in ex.finish() {
+            let slot = dm.map.slot_of(to);
+            let part = &mut dm.parts[slot];
+            while !r.is_done() {
+                let d = Dim::from_usize(r.get_u8() as usize);
+                let my_idx = r.get_u32();
+                let their_idx = r.get_u32();
+                part.add_ghosted_to(MeshEnt::new(d, my_idx), (from, their_idx));
+            }
+        }
+    }
+    comm.allreduce_sum_u64(total)
+}
+
+/// Delete every ghost copy on every part. Collective only in the trivial
+/// sense (no communication needed — owner-side `ghosted_to` records are
+/// cleared locally too).
+pub fn delete_ghosts(dm: &mut DistMesh) {
+    for part in &mut dm.parts {
+        let ghosts = part.ghost_entities();
+        // Top-down: elements, then faces, edges, vertices with no remaining
+        // upward adjacency.
+        for d in (0..=3usize).rev() {
+            for &g in &ghosts {
+                if g.dim().as_usize() != d || !part.mesh.is_live(g) {
+                    continue;
+                }
+                if d < 3 && part.mesh.up_count(g) > 0 {
+                    // Still bounds a live (possibly non-ghost) entity: keep.
+                    // This happens when a ghost's closure entity is shared
+                    // with a real boundary entity — those were never fresh,
+                    // so they are not in `ghosts`; a live up here means a
+                    // non-ghost element references it, which contradicts
+                    // ghost creation. Defensive skip.
+                    continue;
+                }
+                part.delete_entity(g);
+            }
+        }
+        part.clear_ghost_records();
+    }
+}
+
+/// Push tag data of ghosted entities from owners to their ghost copies
+/// (read-only contract: ghosts never push back). Syncs every tag present on
+/// each ghosted entity. Collective.
+pub fn sync_ghost_tags(comm: &Comm, dm: &mut DistMesh) {
+    let mut ex = PartExchange::new(comm, &dm.map);
+    for part in &dm.parts {
+        let mut items: Vec<(MeshEnt, Vec<(PartId, u32)>)> = part
+            .ghost_entities_owner_side()
+            .into_iter()
+            .collect();
+        items.sort_by_key(|(e, _)| *e);
+        for (e, holders) in items {
+            for (q, their_idx) in holders {
+                let w = ex.to(part.id, q);
+                w.put_u8(e.dim().as_usize() as u8);
+                w.put_u32(their_idx);
+                pack_tags(part, e, w);
+            }
+        }
+    }
+    for (_, to, mut r) in ex.finish() {
+        let slot = dm.map.slot_of(to);
+        while !r.is_done() {
+            let d = Dim::from_usize(r.get_u8() as usize);
+            let idx = r.get_u32();
+            let e = MeshEnt::new(d, idx);
+            unpack_tags(&mut dm.parts[slot], e, &mut r);
+        }
+    }
+}
+
+impl Part {
+    /// Owner-side view of ghost holders: entity → (holder part, holder-local
+    /// index) list.
+    pub fn ghost_entities_owner_side(&self) -> Vec<(MeshEnt, Vec<(PartId, u32)>)> {
+        let mut v: Vec<(MeshEnt, Vec<(PartId, u32)>)> = Dim::ALL
+            .iter()
+            .flat_map(|&d| {
+                self.mesh
+                    .iter(d)
+                    .filter(|&e| !self.ghosted_to(e).is_empty())
+                    .map(|e| (e, self.ghosted_to(e).to_vec()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        v.sort_by_key(|(e, _)| *e);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{distribute, PartMap};
+    use pumi_meshgen::tri_rect;
+    use pumi_pcu::execute;
+    use pumi_util::tag::TagKind;
+
+    fn strip_two_parts(c: &Comm) -> DistMesh {
+        let serial = tri_rect(4, 2, 4.0, 1.0);
+        let d = serial.elem_dim_t();
+        let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+        for e in serial.iter(d) {
+            elem_part[e.idx()] = if serial.centroid(e)[0] < 2.0 { 0 } else { 1 };
+        }
+        distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part)
+    }
+
+    #[test]
+    fn one_layer_vertex_bridge() {
+        execute(2, |c| {
+            let mut dm = strip_two_parts(c);
+            let before = dm.part(c.rank() as PartId).mesh.num_elems();
+            let total = ghost_layers(c, &mut dm, Dim::Vertex, 1);
+            assert!(total > 0);
+            let part = dm.part(c.rank() as PartId);
+            // Ghost elements appeared, marked ghost.
+            assert!(part.mesh.num_elems() > before);
+            let ghost_elems = part
+                .mesh
+                .elems()
+                .filter(|&e| part.is_ghost(e))
+                .count();
+            assert_eq!(part.mesh.num_elems() - before, ghost_elems);
+            part.mesh.assert_valid();
+            // Owners know their holders.
+            let ghosted: usize = part.ghost_entities_owner_side().len();
+            assert!(ghosted > 0, "owner-side ghost records missing");
+        });
+    }
+
+    #[test]
+    fn ghost_then_delete_restores_counts() {
+        execute(2, |c| {
+            let mut dm = strip_two_parts(c);
+            let pid = c.rank() as PartId;
+            let counts_before = dm.part(pid).entity_counts();
+            ghost_layers(c, &mut dm, Dim::Vertex, 1);
+            assert!(dm.part(pid).num_ghosts() > 0);
+            delete_ghosts(&mut dm);
+            let part = dm.part(pid);
+            assert_eq!(part.num_ghosts(), 0);
+            assert_eq!(part.entity_counts(), counts_before);
+            part.mesh.assert_valid();
+        });
+    }
+
+    #[test]
+    fn two_layers_reach_further() {
+        execute(2, |c| {
+            let mut dm1 = strip_two_parts(c);
+            let t1 = ghost_layers(c, &mut dm1, Dim::Vertex, 1);
+            let mut dm2 = strip_two_parts(c);
+            let t2 = ghost_layers(c, &mut dm2, Dim::Vertex, 2);
+            assert!(t2 > t1, "layer 2 added nothing: {t1} vs {t2}");
+        });
+    }
+
+    #[test]
+    fn ghost_tag_sync_pushes_owner_values() {
+        execute(2, |c| {
+            let mut dm = strip_two_parts(c);
+            let pid = c.rank() as PartId;
+            // Owners tag their elements with their part id.
+            {
+                let part = dm.part_mut(pid);
+                let tid = part.mesh.tags_mut().declare("load", TagKind::Int, 1);
+                for e in part.mesh.snapshot(Dim::Face) {
+                    part.mesh.tags_mut().set_int(tid, e, pid as i64);
+                }
+            }
+            ghost_layers(c, &mut dm, Dim::Vertex, 1);
+            // Ghost copies carried the tag at copy time.
+            {
+                let part = dm.part(pid);
+                let tid = part.mesh.tags().find("load").unwrap();
+                for e in part.mesh.elems() {
+                    if part.is_ghost(e) {
+                        let v = part.mesh.tags().get_int(tid, e).expect("ghost tag");
+                        assert_eq!(v, 1 - pid as i64);
+                    }
+                }
+            }
+            // Owner updates, syncs; ghosts see the new value.
+            {
+                let part = dm.part_mut(pid);
+                let tid = part.mesh.tags().find("load").unwrap();
+                for e in part.mesh.snapshot(Dim::Face) {
+                    if !part.is_ghost(e) {
+                        part.mesh.tags_mut().set_int(tid, e, 100 + pid as i64);
+                    }
+                }
+            }
+            sync_ghost_tags(c, &mut dm);
+            let part = dm.part(pid);
+            let tid = part.mesh.tags().find("load").unwrap();
+            for e in part.mesh.elems() {
+                if part.is_ghost(e) {
+                    assert_eq!(
+                        part.mesh.tags().get_int(tid, e),
+                        Some(100 + (1 - pid as i64))
+                    );
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,36 @@
+//! PUMI core: the distributed mesh (§II).
+//!
+//! The paper's primary contribution — "a parallel infrastructure with a
+//! general unstructured mesh representation and various operations needed
+//! for interacting with meshes on massively parallel computers" — lives
+//! here, on top of the serial mesh (`pumi-mesh`), the geometric model
+//! (`pumi-geom`) and the message-passing substrate (`pumi-pcu`):
+//!
+//! * [`part`] — parts, global ids, remote copies, residence sets, ownership
+//!   (§II-A/B),
+//! * [`dist`] — part↔rank maps (multiple parts per process), part-addressed
+//!   exchange, bootstrap distribution,
+//! * [`ptnmodel`] — the partition model: partition entities `P^d_i`,
+//!   partition classification, neighbour queries (§II-C, Figs 3/4),
+//! * [`migrate()`] — mesh migration (§II-C): move element closures between
+//!   parts, rebuilding residence, remote copies and ownership,
+//! * [`ghost`] — ghosting: read-only off-part copies with tag data (§II-C),
+//! * [`numbering`] — parallel-consistent global numbering of owned entities,
+//! * [`twolevel`] — two-level architecture-aware partitioning support:
+//!   on-node vs off-node part boundaries (§II-D, Figs 5/6),
+//! * [`verify`] — distributed invariants (symmetric remotes, owner
+//!   consistency, global entity conservation).
+
+pub mod dist;
+pub mod ghost;
+pub mod migrate;
+pub mod numbering;
+pub mod part;
+pub mod ptnmodel;
+pub mod twolevel;
+pub mod verify;
+
+pub use dist::{distribute, DistMesh, PartExchange, PartMap};
+pub use migrate::{migrate, MigrationPlan};
+pub use part::{Part, NO_GID};
+pub use ptnmodel::PtnModel;

@@ -1,0 +1,402 @@
+//! A mesh part (§II-A).
+//!
+//! "When a mesh is distributed to N parts, each part is assigned to a
+//! process or processing core. A part is a subset of topological mesh
+//! entities of the entire mesh, uniquely identified by its handle or id."
+//!
+//! A [`Part`] wraps a serial [`Mesh`] with the parallel bookkeeping of
+//! §II-B: global ids (stable across migration), remote copies for part
+//! boundary entities, and ghost provenance. "Each part is treated as a
+//! serial mesh with the addition of mesh part boundaries."
+
+use pumi_mesh::{Mesh, Topology};
+use pumi_geom::GeomEnt;
+use pumi_util::ids::make_global_id;
+use pumi_util::{Dim, FxHashMap, FxHashSet, GlobalId, MeshEnt, PartId};
+
+/// Sentinel for "no global id assigned".
+pub const NO_GID: GlobalId = u64::MAX;
+
+/// One part of a distributed mesh.
+pub struct Part {
+    /// The part id `P_i`, unique across the whole partition.
+    pub id: PartId,
+    /// The part's serial mesh.
+    pub mesh: Mesh,
+    /// Global id per entity, dense per dimension (parallel to the mesh's
+    /// index space).
+    gids: [Vec<GlobalId>; 4],
+    /// Reverse index: global id → local index, per dimension.
+    gid_index: [FxHashMap<GlobalId, u32>; 4],
+    /// Remote copies of part-boundary entities: (remote part, remote local
+    /// index). Sorted by part id. Ghost copies are *not* listed here.
+    remotes: FxHashMap<MeshEnt, Vec<(PartId, u32)>>,
+    /// Entities that are read-only ghost copies on this part, mapped to
+    /// their (owner part, owner local index).
+    ghosts: FxHashMap<MeshEnt, (PartId, u32)>,
+    /// Owner-side record of which parts hold ghost copies of an entity.
+    ghosted_to: FxHashMap<MeshEnt, Vec<(PartId, u32)>>,
+    /// Counter feeding [`Part::new_gid`].
+    gid_counter: u64,
+}
+
+impl Part {
+    /// An empty part with the given id and element dimension.
+    pub fn new(id: PartId, elem_dim: usize) -> Part {
+        Part {
+            id,
+            mesh: Mesh::new(elem_dim),
+            gids: Default::default(),
+            gid_index: Default::default(),
+            remotes: FxHashMap::default(),
+            ghosts: FxHashMap::default(),
+            ghosted_to: FxHashMap::default(),
+            gid_counter: 0,
+        }
+    }
+
+    /// A fresh global id unique across all parts: birth part `id + 1` keeps
+    /// new ids disjoint from bootstrap ids (which are plain serial indices
+    /// below 2^40).
+    pub fn new_gid(&mut self) -> GlobalId {
+        let g = make_global_id(self.id + 1, self.gid_counter);
+        self.gid_counter += 1;
+        g
+    }
+
+    fn record_gid(&mut self, e: MeshEnt, gid: GlobalId) {
+        let d = e.dim().as_usize();
+        if self.gids[d].len() <= e.idx() {
+            self.gids[d].resize(e.idx() + 1, NO_GID);
+        }
+        debug_assert!(
+            self.gids[d][e.idx()] == NO_GID || !self.mesh.is_live(e) || self.gids[d][e.idx()] == gid,
+            "gid reassignment for {e:?}"
+        );
+        self.gids[d][e.idx()] = gid;
+        self.gid_index[d].insert(gid, e.index());
+    }
+
+    /// Create a vertex with an explicit global id.
+    pub fn add_vertex(&mut self, x: [f64; 3], class: GeomEnt, gid: GlobalId) -> MeshEnt {
+        let v = self.mesh.add_vertex(x, class);
+        self.record_gid(v, gid);
+        v
+    }
+
+    /// Find-or-create an entity over local vertex indices with an explicit
+    /// global id for the top entity; implicitly created intermediate
+    /// entities get fresh gids from this part's counter.
+    pub fn add_entity(
+        &mut self,
+        topo: Topology,
+        verts: &[u32],
+        class: GeomEnt,
+        gid: GlobalId,
+    ) -> MeshEnt {
+        let existed = topo.dim() != Dim::Region && self.mesh.find_entity(topo.dim(), verts).is_some();
+        let e = self.mesh.add_entity(topo, verts, class);
+        if existed {
+            debug_assert_eq!(self.gid_of(e), gid, "gid mismatch on find: {e:?}");
+            return e;
+        }
+        self.record_gid(e, gid);
+        // Freshly created intermediates need gids too.
+        self.assign_missing_gids_in_closure(e);
+        e
+    }
+
+    fn assign_missing_gids_in_closure(&mut self, e: MeshEnt) {
+        if e.dim() == Dim::Vertex {
+            return;
+        }
+        for sub in self.mesh.down_ents(e) {
+            if self.gid_of(sub) == NO_GID {
+                let g = self.new_gid();
+                self.record_gid(sub, g);
+                self.assign_missing_gids_in_closure(sub);
+            }
+        }
+    }
+
+    /// The global id of a live entity.
+    #[inline]
+    pub fn gid_of(&self, e: MeshEnt) -> GlobalId {
+        let d = e.dim().as_usize();
+        self.gids[d].get(e.idx()).copied().unwrap_or(NO_GID)
+    }
+
+    /// Find a live local entity by dimension and global id.
+    pub fn find_gid(&self, d: Dim, gid: GlobalId) -> Option<MeshEnt> {
+        self.gid_index[d.as_usize()]
+            .get(&gid)
+            .map(|&i| MeshEnt::new(d, i))
+            .filter(|&e| self.mesh.is_live(e))
+    }
+
+    // ------------------------------------------------------------------
+    // Remote copies & residence (§II-B)
+    // ------------------------------------------------------------------
+
+    /// Replace the remote-copy list of `e` (sorted by part id).
+    pub fn set_remotes(&mut self, e: MeshEnt, mut copies: Vec<(PartId, u32)>) {
+        copies.sort_unstable();
+        copies.dedup();
+        debug_assert!(copies.iter().all(|&(p, _)| p != self.id));
+        if copies.is_empty() {
+            self.remotes.remove(&e);
+        } else {
+            self.remotes.insert(e, copies);
+        }
+    }
+
+    /// The remote copies of `e`: (part, remote local index), sorted by part.
+    pub fn remotes_of(&self, e: MeshEnt) -> &[(PartId, u32)] {
+        self.remotes.get(&e).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Whether `e` lies on a part boundary (has remote copies).
+    #[inline]
+    pub fn is_shared(&self, e: MeshEnt) -> bool {
+        self.remotes.contains_key(&e)
+    }
+
+    /// The residence parts of `e`: this part plus all remote parts, sorted.
+    /// (§II-B: "the residence part is a set of part id(s) where a mesh
+    /// entity exists based on adjacency information".)
+    pub fn residence(&self, e: MeshEnt) -> Vec<PartId> {
+        let mut r: Vec<PartId> = std::iter::once(self.id)
+            .chain(self.remotes_of(e).iter().map(|&(p, _)| p))
+            .collect();
+        r.sort_unstable();
+        r
+    }
+
+    /// The owning part of `e`: the minimum residence part ("one part is
+    /// designated as owning part and ... imbues the right to modify").
+    /// Ghost copies are owned by their source part.
+    pub fn owner(&self, e: MeshEnt) -> PartId {
+        if let Some(&(p, _)) = self.ghosts.get(&e) {
+            return p;
+        }
+        self.remotes_of(e)
+            .first()
+            .map(|&(p, _)| p.min(self.id))
+            .unwrap_or(self.id)
+    }
+
+    /// Whether this part owns `e`.
+    #[inline]
+    pub fn is_owned(&self, e: MeshEnt) -> bool {
+        self.owner(e) == self.id
+    }
+
+    /// Iterate all shared (part-boundary) entities with their remote lists,
+    /// sorted by handle for determinism.
+    pub fn shared_entities(&self) -> Vec<(MeshEnt, &[(PartId, u32)])> {
+        let mut v: Vec<_> = self
+            .remotes
+            .iter()
+            .map(|(&e, r)| (e, r.as_slice()))
+            .collect();
+        v.sort_by_key(|(e, _)| *e);
+        v
+    }
+
+    /// Drop every remote-copy record (migration rebuilds them from scratch).
+    pub fn clear_remotes(&mut self) {
+        self.remotes.clear();
+    }
+
+    // ------------------------------------------------------------------
+    // Ghosts (§II-C)
+    // ------------------------------------------------------------------
+
+    /// Mark `e` as a ghost copy of `(owner part, owner local index)`.
+    pub fn set_ghost(&mut self, e: MeshEnt, src: (PartId, u32)) {
+        self.ghosts.insert(e, src);
+    }
+
+    /// Whether `e` is a read-only ghost copy on this part.
+    #[inline]
+    pub fn is_ghost(&self, e: MeshEnt) -> bool {
+        self.ghosts.contains_key(&e)
+    }
+
+    /// The ghost's source (owner part, owner local index).
+    pub fn ghost_source(&self, e: MeshEnt) -> Option<(PartId, u32)> {
+        self.ghosts.get(&e).copied()
+    }
+
+    /// Owner side: record that `to` holds a ghost copy of `e`.
+    pub fn add_ghosted_to(&mut self, e: MeshEnt, to: (PartId, u32)) {
+        let v = self.ghosted_to.entry(e).or_default();
+        if !v.contains(&to) {
+            v.push(to);
+        }
+    }
+
+    /// Owner side: the parts holding ghost copies of `e`.
+    pub fn ghosted_to(&self, e: MeshEnt) -> &[(PartId, u32)] {
+        self.ghosted_to.get(&e).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Iterate ghost entities (sorted by handle).
+    pub fn ghost_entities(&self) -> Vec<MeshEnt> {
+        let mut v: Vec<MeshEnt> = self.ghosts.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Number of ghost copies on this part.
+    pub fn num_ghosts(&self) -> usize {
+        self.ghosts.len()
+    }
+
+    /// Remove all ghost bookkeeping (entities must be deleted separately by
+    /// the ghosting module, which knows the deletion order).
+    pub fn clear_ghost_records(&mut self) {
+        self.ghosts.clear();
+        self.ghosted_to.clear();
+    }
+
+    /// Remove one ghost record.
+    pub fn remove_ghost_record(&mut self, e: MeshEnt) {
+        self.ghosts.remove(&e);
+    }
+
+    /// Delete a local entity and its bookkeeping (gid index, remotes).
+    /// The entity must satisfy the mesh's top-down deletion rule.
+    pub fn delete_entity(&mut self, e: MeshEnt) {
+        let d = e.dim().as_usize();
+        let gid = self.gid_of(e);
+        if gid != NO_GID {
+            self.gid_index[d].remove(&gid);
+            self.gids[d][e.idx()] = NO_GID;
+        }
+        self.remotes.remove(&e);
+        self.ghosts.remove(&e);
+        self.ghosted_to.remove(&e);
+        self.mesh.delete(e);
+    }
+
+    /// Per-dimension entity counts `[vtx, edge, face, rgn]` — the loads
+    /// ParMA balances (counts include part-boundary copies, matching the
+    /// paper's Table II accounting).
+    pub fn entity_counts(&self) -> [usize; 4] {
+        [
+            self.mesh.count(Dim::Vertex),
+            self.mesh.count(Dim::Edge),
+            self.mesh.count(Dim::Face),
+            self.mesh.count(Dim::Region),
+        ]
+    }
+}
+
+impl std::fmt::Debug for Part {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Part{{id:{}, {:?}, shared:{}, ghosts:{}}}",
+            self.id,
+            self.mesh,
+            self.remotes.len(),
+            self.ghosts.len()
+        )
+    }
+}
+
+/// The set of part ids a set of entities resides on — helper for residence
+/// computations.
+pub fn union_parts(sets: impl IntoIterator<Item = PartId>) -> Vec<PartId> {
+    let mut s: FxHashSet<PartId> = FxHashSet::default();
+    s.extend(sets);
+    let mut v: Vec<PartId> = s.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumi_mesh::NO_GEOM;
+
+    #[test]
+    fn gid_roundtrip() {
+        let mut p = Part::new(3, 2);
+        let v = p.add_vertex([0.; 3], NO_GEOM, 77);
+        assert_eq!(p.gid_of(v), 77);
+        assert_eq!(p.find_gid(Dim::Vertex, 77), Some(v));
+        assert_eq!(p.find_gid(Dim::Vertex, 78), None);
+    }
+
+    #[test]
+    fn new_gids_disjoint_from_bootstrap() {
+        let mut p = Part::new(0, 2);
+        let g = p.new_gid();
+        assert!(g >= (1u64 << 40), "part 0's fresh gids must exceed 2^40");
+        assert_ne!(p.new_gid(), g);
+    }
+
+    #[test]
+    fn implicit_intermediates_get_gids() {
+        let mut p = Part::new(0, 2);
+        let a = p.add_vertex([0.; 3], NO_GEOM, 1).index();
+        let b = p.add_vertex([1., 0., 0.], NO_GEOM, 2).index();
+        let c = p.add_vertex([0., 1., 0.], NO_GEOM, 3).index();
+        let t = p.add_entity(Topology::Triangle, &[a, b, c], NO_GEOM, 100);
+        assert_eq!(p.gid_of(t), 100);
+        for e in p.mesh.down_ents(t) {
+            assert_ne!(p.gid_of(e), NO_GID, "edge without gid");
+            assert_eq!(p.find_gid(Dim::Edge, p.gid_of(e)), Some(e));
+        }
+    }
+
+    #[test]
+    fn residence_and_owner() {
+        let mut p = Part::new(2, 2);
+        let v = p.add_vertex([0.; 3], NO_GEOM, 5);
+        assert_eq!(p.residence(v), vec![2]);
+        assert_eq!(p.owner(v), 2);
+        assert!(p.is_owned(v));
+        p.set_remotes(v, vec![(4, 9), (1, 3)]);
+        assert_eq!(p.residence(v), vec![1, 2, 4]);
+        assert_eq!(p.owner(v), 1);
+        assert!(!p.is_owned(v));
+        assert_eq!(p.remotes_of(v), &[(1, 3), (4, 9)]);
+        assert!(p.is_shared(v));
+        p.set_remotes(v, vec![]);
+        assert!(!p.is_shared(v));
+    }
+
+    #[test]
+    fn ghost_records() {
+        let mut p = Part::new(1, 2);
+        let v = p.add_vertex([0.; 3], NO_GEOM, 5);
+        assert!(!p.is_ghost(v));
+        p.set_ghost(v, (0, 42));
+        assert!(p.is_ghost(v));
+        assert_eq!(p.ghost_source(v), Some((0, 42)));
+        assert_eq!(p.owner(v), 0);
+        p.add_ghosted_to(v, (3, 7));
+        p.add_ghosted_to(v, (3, 7));
+        assert_eq!(p.ghosted_to(v), &[(3, 7)]);
+        assert_eq!(p.num_ghosts(), 1);
+    }
+
+    #[test]
+    fn delete_cleans_bookkeeping() {
+        let mut p = Part::new(0, 2);
+        let v = p.add_vertex([0.; 3], NO_GEOM, 5);
+        p.set_remotes(v, vec![(1, 0)]);
+        p.delete_entity(v);
+        assert_eq!(p.find_gid(Dim::Vertex, 5), None);
+        assert_eq!(p.mesh.count(Dim::Vertex), 0);
+    }
+
+    #[test]
+    fn union_parts_sorted_dedup() {
+        assert_eq!(union_parts([3, 1, 3, 2, 1]), vec![1, 2, 3]);
+        assert!(union_parts([]).is_empty());
+    }
+}

@@ -1,0 +1,202 @@
+//! The partition model (§II-C, Figs 3/4).
+//!
+//! "Partition (model) entity: a topological entity in the partition model,
+//! `P^d_i`, which represents a group of mesh entities of dimension d or
+//! less, which have the same residence part. One part is designated as the
+//! owning part. Partition classification: the unique association of mesh
+//! entities to partition model entities."
+//!
+//! A partition model entity is identified by its residence set; its
+//! dimension follows the paper's figures: with element dimension `D`, a
+//! residence set of `k` parts yields dimension `max(D - k + 1, 0)` — in the
+//! 2D example, interior entities (k=1) classify on partition faces `P^2`,
+//! two-part boundaries on partition edges `P^1`, and the triple point on the
+//! partition vertex `P^0_1`.
+
+use crate::part::Part;
+use pumi_util::{Dim, FxHashMap, MeshEnt, PartId};
+
+/// A partition model entity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PtnEnt {
+    /// Dimension `d` of `P^d_i`.
+    pub dim: usize,
+    /// The residence set shared by all mesh entities classified on this
+    /// partition entity (sorted).
+    pub parts: Vec<PartId>,
+    /// The owning part (minimum id rule).
+    pub owner: PartId,
+}
+
+/// The partition model of one part: the partition entities whose residence
+/// sets include this part, plus the classification of every local
+/// part-boundary mesh entity.
+#[derive(Debug, Default)]
+pub struct PtnModel {
+    /// Partition entities, deduplicated, sorted by (dim, parts).
+    pub ents: Vec<PtnEnt>,
+    /// Mesh entity → index into `ents`. Interior entities map to the
+    /// all-local partition entity (the one whose residence set is just this
+    /// part) and are omitted from the map to keep it sparse.
+    class: FxHashMap<MeshEnt, u32>,
+    /// Index of the interior partition entity in `ents`.
+    interior: u32,
+}
+
+impl PtnModel {
+    /// Build the partition model of `part` from its remote-copy lists.
+    pub fn build(part: &Part) -> PtnModel {
+        let elem_dim = part.mesh.elem_dim();
+        let mut key_index: FxHashMap<Vec<PartId>, u32> = FxHashMap::default();
+        let mut ents: Vec<PtnEnt> = Vec::new();
+        let mut class: FxHashMap<MeshEnt, u32> = FxHashMap::default();
+
+        let mut intern = |parts: Vec<PartId>, ents: &mut Vec<PtnEnt>| -> u32 {
+            if let Some(&i) = key_index.get(&parts) {
+                return i;
+            }
+            let dim = elem_dim.saturating_sub(parts.len() - 1);
+            let owner = parts[0];
+            let i = ents.len() as u32;
+            ents.push(PtnEnt { dim, parts: parts.clone(), owner });
+            key_index.insert(parts, i);
+            i
+        };
+
+        let interior = intern(vec![part.id], &mut ents);
+        for (e, _) in part.shared_entities() {
+            let res = part.residence(e);
+            let i = intern(res, &mut ents);
+            class.insert(e, i);
+        }
+        // Deterministic entity order: sort and remap.
+        let mut order: Vec<u32> = (0..ents.len() as u32).collect();
+        order.sort_by(|&a, &b| {
+            let ea = &ents[a as usize];
+            let eb = &ents[b as usize];
+            (ea.dim, &ea.parts).cmp(&(eb.dim, &eb.parts))
+        });
+        let mut remap = vec![0u32; ents.len()];
+        for (new, &old) in order.iter().enumerate() {
+            remap[old as usize] = new as u32;
+        }
+        let mut sorted = ents.clone();
+        for (old, e) in ents.into_iter().enumerate() {
+            sorted[remap[old] as usize] = e;
+        }
+        for v in class.values_mut() {
+            *v = remap[*v as usize];
+        }
+        PtnModel {
+            ents: sorted,
+            class,
+            interior: remap[interior as usize],
+        }
+    }
+
+    /// The partition classification of a mesh entity.
+    pub fn classify(&self, e: MeshEnt) -> &PtnEnt {
+        let i = self.class.get(&e).copied().unwrap_or(self.interior);
+        &self.ents[i as usize]
+    }
+
+    /// All partition entities of dimension `d`.
+    pub fn ents_of_dim(&self, d: usize) -> impl Iterator<Item = &PtnEnt> {
+        self.ents.iter().filter(move |p| p.dim == d)
+    }
+
+    /// The neighbouring parts of this part over `bridge`-dimensional mesh
+    /// entities: "a part `P_i` neighbors part `P_j` over entity type d if
+    /// they share d dimensional mesh entities on part boundary" (§II-D).
+    pub fn neighbors(part: &Part, bridge: Dim) -> Vec<PartId> {
+        let mut out: Vec<PartId> = Vec::new();
+        for (e, remotes) in part.shared_entities() {
+            if e.dim() != bridge {
+                continue;
+            }
+            for &(p, _) in remotes {
+                if !out.contains(&p) {
+                    out.push(p);
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumi_mesh::{Topology, NO_GEOM};
+
+    /// Reconstruct Fig 3's three-part 2D mesh shape on part P0 and check the
+    /// partition model of Fig 4 (unit-test version; the full three-part
+    /// distributed reconstruction lives in the integration tests).
+    #[test]
+    fn fig4_partition_classification() {
+        let mut part = Part::new(0, 2);
+        // A small patch: M0_i is shared with parts 1 and 2, M0_j with part 1.
+        let vi = part.add_vertex([0., 0., 0.], NO_GEOM, 1);
+        let vj = part.add_vertex([1., 0., 0.], NO_GEOM, 2);
+        let vk = part.add_vertex([0., 1., 0.], NO_GEOM, 3);
+        part.add_entity(
+            Topology::Triangle,
+            &[vi.index(), vj.index(), vk.index()],
+            NO_GEOM,
+            10,
+        );
+        part.set_remotes(vi, vec![(1, 0), (2, 0)]);
+        part.set_remotes(vj, vec![(1, 1)]);
+        let edge_ij = part.mesh.find_entity(Dim::Edge, &[vi.index(), vj.index()]).unwrap();
+        part.set_remotes(edge_ij, vec![(1, 5)]);
+
+        let pm = PtnModel::build(&part);
+        // M0_i: residence {0,1,2} -> partition vertex P^0, owner 0.
+        let ci = pm.classify(vi);
+        assert_eq!(ci.dim, 0);
+        assert_eq!(ci.parts, vec![0, 1, 2]);
+        assert_eq!(ci.owner, 0);
+        // M0_j: residence {0,1} -> partition edge P^1.
+        let cj = pm.classify(vj);
+        assert_eq!(cj.dim, 1);
+        assert_eq!(cj.parts, vec![0, 1]);
+        // The shared mesh edge classifies on the same partition edge.
+        assert_eq!(pm.classify(edge_ij), cj);
+        // Interior vertex classifies on the partition face P^2 {0}.
+        let ck = pm.classify(vk);
+        assert_eq!(ck.dim, 2);
+        assert_eq!(ck.parts, vec![0]);
+        // Partition entity inventory: {0}, {0,1}, {0,1,2}.
+        assert_eq!(pm.ents.len(), 3);
+    }
+
+    #[test]
+    fn neighbors_by_bridge_dim() {
+        let mut part = Part::new(0, 2);
+        let a = part.add_vertex([0.; 3], NO_GEOM, 1);
+        let b = part.add_vertex([1., 0., 0.], NO_GEOM, 2);
+        let c = part.add_vertex([0., 1., 0.], NO_GEOM, 3);
+        part.add_entity(Topology::Triangle, &[a.index(), b.index(), c.index()], NO_GEOM, 10);
+        part.set_remotes(a, vec![(3, 0), (7, 0)]);
+        let e = part.mesh.find_entity(Dim::Edge, &[a.index(), b.index()]).unwrap();
+        part.set_remotes(e, vec![(3, 1)]);
+        part.set_remotes(b, vec![(3, 2)]);
+        assert_eq!(PtnModel::neighbors(&part, Dim::Vertex), vec![3, 7]);
+        assert_eq!(PtnModel::neighbors(&part, Dim::Edge), vec![3]);
+        assert!(PtnModel::neighbors(&part, Dim::Face).is_empty());
+    }
+
+    #[test]
+    fn interior_only_part_has_single_ptn_ent() {
+        let mut part = Part::new(5, 2);
+        let a = part.add_vertex([0.; 3], NO_GEOM, 1);
+        let b = part.add_vertex([1., 0., 0.], NO_GEOM, 2);
+        let c = part.add_vertex([0., 1., 0.], NO_GEOM, 3);
+        part.add_entity(Topology::Triangle, &[a.index(), b.index(), c.index()], NO_GEOM, 10);
+        let pm = PtnModel::build(&part);
+        assert_eq!(pm.ents.len(), 1);
+        assert_eq!(pm.classify(a).parts, vec![5]);
+        assert_eq!(pm.classify(a).dim, 2);
+    }
+}

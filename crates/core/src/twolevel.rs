@@ -1,0 +1,172 @@
+//! Two-level, architecture-aware mesh partitioning support (§II-D, Figs 5/6).
+//!
+//! "The partitioned mesh representation of PUMI is under improvement towards
+//! a hybrid mesh partitioning algorithm which involves first partitioning a
+//! mesh into nodes and subsequently to the cores on the nodes."
+//!
+//! Here a [`PartMap`] built by [`two_level_map`] places `cores_per_node`
+//! consecutive parts on each node (one part per core, the paper's
+//! process-per-node + thread-per-core mapping), and
+//! [`boundary_traffic_split`] classifies each part-boundary entity as
+//! on-node (dashed boundaries of Fig 3 — implicit in shared memory) or
+//! off-node (solid boundaries — explicit, duplicated in distributed
+//! memory).
+
+use crate::dist::{DistMesh, PartMap};
+use crate::part::Part;
+use pumi_pcu::MachineModel;
+use pumi_util::Dim;
+
+/// Build the part → rank map for a machine: part `i` on rank `i` (one part
+/// per core), ranks laid out node-major per the machine model.
+pub fn two_level_map(machine: MachineModel) -> PartMap {
+    PartMap::contiguous(machine.nranks(), machine.nranks())
+}
+
+/// Per-dimension counts of part-boundary entity copies split by link class.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BoundarySplit {
+    /// Shared-entity copies whose remote parts are all on this node.
+    pub on_node: [usize; 4],
+    /// Shared-entity copies with at least one off-node remote part.
+    pub off_node: [usize; 4],
+}
+
+impl BoundarySplit {
+    /// Total on-node copies across dimensions.
+    pub fn on_node_total(&self) -> usize {
+        self.on_node.iter().sum()
+    }
+
+    /// Total off-node copies across dimensions.
+    pub fn off_node_total(&self) -> usize {
+        self.off_node.iter().sum()
+    }
+}
+
+/// Classify the part-boundary entities of `part` against `machine`: an
+/// entity counts as *on-node* if every remote residence part lives on the
+/// same node as this part (Fig 6's implicit shared-memory boundary), and
+/// *off-node* otherwise.
+pub fn boundary_split(part: &Part, map: &PartMap, machine: MachineModel) -> BoundarySplit {
+    let my_node = machine.node_of(map.rank_of(part.id));
+    let mut out = BoundarySplit::default();
+    for (e, remotes) in part.shared_entities() {
+        let all_on_node = remotes
+            .iter()
+            .all(|&(q, _)| machine.node_of(map.rank_of(q)) == my_node);
+        let d = e.dim().as_usize();
+        if all_on_node {
+            out.on_node[d] += 1;
+        } else {
+            out.off_node[d] += 1;
+        }
+    }
+    out
+}
+
+/// Aggregate [`boundary_split`] over the local parts of a distributed mesh.
+pub fn boundary_traffic_split(dm: &DistMesh, machine: MachineModel) -> BoundarySplit {
+    let mut total = BoundarySplit::default();
+    for part in &dm.parts {
+        let s = boundary_split(part, &dm.map, machine);
+        for d in 0..4 {
+            total.on_node[d] += s.on_node[d];
+            total.off_node[d] += s.off_node[d];
+        }
+    }
+    total
+}
+
+/// The fraction of a part's boundary vertices that are on-node — a quality
+/// measure for architecture-aware partitions (higher is better for hybrid
+/// execution).
+pub fn on_node_fraction(part: &Part, map: &PartMap, machine: MachineModel) -> f64 {
+    let s = boundary_split(part, map, machine);
+    let on = s.on_node[Dim::Vertex.as_usize()] as f64;
+    let off = s.off_node[Dim::Vertex.as_usize()] as f64;
+    if on + off == 0.0 {
+        1.0
+    } else {
+        on / (on + off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::distribute;
+    use pumi_meshgen::tri_rect;
+    use pumi_pcu::{execute_on, MachineModel};
+    use pumi_util::{MeshEnt, PartId};
+
+    /// 4 parts on a 2-node × 2-core machine, partitioned as quadrants:
+    /// parts 0,1 on node 0 and 2,3 on node 1. The boundary between 0 and 1
+    /// is on-node; boundaries crossing to 2,3 are off-node (Fig 6).
+    #[test]
+    fn fig6_on_vs_off_node_boundaries() {
+        let machine = MachineModel::new(2, 2);
+        execute_on(machine, |c| {
+            let serial = tri_rect(4, 4, 1.0, 1.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                let cx = serial.centroid(e);
+                let px = if cx[0] < 0.5 { 0 } else { 1 };
+                let py = if cx[1] < 0.5 { 0 } else { 1 };
+                // x splits within a node, y splits across nodes.
+                elem_part[e.idx()] = (py * 2 + px) as PartId;
+            }
+            let map = two_level_map(machine);
+            let dm = distribute(c, map, &serial, &elem_part);
+            let part = &dm.parts[0];
+            let split = boundary_split(part, &dm.map, machine);
+
+            // Every part has both kinds of boundary in this layout.
+            assert!(split.on_node_total() > 0, "no on-node boundary found");
+            assert!(split.off_node_total() > 0, "no off-node boundary found");
+
+            // Check one specific entity: a vertex shared only with the
+            // sibling part on the same node must be on-node.
+            let my = part.id;
+            let sibling = my ^ 1;
+            let mut found = false;
+            for (e, remotes) in part.shared_entities() {
+                if e.dim() == pumi_util::Dim::Vertex
+                    && remotes.len() == 1
+                    && remotes[0].0 == sibling
+                {
+                    found = true;
+                }
+            }
+            assert!(found, "no vertex shared solely with the on-node sibling");
+            // The center vertex is shared with all parts → off-node.
+            let center = part
+                .mesh
+                .iter(pumi_util::Dim::Vertex)
+                .find(|&v| {
+                    let x = part.mesh.coords(v);
+                    (x[0] - 0.5).abs() < 1e-12 && (x[1] - 0.5).abs() < 1e-12
+                })
+                .map(|v: MeshEnt| part.residence(v));
+            assert_eq!(center.unwrap(), vec![0, 1, 2, 3]);
+        });
+    }
+
+    #[test]
+    fn on_node_fraction_bounds() {
+        let machine = MachineModel::new(1, 2);
+        execute_on(machine, |c| {
+            let serial = tri_rect(2, 2, 1.0, 1.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                elem_part[e.idx()] = if serial.centroid(e)[0] < 0.5 { 0 } else { 1 };
+            }
+            let dm = distribute(c, two_level_map(machine), &serial, &elem_part);
+            // Single node: everything is on-node.
+            let f = on_node_fraction(&dm.parts[0], &dm.map, machine);
+            assert_eq!(f, 1.0);
+        });
+    }
+}

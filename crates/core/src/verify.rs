@@ -1,0 +1,240 @@
+//! Distributed-mesh invariants.
+//!
+//! [`verify_dist`] is the parallel analogue of `Mesh::assert_valid`: it
+//! checks the properties every §II algorithm relies on —
+//!
+//! 1. remote-copy symmetry: if `P_a` lists `(P_b, i)` for entity `e`, then
+//!    `P_b`'s entity at `i` has the same global id and lists `P_a` back,
+//! 2. owner agreement: all copies compute the same owner (min-part rule is
+//!    deterministic, so this checks the residence sets agree),
+//! 3. conservation: each entity is owned exactly once, so owned counts sum
+//!    to the global entity counts,
+//! 4. element locality: elements are never shared (only ghosted).
+
+use crate::dist::{DistMesh, PartExchange};
+use pumi_pcu::Comm;
+use pumi_util::{Dim, MeshEnt};
+
+/// Run all distributed checks; returns violations (empty = valid).
+/// Collective.
+pub fn verify_dist(comm: &Comm, dm: &DistMesh) -> Vec<String> {
+    let mut errs = Vec::new();
+    let elem_dim = dm.parts.first().map(|p| p.mesh.elem_dim()).unwrap_or(2);
+
+    // Serial validity and gid completeness first.
+    for part in &dm.parts {
+        for e in part.mesh.verify() {
+            errs.push(format!("part {}: {e}", part.id));
+        }
+        if !crate::migrate::all_gids_present(part) {
+            errs.push(format!("part {}: entity without gid", part.id));
+        }
+        // 4. elements never shared.
+        for e in part.mesh.iter(Dim::from_usize(elem_dim)) {
+            if part.is_shared(e) {
+                errs.push(format!("part {}: element {e:?} is shared", part.id));
+            }
+        }
+    }
+
+    // 1 & 2. symmetry + owner agreement via one exchange: each part sends
+    // (their_idx, my part, my gid, my owner) for each remote copy.
+    let mut ex = PartExchange::new(comm, &dm.map);
+    for part in &dm.parts {
+        for (e, remotes) in part.shared_entities() {
+            if part.is_ghost(e) {
+                continue;
+            }
+            for &(q, ridx) in remotes {
+                let w = ex.to(part.id, q);
+                w.put_u8(e.dim().as_usize() as u8);
+                w.put_u32(ridx);
+                w.put_u64(part.gid_of(e));
+                w.put_u32(part.owner(e));
+                w.put_u32(e.index());
+            }
+        }
+    }
+    for (from, to, mut r) in ex.finish() {
+        let part = dm.part(to);
+        while !r.is_done() {
+            let d = Dim::from_usize(r.get_u8() as usize);
+            let my_idx = r.get_u32();
+            let gid = r.get_u64();
+            let owner = r.get_u32();
+            let their_idx = r.get_u32();
+            let e = MeshEnt::new(d, my_idx);
+            if !part.mesh.is_live(e) {
+                errs.push(format!(
+                    "part {}: remote copy from {from} points at dead {e:?}",
+                    part.id
+                ));
+                continue;
+            }
+            if part.gid_of(e) != gid {
+                errs.push(format!(
+                    "part {}: gid mismatch on {e:?}: {} vs {gid} from {from}",
+                    part.id,
+                    part.gid_of(e)
+                ));
+            }
+            if part.owner(e) != owner {
+                errs.push(format!(
+                    "part {}: owner mismatch on {e:?}: {} vs {owner} from {from}",
+                    part.id,
+                    part.owner(e)
+                ));
+            }
+            if !part
+                .remotes_of(e)
+                .iter()
+                .any(|&(q, i)| q == from && i == their_idx)
+            {
+                errs.push(format!(
+                    "part {}: asymmetric remote: {from} lists us for {e:?} but not back",
+                    part.id
+                ));
+            }
+        }
+    }
+
+    // 3. conservation: every shared entity owned exactly once -> sum of
+    // owned counts equals count of distinct gids. Distinct-gid counting is
+    // approximated cheaply: each part reports (owned, copies); the number of
+    // copy records must equal sum over shared entities of (residence-1).
+    for d in 0..=elem_dim {
+        let dim = Dim::from_usize(d);
+        let owned: u64 = dm
+            .parts
+            .iter()
+            .map(|p| {
+                p.mesh
+                    .iter(dim)
+                    .filter(|&e| !p.is_ghost(e) && p.is_owned(e))
+                    .count() as u64
+            })
+            .sum();
+        let owned = comm.allreduce_sum_u64(owned);
+        let live: u64 = dm
+            .parts
+            .iter()
+            .map(|p| p.mesh.iter(dim).filter(|&e| !p.is_ghost(e)).count() as u64)
+            .sum();
+        let live = comm.allreduce_sum_u64(live);
+        let copies: u64 = dm
+            .parts
+            .iter()
+            .map(|p| {
+                p.mesh
+                    .iter(dim)
+                    .filter(|&e| !p.is_ghost(e))
+                    .map(|e| p.remotes_of(e).len() as u64)
+                    .sum::<u64>()
+            })
+            .sum();
+        let copies = comm.allreduce_sum_u64(copies);
+        // live = distinct + duplicate copies; duplicates = copies' pairwise
+        // links counted once per holder: each entity on k parts contributes
+        // k live, k(k-1) links, and must be owned once.
+        // So: live - owned = (sum over entities of k-1) = copies - (live - owned)
+        // ⇒ 2(live - owned) should equal copies only for k=2; use the robust
+        // identity: sum(k-1) = live - distinct = live - owned.
+        // And copies = sum k(k-1) ≥ 2*sum(k-1) with equality iff k≤2.
+        if copies < 2 * (live - owned) {
+            errs.push(format!(
+                "dim {d}: copy links {copies} inconsistent with live {live} / owned {owned}"
+            ));
+        }
+    }
+    errs
+}
+
+/// Panic with a report if [`verify_dist`] finds violations. Collective.
+pub fn assert_dist_valid(comm: &Comm, dm: &DistMesh) {
+    let errs = verify_dist(comm, dm);
+    assert!(
+        errs.is_empty(),
+        "distributed mesh invalid ({}):\n  {}",
+        errs.len(),
+        errs.join("\n  ")
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{distribute, PartMap};
+    use crate::migrate::{migrate, MigrationPlan};
+    use pumi_meshgen::tri_rect;
+    use pumi_pcu::execute;
+    use pumi_util::{FxHashMap, PartId};
+
+    #[test]
+    fn fresh_distribution_is_valid() {
+        execute(2, |c| {
+            let serial = tri_rect(4, 4, 1.0, 1.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                elem_part[e.idx()] = if serial.centroid(e)[0] < 0.5 { 0 } else { 1 };
+            }
+            let dm = distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part);
+            assert_dist_valid(c, &dm);
+        });
+    }
+
+    #[test]
+    fn post_migration_is_valid() {
+        execute(2, |c| {
+            let serial = tri_rect(6, 6, 1.0, 1.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                elem_part[e.idx()] = if serial.centroid(e)[0] < 0.5 { 0 } else { 1 };
+            }
+            let mut dm = distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part);
+            // Shift a diagonal band of elements from part 0 to part 1.
+            let mut plans: FxHashMap<PartId, MigrationPlan> = FxHashMap::default();
+            if c.rank() == 0 {
+                let part = dm.part(0);
+                let mut plan = MigrationPlan::new();
+                for e in part.mesh.elems() {
+                    let x = part.mesh.centroid(e);
+                    if x[0] + x[1] > 0.7 {
+                        plan.send(e, 1);
+                    }
+                }
+                plans.insert(0, plan);
+            }
+            migrate(c, &mut dm, &plans);
+            assert_dist_valid(c, &dm);
+        });
+    }
+
+    #[test]
+    fn corrupted_remote_detected() {
+        execute(2, |c| {
+            let serial = tri_rect(3, 3, 1.0, 1.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                elem_part[e.idx()] = if serial.centroid(e)[0] < 0.5 { 0 } else { 1 };
+            }
+            let mut dm = distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part);
+            // Corrupt one remote link on part 0.
+            if c.rank() == 0 {
+                let part = dm.part_mut(0);
+                let shared: Vec<_> = part
+                    .shared_entities()
+                    .iter()
+                    .map(|(e, _)| *e)
+                    .collect();
+                let victim = shared[0];
+                part.set_remotes(victim, vec![(1, 999_999)]);
+            }
+            let errs = verify_dist(c, &dm);
+            let total = c.allreduce_sum_u64(errs.len() as u64);
+            assert!(total > 0, "corruption not detected");
+        });
+    }
+}

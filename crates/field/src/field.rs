@@ -1,0 +1,221 @@
+//! Tensor fields over mesh entities (§II).
+//!
+//! "The fields are tensor quantities that define the distributions of the
+//! physical parameters of the PDE over domain (mesh and geometric model)
+//! entities." A [`Field`] stores `ncomp` doubles per *node*, where the node
+//! locations are given by the [`FieldShape`]: linear Lagrange places one
+//! node per vertex; quadratic adds one per edge (the paper's second-order FE
+//! example in §I is exactly why vertex+edge balance matters).
+
+use pumi_mesh::Mesh;
+use pumi_util::{Dim, FxHashMap, MeshEnt};
+
+/// The node distribution of a field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FieldShape {
+    /// One node per vertex (P1 Lagrange).
+    Linear,
+    /// One node per vertex and per edge (P2 Lagrange).
+    Quadratic,
+    /// One node per element (piecewise constant, cell-centred FV — the
+    /// paper's §I "cell centered FV method" workload).
+    Constant,
+}
+
+impl FieldShape {
+    /// Which entity dimensions hold nodes, for a mesh of element dimension
+    /// `elem_dim`.
+    pub fn node_dims(&self, elem_dim: usize) -> Vec<Dim> {
+        match self {
+            FieldShape::Linear => vec![Dim::Vertex],
+            FieldShape::Quadratic => vec![Dim::Vertex, Dim::Edge],
+            FieldShape::Constant => vec![Dim::from_usize(elem_dim)],
+        }
+    }
+
+    /// Whether entities of dimension `d` hold a node.
+    pub fn has_nodes(&self, d: Dim, elem_dim: usize) -> bool {
+        self.node_dims(elem_dim).contains(&d)
+    }
+}
+
+/// A field over one mesh part.
+#[derive(Debug, Clone)]
+pub struct Field {
+    /// Field name (used to pair fields across parts).
+    pub name: String,
+    /// Node distribution.
+    pub shape: FieldShape,
+    /// Components per node (1 = scalar, 3 = vector, 9 = matrix, ...).
+    pub ncomp: usize,
+    data: FxHashMap<MeshEnt, Vec<f64>>,
+}
+
+impl Field {
+    /// An empty field.
+    pub fn new(name: &str, shape: FieldShape, ncomp: usize) -> Field {
+        assert!(ncomp >= 1);
+        Field {
+            name: name.to_string(),
+            shape,
+            ncomp,
+            data: FxHashMap::default(),
+        }
+    }
+
+    /// Set the node value on an entity.
+    ///
+    /// # Panics
+    /// Panics if the component count mismatches.
+    pub fn set(&mut self, e: MeshEnt, value: &[f64]) {
+        assert_eq!(value.len(), self.ncomp, "component count mismatch");
+        self.data.insert(e, value.to_vec());
+    }
+
+    /// Set a scalar node value.
+    pub fn set_scalar(&mut self, e: MeshEnt, x: f64) {
+        self.set(e, &[x]);
+    }
+
+    /// The node value, if set.
+    pub fn get(&self, e: MeshEnt) -> Option<&[f64]> {
+        self.data.get(&e).map(|v| v.as_slice())
+    }
+
+    /// The scalar node value, if set.
+    pub fn get_scalar(&self, e: MeshEnt) -> Option<f64> {
+        self.get(e).and_then(|v| v.first().copied())
+    }
+
+    /// Remove a node value (entity deleted).
+    pub fn remove(&mut self, e: MeshEnt) -> Option<Vec<f64>> {
+        self.data.remove(&e)
+    }
+
+    /// Number of set nodes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether no node has a value.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Initialize every node entity of `mesh` with `value`.
+    pub fn fill(&mut self, mesh: &Mesh, value: &[f64]) {
+        for d in self.shape.node_dims(mesh.elem_dim()) {
+            for e in mesh.iter(d) {
+                self.set(e, value);
+            }
+        }
+    }
+
+    /// Apply `f(coords) -> value` at every vertex node (Linear/Quadratic
+    /// fields; edge nodes get the midpoint coordinates).
+    pub fn set_from(&mut self, mesh: &Mesh, f: impl Fn([f64; 3]) -> Vec<f64>) {
+        for d in self.shape.node_dims(mesh.elem_dim()) {
+            for e in mesh.iter(d) {
+                let x = mesh.centroid(e);
+                let v = f(x);
+                self.set(e, &v);
+            }
+        }
+    }
+
+    /// Evaluate a **linear** scalar field at barycentric coordinates inside
+    /// a simplex element.
+    pub fn eval_linear(&self, mesh: &Mesh, elem: MeshEnt, bary: &[f64]) -> f64 {
+        assert_eq!(self.shape, FieldShape::Linear);
+        let verts = mesh.verts_of(elem);
+        assert_eq!(verts.len(), bary.len(), "barycentric arity mismatch");
+        verts
+            .iter()
+            .zip(bary)
+            .map(|(&v, &b)| b * self.get_scalar(MeshEnt::vertex(v)).unwrap_or(0.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumi_mesh::NO_GEOM;
+    use pumi_mesh::Topology;
+
+    fn tri_mesh() -> Mesh {
+        let mut m = Mesh::new(2);
+        let a = m.add_vertex([0., 0., 0.], NO_GEOM).index();
+        let b = m.add_vertex([1., 0., 0.], NO_GEOM).index();
+        let c = m.add_vertex([0., 1., 0.], NO_GEOM).index();
+        m.add_element(Topology::Triangle, &[a, b, c], NO_GEOM);
+        m
+    }
+
+    #[test]
+    fn shapes_node_dims() {
+        assert_eq!(FieldShape::Linear.node_dims(3), vec![Dim::Vertex]);
+        assert_eq!(
+            FieldShape::Quadratic.node_dims(3),
+            vec![Dim::Vertex, Dim::Edge]
+        );
+        assert_eq!(FieldShape::Constant.node_dims(2), vec![Dim::Face]);
+        assert!(FieldShape::Quadratic.has_nodes(Dim::Edge, 3));
+        assert!(!FieldShape::Linear.has_nodes(Dim::Edge, 3));
+    }
+
+    #[test]
+    fn set_get_fill() {
+        let m = tri_mesh();
+        let mut f = Field::new("u", FieldShape::Linear, 1);
+        f.fill(&m, &[2.0]);
+        assert_eq!(f.len(), 3);
+        assert_eq!(f.get_scalar(MeshEnt::vertex(0)), Some(2.0));
+        f.set_scalar(MeshEnt::vertex(0), 7.0);
+        assert_eq!(f.get_scalar(MeshEnt::vertex(0)), Some(7.0));
+        assert!(f.remove(MeshEnt::vertex(0)).is_some());
+        assert_eq!(f.get(MeshEnt::vertex(0)), None);
+    }
+
+    #[test]
+    fn quadratic_fills_edges_too() {
+        let m = tri_mesh();
+        let mut f = Field::new("u", FieldShape::Quadratic, 2);
+        f.fill(&m, &[1.0, 2.0]);
+        assert_eq!(f.len(), 3 + 3);
+        let e = m.iter(Dim::Edge).next().unwrap();
+        assert_eq!(f.get(e), Some(&[1.0, 2.0][..]));
+    }
+
+    #[test]
+    fn eval_linear_interpolates() {
+        let m = tri_mesh();
+        let mut f = Field::new("u", FieldShape::Linear, 1);
+        // u = x + 2y at vertices (0,0), (1,0), (0,1).
+        f.set_scalar(MeshEnt::vertex(0), 0.0);
+        f.set_scalar(MeshEnt::vertex(1), 1.0);
+        f.set_scalar(MeshEnt::vertex(2), 2.0);
+        let elem = m.elems().next().unwrap();
+        // Barycentre: (1/3, 1/3, 1/3) -> u = 1.
+        let v = f.eval_linear(&m, elem, &[1. / 3., 1. / 3., 1. / 3.]);
+        assert!((v - 1.0).abs() < 1e-12);
+        // Vertex 1 exactly.
+        assert!((f.eval_linear(&m, elem, &[0., 1., 0.]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_from_samples_coordinates() {
+        let m = tri_mesh();
+        let mut f = Field::new("u", FieldShape::Linear, 1);
+        f.set_from(&m, |x| vec![x[0] + x[1]]);
+        assert_eq!(f.get_scalar(MeshEnt::vertex(1)), Some(1.0));
+        assert_eq!(f.get_scalar(MeshEnt::vertex(2)), Some(1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "component count")]
+    fn component_mismatch_panics() {
+        let mut f = Field::new("u", FieldShape::Linear, 2);
+        f.set_scalar(MeshEnt::vertex(0), 1.0);
+    }
+}

@@ -1,0 +1,19 @@
+//! Field component (§II).
+//!
+//! Tensor quantities over mesh entities, with the distributed operations a
+//! PDE workflow needs:
+//!
+//! * [`field`] — fields and node distributions (P1/P2 Lagrange, cell
+//!   constants),
+//! * [`sync`] — owner→copy synchronization and assembly accumulation across
+//!   part boundaries,
+//! * [`transfer`] — mesh-to-mesh solution transfer (point location +
+//!   barycentric interpolation), used after adaptation.
+
+pub mod field;
+pub mod sync;
+pub mod transfer;
+
+pub use field::{Field, FieldShape};
+pub use sync::{accumulate, dist_field, sync_owned_to_copies, DistField};
+pub use transfer::{barycentric, transfer_linear, Locator};

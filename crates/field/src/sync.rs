@@ -1,0 +1,169 @@
+//! Field synchronization across part boundaries.
+//!
+//! Shared nodes are duplicated on every residence part; after an owner-side
+//! update ([`sync_owned_to_copies`]) or a partial assembly
+//! ([`accumulate`] — each part holds only its elements' contributions, the
+//! sum lives on no single part) the copies must be reconciled. Both are
+//! single phased exchanges, the pattern PUMI uses for all boundary data.
+
+use crate::field::Field;
+use pumi_core::{DistMesh, PartExchange};
+use pumi_pcu::Comm;
+use pumi_util::{Dim, MeshEnt};
+
+/// One field per local part, aligned with `dm.parts`.
+pub type DistField = Vec<Field>;
+
+/// Create an identical field on every local part.
+pub fn dist_field(dm: &DistMesh, template: &Field) -> DistField {
+    dm.parts.iter().map(|_| template.clone()).collect()
+}
+
+/// Push node values of owned shared entities to their remote copies. After
+/// this, all copies agree with the owner.
+pub fn sync_owned_to_copies(comm: &Comm, dm: &DistMesh, fields: &mut DistField) {
+    assert_eq!(fields.len(), dm.parts.len());
+    let node_dims: Vec<Dim> = fields
+        .first()
+        .map(|f| f.shape.node_dims(dm.parts[0].mesh.elem_dim()))
+        .unwrap_or_default();
+    let mut ex = PartExchange::new(comm, &dm.map);
+    for (slot, part) in dm.parts.iter().enumerate() {
+        for (e, remotes) in part.shared_entities() {
+            if !node_dims.contains(&e.dim()) || !part.is_owned(e) {
+                continue;
+            }
+            let Some(v) = fields[slot].get(e) else { continue };
+            for &(q, ridx) in remotes {
+                let w = ex.to(part.id, q);
+                w.put_u8(e.dim().as_usize() as u8);
+                w.put_u32(ridx);
+                w.put_f64_slice(v);
+            }
+        }
+    }
+    for (_, to, mut r) in ex.finish() {
+        let slot = dm.map.slot_of(to);
+        while !r.is_done() {
+            let d = Dim::from_usize(r.get_u8() as usize);
+            let idx = r.get_u32();
+            let v = r.get_f64_slice();
+            fields[slot].set(MeshEnt::new(d, idx), &v);
+        }
+    }
+}
+
+/// Sum the contributions of all copies of each shared node onto every copy
+/// (copies → owner → sum → copies). This is the FE assembly reduction: each
+/// part assembles its elements, then shared dofs are accumulated.
+pub fn accumulate(comm: &Comm, dm: &DistMesh, fields: &mut DistField) {
+    assert_eq!(fields.len(), dm.parts.len());
+    let node_dims: Vec<Dim> = fields
+        .first()
+        .map(|f| f.shape.node_dims(dm.parts[0].mesh.elem_dim()))
+        .unwrap_or_default();
+    // Copies send to owner.
+    let mut ex = PartExchange::new(comm, &dm.map);
+    for (slot, part) in dm.parts.iter().enumerate() {
+        for (e, remotes) in part.shared_entities() {
+            if !node_dims.contains(&e.dim()) || part.is_owned(e) {
+                continue;
+            }
+            let owner = part.owner(e);
+            let Some(&(_, oidx)) = remotes.iter().find(|&&(q, _)| q == owner) else {
+                continue;
+            };
+            let Some(v) = fields[slot].get(e) else { continue };
+            let w = ex.to(part.id, owner);
+            w.put_u8(e.dim().as_usize() as u8);
+            w.put_u32(oidx);
+            w.put_f64_slice(v);
+        }
+    }
+    for (_, to, mut r) in ex.finish() {
+        let slot = dm.map.slot_of(to);
+        while !r.is_done() {
+            let d = Dim::from_usize(r.get_u8() as usize);
+            let idx = r.get_u32();
+            let v = r.get_f64_slice();
+            let e = MeshEnt::new(d, idx);
+            let mut cur = fields[slot].get(e).map(|x| x.to_vec()).unwrap_or_else(|| vec![0.0; v.len()]);
+            for (c, x) in cur.iter_mut().zip(&v) {
+                *c += x;
+            }
+            fields[slot].set(e, &cur);
+        }
+    }
+    // Owner pushes the sums back.
+    sync_owned_to_copies(comm, dm, fields);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::field::{Field, FieldShape};
+    use pumi_core::{distribute, PartMap};
+    use pumi_meshgen::tri_rect;
+    use pumi_pcu::execute;
+    use pumi_util::PartId;
+
+    fn two_part_mesh(c: &Comm) -> DistMesh {
+        let serial = tri_rect(4, 2, 2.0, 1.0);
+        let d = serial.elem_dim_t();
+        let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+        for e in serial.iter(d) {
+            elem_part[e.idx()] = if serial.centroid(e)[0] < 1.0 { 0 } else { 1 };
+        }
+        distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part)
+    }
+
+    #[test]
+    fn sync_propagates_owner_values() {
+        execute(2, |c| {
+            let dm = two_part_mesh(c);
+            let template = Field::new("u", FieldShape::Linear, 1);
+            let mut fields = dist_field(&dm, &template);
+            // Owners write their part id + 1; copies write -1 (stale).
+            for (slot, part) in dm.parts.iter().enumerate() {
+                for v in part.mesh.iter(Dim::Vertex) {
+                    let val = if part.is_owned(v) {
+                        part.id as f64 + 1.0
+                    } else {
+                        -1.0
+                    };
+                    fields[slot].set_scalar(v, val);
+                }
+            }
+            sync_owned_to_copies(c, &dm, &mut fields);
+            for (slot, part) in dm.parts.iter().enumerate() {
+                for v in part.mesh.iter(Dim::Vertex) {
+                    let want = part.owner(v) as f64 + 1.0;
+                    assert_eq!(fields[slot].get_scalar(v), Some(want), "vertex {v:?}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn accumulate_sums_copies() {
+        execute(2, |c| {
+            let dm = two_part_mesh(c);
+            let template = Field::new("u", FieldShape::Linear, 1);
+            let mut fields = dist_field(&dm, &template);
+            // Everyone writes 1 on every local vertex; after accumulate, a
+            // vertex's value equals its residence count on every copy.
+            for (slot, part) in dm.parts.iter().enumerate() {
+                for v in part.mesh.iter(Dim::Vertex) {
+                    fields[slot].set_scalar(v, 1.0);
+                }
+            }
+            accumulate(c, &dm, &mut fields);
+            for (slot, part) in dm.parts.iter().enumerate() {
+                for v in part.mesh.iter(Dim::Vertex) {
+                    let want = part.residence(v).len() as f64;
+                    assert_eq!(fields[slot].get_scalar(v), Some(want), "vertex {v:?}");
+                }
+            }
+        });
+    }
+}

@@ -1,0 +1,263 @@
+//! Mesh-to-mesh solution transfer (§I lists it among the FASTMath efforts
+//! this infrastructure serves).
+//!
+//! After adaptation produces a new mesh, nodal fields must move to it.
+//! [`transfer_linear`] locates every new vertex in the old mesh (uniform-bin
+//! accelerated point location + barycentric inversion on simplices) and
+//! evaluates the old linear field there.
+
+use crate::field::{Field, FieldShape};
+use pumi_mesh::Mesh;
+use pumi_util::{Dim, MeshEnt};
+
+/// Uniform-grid point locator over the elements of a simplicial mesh.
+pub struct Locator<'m> {
+    mesh: &'m Mesh,
+    lo: [f64; 3],
+    inv_cell: [f64; 3],
+    dims: [usize; 3],
+    bins: Vec<Vec<MeshEnt>>,
+}
+
+fn bbox_of(mesh: &Mesh) -> ([f64; 3], [f64; 3]) {
+    let mut lo = [f64::MAX; 3];
+    let mut hi = [f64::MIN; 3];
+    for v in mesh.iter(Dim::Vertex) {
+        let x = mesh.coords(v);
+        for a in 0..3 {
+            lo[a] = lo[a].min(x[a]);
+            hi[a] = hi[a].max(x[a]);
+        }
+    }
+    (lo, hi)
+}
+
+impl<'m> Locator<'m> {
+    /// Build a locator with roughly one element per bin.
+    pub fn build(mesh: &'m Mesh) -> Locator<'m> {
+        let (lo, hi) = bbox_of(mesh);
+        let n = mesh.num_elems().max(1);
+        let spatial_dims = if mesh.elem_dim() == 2 { 2 } else { 3 };
+        let per_axis = (n as f64).powf(1.0 / spatial_dims as f64).ceil() as usize;
+        let per_axis = per_axis.clamp(1, 128);
+        let mut dims = [1usize; 3];
+        let mut inv_cell = [0f64; 3];
+        for a in 0..spatial_dims {
+            dims[a] = per_axis;
+            let w = (hi[a] - lo[a]).max(1e-12);
+            inv_cell[a] = dims[a] as f64 / (w * (1.0 + 1e-9));
+        }
+        let mut bins = vec![Vec::new(); dims[0] * dims[1] * dims[2]];
+        let d = mesh.elem_dim_t();
+        for e in mesh.iter(d) {
+            // Insert into every bin overlapped by the element bbox.
+            let mut elo = [usize::MAX; 3];
+            let mut ehi = [0usize; 3];
+            let mut first = true;
+            for &v in mesh.verts_of(e) {
+                let x = mesh.coords(MeshEnt::vertex(v));
+                for a in 0..3 {
+                    let b = (((x[a] - lo[a]) * inv_cell[a]).floor() as isize)
+                        .clamp(0, dims[a] as isize - 1) as usize;
+                    if first {
+                        elo[a] = b;
+                        ehi[a] = b;
+                    } else {
+                        elo[a] = elo[a].min(b);
+                        ehi[a] = ehi[a].max(b);
+                    }
+                }
+                first = false;
+            }
+            for bx in elo[0]..=ehi[0] {
+                for by in elo[1]..=ehi[1] {
+                    for bz in elo[2]..=ehi[2] {
+                        bins[(bz * dims[1] + by) * dims[0] + bx].push(e);
+                    }
+                }
+            }
+        }
+        Locator {
+            mesh,
+            lo,
+            inv_cell,
+            dims,
+            bins,
+        }
+    }
+
+    fn bin_of(&self, p: [f64; 3]) -> usize {
+        let mut b = [0usize; 3];
+        for a in 0..3 {
+            b[a] = (((p[a] - self.lo[a]) * self.inv_cell[a]).floor() as isize)
+                .clamp(0, self.dims[a] as isize - 1) as usize;
+        }
+        (b[2] * self.dims[1] + b[1]) * self.dims[0] + b[0]
+    }
+
+    /// Find the element containing `p` with its barycentric coordinates.
+    /// Falls back to the best (least-negative) candidate in the bin when `p`
+    /// sits on the hull within tolerance; `None` if the bin has no elements.
+    pub fn locate(&self, p: [f64; 3]) -> Option<(MeshEnt, Vec<f64>)> {
+        let bin = &self.bins[self.bin_of(p)];
+        let mut best: Option<(MeshEnt, Vec<f64>, f64)> = None;
+        for &e in bin {
+            let bary = barycentric(self.mesh, e, p)?;
+            let min = bary.iter().copied().fold(f64::MAX, f64::min);
+            if min >= -1e-10 {
+                return Some((e, bary));
+            }
+            if best.as_ref().is_none_or(|(_, _, m)| min > *m) {
+                best = Some((e, bary, min));
+            }
+        }
+        best.map(|(e, b, _)| (e, b))
+    }
+}
+
+/// Barycentric coordinates of `p` in simplex `e` (triangle in the z=0
+/// plane, or tetrahedron). `None` for degenerate elements.
+pub fn barycentric(mesh: &Mesh, e: MeshEnt, p: [f64; 3]) -> Option<Vec<f64>> {
+    let verts = mesh.verts_of(e);
+    let x: Vec<[f64; 3]> = verts
+        .iter()
+        .map(|&v| mesh.coords(MeshEnt::vertex(v)))
+        .collect();
+    match x.len() {
+        3 => {
+            let det = (x[1][0] - x[0][0]) * (x[2][1] - x[0][1])
+                - (x[2][0] - x[0][0]) * (x[1][1] - x[0][1]);
+            if det.abs() < 1e-300 {
+                return None;
+            }
+            let l1 = ((p[0] - x[0][0]) * (x[2][1] - x[0][1])
+                - (x[2][0] - x[0][0]) * (p[1] - x[0][1]))
+                / det;
+            let l2 = ((x[1][0] - x[0][0]) * (p[1] - x[0][1])
+                - (p[0] - x[0][0]) * (x[1][1] - x[0][1]))
+                / det;
+            Some(vec![1.0 - l1 - l2, l1, l2])
+        }
+        4 => {
+            let m = [
+                [x[1][0] - x[0][0], x[2][0] - x[0][0], x[3][0] - x[0][0]],
+                [x[1][1] - x[0][1], x[2][1] - x[0][1], x[3][1] - x[0][1]],
+                [x[1][2] - x[0][2], x[2][2] - x[0][2], x[3][2] - x[0][2]],
+            ];
+            let det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+                - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+                + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+            if det.abs() < 1e-300 {
+                return None;
+            }
+            let b = [p[0] - x[0][0], p[1] - x[0][1], p[2] - x[0][2]];
+            // Cramer's rule.
+            let solve = |col: usize| {
+                let mut mm = m;
+                for r in 0..3 {
+                    mm[r][col] = b[r];
+                }
+                (mm[0][0] * (mm[1][1] * mm[2][2] - mm[1][2] * mm[2][1])
+                    - mm[0][1] * (mm[1][0] * mm[2][2] - mm[1][2] * mm[2][0])
+                    + mm[0][2] * (mm[1][0] * mm[2][1] - mm[1][1] * mm[2][0]))
+                    / det
+            };
+            let l1 = solve(0);
+            let l2 = solve(1);
+            let l3 = solve(2);
+            Some(vec![1.0 - l1 - l2 - l3, l1, l2, l3])
+        }
+        _ => None,
+    }
+}
+
+/// Transfer a linear nodal field from `old` to `new`: each new vertex gets
+/// the old field evaluated at its coordinates.
+pub fn transfer_linear(old: &Mesh, f_old: &Field, new: &Mesh) -> Field {
+    assert_eq!(f_old.shape, FieldShape::Linear);
+    assert_eq!(f_old.ncomp, 1, "scalar transfer only");
+    let loc = Locator::build(old);
+    let mut out = Field::new(&f_old.name, FieldShape::Linear, 1);
+    for v in new.iter(Dim::Vertex) {
+        let p = new.coords(v);
+        if let Some((e, bary)) = loc.locate(p) {
+            out.set_scalar(v, f_old.eval_linear(old, e, &bary));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumi_meshgen::{tet_box, tri_rect};
+
+    #[test]
+    fn barycentric_identifies_vertices() {
+        let m = tri_rect(1, 1, 1.0, 1.0);
+        let e = m.elems().next().unwrap();
+        let verts = m.verts_of(e).to_vec();
+        for (k, &v) in verts.iter().enumerate() {
+            let p = m.coords(MeshEnt::vertex(v));
+            let b = barycentric(&m, e, p).unwrap();
+            for (j, &bj) in b.iter().enumerate() {
+                let want = if j == k { 1.0 } else { 0.0 };
+                assert!((bj - want).abs() < 1e-12, "b={b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn locate_finds_containing_element() {
+        let m = tri_rect(4, 4, 1.0, 1.0);
+        let loc = Locator::build(&m);
+        for p in [[0.1, 0.1, 0.0], [0.9, 0.3, 0.0], [0.5, 0.5, 0.0]] {
+            let (e, b) = loc.locate(p).expect("not located");
+            assert!(b.iter().all(|&x| x > -1e-9), "outside bary {b:?}");
+            // Re-evaluate the point from barycentrics.
+            let verts = m.verts_of(e);
+            let mut q = [0.0f64; 3];
+            for (&v, &bv) in verts.iter().zip(&b) {
+                let x = m.coords(MeshEnt::vertex(v));
+                for a in 0..3 {
+                    q[a] += bv * x[a];
+                }
+            }
+            for a in 0..2 {
+                assert!((q[a] - p[a]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn linear_transfer_is_exact_for_linear_functions() {
+        // A linear function transfers exactly between different meshes of
+        // the same domain.
+        let old = tri_rect(3, 3, 1.0, 1.0);
+        let new = tri_rect(5, 4, 1.0, 1.0);
+        let mut f = Field::new("u", FieldShape::Linear, 1);
+        f.set_from(&old, |x| vec![2.0 * x[0] - 3.0 * x[1] + 1.0]);
+        let g = transfer_linear(&old, &f, &new);
+        for v in new.iter(Dim::Vertex) {
+            let x = new.coords(v);
+            let want = 2.0 * x[0] - 3.0 * x[1] + 1.0;
+            let got = g.get_scalar(v).expect("missing transferred value");
+            assert!((got - want).abs() < 1e-9, "at {x:?}: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn three_d_transfer() {
+        let old = tet_box(3, 3, 3, 1.0, 1.0, 1.0);
+        let new = tet_box(4, 2, 5, 1.0, 1.0, 1.0);
+        let mut f = Field::new("u", FieldShape::Linear, 1);
+        f.set_from(&old, |x| vec![x[0] + 2.0 * x[1] - x[2]]);
+        let g = transfer_linear(&old, &f, &new);
+        for v in new.iter(Dim::Vertex) {
+            let x = new.coords(v);
+            let want = x[0] + 2.0 * x[1] - x[2];
+            let got = g.get_scalar(v).expect("missing value");
+            assert!((got - want).abs() < 1e-9, "at {x:?}");
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Property tests for fields: barycentric identities and transfer
+//! exactness for linear functions on randomized meshes.
+
+use proptest::prelude::*;
+use pumi_field::{barycentric, transfer_linear, Field, FieldShape, Locator};
+use pumi_meshgen::{jitter, tet_box, tri_rect};
+use pumi_util::{Dim, MeshEnt};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Barycentric coordinates always sum to 1 and reproduce the point.
+    #[test]
+    fn barycentric_partition_of_unity(
+        seed in 0u64..500,
+        x in 0.05f64..0.95,
+        y in 0.05f64..0.95,
+    ) {
+        let mut m = tri_rect(4, 4, 1.0, 1.0);
+        jitter(&mut m, 0.25, seed);
+        let loc = Locator::build(&m);
+        let p = [x, y, 0.0];
+        let (e, b) = loc.locate(p).expect("point in domain not located");
+        let sum: f64 = b.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "bary sum {sum}");
+        // Reconstruct p from the barycentrics.
+        let mut q = [0.0f64; 3];
+        for (&v, &bv) in m.verts_of(e).iter().zip(&b) {
+            let xv = m.coords(MeshEnt::vertex(v));
+            for a in 0..3 { q[a] += bv * xv[a]; }
+        }
+        prop_assert!((q[0] - p[0]).abs() < 1e-9 && (q[1] - p[1]).abs() < 1e-9);
+        // Inside the element (within tolerance).
+        prop_assert!(b.iter().all(|&c| c > -1e-6), "{b:?}");
+    }
+
+    /// Linear transfer reproduces any affine function exactly, for any pair
+    /// of meshes over the same domain (including jittered ones).
+    #[test]
+    fn affine_transfer_is_exact(
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+        c in -3.0f64..3.0,
+        seed in 0u64..500,
+    ) {
+        let mut src = tri_rect(5, 3, 1.0, 1.0);
+        jitter(&mut src, 0.2, seed);
+        let dst = tri_rect(4, 6, 1.0, 1.0);
+        let mut f = Field::new("u", FieldShape::Linear, 1);
+        f.set_from(&src, |p| vec![a * p[0] + b * p[1] + c]);
+        let g = transfer_linear(&src, &f, &dst);
+        for v in dst.iter(Dim::Vertex) {
+            let p = dst.coords(v);
+            let want = a * p[0] + b * p[1] + c;
+            let got = g.get_scalar(v).expect("vertex not transferred");
+            prop_assert!((got - want).abs() < 1e-8, "at {p:?}: {got} vs {want}");
+        }
+    }
+
+    /// 3D: barycentric vertices are the canonical basis.
+    #[test]
+    fn tet_barycentric_basis(seed in 0u64..200) {
+        let mut m = tet_box(2, 2, 2, 1.0, 1.0, 1.0);
+        jitter(&mut m, 0.2, seed);
+        let e = m.elems().next().unwrap();
+        for (k, &v) in m.verts_of(e).iter().enumerate() {
+            let p = m.coords(MeshEnt::vertex(v));
+            let bary = barycentric(&m, e, p).unwrap();
+            for (j, &bj) in bary.iter().enumerate() {
+                let want = if j == k { 1.0 } else { 0.0 };
+                prop_assert!((bj - want).abs() < 1e-9);
+            }
+        }
+    }
+}

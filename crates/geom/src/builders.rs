@@ -1,0 +1,450 @@
+//! Ready-made geometric models for the domains used by the experiments.
+//!
+//! Each builder returns a [`Model`] plus a *classifier* convention: helper
+//! functions that map a point known to lie on the domain boundary to the
+//! model entity it belongs to. The mesh generators use these to assign
+//! geometric classification (§II) consistently with the model topology.
+
+use crate::model::{GeomEnt, Model};
+use crate::shape::{RadiusProfile, Shape};
+use pumi_util::Dim;
+
+/// Tolerance for classifying a coordinate as "on" a boundary plane.
+pub const CLASSIFY_EPS: f64 = 1e-9;
+
+/// Build the model of the 2D rectangle `[0,w] × [0,h]`.
+///
+/// Tags: face 1 = interior; edges 1..=4 = bottom, right, top, left;
+/// vertices 1..=4 = (0,0), (w,0), (w,h), (0,h).
+pub fn rectangle(w: f64, h: f64) -> Model {
+    let mut m = Model::new(2);
+    let corners = [[0., 0., 0.], [w, 0., 0.], [w, h, 0.], [0., h, 0.]];
+    let verts: Vec<GeomEnt> = corners
+        .iter()
+        .enumerate()
+        .map(|(i, &p)| m.add(Dim::Vertex, i as u32 + 1, Shape::Point(p)))
+        .collect();
+    let face = m.add(
+        Dim::Face,
+        1,
+        Shape::Plane {
+            origin: [0., 0., 0.],
+            normal: [0., 0., 1.],
+        },
+    );
+    for i in 0..4 {
+        let a = corners[i];
+        let b = corners[(i + 1) % 4];
+        let e = m.add(Dim::Edge, i as u32 + 1, Shape::Segment { a, b });
+        m.connect(verts[i], e);
+        m.connect(verts[(i + 1) % 4], e);
+        m.connect(e, face);
+    }
+    m
+}
+
+/// Classify a point of the rectangle `[0,w] × [0,h]` to its model entity.
+pub fn classify_rectangle(w: f64, h: f64, p: [f64; 3]) -> GeomEnt {
+    let on_x0 = p[0].abs() < CLASSIFY_EPS;
+    let on_x1 = (p[0] - w).abs() < CLASSIFY_EPS;
+    let on_y0 = p[1].abs() < CLASSIFY_EPS;
+    let on_y1 = (p[1] - h).abs() < CLASSIFY_EPS;
+    match (on_x0, on_x1, on_y0, on_y1) {
+        (true, _, true, _) => GeomEnt::new(Dim::Vertex, 1),
+        (_, true, true, _) => GeomEnt::new(Dim::Vertex, 2),
+        (_, true, _, true) => GeomEnt::new(Dim::Vertex, 3),
+        (true, _, _, true) => GeomEnt::new(Dim::Vertex, 4),
+        (_, _, true, _) => GeomEnt::new(Dim::Edge, 1),
+        (_, true, _, _) => GeomEnt::new(Dim::Edge, 2),
+        (_, _, _, true) => GeomEnt::new(Dim::Edge, 3),
+        (true, _, _, _) => GeomEnt::new(Dim::Edge, 4),
+        _ => GeomEnt::new(Dim::Face, 1),
+    }
+}
+
+/// Build the model of the 3D box `[0,a] × [0,b] × [0,c]`.
+///
+/// Tags: region 1 = interior; faces 1..=6 = x=0, x=a, y=0, y=b, z=0, z=c;
+/// edges and vertices are numbered but referenced only through
+/// [`classify_box`].
+pub fn box3d(a: f64, b: f64, c: f64) -> Model {
+    let mut m = Model::new(3);
+    // 8 vertices, corner i encoded by bits (x, y, z).
+    let corner = |i: usize| -> [f64; 3] {
+        [
+            if i & 1 != 0 { a } else { 0.0 },
+            if i & 2 != 0 { b } else { 0.0 },
+            if i & 4 != 0 { c } else { 0.0 },
+        ]
+    };
+    let verts: Vec<GeomEnt> = (0..8)
+        .map(|i| m.add(Dim::Vertex, i as u32 + 1, Shape::Point(corner(i))))
+        .collect();
+    let region = m.add(Dim::Region, 1, Shape::Free);
+    // 6 faces: normals along -x,+x,-y,+y,-z,+z with tags 1..=6.
+    let face_defs = [
+        ([0., 0., 0.], [-1., 0., 0.]),
+        ([a, 0., 0.], [1., 0., 0.]),
+        ([0., 0., 0.], [0., -1., 0.]),
+        ([0., b, 0.], [0., 1., 0.]),
+        ([0., 0., 0.], [0., 0., -1.]),
+        ([0., 0., c], [0., 0., 1.]),
+    ];
+    let faces: Vec<GeomEnt> = face_defs
+        .iter()
+        .enumerate()
+        .map(|(i, &(origin, normal))| {
+            let f = m.add(Dim::Face, i as u32 + 1, Shape::Plane { origin, normal });
+            m.connect(f, region);
+            f
+        })
+        .collect();
+    // 12 edges: pairs of corners differing in exactly one bit.
+    let mut tag = 1u32;
+    for i in 0..8usize {
+        for bit in [1usize, 2, 4] {
+            let j = i | bit;
+            if j <= i {
+                continue;
+            }
+            if i & bit != 0 {
+                continue;
+            }
+            let e = m.add(
+                Dim::Edge,
+                tag,
+                Shape::Segment {
+                    a: corner(i),
+                    b: corner(j),
+                },
+            );
+            m.connect(verts[i], e);
+            m.connect(verts[j], e);
+            // Connect the edge to the two faces containing both corners.
+            for (fi, f) in faces.iter().enumerate() {
+                let axis = fi / 2; // 0=x,1=y,2=z
+                let high = fi % 2 == 1;
+                let bitv = 1usize << axis;
+                let i_on = (i & bitv != 0) == high;
+                let j_on = (j & bitv != 0) == high;
+                if i_on && j_on {
+                    m.connect(e, *f);
+                }
+            }
+            tag += 1;
+        }
+    }
+    m
+}
+
+/// Classify a point of the box `[0,a] × [0,b] × [0,c]` to its model entity
+/// (vertex, edge, face, or interior region) by which bounding planes it lies
+/// on.
+#[allow(clippy::needless_range_loop)] // axis indices select across arrays
+pub fn classify_box(a: f64, b: f64, c: f64, p: [f64; 3]) -> GeomEnt {
+    let lo = [
+        p[0].abs() < CLASSIFY_EPS,
+        p[1].abs() < CLASSIFY_EPS,
+        p[2].abs() < CLASSIFY_EPS,
+    ];
+    let hi = [
+        (p[0] - a).abs() < CLASSIFY_EPS,
+        (p[1] - b).abs() < CLASSIFY_EPS,
+        (p[2] - c).abs() < CLASSIFY_EPS,
+    ];
+    let on = [lo[0] || hi[0], lo[1] || hi[1], lo[2] || hi[2]];
+    let count = on.iter().filter(|&&x| x).count();
+    match count {
+        3 => {
+            // Corner: tag = 1 + bits(x_hi, y_hi, z_hi).
+            let i = (hi[0] as u32) | ((hi[1] as u32) << 1) | ((hi[2] as u32) << 2);
+            GeomEnt::new(Dim::Vertex, i + 1)
+        }
+        2 => {
+            // Edge: identify the free axis and the fixed plane pair; the edge
+            // tag enumeration matches `box3d`'s loop order.
+            let free_axis = (0..3).find(|&k| !on[k]).unwrap();
+            // Reconstruct corner index i (low corner of the edge).
+            let mut i = 0usize;
+            for k in 0..3 {
+                if k != free_axis && hi[k] {
+                    i |= 1 << k;
+                }
+            }
+            // Recompute the tag by replaying box3d's enumeration order.
+            let mut tag = 1u32;
+            for ii in 0..8usize {
+                for bit in [1usize, 2, 4] {
+                    let jj = ii | bit;
+                    if jj <= ii || ii & bit != 0 {
+                        continue;
+                    }
+                    if ii == i && bit == (1 << free_axis) {
+                        return GeomEnt::new(Dim::Edge, tag);
+                    }
+                    tag += 1;
+                }
+            }
+            unreachable!("edge enumeration is exhaustive");
+        }
+        1 => {
+            let axis = (0..3).find(|&k| on[k]).unwrap();
+            let tag = (axis * 2 + if hi[axis] { 2 } else { 1 }) as u32;
+            GeomEnt::new(Dim::Face, tag)
+        }
+        _ => GeomEnt::new(Dim::Region, 1),
+    }
+}
+
+/// Parameters of the vessel (AAA proxy) domain: a tube along +z of length
+/// `length` whose radius follows `profile` — a Gaussian bulge mimicking an
+/// abdominal aortic aneurysm.
+#[derive(Debug, Clone, Copy)]
+pub struct VesselSpec {
+    /// Tube length along z.
+    pub length: f64,
+    /// Radius profile (use [`RadiusProfile::Bulge`] for the aneurysm).
+    pub profile: RadiusProfile,
+}
+
+impl VesselSpec {
+    /// The AAA-proxy default: length 10, base radius 1, bulge to 2.2 at 60%.
+    pub fn aaa() -> VesselSpec {
+        VesselSpec {
+            length: 10.0,
+            profile: RadiusProfile::Bulge {
+                r0: 1.0,
+                amp: 1.2,
+                center: 0.6,
+                width: 0.15,
+            },
+        }
+    }
+
+    /// Radius at height `z`.
+    pub fn radius_at(&self, z: f64) -> f64 {
+        self.profile.radius((z / self.length).clamp(0.0, 1.0))
+    }
+}
+
+/// Build the vessel model. Tags: region 1; faces 1 = lateral wall,
+/// 2 = inlet cap (z=0), 3 = outlet cap (z=length); edges 1 = inlet rim,
+/// 2 = outlet rim.
+pub fn vessel(spec: VesselSpec) -> Model {
+    let mut m = Model::new(3);
+    let p0 = [0., 0., 0.];
+    let p1 = [0., 0., spec.length];
+    let region = m.add(Dim::Region, 1, Shape::Free);
+    let wall = m.add(
+        Dim::Face,
+        1,
+        Shape::CylinderWall {
+            p0,
+            p1,
+            profile: spec.profile,
+        },
+    );
+    let inlet = m.add(
+        Dim::Face,
+        2,
+        Shape::Plane {
+            origin: p0,
+            normal: [0., 0., -1.],
+        },
+    );
+    let outlet = m.add(
+        Dim::Face,
+        3,
+        Shape::Plane {
+            origin: p1,
+            normal: [0., 0., 1.],
+        },
+    );
+    let rim_in = m.add(
+        Dim::Edge,
+        1,
+        Shape::Circle {
+            center: p0,
+            normal: [0., 0., 1.],
+            radius: spec.profile.radius(0.0),
+        },
+    );
+    let rim_out = m.add(
+        Dim::Edge,
+        2,
+        Shape::Circle {
+            center: p1,
+            normal: [0., 0., 1.],
+            radius: spec.profile.radius(1.0),
+        },
+    );
+    for f in [wall, inlet, outlet] {
+        m.connect(f, region);
+    }
+    m.connect(rim_in, wall);
+    m.connect(rim_in, inlet);
+    m.connect(rim_out, wall);
+    m.connect(rim_out, outlet);
+    m
+}
+
+/// Classify a vessel point: `on_wall` and the z-position decide between the
+/// wall, caps, rims, and interior. `on_wall` must be passed by the generator
+/// (it knows which lattice ring is outermost) because the bulged wall radius
+/// makes coordinate tests alone fragile.
+pub fn classify_vessel(spec: &VesselSpec, p: [f64; 3], on_wall: bool) -> GeomEnt {
+    let on_inlet = p[2].abs() < CLASSIFY_EPS;
+    let on_outlet = (p[2] - spec.length).abs() < CLASSIFY_EPS;
+    match (on_wall, on_inlet, on_outlet) {
+        (true, true, _) => GeomEnt::new(Dim::Edge, 1),
+        (true, _, true) => GeomEnt::new(Dim::Edge, 2),
+        (true, false, false) => GeomEnt::new(Dim::Face, 1),
+        (false, true, _) => GeomEnt::new(Dim::Face, 2),
+        (false, _, true) => GeomEnt::new(Dim::Face, 3),
+        (false, false, false) => GeomEnt::new(Dim::Region, 1),
+    }
+}
+
+/// The wing (ONERA M6 proxy) domain: a flow box around a swept wing. The
+/// shock experiment (Fig 13) only needs the box geometry plus the analytic
+/// shock plane carried by the size field, so the model is a box with wing
+/// proportions: span 1.2, chord 0.8, height 0.6.
+pub fn wing_box() -> Model {
+    box3d(1.2, 0.8, 0.6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rectangle_topology() {
+        let m = rectangle(2.0, 1.0);
+        assert_eq!(m.count(Dim::Vertex), 4);
+        assert_eq!(m.count(Dim::Edge), 4);
+        assert_eq!(m.count(Dim::Face), 1);
+        let f = m.find(Dim::Face, 1).unwrap();
+        assert_eq!(m.down(f).len(), 4);
+        for e in m.ents_of_dim(Dim::Edge) {
+            assert_eq!(m.down(e).len(), 2);
+            assert_eq!(m.up(e), &[f]);
+        }
+        for v in m.ents_of_dim(Dim::Vertex) {
+            assert_eq!(m.up(v).len(), 2);
+        }
+    }
+
+    #[test]
+    fn rectangle_classification() {
+        let (w, h) = (2.0, 1.0);
+        assert_eq!(classify_rectangle(w, h, [0., 0., 0.]).dim(), Dim::Vertex);
+        assert_eq!(classify_rectangle(w, h, [1., 0., 0.]), GeomEnt::new(Dim::Edge, 1));
+        assert_eq!(classify_rectangle(w, h, [2., 0.5, 0.]), GeomEnt::new(Dim::Edge, 2));
+        assert_eq!(classify_rectangle(w, h, [1., 1., 0.]), GeomEnt::new(Dim::Edge, 3));
+        assert_eq!(classify_rectangle(w, h, [0., 0.5, 0.]), GeomEnt::new(Dim::Edge, 4));
+        assert_eq!(classify_rectangle(w, h, [1., 0.5, 0.]), GeomEnt::new(Dim::Face, 1));
+    }
+
+    #[test]
+    fn box_topology_counts() {
+        let m = box3d(1., 1., 1.);
+        assert_eq!(m.count(Dim::Vertex), 8);
+        assert_eq!(m.count(Dim::Edge), 12);
+        assert_eq!(m.count(Dim::Face), 6);
+        assert_eq!(m.count(Dim::Region), 1);
+        // Every face bounds the region and has 4 edges.
+        let r = m.find(Dim::Region, 1).unwrap();
+        assert_eq!(m.down(r).len(), 6);
+        for f in m.ents_of_dim(Dim::Face) {
+            assert_eq!(m.down(f).len(), 4, "face {f:?}");
+            assert_eq!(m.up(f), &[r]);
+        }
+        // Every edge has 2 vertices and 2 faces.
+        for e in m.ents_of_dim(Dim::Edge) {
+            assert_eq!(m.down(e).len(), 2);
+            assert_eq!(m.up(e).len(), 2, "edge {e:?}");
+        }
+        // Every vertex bounds 3 edges.
+        for v in m.ents_of_dim(Dim::Vertex) {
+            assert_eq!(m.up(v).len(), 3);
+        }
+    }
+
+    #[test]
+    fn box_classification_dims() {
+        let (a, b, c) = (1., 2., 3.);
+        assert_eq!(classify_box(a, b, c, [0., 0., 0.]).dim(), Dim::Vertex);
+        assert_eq!(classify_box(a, b, c, [1., 2., 3.]).dim(), Dim::Vertex);
+        assert_eq!(classify_box(a, b, c, [0.5, 0., 0.]).dim(), Dim::Edge);
+        assert_eq!(classify_box(a, b, c, [0.5, 1., 0.]).dim(), Dim::Face);
+        assert_eq!(classify_box(a, b, c, [0.5, 1., 1.]).dim(), Dim::Region);
+        // Face tags match the builder convention.
+        assert_eq!(classify_box(a, b, c, [0., 1., 1.]).tag(), 1);
+        assert_eq!(classify_box(a, b, c, [1., 1., 1.5]).tag(), 2);
+        assert_eq!(classify_box(a, b, c, [0.5, 0., 1.]).tag(), 3);
+        assert_eq!(classify_box(a, b, c, [0.5, 2., 1.]).tag(), 4);
+        assert_eq!(classify_box(a, b, c, [0.5, 1., 0.]).tag(), 5);
+        assert_eq!(classify_box(a, b, c, [0.5, 1., 3.]).tag(), 6);
+    }
+
+    #[test]
+    fn box_edge_classification_is_a_model_edge() {
+        let m = box3d(1., 1., 1.);
+        // Each edge midpoint classifies onto an edge the model contains.
+        for e in m.ents_of_dim(Dim::Edge) {
+            if let Shape::Segment { a, b } = m.shape(e) {
+                let mid = [
+                    0.5 * (a[0] + b[0]),
+                    0.5 * (a[1] + b[1]),
+                    0.5 * (a[2] + b[2]),
+                ];
+                let g = classify_box(1., 1., 1., mid);
+                assert_eq!(g, e, "midpoint of {e:?} classifies to {g:?}");
+            } else {
+                panic!("box edge without segment shape");
+            }
+        }
+    }
+
+    #[test]
+    fn vessel_topology_and_classification() {
+        let spec = VesselSpec::aaa();
+        let m = vessel(spec);
+        assert_eq!(m.count(Dim::Face), 3);
+        assert_eq!(m.count(Dim::Edge), 2);
+        let wall = m.find(Dim::Face, 1).unwrap();
+        assert_eq!(m.down(wall).len(), 2);
+
+        assert_eq!(
+            classify_vessel(&spec, [1., 0., 0.], true),
+            GeomEnt::new(Dim::Edge, 1)
+        );
+        assert_eq!(
+            classify_vessel(&spec, [1., 0., 10.], true),
+            GeomEnt::new(Dim::Edge, 2)
+        );
+        assert_eq!(
+            classify_vessel(&spec, [1.5, 0., 5.], true),
+            GeomEnt::new(Dim::Face, 1)
+        );
+        assert_eq!(
+            classify_vessel(&spec, [0.2, 0., 0.], false),
+            GeomEnt::new(Dim::Face, 2)
+        );
+        assert_eq!(
+            classify_vessel(&spec, [0.2, 0., 10.], false),
+            GeomEnt::new(Dim::Face, 3)
+        );
+        assert_eq!(
+            classify_vessel(&spec, [0.2, 0., 5.], false),
+            GeomEnt::new(Dim::Region, 1)
+        );
+    }
+
+    #[test]
+    fn vessel_bulge_radius() {
+        let spec = VesselSpec::aaa();
+        assert!(spec.radius_at(6.0) > spec.radius_at(1.0));
+        assert!((spec.radius_at(6.0) - 2.2).abs() < 1e-6);
+    }
+}

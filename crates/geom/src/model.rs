@@ -1,0 +1,237 @@
+//! Boundary-representation model topology.
+//!
+//! A model is a set of topological entities per dimension, each carrying a
+//! stable user-visible integer *tag* (the id mesh classification refers to)
+//! and adjacency links to bounding (downward) and bounded (upward) entities
+//! — the non-manifold b-rep structure of Weiler's radial-edge lineage the
+//! paper cites (Weiler, ref. 3).
+
+use crate::shape::Shape;
+use pumi_util::{Dim, FxHashMap};
+use std::fmt;
+
+/// Handle to a geometric model entity: 2 bits dimension, 30 bits tag.
+///
+/// `GeomEnt` is what mesh entities store as their *geometric classification*
+/// — the "unique association of mesh entities to the highest level geometric
+/// model entity that it partly represents" (§II).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct GeomEnt(pub u32);
+
+const DIM_SHIFT: u32 = 30;
+const TAG_MASK: u32 = (1 << DIM_SHIFT) - 1;
+
+impl GeomEnt {
+    /// Create a handle from dimension and tag.
+    #[inline]
+    pub fn new(dim: Dim, tag: u32) -> GeomEnt {
+        debug_assert!(tag < TAG_MASK);
+        GeomEnt(((dim as u32) << DIM_SHIFT) | tag)
+    }
+
+    /// The entity's dimension.
+    #[inline]
+    pub fn dim(self) -> Dim {
+        Dim::from_usize((self.0 >> DIM_SHIFT) as usize)
+    }
+
+    /// The entity's user tag.
+    #[inline]
+    pub fn tag(self) -> u32 {
+        self.0 & TAG_MASK
+    }
+}
+
+impl fmt::Debug for GeomEnt {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "G{}_{}", self.dim().as_usize(), self.tag())
+    }
+}
+
+#[derive(Debug, Clone)]
+struct ModelEntData {
+    /// Entities of dimension d-1 bounding this one.
+    down: Vec<GeomEnt>,
+    /// Entities of dimension d+1 this one bounds.
+    up: Vec<GeomEnt>,
+    /// Shape for geometric interrogation.
+    shape: Shape,
+}
+
+/// A non-manifold boundary-representation geometric model.
+#[derive(Debug, Default, Clone)]
+pub struct Model {
+    ents: FxHashMap<GeomEnt, ModelEntData>,
+    /// The model's spatial dimension (2 or 3).
+    dim: usize,
+}
+
+impl Model {
+    /// An empty model of spatial dimension `dim` (2 or 3).
+    pub fn new(dim: usize) -> Model {
+        assert!(dim == 2 || dim == 3, "model dimension must be 2 or 3");
+        Model {
+            ents: FxHashMap::default(),
+            dim,
+        }
+    }
+
+    /// The model's spatial dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Add a model entity with a shape. Tags must be unique per dimension.
+    ///
+    /// # Panics
+    /// Panics if the (dim, tag) pair already exists.
+    pub fn add(&mut self, dim: Dim, tag: u32, shape: Shape) -> GeomEnt {
+        let e = GeomEnt::new(dim, tag);
+        let prev = self.ents.insert(
+            e,
+            ModelEntData {
+                down: Vec::new(),
+                up: Vec::new(),
+                shape,
+            },
+        );
+        assert!(prev.is_none(), "duplicate model entity {e:?}");
+        e
+    }
+
+    /// Record that `lower` (dim d) bounds `upper` (dim d+1).
+    ///
+    /// # Panics
+    /// Panics if either entity is missing or dimensions are not consecutive.
+    pub fn connect(&mut self, lower: GeomEnt, upper: GeomEnt) {
+        assert_eq!(
+            lower.dim().as_usize() + 1,
+            upper.dim().as_usize(),
+            "connect wants consecutive dimensions"
+        );
+        assert!(self.ents.contains_key(&lower), "unknown {lower:?}");
+        assert!(self.ents.contains_key(&upper), "unknown {upper:?}");
+        let lo = self.ents.get_mut(&lower).unwrap();
+        if !lo.up.contains(&upper) {
+            lo.up.push(upper);
+        }
+        let hi = self.ents.get_mut(&upper).unwrap();
+        if !hi.down.contains(&lower) {
+            hi.down.push(lower);
+        }
+    }
+
+    /// Whether the model contains this entity.
+    pub fn contains(&self, e: GeomEnt) -> bool {
+        self.ents.contains_key(&e)
+    }
+
+    /// Find an entity by dimension and tag.
+    pub fn find(&self, dim: Dim, tag: u32) -> Option<GeomEnt> {
+        let e = GeomEnt::new(dim, tag);
+        self.contains(e).then_some(e)
+    }
+
+    /// Entities of dimension d-1 bounding `e` (model downward adjacency).
+    pub fn down(&self, e: GeomEnt) -> &[GeomEnt] {
+        &self.ents[&e].down
+    }
+
+    /// Entities of dimension d+1 bounded by `e` (model upward adjacency).
+    pub fn up(&self, e: GeomEnt) -> &[GeomEnt] {
+        &self.ents[&e].up
+    }
+
+    /// The shape of `e` for geometric interrogation.
+    pub fn shape(&self, e: GeomEnt) -> &Shape {
+        &self.ents[&e].shape
+    }
+
+    /// Iterate all entities of dimension `dim`, sorted by tag (deterministic).
+    pub fn ents_of_dim(&self, dim: Dim) -> Vec<GeomEnt> {
+        let mut v: Vec<GeomEnt> = self.ents.keys().filter(|e| e.dim() == dim).copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Count of entities of dimension `dim`.
+    pub fn count(&self, dim: Dim) -> usize {
+        self.ents.keys().filter(|e| e.dim() == dim).count()
+    }
+
+    /// Closest point on `e`'s shape to `x` — used for boundary snapping of
+    /// new vertices during mesh adaptation.
+    pub fn closest_point(&self, e: GeomEnt, x: [f64; 3]) -> [f64; 3] {
+        self.shape(e).closest_point(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shape::Shape;
+
+    fn free() -> Shape {
+        Shape::Free
+    }
+
+    #[test]
+    fn geoment_pack_roundtrip() {
+        let e = GeomEnt::new(Dim::Face, 12345);
+        assert_eq!(e.dim(), Dim::Face);
+        assert_eq!(e.tag(), 12345);
+        assert_eq!(format!("{e:?}"), "G2_12345");
+    }
+
+    #[test]
+    fn add_find_count() {
+        let mut m = Model::new(2);
+        let v = m.add(Dim::Vertex, 1, free());
+        let e = m.add(Dim::Edge, 1, free());
+        assert!(m.contains(v));
+        assert_eq!(m.find(Dim::Vertex, 1), Some(v));
+        assert_eq!(m.find(Dim::Vertex, 2), None);
+        assert_eq!(m.count(Dim::Vertex), 1);
+        assert_eq!(m.count(Dim::Edge), 1);
+        assert!(m.up(v).is_empty());
+        assert!(m.down(e).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate")]
+    fn duplicate_tag_rejected() {
+        let mut m = Model::new(2);
+        m.add(Dim::Vertex, 1, free());
+        m.add(Dim::Vertex, 1, free());
+    }
+
+    #[test]
+    fn connect_builds_both_directions() {
+        let mut m = Model::new(2);
+        let v = m.add(Dim::Vertex, 1, free());
+        let e = m.add(Dim::Edge, 7, free());
+        m.connect(v, e);
+        m.connect(v, e); // idempotent
+        assert_eq!(m.up(v), &[e]);
+        assert_eq!(m.down(e), &[v]);
+    }
+
+    #[test]
+    #[should_panic(expected = "consecutive")]
+    fn connect_requires_consecutive_dims() {
+        let mut m = Model::new(3);
+        let v = m.add(Dim::Vertex, 1, free());
+        let f = m.add(Dim::Face, 1, free());
+        m.connect(v, f);
+    }
+
+    #[test]
+    fn ents_of_dim_sorted() {
+        let mut m = Model::new(2);
+        m.add(Dim::Edge, 5, free());
+        m.add(Dim::Edge, 2, free());
+        m.add(Dim::Edge, 9, free());
+        let tags: Vec<u32> = m.ents_of_dim(Dim::Edge).iter().map(|e| e.tag()).collect();
+        assert_eq!(tags, vec![2, 5, 9]);
+    }
+}

@@ -1,0 +1,362 @@
+//! Shape interrogation — "geometric information about the shape of the
+//! entities" (§II).
+//!
+//! The generated domains are bounded by analytic shapes: points, line
+//! segments, planes, and (possibly bulged) cylinder walls. Each model entity
+//! carries a [`Shape`]; the two operations the mesh stack needs are *closest
+//! point* (boundary snapping of adapted vertices) and *outward normal*
+//! (quality checks near curved walls).
+
+/// Small vector helpers (3-component, used pervasively by the mesh stack).
+pub mod vec3 {
+    /// a + b
+    #[inline]
+    pub fn add(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+        [a[0] + b[0], a[1] + b[1], a[2] + b[2]]
+    }
+    /// a - b
+    #[inline]
+    pub fn sub(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+        [a[0] - b[0], a[1] - b[1], a[2] - b[2]]
+    }
+    /// s * a
+    #[inline]
+    pub fn scale(s: f64, a: [f64; 3]) -> [f64; 3] {
+        [s * a[0], s * a[1], s * a[2]]
+    }
+    /// Dot product.
+    #[inline]
+    pub fn dot(a: [f64; 3], b: [f64; 3]) -> f64 {
+        a[0] * b[0] + a[1] * b[1] + a[2] * b[2]
+    }
+    /// Cross product.
+    #[inline]
+    pub fn cross(a: [f64; 3], b: [f64; 3]) -> [f64; 3] {
+        [
+            a[1] * b[2] - a[2] * b[1],
+            a[2] * b[0] - a[0] * b[2],
+            a[0] * b[1] - a[1] * b[0],
+        ]
+    }
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(a: [f64; 3]) -> f64 {
+        dot(a, a).sqrt()
+    }
+    /// a normalized; returns zero vector for zero input.
+    #[inline]
+    pub fn normalize(a: [f64; 3]) -> [f64; 3] {
+        let n = norm(a);
+        if n == 0.0 {
+            [0.0; 3]
+        } else {
+            scale(1.0 / n, a)
+        }
+    }
+    /// Distance between points.
+    #[inline]
+    pub fn dist(a: [f64; 3], b: [f64; 3]) -> f64 {
+        norm(sub(a, b))
+    }
+}
+
+use vec3::*;
+
+/// Radius profile along a cylinder axis — constant, or with a Gaussian bulge
+/// (the aneurysm of the AAA proxy domain).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RadiusProfile {
+    /// Constant radius.
+    Const(f64),
+    /// `r(t) = r0 + amp * exp(-((t-center)/width)^2)` where `t` is the
+    /// normalized axial coordinate in `[0,1]`.
+    Bulge {
+        /// Base radius.
+        r0: f64,
+        /// Bulge amplitude.
+        amp: f64,
+        /// Normalized axial position of the bulge peak.
+        center: f64,
+        /// Gaussian width of the bulge.
+        width: f64,
+    },
+}
+
+impl RadiusProfile {
+    /// Radius at normalized axial coordinate `t ∈ [0,1]`.
+    pub fn radius(&self, t: f64) -> f64 {
+        match *self {
+            RadiusProfile::Const(r) => r,
+            RadiusProfile::Bulge {
+                r0,
+                amp,
+                center,
+                width,
+            } => {
+                let u = (t - center) / width;
+                r0 + amp * (-u * u).exp()
+            }
+        }
+    }
+}
+
+/// The shape of a model entity.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Shape {
+    /// No analytic shape: closest point is the identity (interior entities,
+    /// or entities whose geometry we do not snap to).
+    Free,
+    /// A point in space (model vertices).
+    Point([f64; 3]),
+    /// A straight segment from `a` to `b` (model edges).
+    Segment {
+        /// Start point.
+        a: [f64; 3],
+        /// End point.
+        b: [f64; 3],
+    },
+    /// An infinite plane through `origin` with unit `normal`, used for the
+    /// flat faces of boxes and end caps (meshes only touch a bounded patch).
+    Plane {
+        /// A point on the plane.
+        origin: [f64; 3],
+        /// Unit normal.
+        normal: [f64; 3],
+    },
+    /// A circle (model edges bounding cylinder caps — the vessel rims).
+    Circle {
+        /// Circle center.
+        center: [f64; 3],
+        /// Unit normal of the circle's plane.
+        normal: [f64; 3],
+        /// Circle radius.
+        radius: f64,
+    },
+    /// The lateral wall of a (bulged) cylinder from `p0` to `p1`.
+    CylinderWall {
+        /// Axis start.
+        p0: [f64; 3],
+        /// Axis end.
+        p1: [f64; 3],
+        /// Radius along the normalized axis.
+        profile: RadiusProfile,
+    },
+}
+
+impl Shape {
+    /// The closest point on the shape to `x`.
+    pub fn closest_point(&self, x: [f64; 3]) -> [f64; 3] {
+        match self {
+            Shape::Free => x,
+            Shape::Point(p) => *p,
+            Shape::Segment { a, b } => {
+                let ab = sub(*b, *a);
+                let len2 = dot(ab, ab);
+                if len2 == 0.0 {
+                    return *a;
+                }
+                let t = (dot(sub(x, *a), ab) / len2).clamp(0.0, 1.0);
+                add(*a, scale(t, ab))
+            }
+            Shape::Plane { origin, normal } => {
+                let d = dot(sub(x, *origin), *normal);
+                sub(x, scale(d, *normal))
+            }
+            Shape::Circle {
+                center,
+                normal,
+                radius,
+            } => {
+                // Project into the circle's plane, then out to the radius.
+                let d = dot(sub(x, *center), *normal);
+                let in_plane = sub(x, scale(d, *normal));
+                let radial = sub(in_plane, *center);
+                let rn = norm(radial);
+                if rn == 0.0 {
+                    let seed = if normal[0].abs() < 0.9 {
+                        [1.0, 0.0, 0.0]
+                    } else {
+                        [0.0, 1.0, 0.0]
+                    };
+                    let perp = normalize(cross(*normal, seed));
+                    add(*center, scale(*radius, perp))
+                } else {
+                    add(*center, scale(*radius / rn, radial))
+                }
+            }
+            Shape::CylinderWall { p0, p1, profile } => {
+                let axis = sub(*p1, *p0);
+                let len2 = dot(axis, axis);
+                if len2 == 0.0 {
+                    return *p0;
+                }
+                let t = (dot(sub(x, *p0), axis) / len2).clamp(0.0, 1.0);
+                let on_axis = add(*p0, scale(t, axis));
+                let radial = sub(x, on_axis);
+                let r_target = profile.radius(t);
+                let rn = norm(radial);
+                if rn == 0.0 {
+                    // On the axis: pick an arbitrary perpendicular direction.
+                    let adir = normalize(axis);
+                    let seed = if adir[0].abs() < 0.9 {
+                        [1.0, 0.0, 0.0]
+                    } else {
+                        [0.0, 1.0, 0.0]
+                    };
+                    let perp = normalize(cross(adir, seed));
+                    add(on_axis, scale(r_target, perp))
+                } else {
+                    add(on_axis, scale(r_target / rn, radial))
+                }
+            }
+        }
+    }
+
+    /// An (approximate) outward normal at `x`; `None` for shapes without a
+    /// well-defined surface normal.
+    pub fn normal(&self, x: [f64; 3]) -> Option<[f64; 3]> {
+        match self {
+            Shape::Plane { normal, .. } => Some(*normal),
+            Shape::CylinderWall { p0, p1, .. } => {
+                let axis = sub(*p1, *p0);
+                let len2 = dot(axis, axis);
+                if len2 == 0.0 {
+                    return None;
+                }
+                let t = (dot(sub(x, *p0), axis) / len2).clamp(0.0, 1.0);
+                let on_axis = add(*p0, scale(t, axis));
+                let radial = sub(x, on_axis);
+                let n = norm(radial);
+                (n > 0.0).then(|| scale(1.0 / n, radial))
+            }
+            _ => None,
+        }
+    }
+
+    /// Distance from `x` to the shape.
+    pub fn distance(&self, x: [f64; 3]) -> f64 {
+        dist(x, self.closest_point(x))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: [f64; 3], b: [f64; 3]) -> bool {
+        dist(a, b) < 1e-9
+    }
+
+    #[test]
+    fn vec3_basics() {
+        assert_eq!(add([1., 2., 3.], [4., 5., 6.]), [5., 7., 9.]);
+        assert_eq!(cross([1., 0., 0.], [0., 1., 0.]), [0., 0., 1.]);
+        assert!((norm([3., 4., 0.]) - 5.0).abs() < EPS);
+        assert_eq!(normalize([0., 0., 0.]), [0., 0., 0.]);
+    }
+
+    #[test]
+    fn point_and_free() {
+        let p = Shape::Point([1., 2., 3.]);
+        assert!(close(p.closest_point([9., 9., 9.]), [1., 2., 3.]));
+        let f = Shape::Free;
+        assert!(close(f.closest_point([9., 9., 9.]), [9., 9., 9.]));
+        assert_eq!(f.distance([9., 9., 9.]), 0.0);
+    }
+
+    #[test]
+    fn segment_clamps_to_ends() {
+        let s = Shape::Segment {
+            a: [0., 0., 0.],
+            b: [1., 0., 0.],
+        };
+        assert!(close(s.closest_point([0.5, 1.0, 0.0]), [0.5, 0., 0.]));
+        assert!(close(s.closest_point([-5., 0., 0.]), [0., 0., 0.]));
+        assert!(close(s.closest_point([5., 3., 0.]), [1., 0., 0.]));
+    }
+
+    #[test]
+    fn plane_projection() {
+        let pl = Shape::Plane {
+            origin: [0., 0., 1.],
+            normal: [0., 0., 1.],
+        };
+        assert!(close(pl.closest_point([2., 3., 5.]), [2., 3., 1.]));
+        assert!((pl.distance([2., 3., 5.]) - 4.0).abs() < EPS);
+        assert_eq!(pl.normal([0.; 3]), Some([0., 0., 1.]));
+    }
+
+    #[test]
+    fn cylinder_wall_constant_radius() {
+        let c = Shape::CylinderWall {
+            p0: [0., 0., 0.],
+            p1: [0., 0., 10.],
+            profile: RadiusProfile::Const(2.0),
+        };
+        // Point at radius 5 projects to radius 2 at the same axial height.
+        let q = c.closest_point([5., 0., 4.]);
+        assert!(close(q, [2., 0., 4.]));
+        // Point on the axis still lands on the wall.
+        let q2 = c.closest_point([0., 0., 4.]);
+        assert!(((q2[0].powi(2) + q2[1].powi(2)).sqrt() - 2.0).abs() < 1e-9);
+        // Normal points radially outward.
+        let n = c.normal([5., 0., 4.]).unwrap();
+        assert!(close(n, [1., 0., 0.]));
+    }
+
+    #[test]
+    fn circle_projection() {
+        let c = Shape::Circle {
+            center: [0., 0., 2.],
+            normal: [0., 0., 1.],
+            radius: 3.0,
+        };
+        assert!(close(c.closest_point([6., 0., 7.]), [3., 0., 2.]));
+        // Point on the circle's axis lands somewhere on the rim.
+        let q = c.closest_point([0., 0., 9.]);
+        assert!(((q[0].powi(2) + q[1].powi(2)).sqrt() - 3.0).abs() < 1e-9);
+        assert!((q[2] - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bulged_radius_profile() {
+        let p = RadiusProfile::Bulge {
+            r0: 1.0,
+            amp: 0.5,
+            center: 0.5,
+            width: 0.1,
+        };
+        assert!((p.radius(0.5) - 1.5).abs() < EPS);
+        assert!(p.radius(0.0) < 1.0 + 1e-6);
+        assert!(p.radius(0.5) > p.radius(0.3));
+        let c = Shape::CylinderWall {
+            p0: [0., 0., 0.],
+            p1: [0., 0., 1.],
+            profile: p,
+        };
+        let mid = c.closest_point([3., 0., 0.5]);
+        assert!((mid[0] - 1.5).abs() < 1e-9);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn closest_point_is_idempotent(
+            x in proptest::array::uniform3(-10.0f64..10.0),
+        ) {
+            let shapes = vec![
+                Shape::Point([1., 1., 1.]),
+                Shape::Segment { a: [0.;3], b: [1., 0., 0.] },
+                Shape::Plane { origin: [0.;3], normal: [0., 1., 0.] },
+                Shape::CylinderWall { p0: [0.;3], p1: [0., 0., 5.], profile: RadiusProfile::Const(1.0) },
+                Shape::Circle { center: [0.;3], normal: [0., 0., 1.], radius: 2.0 },
+            ];
+            for s in shapes {
+                let p1 = s.closest_point(x);
+                let p2 = s.closest_point(p1);
+                proptest::prop_assert!(dist(p1, p2) < 1e-6, "{s:?} not idempotent: {p1:?} vs {p2:?}");
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Geometric classification maintenance (§II).
+//!
+//! "Each mesh entity maintains its association to the highest level geometric
+//! model entity that it partly represents, referred to as geometric
+//! classification." Generators classify vertices exactly (they know the
+//! lattice); this module derives the classification of edges, faces and
+//! regions from topology: an entity on the domain boundary is classified by
+//! applying the domain's point classifier to its centroid, everything else is
+//! classified on the interior model entity.
+
+use crate::mesh::Mesh;
+use pumi_geom::GeomEnt;
+use pumi_util::{Dim, MeshEnt};
+
+impl Mesh {
+    /// Derive classification for all non-vertex entities.
+    ///
+    /// * Elements are classified on `interior`.
+    /// * Sides (dim `elem_dim - 1`) bounding exactly one element, and every
+    ///   lower entity in their closure, are *boundary* entities; each is
+    ///   classified by `classify(centroid)`.
+    /// * Remaining interior entities are classified on `interior`.
+    ///
+    /// Vertex classification is left untouched — generators set it exactly.
+    #[allow(clippy::needless_range_loop)] // d is a dimension, not just an index
+    pub fn derive_classification(
+        &mut self,
+        interior: GeomEnt,
+        classify: &dyn Fn([f64; 3]) -> GeomEnt,
+    ) {
+        let elem_dim = self.elem_dim();
+        let side_dim = Dim::from_usize(elem_dim - 1);
+
+        // Elements: interior region/face of the model.
+        let elems: Vec<MeshEnt> = self.elems().collect();
+        for e in elems {
+            self.set_class(e, interior);
+        }
+        // Mark the boundary closure.
+        let mut on_boundary: Vec<Vec<bool>> = (0..elem_dim)
+            .map(|d| vec![false; self.index_space(Dim::from_usize(d))])
+            .collect();
+        let sides: Vec<MeshEnt> = self.iter(side_dim).collect();
+        for s in sides {
+            if self.is_boundary_side(s) {
+                on_boundary[side_dim.as_usize()][s.idx()] = true;
+                for sub in self.closure(s) {
+                    if sub.dim().as_usize() < side_dim.as_usize() + 1 && sub.dim() != Dim::Vertex {
+                        on_boundary[sub.dim().as_usize()][sub.idx()] = true;
+                    }
+                }
+            }
+        }
+        // Classify every non-vertex, non-element entity.
+        for d in 1..elem_dim {
+            let dim = Dim::from_usize(d);
+            let ents: Vec<MeshEnt> = self.iter(dim).collect();
+            for e in ents {
+                let g = if on_boundary[d][e.idx()] {
+                    classify(self.centroid(e))
+                } else {
+                    interior
+                };
+                self.set_class(e, g);
+            }
+        }
+    }
+
+    /// Count entities of dimension `d` classified on model entities of
+    /// dimension `model_dim` — a common sanity statistic.
+    pub fn count_classified(&self, d: Dim, model_dim: Dim) -> usize {
+        self.iter(d)
+            .filter(|&e| {
+                let g = self.class_of(e);
+                g != crate::mesh::NO_GEOM && g.dim() == model_dim
+            })
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::mesh::{Mesh, NO_GEOM};
+    use crate::topology::Topology;
+    use pumi_geom::builders::{classify_rectangle, rectangle};
+    use pumi_geom::GeomEnt;
+    use pumi_util::Dim;
+
+    /// A 2x1 rectangle split into 4 triangles around a center vertex.
+    #[test]
+    fn rectangle_fan_classification() {
+        let (w, h) = (2.0, 1.0);
+        let _model = rectangle(w, h);
+        let mut m = Mesh::new(2);
+        let pts = [
+            [0., 0., 0.],
+            [w, 0., 0.],
+            [w, h, 0.],
+            [0., h, 0.],
+            [w / 2., h / 2., 0.],
+        ];
+        let v: Vec<u32> = pts
+            .iter()
+            .map(|&p| {
+                let g = classify_rectangle(w, h, p);
+                m.add_vertex(p, g).index()
+            })
+            .collect();
+        for (a, b) in [(0, 1), (1, 2), (2, 3), (3, 0)] {
+            m.add_element(Topology::Triangle, &[v[a], v[b], v[4]], NO_GEOM);
+        }
+        let interior = GeomEnt::new(Dim::Face, 1);
+        m.derive_classification(interior, &|p| classify_rectangle(w, h, p));
+
+        // 4 corner vertices classified on model vertices (set by hand above),
+        // center on the model face.
+        assert_eq!(m.count_classified(Dim::Vertex, Dim::Vertex), 4);
+        assert_eq!(m.count_classified(Dim::Vertex, Dim::Face), 1);
+        // 4 boundary edges on model edges, 4 interior on the model face.
+        assert_eq!(m.count_classified(Dim::Edge, Dim::Edge), 4);
+        assert_eq!(m.count_classified(Dim::Edge, Dim::Face), 4);
+        // All faces interior.
+        assert_eq!(m.count_classified(Dim::Face, Dim::Face), 4);
+    }
+}

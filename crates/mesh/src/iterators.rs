@@ -1,0 +1,109 @@
+//! Filtered iteration — the paper's **Iterator** component ("component for
+//! iterating over a range of data", §II).
+//!
+//! Beyond the plain per-dimension [`Mesh::iter`], applications iterate by
+//! topology (all tets), by classification (all faces on a model face), or
+//! over reversible snapshots while modifying the mesh. These helpers keep
+//! those loops deterministic: index order, skipping dead slots.
+
+use crate::mesh::Mesh;
+use crate::topology::Topology;
+use pumi_geom::GeomEnt;
+use pumi_util::{Dim, MeshEnt};
+
+impl Mesh {
+    /// Iterate live entities of a given topology.
+    pub fn iter_topo(&self, t: Topology) -> impl Iterator<Item = MeshEnt> + '_ {
+        self.iter(t.dim()).filter(move |&e| self.topo(e) == t)
+    }
+
+    /// Iterate live entities of dimension `d` classified on model entity `g`.
+    pub fn iter_classified(&self, d: Dim, g: GeomEnt) -> impl Iterator<Item = MeshEnt> + '_ {
+        self.iter(d).filter(move |&e| self.class_of(e) == g)
+    }
+
+    /// Iterate live entities of dimension `d` classified on any model entity
+    /// of dimension `model_dim` (e.g. all boundary faces).
+    pub fn iter_classified_dim(
+        &self,
+        d: Dim,
+        model_dim: Dim,
+    ) -> impl Iterator<Item = MeshEnt> + '_ {
+        self.iter(d).filter(move |&e| {
+            let g = self.class_of(e);
+            g != crate::mesh::NO_GEOM && g.dim() == model_dim
+        })
+    }
+
+    /// Snapshot the live entities of dimension `d` into a vector — the safe
+    /// pattern for loops that modify the mesh while iterating.
+    pub fn snapshot(&self, d: Dim) -> Vec<MeshEnt> {
+        self.iter(d).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::NO_GEOM;
+
+    #[test]
+    fn iter_by_topology() {
+        let mut m = Mesh::new(3);
+        let v: Vec<u32> = [
+            [0., 0., 0.],
+            [1., 0., 0.],
+            [0., 1., 0.],
+            [0., 0., 1.],
+            [1., 1., 1.],
+            [2., 1., 1.],
+        ]
+        .iter()
+        .map(|&x| m.add_vertex(x, NO_GEOM).index())
+        .collect();
+        m.add_element(Topology::Tet, &[v[0], v[1], v[2], v[3]], NO_GEOM);
+        m.add_element(
+            Topology::Pyramid,
+            &[v[0], v[1], v[4], v[2], v[5]],
+            NO_GEOM,
+        );
+        assert_eq!(m.iter_topo(Topology::Tet).count(), 1);
+        assert_eq!(m.iter_topo(Topology::Pyramid).count(), 1);
+        assert_eq!(m.iter_topo(Topology::Triangle).count() + m.iter_topo(Topology::Quad).count(), m.count(Dim::Face));
+    }
+
+    #[test]
+    fn iter_by_classification() {
+        let mut m = Mesh::new(2);
+        let g1 = GeomEnt::new(Dim::Edge, 1);
+        let g2 = GeomEnt::new(Dim::Face, 1);
+        let a = m.add_vertex([0.; 3], g1);
+        let b = m.add_vertex([1., 0., 0.], g1);
+        let c = m.add_vertex([0., 1., 0.], g2);
+        m.add_element(
+            Topology::Triangle,
+            &[a.index(), b.index(), c.index()],
+            g2,
+        );
+        assert_eq!(m.iter_classified(Dim::Vertex, g1).count(), 2);
+        assert_eq!(m.iter_classified(Dim::Vertex, g2).count(), 1);
+        assert_eq!(m.iter_classified_dim(Dim::Vertex, Dim::Edge).count(), 2);
+    }
+
+    #[test]
+    fn snapshot_allows_mutation() {
+        let mut m = Mesh::new(2);
+        let v: Vec<u32> = [[0., 0., 0.], [1., 0., 0.], [0., 1., 0.], [1., 1., 0.]]
+            .iter()
+            .map(|&x| m.add_vertex(x, NO_GEOM).index())
+            .collect();
+        m.add_element(Topology::Triangle, &[v[0], v[1], v[2]], NO_GEOM);
+        m.add_element(Topology::Triangle, &[v[1], v[3], v[2]], NO_GEOM);
+        for e in m.snapshot(Dim::Face) {
+            m.delete_with_orphans(e);
+        }
+        assert_eq!(m.count(Dim::Face), 0);
+        assert_eq!(m.count(Dim::Vertex), 0);
+        m.assert_valid();
+    }
+}

@@ -1,0 +1,223 @@
+//! Entity topologies and their canonical templates.
+//!
+//! The mesh supports the standard unstructured zoo: triangles and quads in
+//! 2D, tetrahedra, hexahedra, prisms (wedges) and pyramids in 3D. Each
+//! topology defines how its one-level-down entities are formed from its
+//! vertices — the templates below fix those orderings once for the whole
+//! stack (generation, adaptation, migration all agree on them).
+
+use pumi_util::Dim;
+
+/// The shape of a mesh entity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Topology {
+    /// A mesh vertex.
+    Vertex,
+    /// A mesh edge (2 vertices).
+    Edge,
+    /// A triangular face.
+    Triangle,
+    /// A quadrilateral face.
+    Quad,
+    /// A tetrahedral region.
+    Tet,
+    /// A hexahedral region.
+    Hex,
+    /// A triangular prism (wedge).
+    Prism,
+    /// A pyramid (quad base, apex).
+    Pyramid,
+}
+
+impl Topology {
+    /// The entity dimension of this topology.
+    pub fn dim(self) -> Dim {
+        match self {
+            Topology::Vertex => Dim::Vertex,
+            Topology::Edge => Dim::Edge,
+            Topology::Triangle | Topology::Quad => Dim::Face,
+            Topology::Tet | Topology::Hex | Topology::Prism | Topology::Pyramid => Dim::Region,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_verts(self) -> usize {
+        match self {
+            Topology::Vertex => 1,
+            Topology::Edge => 2,
+            Topology::Triangle => 3,
+            Topology::Quad => 4,
+            Topology::Tet => 4,
+            Topology::Pyramid => 5,
+            Topology::Prism => 6,
+            Topology::Hex => 8,
+        }
+    }
+
+    /// The one-level-down boundary entities as local-vertex-index tuples,
+    /// paired with the topology of each.
+    ///
+    /// Orderings follow the usual finite-element conventions; what matters
+    /// for correctness is only that they are used consistently.
+    pub fn down_templates(self) -> &'static [(&'static [usize], Topology)] {
+        use Topology::*;
+        match self {
+            Vertex => &[],
+            Edge => &[(&[0], Vertex), (&[1], Vertex)],
+            Triangle => &[(&[0, 1], Edge), (&[1, 2], Edge), (&[2, 0], Edge)],
+            Quad => &[
+                (&[0, 1], Edge),
+                (&[1, 2], Edge),
+                (&[2, 3], Edge),
+                (&[3, 0], Edge),
+            ],
+            Tet => &[
+                (&[0, 1, 2], Triangle),
+                (&[0, 1, 3], Triangle),
+                (&[1, 2, 3], Triangle),
+                (&[0, 2, 3], Triangle),
+            ],
+            Pyramid => &[
+                (&[0, 1, 2, 3], Quad),
+                (&[0, 1, 4], Triangle),
+                (&[1, 2, 4], Triangle),
+                (&[2, 3, 4], Triangle),
+                (&[3, 0, 4], Triangle),
+            ],
+            Prism => &[
+                (&[0, 1, 2], Triangle),
+                (&[3, 4, 5], Triangle),
+                (&[0, 1, 4, 3], Quad),
+                (&[1, 2, 5, 4], Quad),
+                (&[2, 0, 3, 5], Quad),
+            ],
+            Hex => &[
+                (&[0, 1, 2, 3], Quad),
+                (&[4, 5, 6, 7], Quad),
+                (&[0, 1, 5, 4], Quad),
+                (&[1, 2, 6, 5], Quad),
+                (&[2, 3, 7, 6], Quad),
+                (&[3, 0, 4, 7], Quad),
+            ],
+        }
+    }
+
+    /// Number of one-level-down entities.
+    pub fn num_down(self) -> usize {
+        self.down_templates().len()
+    }
+
+    /// Encode as a byte for messages.
+    pub fn to_u8(self) -> u8 {
+        self as u8
+    }
+
+    /// Decode from a byte.
+    ///
+    /// # Panics
+    /// Panics on an unknown code (corrupted message).
+    pub fn from_u8(x: u8) -> Topology {
+        use Topology::*;
+        match x {
+            0 => Vertex,
+            1 => Edge,
+            2 => Triangle,
+            3 => Quad,
+            4 => Tet,
+            5 => Hex,
+            6 => Prism,
+            7 => Pyramid,
+            _ => panic!("unknown topology code {x}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Topology; 8] = [
+        Topology::Vertex,
+        Topology::Edge,
+        Topology::Triangle,
+        Topology::Quad,
+        Topology::Tet,
+        Topology::Hex,
+        Topology::Prism,
+        Topology::Pyramid,
+    ];
+
+    #[test]
+    fn codes_roundtrip() {
+        for t in ALL {
+            assert_eq!(Topology::from_u8(t.to_u8()), t);
+        }
+    }
+
+    #[test]
+    fn template_indices_in_range() {
+        for t in ALL {
+            for (tpl, sub) in t.down_templates() {
+                assert_eq!(tpl.len(), sub.num_verts());
+                for &i in *tpl {
+                    assert!(i < t.num_verts(), "{t:?} template index {i} out of range");
+                }
+                assert_eq!(sub.dim().as_usize() + 1, t.dim().as_usize());
+            }
+        }
+    }
+
+    #[test]
+    fn euler_counts_for_closed_templates() {
+        // Each element's boundary must reference every vertex.
+        for t in ALL {
+            if t.dim() == Dim::Vertex {
+                continue;
+            }
+            let mut seen = vec![false; t.num_verts()];
+            for (tpl, _) in t.down_templates() {
+                for &i in *tpl {
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{t:?} boundary misses a vertex");
+        }
+    }
+
+    #[test]
+    fn tet_faces_cover_each_edge_twice() {
+        // In a closed 2-manifold boundary (tet surface), each edge appears in
+        // exactly 2 faces.
+        use std::collections::HashMap;
+        let mut count: HashMap<(usize, usize), usize> = HashMap::new();
+        for (tpl, sub) in Topology::Tet.down_templates() {
+            assert_eq!(*sub, Topology::Triangle);
+            for k in 0..3 {
+                let a = tpl[k];
+                let b = tpl[(k + 1) % 3];
+                let key = (a.min(b), a.max(b));
+                *count.entry(key).or_default() += 1;
+            }
+        }
+        assert_eq!(count.len(), 6);
+        assert!(count.values().all(|&c| c == 2));
+    }
+
+    #[test]
+    fn hex_faces_cover_each_edge_twice() {
+        use std::collections::HashMap;
+        let mut count: HashMap<(usize, usize), usize> = HashMap::new();
+        for (tpl, _) in Topology::Hex.down_templates() {
+            let n = tpl.len();
+            for k in 0..n {
+                let a = tpl[k];
+                let b = tpl[(k + 1) % n];
+                let key = (a.min(b), a.max(b));
+                *count.entry(key).or_default() += 1;
+            }
+        }
+        assert_eq!(count.len(), 12);
+        assert!(count.values().all(|&c| c == 2));
+    }
+}

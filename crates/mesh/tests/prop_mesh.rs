@@ -1,0 +1,123 @@
+//! Property tests for the complete mesh representation: adjacency symmetry,
+//! closure completeness, and validity under random create/delete sequences.
+
+use proptest::prelude::*;
+use pumi_mesh::{Mesh, Topology, NO_GEOM};
+use pumi_util::{Dim, MeshEnt};
+
+/// Build a random valid triangle fan mesh from a proptest-driven recipe.
+fn fan_mesh(n_outer: usize) -> Mesh {
+    let mut m = Mesh::new(2);
+    let center = m.add_vertex([0.0, 0.0, 0.0], NO_GEOM).index();
+    let ring: Vec<u32> = (0..n_outer)
+        .map(|i| {
+            let a = i as f64 / n_outer as f64 * std::f64::consts::TAU;
+            m.add_vertex([a.cos(), a.sin(), 0.0], NO_GEOM).index()
+        })
+        .collect();
+    for i in 0..n_outer {
+        m.add_element(
+            Topology::Triangle,
+            &[center, ring[i], ring[(i + 1) % n_outer]],
+            NO_GEOM,
+        );
+    }
+    m
+}
+
+proptest! {
+    /// Upward and downward adjacency are inverse relations for every
+    /// entity of every dimension.
+    #[test]
+    fn adjacency_is_symmetric(n in 3usize..12) {
+        let m = fan_mesh(n);
+        for d in 0..2usize {
+            let dim = Dim::from_usize(d);
+            let up = Dim::from_usize(d + 1);
+            for e in m.iter(dim) {
+                for x in m.adjacent(e, up) {
+                    prop_assert!(
+                        m.adjacent(x, dim).contains(&e),
+                        "{x:?} -> {dim} misses {e:?}"
+                    );
+                }
+            }
+            for x in m.iter(up) {
+                for e in m.adjacent(x, dim) {
+                    prop_assert!(m.adjacent(e, up).contains(&x));
+                }
+            }
+        }
+    }
+
+    /// closure(e) contains exactly the downward adjacencies of every lower
+    /// dimension plus e itself.
+    #[test]
+    fn closure_is_complete(n in 3usize..12) {
+        let m = fan_mesh(n);
+        for e in m.elems() {
+            let c = m.closure(e);
+            prop_assert_eq!(c.len(), 3 + 3 + 1);
+            for d in 0..2usize {
+                let dim = Dim::from_usize(d);
+                for a in m.adjacent(e, dim) {
+                    prop_assert!(c.contains(&a), "closure misses {a:?}");
+                }
+            }
+            prop_assert_eq!(*c.last().unwrap(), e);
+        }
+    }
+
+    /// Random delete/re-add sequences preserve validity and counts return
+    /// to the original when everything is recreated.
+    #[test]
+    fn delete_recreate_roundtrip(n in 4usize..10, kills in proptest::collection::vec(0usize..100, 1..6)) {
+        let mut m = fan_mesh(n);
+        let v0 = m.count(Dim::Vertex);
+        let e0 = m.count(Dim::Edge);
+        let f0 = m.count(Dim::Face);
+        // Record all triangles, delete a subset, re-add them.
+        let tris: Vec<(MeshEnt, Vec<u32>)> = m
+            .elems()
+            .map(|t| (t, m.verts_of(t).to_vec()))
+            .collect();
+        let mut deleted: Vec<Vec<u32>> = Vec::new();
+        for k in kills {
+            let (t, verts) = &tris[k % tris.len()];
+            if m.is_live(*t) {
+                m.delete(*t);
+                deleted.push(verts.clone());
+            }
+        }
+        m.assert_valid();
+        for verts in deleted {
+            m.add_element(Topology::Triangle, &verts, NO_GEOM);
+        }
+        m.assert_valid();
+        prop_assert_eq!(m.count(Dim::Vertex), v0);
+        prop_assert_eq!(m.count(Dim::Edge), e0);
+        prop_assert_eq!(m.count(Dim::Face), f0);
+    }
+
+    /// Same-dimension neighbour queries are symmetric and irreflexive.
+    #[test]
+    fn neighbors_symmetric(n in 3usize..12) {
+        let m = fan_mesh(n);
+        for e in m.elems() {
+            let nbrs = m.adjacent(e, Dim::Face);
+            prop_assert!(!nbrs.contains(&e), "self in neighbours");
+            for x in nbrs {
+                prop_assert!(m.adjacent(x, Dim::Face).contains(&e));
+            }
+        }
+    }
+}
+
+/// Fixed regression: fan of 3 has fully connected elements via vertices.
+#[test]
+fn fan3_vertex_bridged_neighbors() {
+    let m = fan_mesh(3);
+    for e in m.elems() {
+        assert_eq!(m.neighbors_via(e, Dim::Vertex).len(), 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Distributed entity-balance accounting (§III).
+//!
+//! "In both cases peaks determine performance... reduction of peaks for each
+//! step in a workflow is critical." The loads here are per-part entity
+//! counts *including* part-boundary copies — the quantity a part actually
+//! stores and computes on, and the one Table II reports.
+
+use pumi_core::DistMesh;
+use pumi_pcu::Comm;
+use pumi_util::stats::LoadStats;
+use pumi_util::Dim;
+
+/// Global per-part load vectors for each entity dimension.
+#[derive(Debug, Clone)]
+pub struct EntityLoads {
+    /// `loads[dim][part]` = entity count of that dimension on that part.
+    pub loads: [Vec<f64>; 4],
+}
+
+impl EntityLoads {
+    /// Gather the current loads across the world (one fused collective for
+    /// all four dimensions). Collective.
+    pub fn gather(comm: &Comm, dm: &DistMesh) -> EntityLoads {
+        let nparts = dm.map.nparts();
+        let mut flat = vec![0f64; 4 * nparts];
+        for p in &dm.parts {
+            for d in Dim::ALL {
+                flat[d.as_usize() * nparts + p.id as usize] = p.mesh.count(d) as f64;
+            }
+        }
+        let flat = comm.allreduce_sum_f64_vec(&flat);
+        let mut loads: [Vec<f64>; 4] = Default::default();
+        for d in 0..4 {
+            loads[d] = flat[d * nparts..(d + 1) * nparts].to_vec();
+        }
+        EntityLoads { loads }
+    }
+
+    /// Load vector of one dimension.
+    pub fn of(&self, d: Dim) -> &[f64] {
+        &self.loads[d.as_usize()]
+    }
+
+    /// Stats of one dimension.
+    pub fn stats(&self, d: Dim) -> LoadStats {
+        LoadStats::of(self.of(d))
+    }
+
+    /// Mean load of one dimension.
+    pub fn avg(&self, d: Dim) -> f64 {
+        self.stats(d).mean
+    }
+
+    /// `max/mean` imbalance of one dimension.
+    pub fn imbalance(&self, d: Dim) -> f64 {
+        self.stats(d).imbalance
+    }
+
+    /// The paper's "Imb.%" for one dimension.
+    pub fn imbalance_pct(&self, d: Dim) -> f64 {
+        self.stats(d).imbalance_pct()
+    }
+
+    /// Parts whose load of dimension `d` exceeds `avg * (1 + tol)` — the
+    /// *heavily loaded* parts whose spikes ParMA diffuses away.
+    pub fn heavy_parts(&self, d: Dim, tol: f64) -> Vec<usize> {
+        let v = self.of(d);
+        let avg = self.avg(d);
+        let thr = avg * (1.0 + tol);
+        v.iter()
+            .enumerate()
+            .filter(|&(_, &l)| l > thr)
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumi_core::{distribute, PartMap};
+    use pumi_meshgen::tri_rect;
+    use pumi_pcu::execute;
+    use pumi_util::PartId;
+
+    #[test]
+    fn gather_matches_local_counts() {
+        execute(2, |c| {
+            let serial = tri_rect(4, 2, 2.0, 1.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                // Unbalanced on purpose: 3/4 to part 0.
+                elem_part[e.idx()] = if serial.centroid(e)[0] < 1.5 { 0 } else { 1 };
+            }
+            let dm = distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part);
+            let loads = EntityLoads::gather(c, &dm);
+            // Every rank sees the same global vector.
+            assert_eq!(loads.of(Dim::Face).len(), 2);
+            assert_eq!(
+                loads.of(Dim::Face)[c.rank()],
+                dm.parts[0].mesh.num_elems() as f64
+            );
+            assert_eq!(loads.of(Dim::Face).iter().sum::<f64>(), 16.0);
+            assert!(loads.imbalance(Dim::Face) > 1.2);
+            let heavy = loads.heavy_parts(Dim::Face, 0.05);
+            assert_eq!(heavy, vec![0]);
+        });
+    }
+}

@@ -1,0 +1,149 @@
+//! Candidate parts (§III-A.1).
+//!
+//! "The ParMA algorithm reduces entity imbalance by migrating a small number
+//! of mesh elements from heavily loaded parts to the lightly loaded
+//! neighboring parts, which are called candidate parts. There are two
+//! categories for candidate parts: absolutely lightly loaded, and relatively
+//! lightly loaded... A candidate part must be lightly loaded, either
+//! absolutely or relatively, for all lesser priority mesh entity types than
+//! the mesh entity type being balanced."
+
+use crate::balance::EntityLoads;
+use pumi_core::{Part, PtnModel};
+use pumi_util::{Dim, PartId};
+
+/// Is `cand` lightly loaded for dimension `d`, absolutely (below average or
+/// below the spike threshold) or relatively (fewer entities than the heavy
+/// part being relieved)?
+pub fn is_light(loads: &EntityLoads, d: Dim, cand: PartId, heavy: PartId, tol: f64) -> bool {
+    let v = loads.of(d);
+    let avg = loads.avg(d);
+    let cl = v[cand as usize];
+    // absolutely light
+    if cl < avg || cl < avg * (1.0 + tol) {
+        return true;
+    }
+    // relatively light
+    cl < v[heavy as usize]
+}
+
+/// The candidate parts of heavy part `part` for balancing dimension `d`:
+/// neighbouring parts (sharing any boundary vertex) that are light for `d`
+/// and light for every lesser-priority dimension. Sorted lightest-first by
+/// load of `d` (largest deficits get elements first).
+pub fn candidates(
+    part: &Part,
+    loads: &EntityLoads,
+    d: Dim,
+    lesser: &[Dim],
+    tol: f64,
+) -> Vec<PartId> {
+    let mut cands: Vec<PartId> = PtnModel::neighbors(part, Dim::Vertex)
+        .into_iter()
+        .filter(|&q| {
+            // Strictly fewer target entities than us, and light in some
+            // sense, otherwise migration raises the peak elsewhere.
+            loads.of(d)[q as usize] < loads.of(d)[part.id as usize]
+                && is_light(loads, d, q, part.id, tol)
+                && lesser.iter().all(|&ld| is_light(loads, ld, q, part.id, tol))
+        })
+        .collect();
+    cands.sort_by(|&a, &b| {
+        loads.of(d)[a as usize]
+            .partial_cmp(&loads.of(d)[b as usize])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    cands
+}
+
+/// The migration schedule for one heavy part (§III-A: "how much load must be
+/// migrated, the migration schedule"): the part's excess above the mean is
+/// spread over its candidates, filling the largest deficits first, never
+/// pushing a candidate above the mean.
+pub fn schedule(
+    loads: &EntityLoads,
+    d: Dim,
+    heavy: PartId,
+    cands: &[PartId],
+    tol: f64,
+) -> Vec<(PartId, f64)> {
+    let v = loads.of(d);
+    let avg = loads.avg(d);
+    // Aim slightly below the threshold so one round can finish the job.
+    let mut excess = v[heavy as usize] - avg * (1.0 + tol / 2.0);
+    if excess <= 0.0 {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for &q in cands {
+        if excess <= 0.0 {
+            break;
+        }
+        let deficit = (avg - v[q as usize]).max(0.0);
+        // Relatively-light candidates (no absolute deficit) may still take a
+        // sliver: half the gap between the heavy part and them.
+        let cap = if deficit > 0.0 {
+            deficit
+        } else {
+            ((v[heavy as usize] - v[q as usize]) / 2.0).max(0.0)
+        };
+        let give = excess.min(cap).floor();
+        if give >= 1.0 {
+            out.push((q, give));
+            excess -= give;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn loads_with(dim: Dim, v: Vec<f64>) -> EntityLoads {
+        let mut loads: [Vec<f64>; 4] = Default::default();
+        for d in Dim::ALL {
+            loads[d.as_usize()] = vec![1.0; v.len()];
+        }
+        loads[dim.as_usize()] = v;
+        EntityLoads { loads }
+    }
+
+    #[test]
+    fn light_classification() {
+        // avg = 100; part 0 heavy at 130.
+        let l = loads_with(Dim::Vertex, vec![130.0, 90.0, 110.0, 70.0]);
+        assert!(is_light(&l, Dim::Vertex, 1, 0, 0.05)); // absolute
+        assert!(is_light(&l, Dim::Vertex, 3, 0, 0.05)); // absolute
+        assert!(is_light(&l, Dim::Vertex, 2, 0, 0.05)); // relative (110 < 130)
+        assert!(!is_light(&l, Dim::Vertex, 0, 2, 0.05)); // 130 not light vs 110
+    }
+
+    #[test]
+    fn schedule_fills_deficits_first() {
+        let l = loads_with(Dim::Region, vec![140.0, 60.0, 100.0, 100.0]);
+        // avg = 100, excess ≈ 140 - 102.5 = 37.5
+        let s = schedule(&l, Dim::Region, 0, &[1, 2], 0.05);
+        assert_eq!(s.len(), 1, "{s:?}");
+        assert_eq!(s[0].0, 1);
+        assert!((s[0].1 - 37.0).abs() < 1.5, "{s:?}");
+    }
+
+    #[test]
+    fn schedule_spills_to_second_candidate() {
+        let l = loads_with(Dim::Region, vec![200.0, 80.0, 70.0, 50.0]);
+        // avg = 100, excess = 200 - 102.5 = 97.5; deficits: 3:50, 2:30, 1:20.
+        let s = schedule(&l, Dim::Region, 0, &[3, 2, 1], 0.05);
+        let total: f64 = s.iter().map(|x| x.1).sum();
+        assert!((90.0..=98.0).contains(&total), "{s:?}");
+        assert_eq!(s[0].0, 3);
+        assert_eq!(s[0].1, 50.0);
+    }
+
+    #[test]
+    fn schedule_empty_when_not_heavy() {
+        let l = loads_with(Dim::Region, vec![101.0, 99.0]);
+        assert!(schedule(&l, Dim::Region, 0, &[1], 0.05).is_empty());
+    }
+}

@@ -1,0 +1,369 @@
+//! Multi-criteria partition improvement (§III-A).
+//!
+//! "The ParMA partition improvement procedure traverses the priority list in
+//! order of decreasing priority. For each mesh entity type the migration
+//! schedule is computed, regions are selected for migration, and the regions
+//! are migrated. These three steps form one iteration. When the application
+//! defined imbalance is achieved, or the maximum number of iterations is
+//! reached, the next mesh entity type is processed."
+
+use crate::balance::EntityLoads;
+use crate::candidates::{candidates, schedule};
+use crate::priority::Priority;
+use crate::select::{HarmGuard, SelectRequest, Selector};
+use pumi_core::{migrate, DistMesh, MigrationPlan};
+use pumi_pcu::Comm;
+use pumi_util::stats::Timer;
+use pumi_util::{Dim, FxHashMap, PartId};
+
+/// Options for [`improve`].
+#[derive(Debug, Clone, Copy)]
+pub struct ImproveOpts {
+    /// Target imbalance tolerance (0.05 = the paper's 5%).
+    pub tol: f64,
+    /// Maximum diffusion iterations per entity type.
+    pub max_iters: usize,
+    /// Print per-iteration progress to stderr.
+    pub verbose: bool,
+    /// Run the destination admission handshake (ablatable: without it,
+    /// several heavy parts can overfill one destination in an iteration).
+    pub handshake: bool,
+    /// Let protected caps rise to the stage-entry peak (ablatable: without
+    /// it, the repair stage deadlocks once a protected type sits above the
+    /// tolerance).
+    pub peak_caps: bool,
+    /// Use the strict Fig 9 / small-cavity selection passes before the
+    /// relaxed ones (ablatable: without them, selection takes arbitrary
+    /// boundary elements and roughens part boundaries).
+    pub strict_selection: bool,
+}
+
+impl Default for ImproveOpts {
+    fn default() -> Self {
+        ImproveOpts {
+            tol: 0.05,
+            max_iters: 30,
+            verbose: false,
+            handshake: true,
+            peak_caps: true,
+            strict_selection: true,
+        }
+    }
+}
+
+/// Outcome for one balanced entity type.
+#[derive(Debug, Clone, Copy)]
+pub struct TypeReport {
+    /// The entity dimension balanced.
+    pub dim: Dim,
+    /// Imbalance % before this stage.
+    pub initial_pct: f64,
+    /// Imbalance % after this stage.
+    pub final_pct: f64,
+    /// Diffusion iterations executed.
+    pub iterations: usize,
+}
+
+/// Outcome of a full [`improve`] run.
+#[derive(Debug, Clone)]
+pub struct ImproveReport {
+    /// Per-type results in balancing order.
+    pub types: Vec<TypeReport>,
+    /// Wall-clock seconds (whole run, max over ranks).
+    pub seconds: f64,
+    /// Total elements migrated.
+    pub elements_moved: u64,
+}
+
+/// Run ParMA multi-criteria partition improvement. Collective.
+pub fn improve(
+    comm: &Comm,
+    dm: &mut DistMesh,
+    priority: &Priority,
+    opts: ImproveOpts,
+) -> ImproveReport {
+    let timer = Timer::start();
+    let mut types = Vec::new();
+    let mut elements_moved = 0u64;
+
+    for (d, li) in priority.order() {
+        let protected = priority.protected(d, li);
+        let lesser = priority.lesser(li);
+        let mut guarded = protected.clone();
+        guarded.push(d); // never create a fresh spike in the balanced type
+        // Lesser-priority types may be harmed (§III-A), but unboundedly
+        // harming them leaves the later stage unable to recover without
+        // violating this stage's result — so they get a loose cap.
+        let loose_tol = (2.0 * opts.tol).max(0.10);
+        let mut loose_guarded = lesser.clone();
+        loose_guarded.retain(|x| !guarded.contains(x));
+        let entry_loads = EntityLoads::gather(comm, dm);
+        let initial_pct = entry_loads.imbalance_pct(d);
+        let mut final_pct;
+        let mut iterations = 0usize;
+
+        // Caps are frozen at stage entry. "No harm" means a protected
+        // type's *stage-entry* peak may not be exceeded by any destination;
+        // recomputing per iteration would let overfill ratchet the peak up.
+        let caps = {
+            let mut caps = [f64::INFINITY; 4];
+            for &g in &loose_guarded {
+                let peak = if opts.peak_caps {
+                    entry_loads.stats(g).max
+                } else {
+                    0.0
+                };
+                caps[g.as_usize()] = (entry_loads.avg(g) * (1.0 + loose_tol)).max(peak);
+            }
+            for &g in &guarded {
+                let peak = if opts.peak_caps {
+                    entry_loads.stats(g).max
+                } else {
+                    0.0
+                };
+                caps[g.as_usize()] = (entry_loads.avg(g) * (1.0 + opts.tol)).max(peak);
+            }
+            // The balanced type itself must not spike anywhere new.
+            caps[d.as_usize()] = entry_loads.avg(d) * (1.0 + opts.tol);
+            caps
+        };
+        let all_guarded: Vec<Dim> = guarded
+            .iter()
+            .chain(loose_guarded.iter())
+            .copied()
+            .collect();
+
+        let mut no_progress = 0usize;
+        let mut prev_pct = f64::INFINITY;
+        for _ in 0..opts.max_iters {
+            let loads = EntityLoads::gather(comm, dm);
+            final_pct = loads.imbalance_pct(d);
+            if loads.imbalance(d) <= 1.0 + opts.tol {
+                break;
+            }
+            // Early stop when diffusion stops making headway (§III-B: such
+            // stalls are what heavy part splitting exists for).
+            if prev_pct - final_pct < 0.2 {
+                no_progress += 1;
+                if no_progress >= 3 {
+                    break;
+                }
+            } else {
+                no_progress = 0;
+            }
+            prev_pct = final_pct;
+            let heavy = loads.heavy_parts(d, opts.tol);
+            // Local selection per heavy part, remembering the per-destination
+            // gains for the admission handshake.
+            type Request = (PartId, [f64; 4]); // (destination, per-dim gains)
+            let mut proposals: Vec<(PartId, MigrationPlan, Vec<Request>)> = Vec::new();
+            for part in &dm.parts {
+                if !heavy.contains(&(part.id as usize)) {
+                    continue;
+                }
+                let cands = candidates(part, &loads, d, &lesser, opts.tol);
+                let sched = schedule(&loads, d, part.id, &cands, opts.tol);
+                if sched.is_empty() {
+                    continue;
+                }
+                let mut sel = Selector::new(part).strict(opts.strict_selection);
+                let mut guard = HarmGuard::new(all_guarded.clone(), caps, d);
+                let base = |q: PartId, dd: Dim| loads.of(dd)[q as usize];
+                let mut dests: Vec<PartId> = Vec::new();
+                for (q, quota) in sched {
+                    sel.select(
+                        SelectRequest {
+                            target: d,
+                            cand: q,
+                            quota,
+                        },
+                        &mut guard,
+                        base,
+                    );
+                    dests.push(q);
+                }
+                if sel.plan.is_empty() {
+                    continue;
+                }
+                let requests: Vec<Request> = dests
+                    .into_iter()
+                    .map(|q| (q, guard.committed_gains(q, |dd| loads.of(dd)[q as usize])))
+                    .collect();
+                proposals.push((part.id, sel.plan, requests));
+            }
+            // Admission handshake: destinations grant requests in ascending
+            // source order within their *full* remaining headroom (caps are
+            // world-identical, so this is exact — no multi-source overfill).
+            let mut ex = pumi_core::PartExchange::new(comm, &dm.map);
+            for (from, _, requests) in &proposals {
+                if !opts.handshake {
+                    continue;
+                }
+                for (to, gains) in requests {
+                    let w = ex.to(*from, *to);
+                    for g in gains {
+                        w.put_f64(*g);
+                    }
+                }
+            }
+            let mut granted_track: FxHashMap<PartId, [f64; 4]> = FxHashMap::default();
+            let mut replies = pumi_core::PartExchange::new(comm, &dm.map);
+            for (from, to, mut r) in ex.finish() {
+                let gains = [r.get_f64(), r.get_f64(), r.get_f64(), r.get_f64()];
+                let acc = granted_track.entry(to).or_default();
+                let ok = all_guarded.iter().all(|&g| {
+                    let gi = g.as_usize();
+                    loads.of(g)[to as usize] + acc[gi] + gains[gi] <= caps[gi]
+                });
+                if ok {
+                    for gi in 0..4 {
+                        acc[gi] += gains[gi];
+                    }
+                }
+                replies.to(to, from).put_u8(ok as u8);
+            }
+            // Prune denied destinations from the plans.
+            let mut denied: FxHashMap<PartId, Vec<PartId>> = FxHashMap::default();
+            for (from, to, mut r) in replies.finish() {
+                if r.get_u8() == 0 {
+                    denied.entry(to).or_default().push(from);
+                }
+            }
+            let mut plans: FxHashMap<PartId, MigrationPlan> = FxHashMap::default();
+            let mut planned = 0u64;
+            for (pid, mut plan, _) in proposals {
+                if let Some(bad) = denied.get(&pid) {
+                    plan.dest.retain(|_, to| !bad.contains(to));
+                }
+                planned += plan.len() as u64;
+                if !plan.is_empty() {
+                    plans.insert(pid, plan);
+                }
+            }
+            let planned = comm.allreduce_sum_u64(planned);
+            if planned == 0 {
+                // Diffusion is stuck for this type (§III-B motivates heavy
+                // part splitting for exactly this case).
+                break;
+            }
+            let stats = migrate(comm, dm, &plans);
+            elements_moved += stats.elements_moved;
+            iterations += 1;
+            if opts.verbose && comm.rank() == 0 {
+                eprintln!(
+                    "parma: {d} iter {iterations}: imb {:.2}% -> planned {planned}",
+                    final_pct
+                );
+            }
+        }
+        // Refresh after the last migration.
+        final_pct = EntityLoads::gather(comm, dm).imbalance_pct(d);
+        types.push(TypeReport {
+            dim: d,
+            initial_pct,
+            final_pct,
+            iterations,
+        });
+    }
+
+    let seconds = comm
+        .allgather_f64(timer.seconds())
+        .into_iter()
+        .fold(0.0, f64::max);
+    ImproveReport {
+        types,
+        seconds,
+        elements_moved,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumi_core::{distribute, PartMap};
+    use pumi_meshgen::tri_rect;
+    use pumi_pcu::execute;
+
+    /// A deliberately skewed 2-part strip: ParMA `Face` balancing (elements
+    /// in 2D) must bring element imbalance within tolerance.
+    #[test]
+    fn element_diffusion_balances_two_parts() {
+        execute(2, |c| {
+            let serial = tri_rect(10, 4, 10.0, 4.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                // 70/30 split.
+                elem_part[e.idx()] = if serial.centroid(e)[0] < 7.0 { 0 } else { 1 };
+            }
+            let mut dm = distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part);
+            let before = EntityLoads::gather(c, &dm).imbalance_pct(Dim::Face);
+            assert!(before > 30.0, "setup not skewed: {before}%");
+
+            let pr: Priority = "Face".parse().unwrap();
+            let report = improve(c, &mut dm, &pr, ImproveOpts::default());
+            let after = EntityLoads::gather(c, &dm).imbalance_pct(Dim::Face);
+            assert!(
+                after <= 5.5,
+                "element imbalance not reduced: {before}% -> {after}%"
+            );
+            assert!(report.elements_moved > 0);
+            for p in &dm.parts {
+                p.mesh.assert_valid();
+            }
+            pumi_core::verify::assert_dist_valid(c, &dm);
+        });
+    }
+
+    /// Vertex balancing with region protection (the paper's T1 shape, in
+    /// 2D: Vtx > Face).
+    #[test]
+    fn vertex_balance_respects_element_balance() {
+        execute(2, |c| {
+            let serial = tri_rect(12, 4, 3.0, 1.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                elem_part[e.idx()] = if serial.centroid(e)[0] < 1.75 { 0 } else { 1 };
+            }
+            let mut dm = distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part);
+            let before = EntityLoads::gather(c, &dm);
+            let v_before = before.imbalance_pct(Dim::Vertex);
+
+            let pr: Priority = "Vtx > Face".parse().unwrap();
+            let report = improve(c, &mut dm, &pr, ImproveOpts::default());
+            let after = EntityLoads::gather(c, &dm);
+            let v_after = after.imbalance_pct(Dim::Vertex);
+            assert!(
+                v_after <= v_before + 1e-9,
+                "vertex imbalance grew: {v_before}% -> {v_after}%"
+            );
+            // Element balance never exceeds the cap by much.
+            assert!(
+                after.imbalance_pct(Dim::Face) <= 12.0,
+                "element balance harmed: {}%",
+                after.imbalance_pct(Dim::Face)
+            );
+            assert_eq!(report.types.len(), 2);
+            pumi_core::verify::assert_dist_valid(c, &dm);
+        });
+    }
+
+    /// Already balanced input: improve is a no-op.
+    #[test]
+    fn balanced_input_is_noop() {
+        execute(2, |c| {
+            let serial = tri_rect(8, 4, 2.0, 1.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                elem_part[e.idx()] = if serial.centroid(e)[0] < 1.0 { 0 } else { 1 };
+            }
+            let mut dm = distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part);
+            let pr: Priority = "Face".parse().unwrap();
+            let report = improve(c, &mut dm, &pr, ImproveOpts::default());
+            assert_eq!(report.elements_moved, 0);
+            assert_eq!(report.types[0].iterations, 0);
+        });
+    }
+}

@@ -1,0 +1,121 @@
+//! Conflict-free merge selection (§III-B).
+//!
+//! "Next, a set of these merges that can be performed without conflicts,
+//! i.e. a part is merged only once, are found by solving for the maximal
+//! independent set."
+//!
+//! Every rank holds the same gathered proposal list and runs the same
+//! deterministic greedy (value-descending) — equivalent to one round of a
+//! priority-based distributed MIS where the priority is the merge value, and
+//! reproducible across runs.
+
+use pumi_util::{FxHashSet, PartId};
+
+/// A merge proposal: `members` merge into part `into`, adding `value`
+/// elements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Proposal {
+    /// The receiving part.
+    pub into: PartId,
+    /// The parts that empty themselves into `into`.
+    pub members: Vec<PartId>,
+    /// Total elements merged (knapsack objective value).
+    pub value: u64,
+}
+
+impl Proposal {
+    /// All parts involved (receiver + members).
+    pub fn parts(&self) -> impl Iterator<Item = PartId> + '_ {
+        std::iter::once(self.into).chain(self.members.iter().copied())
+    }
+}
+
+/// Select a maximal set of non-conflicting proposals: no part appears in two
+/// chosen merges (as receiver or member). Greedy by (value desc, receiver id
+/// asc) — maximal, deterministic.
+pub fn maximal_independent_merges(mut proposals: Vec<Proposal>) -> Vec<Proposal> {
+    proposals.retain(|p| !p.members.is_empty());
+    proposals.sort_by(|a, b| b.value.cmp(&a.value).then(a.into.cmp(&b.into)));
+    let mut used: FxHashSet<PartId> = FxHashSet::default();
+    let mut chosen = Vec::new();
+    for p in proposals {
+        if p.parts().any(|q| used.contains(&q)) {
+            continue;
+        }
+        used.extend(p.parts());
+        chosen.push(p);
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn prop(into: PartId, members: &[PartId], value: u64) -> Proposal {
+        Proposal {
+            into,
+            members: members.to_vec(),
+            value,
+        }
+    }
+
+    #[test]
+    fn picks_highest_value_first() {
+        let chosen = maximal_independent_merges(vec![
+            prop(0, &[1], 10),
+            prop(2, &[1], 50), // conflicts with the first on part 1
+            prop(3, &[4], 5),
+        ]);
+        assert_eq!(chosen.len(), 2);
+        assert_eq!(chosen[0].into, 2);
+        assert_eq!(chosen[1].into, 3);
+    }
+
+    #[test]
+    fn receiver_conflicts_count() {
+        let chosen = maximal_independent_merges(vec![
+            prop(0, &[1, 2], 20),
+            prop(3, &[0], 15), // part 0 already a receiver
+        ]);
+        assert_eq!(chosen.len(), 1);
+        assert_eq!(chosen[0].into, 0);
+    }
+
+    #[test]
+    fn empty_member_lists_dropped() {
+        let chosen = maximal_independent_merges(vec![prop(0, &[], 100), prop(1, &[2], 1)]);
+        assert_eq!(chosen.len(), 1);
+        assert_eq!(chosen[0].into, 1);
+    }
+
+    #[test]
+    fn result_is_maximal() {
+        // After choosing (0,[1]), proposal (2,[3]) is still independent and
+        // must be included.
+        let chosen = maximal_independent_merges(vec![
+            prop(0, &[1], 10),
+            prop(2, &[3], 1),
+            prop(1, &[2], 5), // conflicts with both
+        ]);
+        assert_eq!(chosen.len(), 2);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn chosen_sets_are_disjoint(seed in proptest::collection::vec((0u32..12, 0u32..12, 1u64..100), 1..20)) {
+            let proposals: Vec<Proposal> = seed
+                .into_iter()
+                .filter(|&(a, b, _)| a != b)
+                .map(|(a, b, v)| prop(a, &[b], v))
+                .collect();
+            let chosen = maximal_independent_merges(proposals);
+            let mut seen = std::collections::HashSet::new();
+            for p in &chosen {
+                for q in p.parts() {
+                    proptest::prop_assert!(seen.insert(q), "part {q} reused");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,228 @@
+//! Geometric partitioners (§III): recursive coordinate bisection (RCB) and
+//! recursive inertial bisection (RIB).
+//!
+//! "Faster partition computation is available through geometric methods...
+//! However, as they do not account for mesh connectivity information, the
+//! quality of partition boundaries can be poor." Both are provided so the
+//! benches can show exactly that trade-off against the graph method.
+
+use pumi_mesh::Mesh;
+use pumi_util::{MeshEnt, PartId};
+
+/// Recursive coordinate bisection of mesh elements into `nparts` by element
+/// centroid, always splitting the longest axis at the weighted median.
+pub fn rcb(mesh: &Mesh, nparts: usize) -> Vec<PartId> {
+    let d = mesh.elem_dim_t();
+    let elems: Vec<MeshEnt> = mesh.iter(d).collect();
+    let pts: Vec<[f64; 3]> = elems.iter().map(|&e| mesh.centroid(e)).collect();
+    let mut labels = vec![0 as PartId; mesh.index_space(d)];
+    let idx: Vec<u32> = (0..elems.len() as u32).collect();
+    rcb_recurse(&pts, &idx, 0, nparts, &mut |i, l| {
+        labels[elems[i as usize].idx()] = l;
+    });
+    labels
+}
+
+fn rcb_recurse(
+    pts: &[[f64; 3]],
+    idx: &[u32],
+    base: usize,
+    nparts: usize,
+    assign: &mut impl FnMut(u32, PartId),
+) {
+    if nparts == 1 {
+        for &i in idx {
+            assign(i, base as PartId);
+        }
+        return;
+    }
+    let k1 = nparts / 2;
+    let k2 = nparts - k1;
+    // Longest axis of the bounding box.
+    let mut lo = [f64::MAX; 3];
+    let mut hi = [f64::MIN; 3];
+    for &i in idx {
+        for a in 0..3 {
+            lo[a] = lo[a].min(pts[i as usize][a]);
+            hi[a] = hi[a].max(pts[i as usize][a]);
+        }
+    }
+    let axis = (0..3)
+        .max_by(|&a, &b| (hi[a] - lo[a]).partial_cmp(&(hi[b] - lo[b])).unwrap())
+        .unwrap();
+    // Split at the k1/nparts quantile.
+    let mut order: Vec<u32> = idx.to_vec();
+    order.sort_by(|&a, &b| {
+        pts[a as usize][axis]
+            .partial_cmp(&pts[b as usize][axis])
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+    let split = order.len() * k1 / nparts;
+    rcb_recurse(pts, &order[..split], base, k1, assign);
+    rcb_recurse(pts, &order[split..], base + k1, k2, assign);
+}
+
+/// Recursive inertial bisection: like RCB but splits along the principal
+/// inertial axis (dominant eigenvector of the centroid covariance, found by
+/// power iteration), which adapts to domains not aligned with the axes.
+pub fn rib(mesh: &Mesh, nparts: usize) -> Vec<PartId> {
+    let d = mesh.elem_dim_t();
+    let elems: Vec<MeshEnt> = mesh.iter(d).collect();
+    let pts: Vec<[f64; 3]> = elems.iter().map(|&e| mesh.centroid(e)).collect();
+    let mut labels = vec![0 as PartId; mesh.index_space(d)];
+    let idx: Vec<u32> = (0..elems.len() as u32).collect();
+    rib_recurse(&pts, &idx, 0, nparts, &mut |i, l| {
+        labels[elems[i as usize].idx()] = l;
+    });
+    labels
+}
+
+fn principal_axis(pts: &[[f64; 3]], idx: &[u32]) -> [f64; 3] {
+    let n = idx.len() as f64;
+    let mut mean = [0.0; 3];
+    for &i in idx {
+        for a in 0..3 {
+            mean[a] += pts[i as usize][a];
+        }
+    }
+    for m in &mut mean {
+        *m /= n;
+    }
+    // Covariance.
+    let mut c = [[0.0f64; 3]; 3];
+    for &i in idx {
+        let p = pts[i as usize];
+        let d = [p[0] - mean[0], p[1] - mean[1], p[2] - mean[2]];
+        for a in 0..3 {
+            for b in 0..3 {
+                c[a][b] += d[a] * d[b];
+            }
+        }
+    }
+    // Power iteration.
+    let mut v = [1.0f64, 0.7, 0.4];
+    for _ in 0..32 {
+        let mut w = [0.0; 3];
+        for a in 0..3 {
+            for b in 0..3 {
+                w[a] += c[a][b] * v[b];
+            }
+        }
+        let norm = (w[0] * w[0] + w[1] * w[1] + w[2] * w[2]).sqrt();
+        if norm < 1e-30 {
+            return [1.0, 0.0, 0.0];
+        }
+        v = [w[0] / norm, w[1] / norm, w[2] / norm];
+    }
+    v
+}
+
+fn rib_recurse(
+    pts: &[[f64; 3]],
+    idx: &[u32],
+    base: usize,
+    nparts: usize,
+    assign: &mut impl FnMut(u32, PartId),
+) {
+    if nparts == 1 {
+        for &i in idx {
+            assign(i, base as PartId);
+        }
+        return;
+    }
+    let k1 = nparts / 2;
+    let k2 = nparts - k1;
+    let axis = principal_axis(pts, idx);
+    let key = |i: u32| {
+        let p = pts[i as usize];
+        p[0] * axis[0] + p[1] * axis[1] + p[2] * axis[2]
+    };
+    let mut order: Vec<u32> = idx.to_vec();
+    order.sort_by(|&a, &b| key(a).partial_cmp(&key(b)).unwrap().then(a.cmp(&b)));
+    let split = order.len() * k1 / nparts;
+    rib_recurse(pts, &order[..split], base, k1, assign);
+    rib_recurse(pts, &order[split..], base + k1, k2, assign);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pumi_meshgen::{tet_box, tri_rect};
+    use pumi_util::stats::imbalance;
+    use pumi_util::Dim;
+
+    fn loads(mesh: &Mesh, labels: &[PartId], k: usize) -> Vec<f64> {
+        let mut v = vec![0f64; k];
+        for e in mesh.iter(mesh.elem_dim_t()) {
+            v[labels[e.idx()] as usize] += 1.0;
+        }
+        v
+    }
+
+    #[test]
+    fn rcb_balances_exactly_for_powers_of_two() {
+        let m = tri_rect(8, 8, 1.0, 1.0);
+        let labels = rcb(&m, 4);
+        let l = loads(&m, &labels, 4);
+        assert!(imbalance(&l) < 1.001, "{l:?}");
+    }
+
+    #[test]
+    fn rcb_odd_part_counts() {
+        let m = tri_rect(9, 9, 1.0, 1.0);
+        let labels = rcb(&m, 5);
+        let l = loads(&m, &labels, 5);
+        assert!(imbalance(&l) < 1.05, "{l:?}");
+        assert!(l.iter().all(|&x| x > 0.0));
+    }
+
+    #[test]
+    fn rcb_splits_longest_axis_first() {
+        // A long strip: the first split must be in x, so parts 0/1 separate
+        // at x ~ mid.
+        let m = tri_rect(16, 1, 16.0, 1.0);
+        let labels = rcb(&m, 2);
+        let d = m.elem_dim_t();
+        for e in m.iter(d) {
+            let x = m.centroid(e)[0];
+            if x < 7.5 {
+                assert_eq!(labels[e.idx()], 0);
+            }
+            if x > 8.5 {
+                assert_eq!(labels[e.idx()], 1);
+            }
+        }
+    }
+
+    #[test]
+    fn rib_balances_3d() {
+        let m = tet_box(5, 5, 5, 1.0, 2.0, 0.5);
+        let labels = rib(&m, 6);
+        let l = loads(&m, &labels, 6);
+        assert!(imbalance(&l) < 1.05, "{l:?}");
+    }
+
+    #[test]
+    fn rib_principal_axis_of_elongated_cloud() {
+        // Points along the y axis → principal axis ≈ ±y.
+        let pts: Vec<[f64; 3]> = (0..100)
+            .map(|i| [0.01 * (i % 3) as f64, i as f64, 0.02 * (i % 5) as f64])
+            .collect();
+        let idx: Vec<u32> = (0..100).collect();
+        let a = principal_axis(&pts, &idx);
+        assert!(a[1].abs() > 0.99, "principal axis {a:?}");
+    }
+
+    #[test]
+    fn geometric_methods_cover_all_parts() {
+        let m = tet_box(4, 4, 4, 1.0, 1.0, 1.0);
+        for k in [2usize, 3, 7] {
+            for labels in [rcb(&m, k), rib(&m, k)] {
+                let l = loads(&m, &labels, k);
+                assert!(l.iter().all(|&x| x > 0.0), "empty part at k={k}");
+                let _ = m.iter(Dim::Region); // silence unused-dim lint paths
+            }
+        }
+    }
+}

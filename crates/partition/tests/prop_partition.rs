@@ -1,0 +1,113 @@
+//! Property tests for the partitioners: total coverage, label ranges,
+//! balance bounds, and nesting of local splits, over randomized domains.
+
+use proptest::prelude::*;
+use pumi_meshgen::{jitter, tet_box, tri_rect};
+use pumi_partition::{
+    partition_mesh, rcb, rib, split_labels, two_level_partition, PartitionQuality,
+};
+use pumi_util::stats::imbalance;
+use pumi_util::Dim;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every partitioner assigns every element a label in range, uses every
+    /// part, and keeps element imbalance bounded.
+    #[test]
+    fn all_partitioners_cover_and_balance(
+        nx in 6usize..14,
+        ny in 6usize..14,
+        k in 2usize..9,
+        seed in 0u64..1000,
+    ) {
+        let mut m = tri_rect(nx, ny, 1.0, 1.0);
+        jitter(&mut m, 0.2, seed);
+        for labels in [partition_mesh(&m, k), rcb(&m, k), rib(&m, k)] {
+            let mut loads = vec![0f64; k];
+            for e in m.iter(m.elem_dim_t()) {
+                let l = labels[e.idx()] as usize;
+                prop_assert!(l < k, "label {l} out of range");
+                loads[l] += 1.0;
+            }
+            prop_assert!(loads.iter().all(|&l| l > 0.0), "empty part: {loads:?}");
+            prop_assert!(imbalance(&loads) < 1.35, "imbalance {loads:?}");
+        }
+    }
+
+    /// Local splitting nests: fine label / k == coarse label, and every
+    /// fine part within a coarse part is non-empty.
+    #[test]
+    fn local_split_nests(k in 2usize..5, sub in 2usize..5) {
+        let m = tet_box(5, 5, 5, 1.0, 1.0, 1.0);
+        let coarse = partition_mesh(&m, k);
+        let fine = split_labels(&m, &coarse, k, sub);
+        let mut counts = vec![0usize; k * sub];
+        for e in m.iter(m.elem_dim_t()) {
+            prop_assert_eq!(fine[e.idx()] as usize / sub, coarse[e.idx()] as usize);
+            counts[fine[e.idx()] as usize] += 1;
+        }
+        prop_assert!(counts.iter().all(|&c| c > 0), "{counts:?}");
+    }
+
+    /// Two-level partitions place each node's parts contiguously and stay
+    /// balanced.
+    #[test]
+    fn two_level_balance(nodes in 2usize..4, cores in 2usize..5) {
+        let m = tet_box(5, 5, 5, 1.0, 1.0, 1.0);
+        let labels = two_level_partition(&m, nodes, cores);
+        let q = PartitionQuality::compute(&m, &labels, nodes * cores);
+        prop_assert!(q.imbalance_pct(Dim::Region) < 35.0);
+        prop_assert!(q.stats(Dim::Region).min > 0.0);
+    }
+
+    /// Partition quality accounting is self-consistent: per-part element
+    /// counts sum to the mesh total; boundary copies are at least the
+    /// distinct boundary entities.
+    #[test]
+    fn quality_self_consistent(k in 2usize..8) {
+        let m = tri_rect(10, 10, 1.0, 1.0);
+        let labels = partition_mesh(&m, k);
+        let q = PartitionQuality::compute(&m, &labels, k);
+        let total: f64 = q.counts[2].iter().sum();
+        prop_assert_eq!(total as usize, m.num_elems());
+        // Vertex copies: sum over parts >= distinct vertices; difference =
+        // boundary duplication.
+        let vsum: f64 = q.counts[0].iter().sum();
+        let dup = vsum as usize - m.count(Dim::Vertex);
+        // Each boundary vertex on r parts contributes r copies and r-1 dups.
+        prop_assert!(dup < q.boundary_copies[0]);
+        prop_assert!(q.boundary_copies[0] <= 2 * dup);
+    }
+}
+
+/// Weighted partitioning balances the *weights*, not the element counts —
+/// the predictive-balancing contract.
+#[test]
+fn weighted_partition_balances_weights() {
+    use pumi_partition::partition_mesh_weighted;
+    let m = tri_rect(12, 12, 1.0, 1.0);
+    // Elements on the left half cost 9x.
+    let weight = |e: pumi_util::MeshEnt| {
+        if m.centroid(e)[0] < 0.5 {
+            9.0
+        } else {
+            1.0
+        }
+    };
+    let k = 4;
+    let labels = partition_mesh_weighted(&m, k, weight);
+    let mut wloads = vec![0f64; k];
+    let mut eloads = vec![0f64; k];
+    for e in m.iter(m.elem_dim_t()) {
+        wloads[labels[e.idx()] as usize] += weight(e);
+        eloads[labels[e.idx()] as usize] += 1.0;
+    }
+    assert!(
+        imbalance(&wloads) < 1.2,
+        "weights not balanced: {wloads:?}"
+    );
+    // Element counts end up more skewed than the weights (parts rich in
+    // cheap right-half elements must hold more of them).
+    assert!(imbalance(&eloads) > imbalance(&wloads), "{eloads:?} vs {wloads:?}");
+}

@@ -1,0 +1,31 @@
+//! PCU — the Parallel Control Utility of this PUMI reproduction (§II, §II-D).
+//!
+//! The paper's PUMI runs on MPI with an emerging hybrid MPI/thread mode. This
+//! crate provides the equivalent substrate as a **simulated message-passing
+//! runtime**: N ranks execute as OS threads, and parts communicate *only*
+//! through serialized byte messages over channels — the same discipline as
+//! MPI, so every distributed algorithm above (migration, ghosting, ParMA)
+//! exercises true pack/route/unpack code paths.
+//!
+//! Components:
+//! * [`comm`] — the world executor ([`comm::execute`]) and per-rank
+//!   [`comm::Comm`] handle with point-to-point send/recv,
+//! * [`collectives`] — barrier, reductions, gathers, all-to-all,
+//! * [`phased`] — PCU-style phased neighbour exchange (pack per destination,
+//!   send, iterate received buffers),
+//! * [`machine`] — the architecture model: rank ↔ (node, core) mapping and
+//!   on-node vs off-node link classification (Figs 5/6),
+//! * [`msg`] — typed little-endian message writers/readers over [`bytes`].
+//!
+//! Determinism: given the same inputs, all collectives reduce in rank order,
+//! so distributed results are bitwise reproducible across runs.
+
+pub mod collectives;
+pub mod comm;
+pub mod machine;
+pub mod msg;
+pub mod phased;
+
+pub use comm::{execute, execute_on, Comm};
+pub use machine::{LinkClass, MachineModel, TrafficReport};
+pub use msg::{MsgReader, MsgWriter};

@@ -1,0 +1,245 @@
+//! Typed message packing (§II-D "message buffer management").
+//!
+//! All cross-part data crosses the simulated network as little-endian byte
+//! streams. [`MsgWriter`] appends primitives to a growable buffer;
+//! [`MsgReader`] consumes them in the same order. Framing is the caller's
+//! contract (as in MPI) — the reader panics on underrun in debug terms via
+//! explicit checks, returning defaults is never silently allowed.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Append-only typed writer over a [`BytesMut`].
+#[derive(Debug, Default)]
+pub struct MsgWriter {
+    buf: BytesMut,
+}
+
+impl MsgWriter {
+    /// An empty writer.
+    pub fn new() -> MsgWriter {
+        MsgWriter::default()
+    }
+
+    /// An empty writer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> MsgWriter {
+        MsgWriter {
+            buf: BytesMut::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Write a `u8`.
+    pub fn put_u8(&mut self, x: u8) {
+        self.buf.put_u8(x);
+    }
+
+    /// Write a `u32` (little endian).
+    pub fn put_u32(&mut self, x: u32) {
+        self.buf.put_u32_le(x);
+    }
+
+    /// Write a `u64` (little endian).
+    pub fn put_u64(&mut self, x: u64) {
+        self.buf.put_u64_le(x);
+    }
+
+    /// Write an `i64` (little endian).
+    pub fn put_i64(&mut self, x: i64) {
+        self.buf.put_i64_le(x);
+    }
+
+    /// Write an `f64` (little endian bit pattern).
+    pub fn put_f64(&mut self, x: f64) {
+        self.buf.put_f64_le(x);
+    }
+
+    /// Write a length-prefixed byte slice.
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.put_slice(b);
+    }
+
+    /// Write a length-prefixed `u32` slice.
+    pub fn put_u32_slice(&mut self, xs: &[u32]) {
+        self.put_u32(xs.len() as u32);
+        for &x in xs {
+            self.put_u32(x);
+        }
+    }
+
+    /// Write a length-prefixed `u64` slice.
+    pub fn put_u64_slice(&mut self, xs: &[u64]) {
+        self.put_u32(xs.len() as u32);
+        for &x in xs {
+            self.put_u64(x);
+        }
+    }
+
+    /// Write a length-prefixed `f64` slice.
+    pub fn put_f64_slice(&mut self, xs: &[f64]) {
+        self.put_u32(xs.len() as u32);
+        for &x in xs {
+            self.put_f64(x);
+        }
+    }
+
+    /// Finish, producing an immutable buffer.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Finish as a plain `Vec<u8>`.
+    pub fn into_vec(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// Sequential typed reader over a byte buffer.
+#[derive(Debug)]
+pub struct MsgReader {
+    buf: Bytes,
+}
+
+impl MsgReader {
+    /// Read from an immutable buffer.
+    pub fn new(buf: Bytes) -> MsgReader {
+        MsgReader { buf }
+    }
+
+    /// Read from a `Vec<u8>`.
+    pub fn from_vec(v: Vec<u8>) -> MsgReader {
+        MsgReader { buf: Bytes::from(v) }
+    }
+
+    /// Bytes remaining.
+    pub fn remaining(&self) -> usize {
+        self.buf.remaining()
+    }
+
+    /// Whether the stream is fully consumed.
+    pub fn is_done(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    fn check(&self, n: usize) {
+        assert!(
+            self.buf.remaining() >= n,
+            "message underrun: need {n} bytes, have {}",
+            self.buf.remaining()
+        );
+    }
+
+    /// Read a `u8`.
+    pub fn get_u8(&mut self) -> u8 {
+        self.check(1);
+        self.buf.get_u8()
+    }
+
+    /// Read a `u32`.
+    pub fn get_u32(&mut self) -> u32 {
+        self.check(4);
+        self.buf.get_u32_le()
+    }
+
+    /// Read a `u64`.
+    pub fn get_u64(&mut self) -> u64 {
+        self.check(8);
+        self.buf.get_u64_le()
+    }
+
+    /// Read an `i64`.
+    pub fn get_i64(&mut self) -> i64 {
+        self.check(8);
+        self.buf.get_i64_le()
+    }
+
+    /// Read an `f64`.
+    pub fn get_f64(&mut self) -> f64 {
+        self.check(8);
+        self.buf.get_f64_le()
+    }
+
+    /// Read a length-prefixed byte vector.
+    pub fn get_bytes(&mut self) -> Vec<u8> {
+        let n = self.get_u32() as usize;
+        self.check(n);
+        let mut v = vec![0u8; n];
+        self.buf.copy_to_slice(&mut v);
+        v
+    }
+
+    /// Read a length-prefixed `u32` vector.
+    pub fn get_u32_slice(&mut self) -> Vec<u32> {
+        let n = self.get_u32() as usize;
+        (0..n).map(|_| self.get_u32()).collect()
+    }
+
+    /// Read a length-prefixed `u64` vector.
+    pub fn get_u64_slice(&mut self) -> Vec<u64> {
+        let n = self.get_u32() as usize;
+        (0..n).map(|_| self.get_u64()).collect()
+    }
+
+    /// Read a length-prefixed `f64` vector.
+    pub fn get_f64_slice(&mut self) -> Vec<f64> {
+        let n = self.get_u32() as usize;
+        (0..n).map(|_| self.get_f64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_primitives() {
+        let mut w = MsgWriter::new();
+        w.put_u8(7);
+        w.put_u32(0xDEAD_BEEF);
+        w.put_u64(u64::MAX - 1);
+        w.put_i64(-42);
+        w.put_f64(3.5);
+        w.put_bytes(b"hello");
+        w.put_u32_slice(&[1, 2, 3]);
+        w.put_u64_slice(&[9, 8]);
+        w.put_f64_slice(&[0.25]);
+        let mut r = MsgReader::new(w.finish());
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), u64::MAX - 1);
+        assert_eq!(r.get_i64(), -42);
+        assert_eq!(r.get_f64(), 3.5);
+        assert_eq!(r.get_bytes(), b"hello");
+        assert_eq!(r.get_u32_slice(), vec![1, 2, 3]);
+        assert_eq!(r.get_u64_slice(), vec![9, 8]);
+        assert_eq!(r.get_f64_slice(), vec![0.25]);
+        assert!(r.is_done());
+    }
+
+    #[test]
+    #[should_panic(expected = "underrun")]
+    fn underrun_panics() {
+        let mut r = MsgReader::from_vec(vec![1, 2]);
+        r.get_u32();
+    }
+
+    #[test]
+    fn empty_slices_roundtrip() {
+        let mut w = MsgWriter::new();
+        w.put_u32_slice(&[]);
+        w.put_bytes(&[]);
+        let mut r = MsgReader::new(w.finish());
+        assert!(r.get_u32_slice().is_empty());
+        assert!(r.get_bytes().is_empty());
+        assert!(r.is_done());
+    }
+}

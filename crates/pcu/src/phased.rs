@@ -1,0 +1,213 @@
+//! Phased neighbour exchange — the PCU communication pattern PUMI's
+//! distributed algorithms are written in (§II-D "message passing control:
+//! message buffer management and message routing").
+//!
+//! A phase has three steps: pack data per destination rank, send everything,
+//! then iterate over received buffers. Termination detection (how many
+//! messages each rank should expect) is resolved with one vector sum-reduce
+//! of per-destination message counts, keeping the exchange O(messages + N)
+//! rather than O(N²).
+//!
+//! ```
+//! use pumi_pcu::phased::Exchange;
+//! let results = pumi_pcu::execute(4, |c| {
+//!     let mut ex = Exchange::new(c);
+//!     // every rank sends its rank number to rank 0
+//!     if c.rank() != 0 {
+//!         ex.to(0).put_u32(c.rank() as u32);
+//!     }
+//!     let received = ex.finish();
+//!     received.len()
+//! });
+//! assert_eq!(results, vec![3, 0, 0, 0]);
+//! ```
+
+use crate::comm::Comm;
+use crate::msg::{MsgReader, MsgWriter};
+use pumi_util::FxHashMap;
+
+/// A single phased exchange. Pack with [`Exchange::to`], complete with
+/// [`Exchange::finish`].
+pub struct Exchange<'c> {
+    comm: &'c Comm,
+    bufs: FxHashMap<usize, MsgWriter>,
+}
+
+impl<'c> Exchange<'c> {
+    /// Begin an exchange phase on `comm`. All ranks of the world must
+    /// participate (SPMD), even those with nothing to send.
+    pub fn new(comm: &'c Comm) -> Exchange<'c> {
+        Exchange {
+            comm,
+            bufs: FxHashMap::default(),
+        }
+    }
+
+    /// The writer that packs data destined for `rank`. Packing to one's own
+    /// rank is allowed — the buffer is delivered locally.
+    pub fn to(&mut self, rank: usize) -> &mut MsgWriter {
+        assert!(rank < self.comm.nranks(), "destination {rank} out of range");
+        self.bufs.entry(rank).or_default()
+    }
+
+    /// Whether anything has been packed for `rank`.
+    pub fn has(&self, rank: usize) -> bool {
+        self.bufs.get(&rank).is_some_and(|w| !w.is_empty())
+    }
+
+    /// Send all packed buffers and collect this rank's incoming buffers,
+    /// sorted by source rank (deterministic iteration order).
+    pub fn finish(self) -> Vec<(usize, MsgReader)> {
+        let comm = self.comm;
+        let n = comm.nranks();
+        let tag = comm.next_coll_tag();
+
+        // Count messages per destination and resolve expected arrivals.
+        let mut counts = vec![0u64; n];
+        let mut local: Option<MsgReader> = None;
+        let mut to_send = Vec::new();
+        for (dest, w) in self.bufs {
+            if w.is_empty() {
+                continue;
+            }
+            if dest == comm.rank() {
+                local = Some(MsgReader::new(w.finish()));
+            } else {
+                counts[dest] += 1;
+                to_send.push((dest, w.finish()));
+            }
+        }
+        let expected = comm.allreduce_sum_u64_vec(&counts)[comm.rank()];
+
+        for (dest, data) in to_send {
+            comm.send_raw(dest, tag, data);
+        }
+
+        let mut received: Vec<(usize, MsgReader)> = Vec::with_capacity(expected as usize + 1);
+        for _ in 0..expected {
+            let (from, data) = comm.recv_raw(None, tag);
+            received.push((from, MsgReader::new(data)));
+        }
+        if let Some(r) = local {
+            received.push((comm.rank(), r));
+        }
+        received.sort_by_key(|(from, _)| *from);
+        received
+    }
+}
+
+/// One-shot helper: send `outgoing[rank] = bytes` and receive the peers'
+/// buffers. Empty buffers are not transmitted.
+pub fn exchange_bytes(comm: &Comm, outgoing: FxHashMap<usize, Vec<u8>>) -> Vec<(usize, Vec<u8>)> {
+    let mut ex = Exchange::new(comm);
+    for (dest, data) in outgoing {
+        if !data.is_empty() {
+            ex.to(dest).put_bytes(&data);
+        }
+    }
+    ex.finish()
+        .into_iter()
+        .map(|(from, mut r)| (from, r.get_bytes()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::execute;
+
+    #[test]
+    fn all_to_all_ring() {
+        let n = 6;
+        execute(n, |c| {
+            let mut ex = Exchange::new(c);
+            let next = (c.rank() + 1) % n;
+            let prev = (c.rank() + n - 1) % n;
+            ex.to(next).put_u32(c.rank() as u32);
+            ex.to(prev).put_u32(c.rank() as u32 + 100);
+            let got = ex.finish();
+            assert_eq!(got.len(), 2);
+            for (from, mut r) in got {
+                let v = r.get_u32();
+                if from == prev {
+                    assert_eq!(v, prev as u32);
+                } else {
+                    assert_eq!(from, next);
+                    assert_eq!(v, next as u32 + 100);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn empty_exchange_terminates() {
+        execute(5, |c| {
+            let ex = Exchange::new(c);
+            assert!(ex.finish().is_empty());
+        });
+    }
+
+    #[test]
+    fn self_message_is_delivered() {
+        execute(3, |c| {
+            let mut ex = Exchange::new(c);
+            ex.to(c.rank()).put_u64(42);
+            let got = ex.finish();
+            assert_eq!(got.len(), 1);
+            assert_eq!(got[0].0, c.rank());
+        });
+    }
+
+    #[test]
+    fn fan_in_sorted_by_source() {
+        let n = 8;
+        execute(n, |c| {
+            let mut ex = Exchange::new(c);
+            if c.rank() != 0 {
+                ex.to(0).put_u32(c.rank() as u32 * 2);
+            }
+            let got = ex.finish();
+            if c.rank() == 0 {
+                let sources: Vec<usize> = got.iter().map(|(f, _)| *f).collect();
+                assert_eq!(sources, (1..n).collect::<Vec<_>>());
+                for (from, r) in got {
+                    let mut r = r;
+                    assert_eq!(r.get_u32(), from as u32 * 2);
+                }
+            } else {
+                assert!(got.is_empty());
+            }
+        });
+    }
+
+    #[test]
+    fn successive_phases_do_not_cross() {
+        execute(4, |c| {
+            for phase in 0..5u32 {
+                let mut ex = Exchange::new(c);
+                for dest in 0..4 {
+                    if dest != c.rank() {
+                        ex.to(dest).put_u32(phase);
+                    }
+                }
+                for (_, mut r) in ex.finish() {
+                    assert_eq!(r.get_u32(), phase);
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn exchange_bytes_helper() {
+        execute(3, |c| {
+            let mut out: FxHashMap<usize, Vec<u8>> = FxHashMap::default();
+            out.insert((c.rank() + 1) % 3, vec![c.rank() as u8; 4]);
+            out.insert(c.rank(), vec![]); // empty: dropped
+            let got = exchange_bytes(c, out);
+            assert_eq!(got.len(), 1);
+            let (from, data) = &got[0];
+            assert_eq!(*from, (c.rank() + 2) % 3);
+            assert_eq!(data, &vec![*from as u8; 4]);
+        });
+    }
+}

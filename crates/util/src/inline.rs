@@ -1,0 +1,235 @@
+//! A small-size-optimized vector of `u32`.
+//!
+//! Upward adjacency lists (vertex→edges, edge→faces, face→regions) dominate
+//! mesh memory. In a tetrahedral mesh an interior face bounds exactly 2
+//! regions, an edge ~5 faces, a vertex ~14 edges; most lists are tiny.
+//! [`InlineVec`] stores up to [`INLINE_CAP`] elements in place and spills to a
+//! heap `Vec<u32>` beyond that, so the common case costs no allocation.
+
+/// Number of elements stored inline before spilling to the heap.
+pub const INLINE_CAP: usize = 6;
+
+/// A vector of `u32` that stores small lists inline.
+#[derive(Clone, Debug)]
+pub enum InlineVec {
+    /// Inline storage: fixed array plus a length.
+    Inline { buf: [u32; INLINE_CAP], len: u8 },
+    /// Heap storage for lists longer than [`INLINE_CAP`].
+    Heap(Vec<u32>),
+}
+
+impl Default for InlineVec {
+    #[inline]
+    fn default() -> Self {
+        InlineVec::Inline {
+            buf: [0; INLINE_CAP],
+            len: 0,
+        }
+    }
+}
+
+impl InlineVec {
+    /// An empty vector.
+    #[inline]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of stored elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match self {
+            InlineVec::Inline { len, .. } => *len as usize,
+            InlineVec::Heap(v) => v.len(),
+        }
+    }
+
+    /// Whether the vector is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// View the contents as a slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        match self {
+            InlineVec::Inline { buf, len } => &buf[..*len as usize],
+            InlineVec::Heap(v) => v.as_slice(),
+        }
+    }
+
+    /// Append a value, spilling to the heap if the inline buffer is full.
+    pub fn push(&mut self, x: u32) {
+        match self {
+            InlineVec::Inline { buf, len } => {
+                if (*len as usize) < INLINE_CAP {
+                    buf[*len as usize] = x;
+                    *len += 1;
+                } else {
+                    let mut v = Vec::with_capacity(INLINE_CAP * 2);
+                    v.extend_from_slice(&buf[..]);
+                    v.push(x);
+                    *self = InlineVec::Heap(v);
+                }
+            }
+            InlineVec::Heap(v) => v.push(x),
+        }
+    }
+
+    /// Remove the first occurrence of `x`; returns whether it was present.
+    /// Order is not preserved (swap-remove), matching adjacency-list needs.
+    pub fn remove_value(&mut self, x: u32) -> bool {
+        match self {
+            InlineVec::Inline { buf, len } => {
+                let n = *len as usize;
+                if let Some(p) = buf[..n].iter().position(|&y| y == x) {
+                    buf[p] = buf[n - 1];
+                    *len -= 1;
+                    true
+                } else {
+                    false
+                }
+            }
+            InlineVec::Heap(v) => {
+                if let Some(p) = v.iter().position(|&y| y == x) {
+                    v.swap_remove(p);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Whether `x` is present.
+    #[inline]
+    pub fn contains(&self, x: u32) -> bool {
+        self.as_slice().contains(&x)
+    }
+
+    /// Remove all elements, keeping heap capacity if spilled.
+    pub fn clear(&mut self) {
+        match self {
+            InlineVec::Inline { len, .. } => *len = 0,
+            InlineVec::Heap(v) => v.clear(),
+        }
+    }
+
+    /// Iterate over the elements.
+    #[inline]
+    pub fn iter(&self) -> std::slice::Iter<'_, u32> {
+        self.as_slice().iter()
+    }
+}
+
+impl FromIterator<u32> for InlineVec {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        let mut v = InlineVec::new();
+        for x in iter {
+            v.push(x);
+        }
+        v
+    }
+}
+
+impl<'a> IntoIterator for &'a InlineVec {
+    type Item = &'a u32;
+    type IntoIter = std::slice::Iter<'a, u32>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl PartialEq for InlineVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+impl Eq for InlineVec {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_within_inline_capacity() {
+        let mut v = InlineVec::new();
+        for i in 0..INLINE_CAP as u32 {
+            v.push(i);
+        }
+        assert!(matches!(v, InlineVec::Inline { .. }));
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn spill_to_heap_preserves_contents() {
+        let mut v = InlineVec::new();
+        for i in 0..20u32 {
+            v.push(i);
+        }
+        assert!(matches!(v, InlineVec::Heap(_)));
+        assert_eq!(v.len(), 20);
+        assert_eq!(v.as_slice(), (0..20).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn remove_value_inline_and_heap() {
+        let mut v: InlineVec = (0..4).collect();
+        assert!(v.remove_value(1));
+        assert!(!v.remove_value(1));
+        assert_eq!(v.len(), 3);
+        assert!(v.contains(0) && v.contains(2) && v.contains(3));
+
+        let mut h: InlineVec = (0..20).collect();
+        assert!(h.remove_value(10));
+        assert!(!h.contains(10));
+        assert_eq!(h.len(), 19);
+    }
+
+    #[test]
+    fn clear_resets_length() {
+        let mut v: InlineVec = (0..20).collect();
+        v.clear();
+        assert!(v.is_empty());
+        let mut w: InlineVec = (0..3).collect();
+        w.clear();
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn equality_ignores_representation() {
+        let a: InlineVec = (0..INLINE_CAP as u32).collect();
+        let mut b: InlineVec = (0..INLINE_CAP as u32 + 1).collect();
+        assert!(b.remove_value(INLINE_CAP as u32));
+        // b is heap-backed, a inline; same contents compare equal.
+        assert_eq!(a, b);
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn behaves_like_vec(ops in proptest::collection::vec((0u32..64, proptest::bool::ANY), 0..200)) {
+            let mut iv = InlineVec::new();
+            let mut model: Vec<u32> = Vec::new();
+            for (x, is_push) in ops {
+                if is_push {
+                    iv.push(x);
+                    model.push(x);
+                } else {
+                    let a = iv.remove_value(x);
+                    let b = if let Some(p) = model.iter().position(|&y| y == x) {
+                        model.swap_remove(p);
+                        true
+                    } else { false };
+                    proptest::prop_assert_eq!(a, b);
+                }
+                proptest::prop_assert_eq!(iv.len(), model.len());
+                let mut s1 = iv.as_slice().to_vec();
+                let mut s2 = model.clone();
+                s1.sort_unstable();
+                s2.sort_unstable();
+                proptest::prop_assert_eq!(s1, s2);
+            }
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! The **Set** component: "grouping arbitrary data with common set
+//! requirements" (§II).
+//!
+//! [`EntSet`] is an ordered entity set in the ITAPS sense: it remembers
+//! insertion order (so iteration is deterministic), supports O(1) membership,
+//! and provides the usual set algebra. Entity sets are how applications name
+//! groups of entities — boundary-condition patches, refinement queues,
+//! migration plans.
+
+use crate::fxhash::FxHashMap;
+use crate::ids::MeshEnt;
+
+/// An ordered set of mesh entities with O(1) membership tests.
+#[derive(Debug, Default, Clone)]
+pub struct EntSet {
+    order: Vec<MeshEnt>,
+    index: FxHashMap<MeshEnt, u32>,
+}
+
+impl EntSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty set with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        EntSet {
+            order: Vec::with_capacity(cap),
+            index: crate::fxhash::map_with_capacity(cap),
+        }
+    }
+
+    /// Insert an entity; returns `true` if it was newly added.
+    pub fn insert(&mut self, e: MeshEnt) -> bool {
+        if self.index.contains_key(&e) {
+            return false;
+        }
+        self.index.insert(e, self.order.len() as u32);
+        self.order.push(e);
+        true
+    }
+
+    /// Remove an entity; returns `true` if it was present. Keeps O(1) by
+    /// swap-removing in the order vector (relative order of the last element
+    /// changes).
+    pub fn remove(&mut self, e: MeshEnt) -> bool {
+        let Some(pos) = self.index.remove(&e) else {
+            return false;
+        };
+        let pos = pos as usize;
+        self.order.swap_remove(pos);
+        if pos < self.order.len() {
+            let moved = self.order[pos];
+            self.index.insert(moved, pos as u32);
+        }
+        true
+    }
+
+    /// O(1) membership test.
+    #[inline]
+    pub fn contains(&self, e: MeshEnt) -> bool {
+        self.index.contains_key(&e)
+    }
+
+    /// Number of entities.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.order.len()
+    }
+
+    /// Whether the set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.order.is_empty()
+    }
+
+    /// Iterate in insertion order (modulo removals).
+    pub fn iter(&self) -> impl Iterator<Item = MeshEnt> + '_ {
+        self.order.iter().copied()
+    }
+
+    /// Drain all entities out of the set.
+    pub fn drain(&mut self) -> Vec<MeshEnt> {
+        self.index.clear();
+        std::mem::take(&mut self.order)
+    }
+
+    /// Set union: all entities in `self` or `other`.
+    pub fn union(&self, other: &EntSet) -> EntSet {
+        let mut out = self.clone();
+        for e in other.iter() {
+            out.insert(e);
+        }
+        out
+    }
+
+    /// Set intersection: entities in both.
+    pub fn intersection(&self, other: &EntSet) -> EntSet {
+        let (small, big) = if self.len() <= other.len() {
+            (self, other)
+        } else {
+            (other, self)
+        };
+        let mut out = EntSet::with_capacity(small.len());
+        for e in small.iter() {
+            if big.contains(e) {
+                out.insert(e);
+            }
+        }
+        out
+    }
+
+    /// Set difference: entities in `self` not in `other`.
+    pub fn difference(&self, other: &EntSet) -> EntSet {
+        let mut out = EntSet::new();
+        for e in self.iter() {
+            if !other.contains(e) {
+                out.insert(e);
+            }
+        }
+        out
+    }
+}
+
+impl FromIterator<MeshEnt> for EntSet {
+    fn from_iter<I: IntoIterator<Item = MeshEnt>>(iter: I) -> Self {
+        let mut s = EntSet::new();
+        for e in iter {
+            s.insert(e);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Dim;
+
+    fn ents(ids: &[u32]) -> Vec<MeshEnt> {
+        ids.iter().map(|&i| MeshEnt::new(Dim::Face, i)).collect()
+    }
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = EntSet::new();
+        let e = MeshEnt::face(1);
+        assert!(s.insert(e));
+        assert!(!s.insert(e));
+        assert!(s.contains(e));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(e));
+        assert!(!s.remove(e));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iteration_is_insertion_ordered() {
+        let mut s = EntSet::new();
+        for e in ents(&[5, 1, 9, 3]) {
+            s.insert(e);
+        }
+        let got: Vec<_> = s.iter().map(|e| e.index()).collect();
+        assert_eq!(got, vec![5, 1, 9, 3]);
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let mut s: EntSet = ents(&[0, 1, 2, 3, 4]).into_iter().collect();
+        s.remove(MeshEnt::face(1));
+        // All remaining entities still found via contains.
+        for &i in &[0u32, 2, 3, 4] {
+            assert!(s.contains(MeshEnt::face(i)), "missing {i}");
+        }
+        assert_eq!(s.len(), 4);
+        // And removing the (swapped) last also works.
+        assert!(s.remove(MeshEnt::face(4)));
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn set_algebra() {
+        let a: EntSet = ents(&[1, 2, 3]).into_iter().collect();
+        let b: EntSet = ents(&[2, 3, 4]).into_iter().collect();
+        let mut u: Vec<u32> = a.union(&b).iter().map(|e| e.index()).collect();
+        u.sort_unstable();
+        assert_eq!(u, vec![1, 2, 3, 4]);
+        let mut i: Vec<u32> = a.intersection(&b).iter().map(|e| e.index()).collect();
+        i.sort_unstable();
+        assert_eq!(i, vec![2, 3]);
+        let d: Vec<u32> = a.difference(&b).iter().map(|e| e.index()).collect();
+        assert_eq!(d, vec![1]);
+    }
+
+    #[test]
+    fn drain_empties() {
+        let mut s: EntSet = ents(&[1, 2]).into_iter().collect();
+        let v = s.drain();
+        assert_eq!(v.len(), 2);
+        assert!(s.is_empty());
+        assert!(!s.contains(MeshEnt::face(1)));
+    }
+
+    proptest::proptest! {
+        #[test]
+        fn membership_matches_model(ops in proptest::collection::vec((0u32..32, proptest::bool::ANY), 0..200)) {
+            use std::collections::BTreeSet;
+            let mut s = EntSet::new();
+            let mut model = BTreeSet::new();
+            for (i, add) in ops {
+                let e = MeshEnt::edge(i);
+                if add {
+                    proptest::prop_assert_eq!(s.insert(e), model.insert(e));
+                } else {
+                    proptest::prop_assert_eq!(s.remove(e), model.remove(&e));
+                }
+                proptest::prop_assert_eq!(s.len(), model.len());
+            }
+            let mut got: Vec<_> = s.iter().collect();
+            got.sort();
+            let want: Vec<_> = model.into_iter().collect();
+            proptest::prop_assert_eq!(got, want);
+        }
+    }
+}

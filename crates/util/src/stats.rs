@@ -1,0 +1,201 @@
+//! Performance measurement utilities (§II-D: "run-time and memory usage
+//! counter") and the imbalance statistics ParMA is built around (§III).
+
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A simple wall-clock timer.
+#[derive(Debug, Clone, Copy)]
+pub struct Timer {
+    start: Instant,
+}
+
+impl Timer {
+    /// Start timing now.
+    pub fn start() -> Timer {
+        Timer {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed seconds as `f64`.
+    pub fn seconds(&self) -> f64 {
+        self.elapsed().as_secs_f64()
+    }
+}
+
+/// A thread-safe named counter — used by the PCU layer to meter message and
+/// byte traffic per link class (on-node vs off-node).
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    inner: Arc<Mutex<u64>>,
+}
+
+impl Counter {
+    /// A zeroed counter.
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    /// Add `x`.
+    pub fn add(&self, x: u64) {
+        *self.inner.lock() += x;
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        *self.inner.lock()
+    }
+
+    /// Reset to zero, returning the previous value.
+    pub fn take(&self) -> u64 {
+        std::mem::take(&mut *self.inner.lock())
+    }
+}
+
+/// Imbalance of a per-part load vector: `max(load) / mean(load)`.
+///
+/// This is the quantity the paper's Tables II report as "Imb.%" minus one —
+/// e.g. an imbalance of 1.05 prints as "5%". Returns 1.0 for empty or
+/// all-zero input (a perfectly balanced nothing).
+pub fn imbalance(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = loads.iter().sum();
+    if sum <= 0.0 {
+        return 1.0;
+    }
+    let mean = sum / loads.len() as f64;
+    let max = loads.iter().copied().fold(f64::MIN, f64::max);
+    max / mean
+}
+
+/// Imbalance expressed as the paper's percentage: `(max/mean - 1) * 100`.
+pub fn imbalance_pct(loads: &[f64]) -> f64 {
+    (imbalance(loads) - 1.0) * 100.0
+}
+
+/// Mean of a load vector (0.0 if empty).
+pub fn mean(loads: &[f64]) -> f64 {
+    if loads.is_empty() {
+        0.0
+    } else {
+        loads.iter().sum::<f64>() / loads.len() as f64
+    }
+}
+
+/// Summary statistics of a per-part load vector, printed by the benches.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadStats {
+    /// Smallest part load.
+    pub min: f64,
+    /// Largest part load.
+    pub max: f64,
+    /// Mean part load.
+    pub mean: f64,
+    /// `max/mean` imbalance ratio.
+    pub imbalance: f64,
+}
+
+impl LoadStats {
+    /// Compute stats for a load vector.
+    pub fn of(loads: &[f64]) -> LoadStats {
+        let mean = mean(loads);
+        let min = loads.iter().copied().fold(f64::MAX, f64::min);
+        let max = loads.iter().copied().fold(f64::MIN, f64::max);
+        LoadStats {
+            min: if loads.is_empty() { 0.0 } else { min },
+            max: if loads.is_empty() { 0.0 } else { max },
+            mean,
+            imbalance: imbalance(loads),
+        }
+    }
+
+    /// Imbalance as a percentage above perfect balance.
+    pub fn imbalance_pct(&self) -> f64 {
+        (self.imbalance - 1.0) * 100.0
+    }
+}
+
+/// Build a fixed-width histogram of `values` with `bins` bins spanning
+/// `[lo, hi)`; values outside clamp into the end bins. Returns per-bin
+/// (center, count). This regenerates Fig 13's element-imbalance histogram.
+pub fn histogram(values: &[f64], lo: f64, hi: f64, bins: usize) -> Vec<(f64, usize)> {
+    assert!(bins > 0 && hi > lo);
+    let width = (hi - lo) / bins as f64;
+    let mut counts = vec![0usize; bins];
+    for &v in values {
+        let mut b = ((v - lo) / width).floor() as isize;
+        b = b.clamp(0, bins as isize - 1);
+        counts[b as usize] += 1;
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (lo + (i as f64 + 0.5) * width, c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn imbalance_of_uniform_is_one() {
+        assert!((imbalance(&[5.0, 5.0, 5.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(imbalance(&[]), 1.0);
+        assert_eq!(imbalance(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn imbalance_detects_spike() {
+        // One part with double load among 4 parts of 1: mean=1.25, max=2.
+        let i = imbalance(&[1.0, 1.0, 1.0, 2.0]);
+        assert!((i - 1.6).abs() < 1e-12);
+        assert!((imbalance_pct(&[1.0, 1.0, 1.0, 2.0]) - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_stats_fields() {
+        let s = LoadStats::of(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 6.0);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.imbalance - 1.5).abs() < 1e-12);
+        assert!((s.imbalance_pct() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_bins_and_clamping() {
+        let h = histogram(&[0.1, 0.1, 0.9, 1.5, -3.0], 0.0, 1.0, 2);
+        // bin 0: 0.1, 0.1, -3.0 (clamped); bin 1: 0.9, 1.5 (clamped)
+        assert_eq!(h[0].1, 3);
+        assert_eq!(h[1].1, 2);
+        assert!((h[0].0 - 0.25).abs() < 1e-12);
+        assert!((h[1].0 - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn counter_accumulates_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.add(3);
+        c2.add(4);
+        assert_eq!(c.get(), 7);
+        assert_eq!(c.take(), 7);
+        assert_eq!(c2.get(), 0);
+    }
+
+    #[test]
+    fn timer_monotonic() {
+        let t = Timer::start();
+        assert!(t.seconds() >= 0.0);
+    }
+}

@@ -1,0 +1,372 @@
+//! The **Tag** component: "attaching arbitrary user data to arbitrary data or
+//! set with common tagging requirements" (§II, refs 11–13 — the
+//! ITAPS/MOAB tagging conventions).
+//!
+//! Tags are declared once on a [`TagManager`] (name, kind, length) yielding a
+//! [`TagId`]; values are then attached per entity. Tag data migrates with
+//! entities and is carried by ghost copies, so values must serialize — the
+//! supported kinds mirror MOAB's: integers, doubles, and opaque bytes, scalar
+//! or fixed-length array.
+
+use crate::fxhash::FxHashMap;
+use crate::ids::MeshEnt;
+
+/// The value kind a tag stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TagKind {
+    /// 64-bit signed integers.
+    Int,
+    /// 64-bit floats.
+    Double,
+    /// Raw bytes (opaque user data).
+    Bytes,
+}
+
+/// A single attached tag value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TagData {
+    /// Integer array value (length = tag's declared `len`).
+    Ints(Vec<i64>),
+    /// Double array value (length = tag's declared `len`).
+    Dbls(Vec<f64>),
+    /// Opaque byte value (any length).
+    Bytes(Vec<u8>),
+}
+
+impl TagData {
+    /// The kind of this value.
+    pub fn kind(&self) -> TagKind {
+        match self {
+            TagData::Ints(_) => TagKind::Int,
+            TagData::Dbls(_) => TagKind::Double,
+            TagData::Bytes(_) => TagKind::Bytes,
+        }
+    }
+
+    /// Serialize to bytes for migration/ghost messages.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TagData::Ints(v) => {
+                out.push(0);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            TagData::Dbls(v) => {
+                out.push(1);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                for x in v {
+                    out.extend_from_slice(&x.to_le_bytes());
+                }
+            }
+            TagData::Bytes(v) => {
+                out.push(2);
+                out.extend_from_slice(&(v.len() as u32).to_le_bytes());
+                out.extend_from_slice(v);
+            }
+        }
+    }
+
+    /// Deserialize from bytes, advancing `pos`. Returns `None` on malformed
+    /// input (only possible if a message was corrupted or mis-framed).
+    pub fn decode(buf: &[u8], pos: &mut usize) -> Option<TagData> {
+        let kind = *buf.get(*pos)?;
+        *pos += 1;
+        let n = u32::from_le_bytes(buf.get(*pos..*pos + 4)?.try_into().ok()?) as usize;
+        *pos += 4;
+        match kind {
+            0 => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(i64::from_le_bytes(
+                        buf.get(*pos..*pos + 8)?.try_into().ok()?,
+                    ));
+                    *pos += 8;
+                }
+                Some(TagData::Ints(v))
+            }
+            1 => {
+                let mut v = Vec::with_capacity(n);
+                for _ in 0..n {
+                    v.push(f64::from_le_bytes(
+                        buf.get(*pos..*pos + 8)?.try_into().ok()?,
+                    ));
+                    *pos += 8;
+                }
+                Some(TagData::Dbls(v))
+            }
+            2 => {
+                let v = buf.get(*pos..*pos + n)?.to_vec();
+                *pos += n;
+                Some(TagData::Bytes(v))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Handle to a declared tag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TagId(pub u32);
+
+#[derive(Debug, Clone)]
+struct TagDecl {
+    name: String,
+    kind: TagKind,
+    len: usize,
+}
+
+/// Declares tags and stores per-entity values.
+///
+/// One manager exists per mesh part. Storage is a sparse map per tag:
+/// most tags touch a subset of entities (e.g. a size field only on vertices).
+#[derive(Debug, Default)]
+pub struct TagManager {
+    decls: Vec<TagDecl>,
+    by_name: FxHashMap<String, TagId>,
+    /// values[tag.0][entity] -> data
+    values: Vec<FxHashMap<MeshEnt, TagData>>,
+}
+
+impl TagManager {
+    /// Create an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare a tag. `len` is the array length for `Int`/`Double` kinds
+    /// (ignored for `Bytes`). Re-declaring an existing name with the same
+    /// kind/len returns the existing id.
+    ///
+    /// # Panics
+    /// Panics if the name exists with a different kind or length.
+    pub fn declare(&mut self, name: &str, kind: TagKind, len: usize) -> TagId {
+        if let Some(&id) = self.by_name.get(name) {
+            let d = &self.decls[id.0 as usize];
+            assert!(
+                d.kind == kind && d.len == len,
+                "tag '{name}' re-declared with different signature"
+            );
+            return id;
+        }
+        let id = TagId(self.decls.len() as u32);
+        self.decls.push(TagDecl {
+            name: name.to_string(),
+            kind,
+            len,
+        });
+        self.by_name.insert(name.to_string(), id);
+        self.values.push(FxHashMap::default());
+        id
+    }
+
+    /// Look up a tag by name.
+    pub fn find(&self, name: &str) -> Option<TagId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The tag's name.
+    pub fn name(&self, tag: TagId) -> &str {
+        &self.decls[tag.0 as usize].name
+    }
+
+    /// The tag's kind.
+    pub fn kind(&self, tag: TagId) -> TagKind {
+        self.decls[tag.0 as usize].kind
+    }
+
+    /// The tag's declared array length.
+    pub fn len_of(&self, tag: TagId) -> usize {
+        self.decls[tag.0 as usize].len
+    }
+
+    /// Number of declared tags.
+    pub fn num_tags(&self) -> usize {
+        self.decls.len()
+    }
+
+    /// All declared tag ids.
+    pub fn tags(&self) -> impl Iterator<Item = TagId> + '_ {
+        (0..self.decls.len() as u32).map(TagId)
+    }
+
+    /// Attach a value to an entity.
+    ///
+    /// # Panics
+    /// Panics (debug) if the value kind or length mismatches the declaration.
+    pub fn set(&mut self, tag: TagId, ent: MeshEnt, data: TagData) {
+        debug_assert_eq!(data.kind(), self.decls[tag.0 as usize].kind);
+        match &data {
+            TagData::Ints(v) => debug_assert_eq!(v.len(), self.decls[tag.0 as usize].len),
+            TagData::Dbls(v) => debug_assert_eq!(v.len(), self.decls[tag.0 as usize].len),
+            TagData::Bytes(_) => {}
+        }
+        self.values[tag.0 as usize].insert(ent, data);
+    }
+
+    /// Convenience: attach a scalar double.
+    pub fn set_dbl(&mut self, tag: TagId, ent: MeshEnt, x: f64) {
+        self.set(tag, ent, TagData::Dbls(vec![x]));
+    }
+
+    /// Convenience: attach a scalar integer.
+    pub fn set_int(&mut self, tag: TagId, ent: MeshEnt, x: i64) {
+        self.set(tag, ent, TagData::Ints(vec![x]));
+    }
+
+    /// Read a value.
+    pub fn get(&self, tag: TagId, ent: MeshEnt) -> Option<&TagData> {
+        self.values[tag.0 as usize].get(&ent)
+    }
+
+    /// Read a scalar double value.
+    pub fn get_dbl(&self, tag: TagId, ent: MeshEnt) -> Option<f64> {
+        match self.get(tag, ent) {
+            Some(TagData::Dbls(v)) => v.first().copied(),
+            _ => None,
+        }
+    }
+
+    /// Read a scalar integer value.
+    pub fn get_int(&self, tag: TagId, ent: MeshEnt) -> Option<i64> {
+        match self.get(tag, ent) {
+            Some(TagData::Ints(v)) => v.first().copied(),
+            _ => None,
+        }
+    }
+
+    /// Whether the entity carries this tag.
+    pub fn has(&self, tag: TagId, ent: MeshEnt) -> bool {
+        self.values[tag.0 as usize].contains_key(&ent)
+    }
+
+    /// Remove a tag value from an entity; returns the removed value.
+    pub fn remove(&mut self, tag: TagId, ent: MeshEnt) -> Option<TagData> {
+        self.values[tag.0 as usize].remove(&ent)
+    }
+
+    /// Remove every tag value attached to `ent` (entity deletion).
+    pub fn remove_all(&mut self, ent: MeshEnt) {
+        for m in &mut self.values {
+            m.remove(&ent);
+        }
+    }
+
+    /// Collect all (tag, value) pairs on an entity — used when packing an
+    /// entity for migration or ghosting.
+    pub fn collect(&self, ent: MeshEnt) -> Vec<(TagId, TagData)> {
+        let mut out = Vec::new();
+        for (i, m) in self.values.iter().enumerate() {
+            if let Some(d) = m.get(&ent) {
+                out.push((TagId(i as u32), d.clone()));
+            }
+        }
+        out
+    }
+
+    /// Re-key all values from `old` to `new` (entity renumbering during
+    /// migration rebuilds).
+    pub fn rekey(&mut self, old: MeshEnt, new: MeshEnt) {
+        for m in &mut self.values {
+            if let Some(d) = m.remove(&old) {
+                m.insert(new, d);
+            }
+        }
+    }
+
+    /// Number of entities carrying `tag`.
+    pub fn count(&self, tag: TagId) -> usize {
+        self.values[tag.0 as usize].len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn declare_and_set_get() {
+        let mut tm = TagManager::new();
+        let t = tm.declare("size", TagKind::Double, 1);
+        tm.set_dbl(t, MeshEnt::vertex(3), 0.25);
+        assert_eq!(tm.get_dbl(t, MeshEnt::vertex(3)), Some(0.25));
+        assert_eq!(tm.get_dbl(t, MeshEnt::vertex(4)), None);
+        assert_eq!(tm.find("size"), Some(t));
+        assert_eq!(tm.name(t), "size");
+        assert_eq!(tm.kind(t), TagKind::Double);
+    }
+
+    #[test]
+    fn redeclare_same_signature_is_idempotent() {
+        let mut tm = TagManager::new();
+        let a = tm.declare("w", TagKind::Int, 2);
+        let b = tm.declare("w", TagKind::Int, 2);
+        assert_eq!(a, b);
+        assert_eq!(tm.num_tags(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "re-declared")]
+    fn redeclare_different_signature_panics() {
+        let mut tm = TagManager::new();
+        tm.declare("w", TagKind::Int, 2);
+        tm.declare("w", TagKind::Double, 2);
+    }
+
+    #[test]
+    fn remove_and_remove_all() {
+        let mut tm = TagManager::new();
+        let a = tm.declare("a", TagKind::Int, 1);
+        let b = tm.declare("b", TagKind::Double, 1);
+        let e = MeshEnt::face(7);
+        tm.set_int(a, e, 5);
+        tm.set_dbl(b, e, 2.5);
+        assert!(tm.has(a, e) && tm.has(b, e));
+        tm.remove(a, e);
+        assert!(!tm.has(a, e) && tm.has(b, e));
+        tm.remove_all(e);
+        assert!(!tm.has(b, e));
+    }
+
+    #[test]
+    fn collect_and_rekey() {
+        let mut tm = TagManager::new();
+        let a = tm.declare("a", TagKind::Int, 1);
+        let e = MeshEnt::edge(1);
+        let f = MeshEnt::edge(2);
+        tm.set_int(a, e, 9);
+        let c = tm.collect(e);
+        assert_eq!(c.len(), 1);
+        tm.rekey(e, f);
+        assert_eq!(tm.get_int(a, f), Some(9));
+        assert!(!tm.has(a, e));
+    }
+
+    #[test]
+    fn tagdata_encode_decode_roundtrip() {
+        let cases = vec![
+            TagData::Ints(vec![1, -2, i64::MAX]),
+            TagData::Dbls(vec![0.5, -1e300]),
+            TagData::Bytes(vec![1, 2, 3, 255]),
+            TagData::Ints(vec![]),
+        ];
+        for d in cases {
+            let mut buf = Vec::new();
+            d.encode(&mut buf);
+            let mut pos = 0;
+            let back = TagData::decode(&buf, &mut pos).unwrap();
+            assert_eq!(back, d);
+            assert_eq!(pos, buf.len());
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncated() {
+        let mut buf = Vec::new();
+        TagData::Ints(vec![1, 2, 3]).encode(&mut buf);
+        buf.truncate(buf.len() - 1);
+        let mut pos = 0;
+        assert!(TagData::decode(&buf, &mut pos).is_none());
+    }
+}
