@@ -181,8 +181,8 @@ pub fn coarsen(mesh: &mut Mesh, size: &SizeField, opts: CoarsenOpts) -> CoarsenS
             let verts = mesh.verts_of(e).to_vec();
             let a = mesh.coords(MeshEnt::vertex(verts[0]));
             let b = mesh.coords(MeshEnt::vertex(verts[1]));
-            let len = ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2))
-                .sqrt();
+            let len =
+                ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
             let mid = [
                 0.5 * (a[0] + b[0]),
                 0.5 * (a[1] + b[1]),

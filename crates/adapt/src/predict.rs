@@ -23,8 +23,7 @@ pub fn element_weight(mesh: &Mesh, e: MeshEnt, size: &SizeField) -> f64 {
         let vs = mesh.verts_of(edge);
         let a = mesh.coords(MeshEnt::vertex(vs[0]));
         let b = mesh.coords(MeshEnt::vertex(vs[1]));
-        mean_len +=
-            ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
+        mean_len += ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
     }
     mean_len /= edges.len() as f64;
     (mean_len / h).powi(mesh.elem_dim() as i32).max(1.0)

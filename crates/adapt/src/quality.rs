@@ -17,8 +17,7 @@ fn coords_of(mesh: &Mesh, e: MeshEnt) -> Vec<[f64; 3]> {
 
 /// Signed area of a triangle (z ignored — 2D meshes live in the z=0 plane).
 pub fn tri_area(p: &[[f64; 3]]) -> f64 {
-    0.5 * ((p[1][0] - p[0][0]) * (p[2][1] - p[0][1])
-        - (p[2][0] - p[0][0]) * (p[1][1] - p[0][1]))
+    0.5 * ((p[1][0] - p[0][0]) * (p[2][1] - p[0][1]) - (p[2][0] - p[0][0]) * (p[1][1] - p[0][1]))
 }
 
 /// Signed volume of a tetrahedron.
@@ -116,9 +115,7 @@ mod tests {
         let mut m = Mesh::new(2);
         let a = m.add_vertex([0., 0., 0.], NO_GEOM).index();
         let b = m.add_vertex([1., 0., 0.], NO_GEOM).index();
-        let c = m
-            .add_vertex([0.5, 3f64.sqrt() / 2.0, 0.], NO_GEOM)
-            .index();
+        let c = m.add_vertex([0.5, 3f64.sqrt() / 2.0, 0.], NO_GEOM).index();
         let t = m.add_element(Topology::Triangle, &[a, b, c], NO_GEOM);
         assert!((mean_ratio(&m, t) - 1.0).abs() < 1e-12);
     }
@@ -139,9 +136,7 @@ mod tests {
         // Regular tetrahedron with unit edges.
         let a = m.add_vertex([0., 0., 0.], NO_GEOM).index();
         let b = m.add_vertex([1., 0., 0.], NO_GEOM).index();
-        let c = m
-            .add_vertex([0.5, 3f64.sqrt() / 2.0, 0.], NO_GEOM)
-            .index();
+        let c = m.add_vertex([0.5, 3f64.sqrt() / 2.0, 0.], NO_GEOM).index();
         let d = m
             .add_vertex([0.5, 3f64.sqrt() / 6.0, (2f64 / 3.0).sqrt()], NO_GEOM)
             .index();

@@ -277,10 +277,7 @@ mod tests {
         let mut m = tri_rect(1, 1, 1.0, 1.0);
         assert_eq!(m.num_elems(), 2);
         // The diagonal is interior: splitting it bisects both triangles.
-        let diag = m
-            .iter(Dim::Edge)
-            .find(|&e| !m.is_boundary_side(e))
-            .unwrap();
+        let diag = m.iter(Dim::Edge).find(|&e| !m.is_boundary_side(e)).unwrap();
         let v = split_edge(&mut m, diag, None);
         assert_eq!(m.num_elems(), 4);
         assert_eq!(m.count(Dim::Vertex), 5);
@@ -346,7 +343,10 @@ mod tests {
                 far += 1;
             }
         }
-        assert!(near > 2 * far, "refinement not localized: near={near} far={far}");
+        assert!(
+            near > 2 * far,
+            "refinement not localized: near={near} far={far}"
+        );
     }
 
     #[test]
@@ -356,10 +356,7 @@ mod tests {
         // element's interior class, which later let coarsening collapse
         // chords and cut area off the domain).
         let mut m = tri_rect(2, 2, 1.0, 1.0);
-        let bnd = m
-            .iter(Dim::Edge)
-            .find(|&e| m.is_boundary_side(e))
-            .unwrap();
+        let bnd = m.iter(Dim::Edge).find(|&e| m.is_boundary_side(e)).unwrap();
         let bnd_class = m.class_of(bnd);
         assert_eq!(bnd_class.dim(), Dim::Edge);
         let mid = split_edge(&mut m, bnd, None);

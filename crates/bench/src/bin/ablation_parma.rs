@@ -14,9 +14,11 @@
 //!
 //! Usage: `ablation_parma [--nr N] [--nz N] [--parts N] [--ranks N]`
 
-use bench::report::{f, print_table, Table};
-use bench::workloads::{aaa_scaled, distribute_labels, AaaScale};
 use parma::{improve, EntityLoads, ImproveOpts, Priority};
+use pumi_bench::report::{f, print_table, table_to_json, write_report, Table};
+use pumi_bench::workloads::{aaa_scaled, distribute_labels, AaaScale};
+use pumi_obs::json::Json;
+use pumi_obs::report::Report;
 use pumi_partition::partition_mesh;
 use pumi_util::Dim;
 
@@ -46,36 +48,15 @@ fn main() {
     let tol = 0.05; // the paper's tolerance
 
     let configs: Vec<(&str, ImproveOpts)> = vec![
-        (
-            "full ParMA",
-            ImproveOpts {
-                tol,
-                ..ImproveOpts::default()
-            },
-        ),
+        ("full ParMA", ImproveOpts::new().tol(tol)),
         (
             "- admission handshake",
-            ImproveOpts {
-                tol,
-                handshake: false,
-                ..ImproveOpts::default()
-            },
+            ImproveOpts::new().tol(tol).handshake(false),
         ),
-        (
-            "- peak caps",
-            ImproveOpts {
-                tol,
-                peak_caps: false,
-                ..ImproveOpts::default()
-            },
-        ),
+        ("- peak caps", ImproveOpts::new().tol(tol).peak_caps(false)),
         (
             "- strict selection",
-            ImproveOpts {
-                tol,
-                strict_selection: false,
-                ..ImproveOpts::default()
-            },
+            ImproveOpts::new().tol(tol).strict_selection(false),
         ),
     ];
 
@@ -90,12 +71,15 @@ fn main() {
             "time (s)",
         ],
     );
+    let mut runs = Vec::new();
     for (name, opts) in configs {
         let out = pumi_pcu::execute(scale.nranks, |c| {
             let mut dm = distribute_labels(c, &serial, &labels, scale.nparts);
             let report = improve(c, &mut dm, &pri, opts);
             let loads = EntityLoads::gather(c, &dm);
             let bnd = dm.global_sum(c, |p| p.shared_entities().len() as u64);
+            let obs = pumi_pcu::obs::world_report(c);
+            let traces = pumi_obs::parma::take();
             (c.rank() == 0).then(|| {
                 (
                     loads.imbalance_pct(Dim::Vertex),
@@ -103,10 +87,12 @@ fn main() {
                     report.elements_moved,
                     bnd,
                     report.seconds,
+                    obs,
+                    traces,
                 )
             })
         });
-        let (v, r, moved, bnd, secs) = out.into_iter().flatten().next().unwrap();
+        let (v, r, moved, bnd, secs, obs, traces) = out.into_iter().flatten().next().unwrap();
         t.row(vec![
             name.to_string(),
             f(v, 2),
@@ -115,8 +101,31 @@ fn main() {
             bnd.to_string(),
             f(secs, 2),
         ]);
+        runs.push(Json::obj([
+            ("config", Json::str(name)),
+            ("vtx_imb_pct", Json::F64(v)),
+            ("rgn_imb_pct", Json::F64(r)),
+            ("elements_moved", Json::U64(moved)),
+            ("boundary_copies", Json::U64(bnd)),
+            ("seconds", Json::F64(secs)),
+            ("obs", obs.unwrap_or(Json::Null)),
+            ("parma", Json::arr(traces.iter().map(|tr| tr.to_json()))),
+        ]));
     }
     print_table(&t);
+    let mut report = Report::new("ablation_parma");
+    report.section(
+        "config",
+        Json::obj([
+            ("elements", Json::U64(scale.elements() as u64)),
+            ("parts", Json::U64(scale.nparts as u64)),
+            ("ranks", Json::U64(scale.nranks as u64)),
+            ("tol", Json::F64(tol)),
+        ]),
+    );
+    report.section("runs", Json::arr(runs));
+    report.section("tables", Json::arr([table_to_json(&t)]));
+    write_report(&report);
     println!();
     println!(
         "reading: the handshake is what keeps the lower-priority (rgn) balance intact — \

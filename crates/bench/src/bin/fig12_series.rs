@@ -7,8 +7,11 @@
 //!
 //! Usage: `fig12_series [--nr N] [--nz N] [--parts N] [--ranks N]`
 
-use bench::workloads::{aaa_scaled, distribute_labels, AaaScale};
 use parma::{improve, EntityLoads, ImproveOpts, Priority};
+use pumi_bench::report::write_report;
+use pumi_bench::workloads::{aaa_scaled, distribute_labels, AaaScale};
+use pumi_obs::json::Json;
+use pumi_obs::report::Report;
 use pumi_partition::partition_mesh;
 use pumi_util::stats::LoadStats;
 use pumi_util::Dim;
@@ -43,10 +46,13 @@ fn main() {
         let before = EntityLoads::gather(c, &dm);
         improve(c, &mut dm, &pri, ImproveOpts::default());
         let after = EntityLoads::gather(c, &dm);
-        (c.rank() == 0).then_some((before, after))
+        let obs = pumi_pcu::obs::world_report(c);
+        let traces = pumi_obs::parma::take();
+        (c.rank() == 0).then_some((before, after, obs, traces))
     });
-    let (before, after) = out.into_iter().flatten().next().unwrap();
+    let (before, after, obs, traces) = out.into_iter().flatten().next().unwrap();
 
+    let mut series = Vec::new();
     for (d, name) in [(Dim::Vertex, "vtx"), (Dim::Edge, "edge")] {
         let b = before.of(d);
         let a = after.of(d);
@@ -69,5 +75,29 @@ fn main() {
             sa.max / sa.mean,
             sa.imbalance_pct(),
         );
+        series.push(Json::obj([
+            ("dim", Json::str(name)),
+            ("csv", Json::str(&path)),
+            ("before_imb_pct", Json::F64(sb.imbalance_pct())),
+            ("after_imb_pct", Json::F64(sa.imbalance_pct())),
+            ("before_min_over_avg", Json::F64(sb.min / sb.mean)),
+            ("before_max_over_avg", Json::F64(sb.max / sb.mean)),
+            ("after_min_over_avg", Json::F64(sa.min / sa.mean)),
+            ("after_max_over_avg", Json::F64(sa.max / sa.mean)),
+        ]));
     }
+
+    let mut report = Report::new("fig12_series");
+    report.section(
+        "config",
+        Json::obj([
+            ("elements", Json::U64(scale.elements() as u64)),
+            ("parts", Json::U64(scale.nparts as u64)),
+            ("ranks", Json::U64(scale.nranks as u64)),
+        ]),
+    );
+    report.section("series", Json::arr(series));
+    report.section("obs", obs.unwrap_or(Json::Null));
+    report.section("parma", Json::arr(traces.iter().map(|t| t.to_json())));
+    write_report(&report);
 }

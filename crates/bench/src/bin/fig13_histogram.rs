@@ -13,12 +13,14 @@
 //!
 //! Usage: `fig13_histogram [--n N] [--parts N] [--hmin F]`
 
-use bench::report::{f, print_table, Table};
-use bench::workloads::wing_mesh;
-use pumi_adapt::{refine, RefineOpts, SizeField};
-use pumi_meshgen::shock_plane_distance;
-use pumi_partition::partition_mesh;
 use pumi_adapt::element_weight;
+use pumi_adapt::{refine, RefineOpts, SizeField};
+use pumi_bench::report::{f, print_table, table_to_json, write_report, Table};
+use pumi_bench::workloads::wing_mesh;
+use pumi_meshgen::shock_plane_distance;
+use pumi_obs::json::Json;
+use pumi_obs::report::Report;
+use pumi_partition::partition_mesh;
 use pumi_partition::partition_mesh_weighted;
 use pumi_util::stats::{histogram, imbalance};
 use pumi_util::tag::TagKind;
@@ -48,8 +50,7 @@ fn main() {
     let labels = partition_mesh(&mesh, nparts);
     let tid = mesh.tags_mut().declare("part", TagKind::Int, 1);
     for e in mesh.snapshot(mesh.elem_dim_t()) {
-        mesh.tags_mut()
-            .set_int(tid, e, labels[e.idx()] as i64);
+        mesh.tags_mut().set_int(tid, e, labels[e.idx()] as i64);
     }
 
     // Adapt with the oblique-shock size field; children inherit the tag, so
@@ -92,19 +93,13 @@ fn main() {
     let under_half = ratios.iter().filter(|&&r| r < 0.5).count();
     println!();
     println!("peak element imbalance: {peak_pct:.0}%  (paper: >400%)");
-    println!(
-        "parts with imbalance > 20%: {over_20} of {nparts}  (paper: ~80 of 1024)"
-    );
-    println!(
-        "parts under 50% of average: {under_half} of {nparts}  (paper: >120 of 1024)"
-    );
+    println!("parts with imbalance > 20%: {over_20} of {nparts}  (paper: ~80 of 1024)");
+    println!("parts under 50% of average: {under_half} of {nparts}  (paper: >120 of 1024)");
 
     // The remedy (§III-B): *predictive* load balancing — partition the
     // initial mesh by estimated post-adaptation element counts, then adapt.
     let mut mesh2 = wing_mesh(n);
-    let labels_pred = partition_mesh_weighted(&mesh2, nparts, |e| {
-        element_weight(&mesh2, e, &size)
-    });
+    let labels_pred = partition_mesh_weighted(&mesh2, nparts, |e| element_weight(&mesh2, e, &size));
     let tid2 = mesh2.tags_mut().declare("part", TagKind::Int, 1);
     for e in mesh2.snapshot(mesh2.elem_dim_t()) {
         mesh2
@@ -121,4 +116,36 @@ fn main() {
     println!(
         "with predictive load balancing before adaptation: peak imbalance {pred_pct:.0}%          (vs {peak_pct:.0}% without — the remedy §III-B motivates)"
     );
+
+    let mut report = Report::new("fig13_histogram");
+    report.section(
+        "config",
+        Json::obj([
+            ("n", Json::U64(n as u64)),
+            ("parts", Json::U64(nparts as u64)),
+            ("hmin", Json::F64(hmin)),
+            ("initial_elements", Json::U64(initial_elems as u64)),
+            ("adapted_elements", Json::U64(stats.elements_after as u64)),
+        ]),
+    );
+    report.section(
+        "histogram",
+        Json::arr(h.iter().map(|(center, count)| {
+            Json::obj([
+                ("ratio", Json::F64(*center)),
+                ("parts", Json::U64(*count as u64)),
+            ])
+        })),
+    );
+    report.section(
+        "headline",
+        Json::obj([
+            ("peak_imbalance_pct", Json::F64(peak_pct)),
+            ("parts_over_20pct", Json::U64(over_20 as u64)),
+            ("parts_under_half", Json::U64(under_half as u64)),
+            ("predictive_peak_pct", Json::F64(pred_pct)),
+        ]),
+    );
+    report.section("tables", Json::arr([table_to_json(&t)]));
+    write_report(&report);
 }

@@ -13,11 +13,14 @@
 //!
 //! Usage: `heavy_split [--n N] [--parts N] [--ranks N] [--hmin F]`
 
-use bench::workloads::wing_mesh;
 use parma::{heavy_part_split, improve, EntityLoads, ImproveOpts, Priority, SplitOpts};
 use pumi_adapt::{refine, RefineOpts, SizeField};
+use pumi_bench::report::write_report;
+use pumi_bench::workloads::wing_mesh;
 use pumi_core::{distribute, PartMap};
 use pumi_meshgen::shock_plane_distance;
+use pumi_obs::json::Json;
+use pumi_obs::report::Report;
 use pumi_partition::partition_mesh;
 use pumi_util::tag::TagKind;
 use pumi_util::{Dim, PartId};
@@ -61,7 +64,14 @@ fn main() {
         mesh.num_elems()
     );
 
-    let run = |strategy: &'static str| -> (f64, f64, f64) {
+    type RunResult = (
+        f64,
+        f64,
+        f64,
+        Option<Json>,
+        Vec<pumi_obs::parma::ParmaTrace>,
+    );
+    let run = |strategy: &'static str| -> RunResult {
         let out = pumi_pcu::execute(nranks, |c| {
             let map = PartMap::contiguous(nparts, c.nranks());
             let mut dm = distribute(c, map, &mesh, &labels);
@@ -70,10 +80,7 @@ fn main() {
                 Dim::Face => "Face".parse().unwrap(),
                 _ => "Rgn".parse().unwrap(),
             };
-            let opts = ImproveOpts {
-                max_iters: 12,
-                ..ImproveOpts::default()
-            };
+            let opts = ImproveOpts::new().max_iters(12);
             let t = pumi_util::stats::Timer::start();
             match strategy {
                 "diffusion" => {
@@ -88,13 +95,15 @@ fn main() {
             let secs = t.seconds();
             let after = EntityLoads::gather(c, &dm).imbalance_pct(d);
             pumi_core::verify::assert_dist_valid(c, &dm);
-            (c.rank() == 0).then_some((before, after, secs))
+            let obs = pumi_pcu::obs::world_report(c);
+            let traces = pumi_obs::parma::take();
+            (c.rank() == 0).then_some((before, after, secs, obs, traces))
         });
         out.into_iter().flatten().next().unwrap()
     };
 
-    let (b1, a1, s1) = run("diffusion");
-    let (b2, a2, s2) = run("split+diffusion");
+    let (b1, a1, s1, obs1, tr1) = run("diffusion");
+    let (b2, a2, s2, obs2, tr2) = run("split+diffusion");
     println!("strategy            before      after     time");
     println!("diffusion only     {b1:7.1}%  {a1:8.1}%  {s1:6.2}s");
     println!("split + diffusion  {b2:7.1}%  {a2:8.1}%  {s2:6.2}s");
@@ -103,4 +112,39 @@ fn main() {
         "check: splitting reaches {a2:.1}% where diffusion alone stalls at {a1:.1}% \
          (paper: diffusion misses the tolerance on clustered spikes; splitting fixes it)"
     );
+
+    let strategy_json = |name: &str,
+                         b: f64,
+                         a: f64,
+                         s: f64,
+                         obs: Option<Json>,
+                         tr: &[pumi_obs::parma::ParmaTrace]| {
+        Json::obj([
+            ("strategy", Json::str(name)),
+            ("before_imb_pct", Json::F64(b)),
+            ("after_imb_pct", Json::F64(a)),
+            ("seconds", Json::F64(s)),
+            ("obs", obs.unwrap_or(Json::Null)),
+            ("parma", Json::arr(tr.iter().map(|t| t.to_json()))),
+        ])
+    };
+    let mut report = Report::new("heavy_split");
+    report.section(
+        "config",
+        Json::obj([
+            ("n", Json::U64(n as u64)),
+            ("parts", Json::U64(nparts as u64)),
+            ("ranks", Json::U64(nranks as u64)),
+            ("hmin", Json::F64(hmin)),
+            ("elements", Json::U64(mesh.num_elems() as u64)),
+        ]),
+    );
+    report.section(
+        "strategies",
+        Json::arr([
+            strategy_json("diffusion", b1, a1, s1, obs1, &tr1),
+            strategy_json("split+diffusion", b2, a2, s2, obs2, &tr2),
+        ]),
+    );
+    write_report(&report);
 }

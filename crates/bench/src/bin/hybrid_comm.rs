@@ -13,10 +13,12 @@
 //!
 //! Usage: `hybrid_comm [--n N] [--parts N]`
 
-use bench::report::{f, print_table, Table};
-use bench::workloads::aaa_mesh;
+use pumi_bench::report::{f, print_table, table_to_json, write_report, Table};
+use pumi_bench::workloads::aaa_mesh;
 use pumi_core::twolevel::{boundary_traffic_split, two_level_map};
 use pumi_core::{distribute, PartExchange};
+use pumi_obs::json::Json;
+use pumi_obs::report::Report;
 use pumi_partition::partition_mesh;
 use pumi_pcu::phased::Exchange;
 use pumi_pcu::{execute_on, MachineModel};
@@ -98,6 +100,7 @@ fn main() {
             "mesh mem (KiB)",
         ],
     );
+    let mut machine_obs: Vec<Json> = Vec::new();
     for (name, machine) in [
         ("flat (1 core/node)", MachineModel::new(nparts, 1)),
         ("2-level (8 cores/node)", MachineModel::new(nparts / 8, 8)),
@@ -130,9 +133,14 @@ fn main() {
             }
             let _ = ex.finish();
             c.barrier();
-            (c.rank() == 0).then(|| (split, c.traffic(), mem_total))
+            let obs = pumi_pcu::obs::world_report(c);
+            (c.rank() == 0).then(|| (split, c.traffic(), mem_total, obs))
         });
-        let (split, traffic, mem_total) = out.into_iter().flatten().next().unwrap();
+        let (split, traffic, mem_total, obs) = out.into_iter().flatten().next().unwrap();
+        machine_obs.push(Json::obj([
+            ("machine", Json::str(name)),
+            ("obs", obs.unwrap_or(Json::Null)),
+        ]));
         let on = split.on_node_total();
         let off = split.off_node_total();
         t2.row(vec![
@@ -179,7 +187,10 @@ fn main() {
     ]);
     t3.row(vec![
         "two-level (node, then core)".to_string(),
-        f(off_node_share(&serial, &hybrid, cores, Dim::Vertex) * 100.0, 1) + "%",
+        f(
+            off_node_share(&serial, &hybrid, cores, Dim::Vertex) * 100.0,
+            1,
+        ) + "%",
     ]);
     print_table(&t3);
     println!();
@@ -187,4 +198,20 @@ fn main() {
         "check: partitioning node-first keeps most cut surface between co-resident \
          parts — the paper's motivation for hybrid partitioning"
     );
+
+    let mut report = Report::new("hybrid_comm");
+    report.section(
+        "config",
+        Json::obj([
+            ("n", Json::U64(n as u64)),
+            ("parts", Json::U64(nparts as u64)),
+            ("elements", Json::U64(serial.num_elems() as u64)),
+        ]),
+    );
+    report.section("machines", Json::arr(machine_obs));
+    report.section(
+        "tables",
+        Json::arr([table_to_json(&t), table_to_json(&t2), table_to_json(&t3)]),
+    );
+    write_report(&report);
 }

@@ -11,8 +11,11 @@
 //!
 //! Usage: `mira_local_split [--nr N] [--nz N] [--coarse N] [--k N] [--ranks N]`
 
-use bench::workloads::{aaa_scaled, distribute_labels, AaaScale};
 use parma::{improve, EntityLoads, ImproveOpts, Priority};
+use pumi_bench::report::write_report;
+use pumi_bench::workloads::{aaa_scaled, distribute_labels, AaaScale};
+use pumi_obs::json::Json;
+use pumi_obs::report::Report;
 use pumi_partition::{partition_mesh, split_labels, PartitionQuality};
 use pumi_util::Dim;
 
@@ -64,22 +67,51 @@ fn main() {
         let before = EntityLoads::gather(c, &dm).imbalance_pct(Dim::Vertex);
         let report = improve(c, &mut dm, &pri, ImproveOpts::default());
         let after = EntityLoads::gather(c, &dm);
+        let obs = pumi_pcu::obs::world_report(c);
+        let traces = pumi_obs::parma::take();
         (c.rank() == 0).then(|| {
             (
                 before,
                 after.imbalance_pct(Dim::Vertex),
                 after.imbalance_pct(Dim::Region),
                 report.seconds,
+                obs,
+                traces,
             )
         })
     });
-    let (before, after, rgn_after, secs) = out.into_iter().flatten().next().unwrap();
+    let (before, after, rgn_after, secs, obs, traces) = out.into_iter().flatten().next().unwrap();
     println!(
         "ParMA Vtx > Rgn: vertex imbalance {before:.1}% -> {after:.1}% \
          (region {rgn_after:.1}%), {secs:.2}s"
     );
     let gain = before - after;
-    println!(
-        "check: improvement = {gain:.1} percentage points (paper: > 10 points on 1.5M parts)"
+    println!("check: improvement = {gain:.1} percentage points (paper: > 10 points on 1.5M parts)");
+
+    let mut report = Report::new("mira_local_split");
+    report.section(
+        "config",
+        Json::obj([
+            ("elements", Json::U64(scale.elements() as u64)),
+            ("coarse_parts", Json::U64(coarse as u64)),
+            ("split_factor", Json::U64(k as u64)),
+            ("fine_parts", Json::U64(fine as u64)),
+            ("ranks", Json::U64(scale.nranks as u64)),
+        ]),
     );
+    report.section(
+        "results",
+        Json::obj([
+            ("coarse_vtx_imb_pct", Json::F64(coarse_vtx_imb)),
+            ("split_vtx_imb_pct", Json::F64(split_vtx_imb)),
+            ("parma_before_pct", Json::F64(before)),
+            ("parma_after_pct", Json::F64(after)),
+            ("parma_rgn_after_pct", Json::F64(rgn_after)),
+            ("parma_seconds", Json::F64(secs)),
+            ("gain_points", Json::F64(gain)),
+        ]),
+    );
+    report.section("obs", obs.unwrap_or(Json::Null));
+    report.section("parma", Json::arr(traces.iter().map(|t| t.to_json())));
+    write_report(&report);
 }

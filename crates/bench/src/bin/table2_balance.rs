@@ -8,9 +8,12 @@
 //!
 //! Usage: `table2_balance [--nr N] [--nz N] [--parts N] [--ranks N] [--tol F]`
 
-use bench::report::{f, print_table, Table};
-use bench::workloads::{aaa_scaled, distribute_labels, AaaScale};
 use parma::{improve, EntityLoads, ImproveOpts, Priority};
+use pumi_bench::report::{f, print_table, table_to_json, write_report, Table};
+use pumi_bench::workloads::{aaa_scaled, distribute_labels, AaaScale};
+use pumi_obs::json::Json;
+use pumi_obs::parma::ParmaTrace;
+use pumi_obs::report::Report;
 use pumi_partition::{partition_mesh, PartitionQuality};
 use pumi_util::stats::Timer;
 use pumi_util::Dim;
@@ -24,6 +27,10 @@ struct TestResult {
     /// max count per dim
     max: [f64; 4],
     boundary_copies: u64,
+    /// World-reduced spans + traffic (`None` for T0, which runs serially).
+    obs: Option<Json>,
+    /// ParMA iteration trajectory.
+    parma: Vec<ParmaTrace>,
 }
 
 fn parse_args() -> (AaaScale, f64, bool) {
@@ -83,6 +90,8 @@ fn main() {
             q0.stats(Dim::Region).max,
         ],
         boundary_copies: q0.total_boundary_copies() as u64,
+        obs: None,
+        parma: Vec::new(),
     };
 
     // ---- T1..T4: ParMA on the T0 partition ----
@@ -102,14 +111,12 @@ fn main() {
                 c,
                 &mut dm,
                 &pri,
-                ImproveOpts {
-                    tol,
-                    verbose,
-                    ..ImproveOpts::default()
-                },
+                ImproveOpts::new().tol(tol).verbose(verbose),
             );
             let loads = EntityLoads::gather(c, &dm);
             let boundary = dm.global_sum(c, |p| p.shared_entities().len() as u64);
+            let obs = pumi_pcu::obs::world_report(c);
+            let traces = pumi_obs::parma::take();
             if c.rank() == 0 {
                 let mut mean = [0f64; 4];
                 let mut max = [0f64; 4];
@@ -118,12 +125,12 @@ fn main() {
                     mean[d.as_usize()] = s.mean;
                     max[d.as_usize()] = s.max;
                 }
-                Some((report.seconds, mean, max, boundary))
+                Some((report.seconds, mean, max, boundary, obs, traces))
             } else {
                 None
             }
         });
-        let (seconds, mean, max, boundary) = out.into_iter().flatten().next().unwrap();
+        let (seconds, mean, max, boundary, obs, traces) = out.into_iter().flatten().next().unwrap();
         results.push(TestResult {
             name,
             method: format!("ParMA {pri_str}"),
@@ -131,6 +138,8 @@ fn main() {
             mean,
             max,
             boundary_copies: boundary,
+            obs,
+            parma: traces,
         });
     }
 
@@ -214,4 +223,36 @@ fn main() {
         "check: boundary entities reduced vs T0 in {}/4 ParMA tests",
         shrunk
     );
+
+    // ---- Machine-readable report: results/table2_balance.json ----
+    let mut report = Report::new("table2_balance");
+    report.section(
+        "config",
+        Json::obj([
+            ("elements", Json::U64(scale.elements() as u64)),
+            ("parts", Json::U64(scale.nparts as u64)),
+            ("ranks", Json::U64(scale.nranks as u64)),
+            ("tol", Json::F64(tol)),
+        ]),
+    );
+    report.section(
+        "tests",
+        Json::arr(results.iter().map(|r| {
+            Json::obj([
+                ("name", Json::str(r.name)),
+                ("method", Json::str(&r.method)),
+                ("seconds", Json::F64(r.seconds)),
+                ("mean", Json::arr(r.mean.iter().map(|&x| Json::F64(x)))),
+                ("max", Json::arr(r.max.iter().map(|&x| Json::F64(x)))),
+                ("boundary_copies", Json::U64(r.boundary_copies)),
+                ("obs", r.obs.clone().unwrap_or(Json::Null)),
+                ("parma", Json::arr(r.parma.iter().map(|t| t.to_json()))),
+            ])
+        })),
+    );
+    report.section(
+        "tables",
+        Json::arr([table_to_json(&t1), table_to_json(&t2), table_to_json(&t3)]),
+    );
+    write_report(&report);
 }

@@ -10,10 +10,12 @@
 //!
 //! Usage: `weak_scaling [--elems-per-part N] [--max-parts N]`
 
-use bench::report::{f, print_table, Table};
-use bench::workloads::{aaa_mesh, distribute_labels};
 use parma::{improve, ImproveOpts, Priority};
+use pumi_bench::report::{f, print_table, table_to_json, write_report, Table};
+use pumi_bench::workloads::{aaa_mesh, distribute_labels};
 use pumi_core::MigrationPlan;
+use pumi_obs::json::Json;
+use pumi_obs::report::Report;
 use pumi_partition::partition_mesh;
 use pumi_util::stats::Timer;
 use pumi_util::{FxHashMap, PartId};
@@ -44,6 +46,7 @@ fn main() {
             "bnd sync (ms)",
         ],
     );
+    let mut points: Vec<Json> = Vec::new();
     let mut parts = 8usize;
     while parts <= max_parts {
         // Size the vessel so elements ≈ parts * elems_per_part.
@@ -88,15 +91,7 @@ fn main() {
             // 2. one ParMA element-balance pass.
             let timer = Timer::start();
             let pri: Priority = "Rgn".parse().unwrap();
-            improve(
-                c,
-                &mut dm,
-                &pri,
-                ImproveOpts {
-                    max_iters: 1,
-                    ..ImproveOpts::default()
-                },
-            );
+            improve(c, &mut dm, &pri, ImproveOpts::new().max_iters(1));
             c.barrier();
             let parma_ms = timer.seconds() * 1e3;
 
@@ -116,9 +111,10 @@ fn main() {
             c.barrier();
             let sync_ms = timer.seconds() * 1e3;
 
-            (c.rank() == 0).then_some((migrate_ms, parma_ms, sync_ms))
+            let obs = pumi_pcu::obs::world_report(c);
+            (c.rank() == 0).then_some((migrate_ms, parma_ms, sync_ms, obs))
         });
-        let (mig, par, sync) = out.into_iter().flatten().next().unwrap();
+        let (mig, par, sync, obs) = out.into_iter().flatten().next().unwrap();
         t.row(vec![
             parts.to_string(),
             serial.num_elems().to_string(),
@@ -127,9 +123,32 @@ fn main() {
             f(par, 1),
             f(sync, 1),
         ]);
+        points.push(Json::obj([
+            ("parts", Json::U64(parts as u64)),
+            ("elements", Json::U64(serial.num_elems() as u64)),
+            ("migrate_ms", Json::F64(mig)),
+            (
+                "per_elem_us",
+                Json::F64(mig * 1e3 / serial.num_elems() as f64),
+            ),
+            ("parma_ms", Json::F64(par)),
+            ("sync_ms", Json::F64(sync)),
+            ("obs", obs.unwrap_or(Json::Null)),
+        ]));
         parts *= 2;
     }
     print_table(&t);
+    let mut report = Report::new("weak_scaling");
+    report.section(
+        "config",
+        Json::obj([
+            ("elems_per_part", Json::U64(elems_per_part as u64)),
+            ("max_parts", Json::U64(max_parts as u64)),
+        ]),
+    );
+    report.section("points", Json::arr(points));
+    report.section("tables", Json::arr([table_to_json(&t)]));
+    write_report(&report);
     println!();
     println!(
         "check: cost per element stays near-flat as parts grow (the rank count is \

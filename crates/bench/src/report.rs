@@ -1,6 +1,10 @@
 //! Plain-text table formatting for the experiment binaries — the output
 //! mirrors the rows the paper's tables report so EXPERIMENTS.md can place
-//! them side by side.
+//! them side by side — plus the machine-readable twin: every binary also
+//! assembles a [`pumi_obs::report::Report`] and drops it in `results/`.
+
+use pumi_obs::json::Json;
+use pumi_obs::report::Report;
 
 /// A simple column-aligned table.
 #[derive(Debug, Default)]
@@ -64,6 +68,32 @@ pub fn print_table(t: &Table) {
     print!("{}", t.render());
 }
 
+/// Render a table as a JSON object (title, header, rows) for the report.
+pub fn table_to_json(t: &Table) -> Json {
+    Json::obj([
+        ("title", Json::str(&t.title)),
+        ("header", Json::arr(t.header.iter().map(Json::str))),
+        (
+            "rows",
+            Json::arr(
+                t.rows
+                    .iter()
+                    .map(|row| Json::arr(row.iter().map(Json::str))),
+            ),
+        ),
+    ])
+}
+
+/// Write `report` to `results/<name>.json`, logging the outcome to stderr.
+/// A bench run should not abort because the results directory is
+/// unwritable, so failures are reported and swallowed.
+pub fn write_report(report: &Report) {
+    match report.write() {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("warning: could not write report: {e}"),
+    }
+}
+
 /// Format a float with `prec` decimals.
 pub fn f(x: f64, prec: usize) -> String {
     format!("{x:.prec$}")
@@ -95,7 +125,7 @@ mod tests {
 
     #[test]
     fn float_formatting() {
-        assert_eq!(f(3.14159, 2), "3.14");
+        assert_eq!(f(1.23456, 2), "1.23");
         assert_eq!(f(10.0, 0), "10");
     }
 }

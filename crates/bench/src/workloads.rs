@@ -1,9 +1,9 @@
 //! Workload construction for the experiment binaries.
 
 use pumi_core::{distribute, DistMesh, PartMap};
+use pumi_geom::builders::VesselSpec;
 use pumi_mesh::Mesh;
 use pumi_meshgen::{jitter, vessel_tet, wing_tet};
-use pumi_geom::builders::VesselSpec;
 use pumi_pcu::Comm;
 use pumi_util::PartId;
 
@@ -73,12 +73,7 @@ pub fn wing_mesh(n: usize) -> Mesh {
 
 /// Distribute a serial mesh by element labels onto `nparts` parts over
 /// `comm`'s ranks (block-contiguous part→rank map).
-pub fn distribute_labels(
-    comm: &Comm,
-    serial: &Mesh,
-    labels: &[PartId],
-    nparts: usize,
-) -> DistMesh {
+pub fn distribute_labels(comm: &Comm, serial: &Mesh, labels: &[PartId], nparts: usize) -> DistMesh {
     let map = PartMap::contiguous(nparts, comm.nranks());
     distribute(comm, map, serial, labels)
 }

@@ -164,11 +164,16 @@ impl<'c, 'm> PartExchange<'c, 'm> {
             out.put_bytes(&w.into_vec());
         }
         let mut result = Vec::new();
-        for (_, mut r) in ex.finish() {
+        for (sender, mut r) in ex.finish() {
             while !r.is_done() {
-                let from = r.get_u32();
-                let to = r.get_u32();
-                let body = r.get_bytes();
+                let frame = || -> Result<(PartId, PartId, Vec<u8>), pumi_pcu::MsgError> {
+                    let from = r.try_get_u32()?;
+                    let to = r.try_get_u32()?;
+                    let body = r.try_get_bytes()?;
+                    Ok((from, to, body))
+                }();
+                let (from, to, body) =
+                    frame.unwrap_or_else(|e| panic!("corrupt part frame from rank {sender}: {e}"));
                 result.push((from, to, MsgReader::from_vec(body)));
             }
         }
@@ -185,6 +190,7 @@ impl<'c, 'm> PartExchange<'c, 'm> {
 /// indices, so part-boundary copies match across parts; remote-copy links
 /// are then established with one real exchange.
 pub fn distribute(comm: &Comm, map: PartMap, serial: &Mesh, elem_part: &[PartId]) -> DistMesh {
+    let _span = pumi_obs::span!("dist");
     let elem_dim = serial.elem_dim();
     let d_elem = Dim::from_usize(elem_dim);
     assert_eq!(elem_part.len(), serial.index_space(d_elem));
@@ -385,8 +391,8 @@ mod tests {
             ];
             let mut owned = [0u64; 3];
             for p in &dm.parts {
-                for d in 0..3 {
-                    owned[d] += p
+                for (d, o) in owned.iter_mut().enumerate() {
+                    *o += p
                         .mesh
                         .iter(Dim::from_usize(d))
                         .filter(|&e| p.is_owned(e))

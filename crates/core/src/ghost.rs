@@ -15,8 +15,83 @@ use crate::migrate::{pack_tags, unpack_tags};
 use crate::part::Part;
 use pumi_geom::GeomEnt;
 use pumi_mesh::Topology;
-use pumi_pcu::Comm;
+use pumi_pcu::{Comm, MsgError, MsgReader};
 use pumi_util::{Dim, FxHashMap, FxHashSet, MeshEnt, PartId};
+
+/// Ghost-creation acknowledgement: (dim, owner idx, holder idx).
+type Ack = (u8, u32, u32);
+
+/// Unpack one buffer of ghost-entity frames into `part`, creating missing
+/// entities as ghost copies and collecting acks for the owner.
+fn unpack_ghost_entities(
+    r: &mut MsgReader,
+    part: &mut Part,
+    from: PartId,
+    elem_dim: usize,
+    total: &mut u64,
+    ack: &mut Vec<Ack>,
+) -> Result<(), MsgError> {
+    while !r.is_done() {
+        let d = Dim::from_usize(r.try_get_u8()? as usize);
+        let topo = Topology::from_u8(r.try_get_u8()?);
+        let gid = r.try_get_u64()?;
+        let class = GeomEnt(r.try_get_u32()?);
+        let src_idx = r.try_get_u32()?;
+        let (e, fresh) = if d == Dim::Vertex {
+            let x = [r.try_get_f64()?, r.try_get_f64()?, r.try_get_f64()?];
+            match part.find_gid(d, gid) {
+                Some(e) => (e, false),
+                None => (part.add_vertex(x, class, gid), true),
+            }
+        } else {
+            let vgids = r.try_get_u64_slice()?;
+            match part.find_gid(d, gid) {
+                Some(e) => (e, false),
+                None => {
+                    let verts: Vec<u32> = vgids
+                        .iter()
+                        .map(|&g| {
+                            part.find_gid(Dim::Vertex, g)
+                                .expect("ghost closure vertex missing")
+                                .index()
+                        })
+                        .collect();
+                    (part.add_entity(topo, &verts, class, gid), true)
+                }
+            }
+        };
+        if fresh {
+            part.set_ghost(e, (from, src_idx));
+            ack.push((d.as_usize() as u8, src_idx, e.index()));
+            if d == Dim::from_usize(elem_dim) {
+                *total += 1;
+            }
+        }
+        unpack_tags(part, e, r)?;
+    }
+    Ok(())
+}
+
+/// Unpack ghost acknowledgements: owners record which parts hold copies.
+fn unpack_ghost_acks(r: &mut MsgReader, part: &mut Part, from: PartId) -> Result<(), MsgError> {
+    while !r.is_done() {
+        let d = Dim::from_usize(r.try_get_u8()? as usize);
+        let my_idx = r.try_get_u32()?;
+        let their_idx = r.try_get_u32()?;
+        part.add_ghosted_to(MeshEnt::new(d, my_idx), (from, their_idx));
+    }
+    Ok(())
+}
+
+/// Unpack `(dim, idx, tags...)` frames pushed by [`sync_ghost_tags`].
+fn unpack_tag_frames(r: &mut MsgReader, part: &mut Part) -> Result<(), MsgError> {
+    while !r.is_done() {
+        let d = Dim::from_usize(r.try_get_u8()? as usize);
+        let idx = r.try_get_u32()?;
+        unpack_tags(part, MeshEnt::new(d, idx), r)?;
+    }
+    Ok(())
+}
 
 /// Create `nlayers` of ghost elements around every part boundary, bridged
 /// through `bridge` (e.g. `Dim::Vertex` ghosts everything sharing a boundary
@@ -24,9 +99,14 @@ use pumi_util::{Dim, FxHashMap, FxHashSet, MeshEnt, PartId};
 /// stencils). Collective. Returns the total number of ghost element copies
 /// created world-wide.
 pub fn ghost_layers(comm: &Comm, dm: &mut DistMesh, bridge: Dim, nlayers: usize) -> u64 {
+    let _span = pumi_obs::span!("ghost");
+    pumi_obs::metrics::counter_add("ghost.calls", 1);
     let elem_dim = dm.parts.first().map(|p| p.mesh.elem_dim()).unwrap_or(2);
     let d_elem = Dim::from_usize(elem_dim);
-    assert!(bridge.as_usize() < elem_dim, "bridge must be below elements");
+    assert!(
+        bridge.as_usize() < elem_dim,
+        "bridge must be below elements"
+    );
     let nlocal = dm.parts.len();
 
     // sent[slot][q] = elements already copied to part q (as handles).
@@ -79,10 +159,7 @@ pub fn ghost_layers(comm: &Comm, dm: &mut DistMesh, bridge: Dim, nlayers: usize)
         }
         // The next layer grows from what each part ships now.
         for slot in 0..nlocal {
-            frontier[slot] = to_send[slot]
-                .iter()
-                .map(|(&q, v)| (q, v.clone()))
-                .collect();
+            frontier[slot] = to_send[slot].iter().map(|(&q, v)| (q, v.clone())).collect();
         }
 
         // 2. Pack closures (bottom-up) and send.
@@ -132,50 +209,19 @@ pub fn ghost_layers(comm: &Comm, dm: &mut DistMesh, bridge: Dim, nlayers: usize)
 
         // 3. Receive: create missing entities as ghosts; reply with local
         //    indices so owners can track ghost holders.
-        type Ack = (u8, u32, u32); // (dim, owner idx, holder idx)
         let mut replies: Vec<(PartId, PartId, Vec<Ack>)> = Vec::new();
         for (from, to, mut r) in ex.finish() {
             let slot = dm.map.slot_of(to);
             let mut ack: Vec<Ack> = Vec::new();
-            while !r.is_done() {
-                let d = Dim::from_usize(r.get_u8() as usize);
-                let topo = Topology::from_u8(r.get_u8());
-                let gid = r.get_u64();
-                let class = GeomEnt(r.get_u32());
-                let src_idx = r.get_u32();
-                let part = &mut dm.parts[slot];
-                let (e, fresh) = if d == Dim::Vertex {
-                    let x = [r.get_f64(), r.get_f64(), r.get_f64()];
-                    match part.find_gid(d, gid) {
-                        Some(e) => (e, false),
-                        None => (part.add_vertex(x, class, gid), true),
-                    }
-                } else {
-                    let vgids = r.get_u64_slice();
-                    match part.find_gid(d, gid) {
-                        Some(e) => (e, false),
-                        None => {
-                            let verts: Vec<u32> = vgids
-                                .iter()
-                                .map(|&g| {
-                                    part.find_gid(Dim::Vertex, g)
-                                        .expect("ghost closure vertex missing")
-                                        .index()
-                                })
-                                .collect();
-                            (part.add_entity(topo, &verts, class, gid), true)
-                        }
-                    }
-                };
-                if fresh {
-                    part.set_ghost(e, (from, src_idx));
-                    ack.push((d.as_usize() as u8, src_idx, e.index()));
-                    if d == Dim::from_usize(elem_dim) {
-                        total += 1;
-                    }
-                }
-                unpack_tags(&mut dm.parts[slot], e, &mut r);
-            }
+            unpack_ghost_entities(
+                &mut r,
+                &mut dm.parts[slot],
+                from,
+                elem_dim,
+                &mut total,
+                &mut ack,
+            )
+            .unwrap_or_else(|e| panic!("corrupt ghost frame {from}->{to}: {e}"));
             if !ack.is_empty() {
                 replies.push((to, from, ack));
             }
@@ -193,13 +239,8 @@ pub fn ghost_layers(comm: &Comm, dm: &mut DistMesh, bridge: Dim, nlayers: usize)
         }
         for (from, to, mut r) in ex.finish() {
             let slot = dm.map.slot_of(to);
-            let part = &mut dm.parts[slot];
-            while !r.is_done() {
-                let d = Dim::from_usize(r.get_u8() as usize);
-                let my_idx = r.get_u32();
-                let their_idx = r.get_u32();
-                part.add_ghosted_to(MeshEnt::new(d, my_idx), (from, their_idx));
-            }
+            unpack_ghost_acks(&mut r, &mut dm.parts[slot], from)
+                .unwrap_or_else(|e| panic!("corrupt ghost ack frame {from}->{to}: {e}"));
         }
     }
     comm.allreduce_sum_u64(total)
@@ -209,6 +250,7 @@ pub fn ghost_layers(comm: &Comm, dm: &mut DistMesh, bridge: Dim, nlayers: usize)
 /// sense (no communication needed — owner-side `ghosted_to` records are
 /// cleared locally too).
 pub fn delete_ghosts(dm: &mut DistMesh) {
+    let _span = pumi_obs::span!("ghost.delete");
     for part in &mut dm.parts {
         let ghosts = part.ghost_entities();
         // Top-down: elements, then faces, edges, vertices with no remaining
@@ -238,12 +280,11 @@ pub fn delete_ghosts(dm: &mut DistMesh) {
 /// (read-only contract: ghosts never push back). Syncs every tag present on
 /// each ghosted entity. Collective.
 pub fn sync_ghost_tags(comm: &Comm, dm: &mut DistMesh) {
+    let _span = pumi_obs::span!("ghost.sync_tags");
     let mut ex = PartExchange::new(comm, &dm.map);
     for part in &dm.parts {
-        let mut items: Vec<(MeshEnt, Vec<(PartId, u32)>)> = part
-            .ghost_entities_owner_side()
-            .into_iter()
-            .collect();
+        let mut items: Vec<(MeshEnt, Vec<(PartId, u32)>)> =
+            part.ghost_entities_owner_side().into_iter().collect();
         items.sort_by_key(|(e, _)| *e);
         for (e, holders) in items {
             for (q, their_idx) in holders {
@@ -254,14 +295,10 @@ pub fn sync_ghost_tags(comm: &Comm, dm: &mut DistMesh) {
             }
         }
     }
-    for (_, to, mut r) in ex.finish() {
+    for (from, to, mut r) in ex.finish() {
         let slot = dm.map.slot_of(to);
-        while !r.is_done() {
-            let d = Dim::from_usize(r.get_u8() as usize);
-            let idx = r.get_u32();
-            let e = MeshEnt::new(d, idx);
-            unpack_tags(&mut dm.parts[slot], e, &mut r);
-        }
+        unpack_tag_frames(&mut r, &mut dm.parts[slot])
+            .unwrap_or_else(|e| panic!("corrupt ghost tag frame {from}->{to}: {e}"));
     }
 }
 
@@ -312,11 +349,7 @@ mod tests {
             let part = dm.part(c.rank() as PartId);
             // Ghost elements appeared, marked ghost.
             assert!(part.mesh.num_elems() > before);
-            let ghost_elems = part
-                .mesh
-                .elems()
-                .filter(|&e| part.is_ghost(e))
-                .count();
+            let ghost_elems = part.mesh.elems().filter(|&e| part.is_ghost(e)).count();
             assert_eq!(part.mesh.num_elems() - before, ghost_elems);
             part.mesh.assert_valid();
             // Owners know their holders.

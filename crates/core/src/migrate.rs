@@ -25,7 +25,7 @@ use crate::dist::{DistMesh, PartExchange};
 use crate::part::{Part, NO_GID};
 use pumi_geom::GeomEnt;
 use pumi_mesh::Topology;
-use pumi_pcu::{Comm, MsgReader, MsgWriter};
+use pumi_pcu::{Comm, MsgError, MsgReader, MsgWriter};
 use pumi_util::tag::{TagData, TagKind};
 use pumi_util::{Dim, FxHashMap, FxHashSet, GlobalId, MeshEnt, PartId};
 
@@ -86,22 +86,108 @@ pub(crate) fn pack_tags(part: &Part, e: MeshEnt, w: &mut MsgWriter) {
     }
 }
 
-pub(crate) fn unpack_tags(part: &mut Part, e: MeshEnt, r: &mut MsgReader) {
-    let n = r.get_u32();
+pub(crate) fn unpack_tags(part: &mut Part, e: MeshEnt, r: &mut MsgReader) -> Result<(), MsgError> {
+    let n = r.try_get_u32()?;
     for _ in 0..n {
-        let name = String::from_utf8(r.get_bytes()).expect("tag name utf8");
-        let kind = match r.get_u8() {
+        let name = String::from_utf8(r.try_get_bytes()?).expect("tag name utf8");
+        let kind = match r.try_get_u8()? {
             0 => TagKind::Int,
             1 => TagKind::Double,
             _ => TagKind::Bytes,
         };
-        let len = r.get_u32() as usize;
-        let buf = r.get_bytes();
+        let len = r.try_get_u32()? as usize;
+        let buf = r.try_get_bytes()?;
         let mut pos = 0;
         let data = TagData::decode(&buf, &mut pos).expect("tag data");
         let tid = part.mesh.tags_mut().declare(&name, kind, len);
         part.mesh.tags_mut().set(tid, e, data);
     }
+    Ok(())
+}
+
+/// Unpack one phase-1 residence frame, unioning peer contributions into
+/// `res`. Frames are self-delimiting; any underrun names writer/reader
+/// disagreement.
+fn unpack_residence(
+    r: &mut MsgReader,
+    part: &Part,
+    res: &mut FxHashMap<MeshEnt, Vec<PartId>>,
+) -> Result<(), MsgError> {
+    while !r.is_done() {
+        let d = Dim::from_usize(r.try_get_u8()? as usize);
+        let gid = r.try_get_u64()?;
+        let parts = r.try_get_u32_slice()?;
+        if let Some(e) = part.find_gid(d, gid) {
+            let entry = res.entry(e).or_default();
+            entry.extend(parts);
+            entry.sort_unstable();
+            entry.dedup();
+        }
+    }
+    Ok(())
+}
+
+/// Unpack one phase-2 entity frame: create the entities this part lacks
+/// (bottom-up order is the sender's contract) and record their residence.
+fn unpack_entities(
+    r: &mut MsgReader,
+    parts: &mut [Part],
+    slot: usize,
+    res_out: &mut FxHashMap<MeshEnt, Vec<PartId>>,
+) -> Result<(), MsgError> {
+    while !r.is_done() {
+        let d = Dim::from_usize(r.try_get_u8()? as usize);
+        let topo = Topology::from_u8(r.try_get_u8()?);
+        let gid = r.try_get_u64()?;
+        let class = GeomEnt(r.try_get_u32()?);
+        let res: Vec<PartId> = r.try_get_u32_slice()?;
+        let part = &mut parts[slot];
+        let e = if d == Dim::Vertex {
+            let x = [r.try_get_f64()?, r.try_get_f64()?, r.try_get_f64()?];
+            match part.find_gid(d, gid) {
+                Some(e) => e,
+                None => part.add_vertex(x, class, gid),
+            }
+        } else {
+            let vgids = r.try_get_u64_slice()?;
+            match part.find_gid(d, gid) {
+                Some(e) => e,
+                None => {
+                    let verts: Vec<u32> = vgids
+                        .iter()
+                        .map(|&g| {
+                            part.find_gid(Dim::Vertex, g)
+                                .expect("closure vertex not yet created")
+                                .index()
+                        })
+                        .collect();
+                    part.add_entity(topo, &verts, class, gid)
+                }
+            }
+        };
+        unpack_tags(&mut parts[slot], e, r)?;
+        res_out.insert(e, res);
+    }
+    Ok(())
+}
+
+/// Unpack one phase-3 stitch frame into `(peer part, remote index)` lists.
+fn unpack_stitch(
+    r: &mut MsgReader,
+    part: &Part,
+    from: PartId,
+    out: &mut FxHashMap<MeshEnt, Vec<(PartId, u32)>>,
+) -> Result<(), MsgError> {
+    while !r.is_done() {
+        let d = Dim::from_usize(r.try_get_u8()? as usize);
+        let gid = r.try_get_u64()?;
+        let ridx = r.try_get_u32()?;
+        let e = part
+            .find_gid(d, gid)
+            .expect("stitch for entity this part does not hold");
+        out.entry(e).or_default().push((from, ridx));
+    }
+    Ok(())
 }
 
 /// Execute a migration across the whole world. Every rank passes the plans
@@ -115,11 +201,9 @@ pub fn migrate(
     dm: &mut DistMesh,
     plans: &FxHashMap<PartId, MigrationPlan>,
 ) -> MigrationStats {
-    let elem_dim = dm
-        .parts
-        .first()
-        .map(|p| p.mesh.elem_dim())
-        .unwrap_or(2);
+    let _span = pumi_obs::span!("migrate");
+    pumi_obs::metrics::counter_add("migrate.calls", 1);
+    let elem_dim = dm.parts.first().map(|p| p.mesh.elem_dim()).unwrap_or(2);
     let d_elem = Dim::from_usize(elem_dim);
     for p in &dm.parts {
         assert_eq!(p.num_ghosts(), 0, "delete ghosts before migrating");
@@ -130,6 +214,7 @@ pub fn migrate(
     // ------------------------------------------------------------------
     // Phase 1: residence.
     // ------------------------------------------------------------------
+    let phase1 = pumi_obs::span!("migrate.residence");
     // touched entities + local residence contributions, per local part slot.
     let mut contrib: Vec<FxHashMap<MeshEnt, Vec<PartId>>> = vec![FxHashMap::default(); nlocal];
     for (slot, part) in dm.parts.iter().enumerate() {
@@ -177,25 +262,18 @@ pub fn migrate(
     }
     // new_res starts as the local contribution, then unions in peers'.
     let mut new_res: Vec<FxHashMap<MeshEnt, Vec<PartId>>> = contrib;
-    for (_, to, mut r) in ex.finish() {
+    for (from, to, mut r) in ex.finish() {
         let slot = dm.map.slot_of(to);
         let part = &dm.parts[slot];
-        while !r.is_done() {
-            let d = Dim::from_usize(r.get_u8() as usize);
-            let gid = r.get_u64();
-            let parts = r.get_u32_slice();
-            if let Some(e) = part.find_gid(d, gid) {
-                let entry = new_res[slot].entry(e).or_default();
-                entry.extend(parts);
-                entry.sort_unstable();
-                entry.dedup();
-            }
-        }
+        unpack_residence(&mut r, part, &mut new_res[slot])
+            .unwrap_or_else(|e| panic!("corrupt residence frame {from}->{to}: {e}"));
     }
+    drop(phase1);
 
     // ------------------------------------------------------------------
     // Phase 2: entities.
     // ------------------------------------------------------------------
+    let phase2 = pumi_obs::span!("migrate.entities");
     let mut entities_sent = 0u64;
     let mut elements_moved = 0u64;
     let mut ex = PartExchange::new(comm, &dm.map);
@@ -218,8 +296,7 @@ pub fn migrate(
                 }
             }
         }
-        let mut dests: Vec<(&PartId, &[Vec<MeshEnt>; 4])> =
-            send_sets.iter().collect();
+        let mut dests: Vec<(&PartId, &[Vec<MeshEnt>; 4])> = send_sets.iter().collect();
         dests.sort_by_key(|&(k, _)| *k);
         for (&to, by_dim) in dests {
             let w = ex.to(part.id, to);
@@ -230,10 +307,7 @@ pub fn migrate(
                     w.put_u8(part.mesh.topo(e).to_u8());
                     w.put_u64(part.gid_of(e));
                     w.put_u32(part.mesh.class_of(e).0);
-                    let res = new_res[slot]
-                        .get(&e)
-                        .cloned()
-                        .unwrap_or_else(|| vec![to]); // elements: dest only
+                    let res = new_res[slot].get(&e).cloned().unwrap_or_else(|| vec![to]); // elements: dest only
                     w.put_u32_slice(&res);
                     if d == 0 {
                         let x = part.mesh.coords(e);
@@ -256,46 +330,17 @@ pub fn migrate(
     }
     // Receive: create missing entities; remember their residence sets.
     let received = ex.finish();
-    for (_, to, mut r) in received {
+    for (from, to, mut r) in received {
         let slot = dm.map.slot_of(to);
-        while !r.is_done() {
-            let d = Dim::from_usize(r.get_u8() as usize);
-            let topo = Topology::from_u8(r.get_u8());
-            let gid = r.get_u64();
-            let class = GeomEnt(r.get_u32());
-            let res: Vec<PartId> = r.get_u32_slice();
-            let part = &mut dm.parts[slot];
-            let e = if d == Dim::Vertex {
-                let x = [r.get_f64(), r.get_f64(), r.get_f64()];
-                match part.find_gid(d, gid) {
-                    Some(e) => e,
-                    None => part.add_vertex(x, class, gid),
-                }
-            } else {
-                let vgids = r.get_u64_slice();
-                match part.find_gid(d, gid) {
-                    Some(e) => e,
-                    None => {
-                        let verts: Vec<u32> = vgids
-                            .iter()
-                            .map(|&g| {
-                                part.find_gid(Dim::Vertex, g)
-                                    .expect("closure vertex not yet created")
-                                    .index()
-                            })
-                            .collect();
-                        part.add_entity(topo, &verts, class, gid)
-                    }
-                }
-            };
-            unpack_tags(&mut dm.parts[slot], e, &mut r);
-            new_res[slot].insert(e, res);
-        }
+        unpack_entities(&mut r, &mut dm.parts, slot, &mut new_res[slot])
+            .unwrap_or_else(|e| panic!("corrupt entity frame {from}->{to}: {e}"));
     }
+    drop(phase2);
 
     // ------------------------------------------------------------------
     // Phase 3: stitch remote copies, then delete leavers.
     // ------------------------------------------------------------------
+    let phase3 = pumi_obs::span!("migrate.stitch");
     let mut ex = PartExchange::new(comm, &dm.map);
     for (slot, part) in dm.parts.iter().enumerate() {
         for (&e, res) in &new_res[slot] {
@@ -328,15 +373,8 @@ pub fn migrate(
     for (from, to, mut r) in ex.finish() {
         let slot = dm.map.slot_of(to);
         let part = &dm.parts[slot];
-        while !r.is_done() {
-            let d = Dim::from_usize(r.get_u8() as usize);
-            let gid = r.get_u64();
-            let ridx = r.get_u32();
-            let e = part
-                .find_gid(d, gid)
-                .expect("stitch for entity this part does not hold");
-            stitched[slot].entry(e).or_default().push((from, ridx));
-        }
+        unpack_stitch(&mut r, part, from, &mut stitched[slot])
+            .unwrap_or_else(|e| panic!("corrupt stitch frame {from}->{to}: {e}"));
     }
     for (slot, map) in stitched.into_iter().enumerate() {
         let part = &mut dm.parts[slot];
@@ -361,9 +399,7 @@ pub fn migrate(
         for d in (0..elem_dim).rev() {
             let mut goers: Vec<MeshEnt> = new_res[slot]
                 .iter()
-                .filter(|(e, res)| {
-                    e.dim().as_usize() == d && !res.contains(&part.id)
-                })
+                .filter(|(e, res)| e.dim().as_usize() == d && !res.contains(&part.id))
                 .map(|(&e, _)| e)
                 .collect();
             goers.sort_unstable();
@@ -375,10 +411,15 @@ pub fn migrate(
         }
     }
 
-    MigrationStats {
+    drop(phase3);
+
+    let stats = MigrationStats {
         elements_moved: comm.allreduce_sum_u64(elements_moved),
         entities_sent: comm.allreduce_sum_u64(entities_sent),
-    }
+    };
+    pumi_obs::metrics::hist_record("migrate.elements_moved", stats.elements_moved as f64);
+    pumi_obs::metrics::hist_record("migrate.entities_sent", stats.entities_sent as f64);
+    stats
 }
 
 /// Sanity helper used by tests: every live entity has a gid.
@@ -443,10 +484,7 @@ mod tests {
             }
             // Owned vertices still total the serial count.
             let owned_v: u64 = dm.global_sum(c, |p| {
-                p.mesh
-                    .iter(Dim::Vertex)
-                    .filter(|&v| p.is_owned(v))
-                    .count() as u64
+                p.mesh.iter(Dim::Vertex).filter(|&v| p.is_owned(v)).count() as u64
             });
             assert_eq!(owned_v, serial.count(Dim::Vertex) as u64);
         });
@@ -579,10 +617,7 @@ mod tests {
             let mut moved_gid = 0u64;
             if c.rank() == 0 {
                 let part = dm.part_mut(0);
-                let tid = part
-                    .mesh
-                    .tags_mut()
-                    .declare("w", TagKind::Double, 1);
+                let tid = part.mesh.tags_mut().declare("w", TagKind::Double, 1);
                 let elem = part.mesh.elems().next().unwrap();
                 part.mesh.tags_mut().set_dbl(tid, elem, 2.5);
                 moved_gid = part.gid_of(elem);

@@ -9,8 +9,8 @@
 //! boundary entities, and ghost provenance. "Each part is treated as a
 //! serial mesh with the addition of mesh part boundaries."
 
-use pumi_mesh::{Mesh, Topology};
 use pumi_geom::GeomEnt;
+use pumi_mesh::{Mesh, Topology};
 use pumi_util::ids::make_global_id;
 use pumi_util::{Dim, FxHashMap, FxHashSet, GlobalId, MeshEnt, PartId};
 
@@ -70,7 +70,9 @@ impl Part {
             self.gids[d].resize(e.idx() + 1, NO_GID);
         }
         debug_assert!(
-            self.gids[d][e.idx()] == NO_GID || !self.mesh.is_live(e) || self.gids[d][e.idx()] == gid,
+            self.gids[d][e.idx()] == NO_GID
+                || !self.mesh.is_live(e)
+                || self.gids[d][e.idx()] == gid,
             "gid reassignment for {e:?}"
         );
         self.gids[d][e.idx()] = gid;
@@ -94,7 +96,8 @@ impl Part {
         class: GeomEnt,
         gid: GlobalId,
     ) -> MeshEnt {
-        let existed = topo.dim() != Dim::Region && self.mesh.find_entity(topo.dim(), verts).is_some();
+        let existed =
+            topo.dim() != Dim::Region && self.mesh.find_entity(topo.dim(), verts).is_some();
         let e = self.mesh.add_entity(topo, verts, class);
         if existed {
             debug_assert_eq!(self.gid_of(e), gid, "gid mismatch on find: {e:?}");

@@ -58,7 +58,11 @@ impl PtnModel {
             let dim = elem_dim.saturating_sub(parts.len() - 1);
             let owner = parts[0];
             let i = ents.len() as u32;
-            ents.push(PtnEnt { dim, parts: parts.clone(), owner });
+            ents.push(PtnEnt {
+                dim,
+                parts: parts.clone(),
+                owner,
+            });
             key_index.insert(parts, i);
             i
         };
@@ -148,7 +152,10 @@ mod tests {
         );
         part.set_remotes(vi, vec![(1, 0), (2, 0)]);
         part.set_remotes(vj, vec![(1, 1)]);
-        let edge_ij = part.mesh.find_entity(Dim::Edge, &[vi.index(), vj.index()]).unwrap();
+        let edge_ij = part
+            .mesh
+            .find_entity(Dim::Edge, &[vi.index(), vj.index()])
+            .unwrap();
         part.set_remotes(edge_ij, vec![(1, 5)]);
 
         let pm = PtnModel::build(&part);
@@ -177,9 +184,17 @@ mod tests {
         let a = part.add_vertex([0.; 3], NO_GEOM, 1);
         let b = part.add_vertex([1., 0., 0.], NO_GEOM, 2);
         let c = part.add_vertex([0., 1., 0.], NO_GEOM, 3);
-        part.add_entity(Topology::Triangle, &[a.index(), b.index(), c.index()], NO_GEOM, 10);
+        part.add_entity(
+            Topology::Triangle,
+            &[a.index(), b.index(), c.index()],
+            NO_GEOM,
+            10,
+        );
         part.set_remotes(a, vec![(3, 0), (7, 0)]);
-        let e = part.mesh.find_entity(Dim::Edge, &[a.index(), b.index()]).unwrap();
+        let e = part
+            .mesh
+            .find_entity(Dim::Edge, &[a.index(), b.index()])
+            .unwrap();
         part.set_remotes(e, vec![(3, 1)]);
         part.set_remotes(b, vec![(3, 2)]);
         assert_eq!(PtnModel::neighbors(&part, Dim::Vertex), vec![3, 7]);
@@ -193,7 +208,12 @@ mod tests {
         let a = part.add_vertex([0.; 3], NO_GEOM, 1);
         let b = part.add_vertex([1., 0., 0.], NO_GEOM, 2);
         let c = part.add_vertex([0., 1., 0.], NO_GEOM, 3);
-        part.add_entity(Topology::Triangle, &[a.index(), b.index(), c.index()], NO_GEOM, 10);
+        part.add_entity(
+            Topology::Triangle,
+            &[a.index(), b.index(), c.index()],
+            NO_GEOM,
+            10,
+        );
         let pm = PtnModel::build(&part);
         assert_eq!(pm.ents.len(), 1);
         assert_eq!(pm.classify(a).parts, vec![5]);

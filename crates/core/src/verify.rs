@@ -224,11 +224,7 @@ mod tests {
             // Corrupt one remote link on part 0.
             if c.rank() == 0 {
                 let part = dm.part_mut(0);
-                let shared: Vec<_> = part
-                    .shared_entities()
-                    .iter()
-                    .map(|(e, _)| *e)
-                    .collect();
+                let shared: Vec<_> = part.shared_entities().iter().map(|(e, _)| *e).collect();
                 let victim = shared[0];
                 part.set_remotes(victim, vec![(1, 999_999)]);
             }

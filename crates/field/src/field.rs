@@ -140,8 +140,8 @@ impl Field {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use pumi_mesh::NO_GEOM;
     use pumi_mesh::Topology;
+    use pumi_mesh::NO_GEOM;
 
     fn tri_mesh() -> Mesh {
         let mut m = Mesh::new(2);

@@ -8,8 +8,23 @@
 
 use crate::field::Field;
 use pumi_core::{DistMesh, PartExchange};
-use pumi_pcu::Comm;
+use pumi_pcu::{Comm, MsgError, MsgReader};
 use pumi_util::{Dim, MeshEnt};
+
+/// Unpack `(dim, idx, values)` frames, applying `apply(field_slot_entity,
+/// values)` — shared by the sync and accumulate receive loops.
+fn unpack_node_values(
+    r: &mut MsgReader,
+    mut apply: impl FnMut(MeshEnt, Vec<f64>),
+) -> Result<(), MsgError> {
+    while !r.is_done() {
+        let d = Dim::from_usize(r.try_get_u8()? as usize);
+        let idx = r.try_get_u32()?;
+        let v = r.try_get_f64_slice()?;
+        apply(MeshEnt::new(d, idx), v);
+    }
+    Ok(())
+}
 
 /// One field per local part, aligned with `dm.parts`.
 pub type DistField = Vec<Field>;
@@ -22,6 +37,7 @@ pub fn dist_field(dm: &DistMesh, template: &Field) -> DistField {
 /// Push node values of owned shared entities to their remote copies. After
 /// this, all copies agree with the owner.
 pub fn sync_owned_to_copies(comm: &Comm, dm: &DistMesh, fields: &mut DistField) {
+    let _span = pumi_obs::span!("field.sync");
     assert_eq!(fields.len(), dm.parts.len());
     let node_dims: Vec<Dim> = fields
         .first()
@@ -33,7 +49,9 @@ pub fn sync_owned_to_copies(comm: &Comm, dm: &DistMesh, fields: &mut DistField) 
             if !node_dims.contains(&e.dim()) || !part.is_owned(e) {
                 continue;
             }
-            let Some(v) = fields[slot].get(e) else { continue };
+            let Some(v) = fields[slot].get(e) else {
+                continue;
+            };
             for &(q, ridx) in remotes {
                 let w = ex.to(part.id, q);
                 w.put_u8(e.dim().as_usize() as u8);
@@ -42,14 +60,10 @@ pub fn sync_owned_to_copies(comm: &Comm, dm: &DistMesh, fields: &mut DistField) 
             }
         }
     }
-    for (_, to, mut r) in ex.finish() {
+    for (from, to, mut r) in ex.finish() {
         let slot = dm.map.slot_of(to);
-        while !r.is_done() {
-            let d = Dim::from_usize(r.get_u8() as usize);
-            let idx = r.get_u32();
-            let v = r.get_f64_slice();
-            fields[slot].set(MeshEnt::new(d, idx), &v);
-        }
+        unpack_node_values(&mut r, |e, v| fields[slot].set(e, &v))
+            .unwrap_or_else(|e| panic!("corrupt field sync frame {from}->{to}: {e}"));
     }
 }
 
@@ -57,6 +71,7 @@ pub fn sync_owned_to_copies(comm: &Comm, dm: &DistMesh, fields: &mut DistField) 
 /// (copies → owner → sum → copies). This is the FE assembly reduction: each
 /// part assembles its elements, then shared dofs are accumulated.
 pub fn accumulate(comm: &Comm, dm: &DistMesh, fields: &mut DistField) {
+    let _span = pumi_obs::span!("field.accumulate");
     assert_eq!(fields.len(), dm.parts.len());
     let node_dims: Vec<Dim> = fields
         .first()
@@ -73,26 +88,28 @@ pub fn accumulate(comm: &Comm, dm: &DistMesh, fields: &mut DistField) {
             let Some(&(_, oidx)) = remotes.iter().find(|&&(q, _)| q == owner) else {
                 continue;
             };
-            let Some(v) = fields[slot].get(e) else { continue };
+            let Some(v) = fields[slot].get(e) else {
+                continue;
+            };
             let w = ex.to(part.id, owner);
             w.put_u8(e.dim().as_usize() as u8);
             w.put_u32(oidx);
             w.put_f64_slice(v);
         }
     }
-    for (_, to, mut r) in ex.finish() {
+    for (from, to, mut r) in ex.finish() {
         let slot = dm.map.slot_of(to);
-        while !r.is_done() {
-            let d = Dim::from_usize(r.get_u8() as usize);
-            let idx = r.get_u32();
-            let v = r.get_f64_slice();
-            let e = MeshEnt::new(d, idx);
-            let mut cur = fields[slot].get(e).map(|x| x.to_vec()).unwrap_or_else(|| vec![0.0; v.len()]);
+        unpack_node_values(&mut r, |e, v| {
+            let mut cur = fields[slot]
+                .get(e)
+                .map(|x| x.to_vec())
+                .unwrap_or_else(|| vec![0.0; v.len()]);
             for (c, x) in cur.iter_mut().zip(&v) {
                 *c += x;
             }
             fields[slot].set(e, &cur);
-        }
+        })
+        .unwrap_or_else(|e| panic!("corrupt field accumulate frame {from}->{to}: {e}"));
     }
     // Owner pushes the sums back.
     sync_owned_to_copies(comm, dm, fields);

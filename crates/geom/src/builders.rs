@@ -338,11 +338,26 @@ mod tests {
     fn rectangle_classification() {
         let (w, h) = (2.0, 1.0);
         assert_eq!(classify_rectangle(w, h, [0., 0., 0.]).dim(), Dim::Vertex);
-        assert_eq!(classify_rectangle(w, h, [1., 0., 0.]), GeomEnt::new(Dim::Edge, 1));
-        assert_eq!(classify_rectangle(w, h, [2., 0.5, 0.]), GeomEnt::new(Dim::Edge, 2));
-        assert_eq!(classify_rectangle(w, h, [1., 1., 0.]), GeomEnt::new(Dim::Edge, 3));
-        assert_eq!(classify_rectangle(w, h, [0., 0.5, 0.]), GeomEnt::new(Dim::Edge, 4));
-        assert_eq!(classify_rectangle(w, h, [1., 0.5, 0.]), GeomEnt::new(Dim::Face, 1));
+        assert_eq!(
+            classify_rectangle(w, h, [1., 0., 0.]),
+            GeomEnt::new(Dim::Edge, 1)
+        );
+        assert_eq!(
+            classify_rectangle(w, h, [2., 0.5, 0.]),
+            GeomEnt::new(Dim::Edge, 2)
+        );
+        assert_eq!(
+            classify_rectangle(w, h, [1., 1., 0.]),
+            GeomEnt::new(Dim::Edge, 3)
+        );
+        assert_eq!(
+            classify_rectangle(w, h, [0., 0.5, 0.]),
+            GeomEnt::new(Dim::Edge, 4)
+        );
+        assert_eq!(
+            classify_rectangle(w, h, [1., 0.5, 0.]),
+            GeomEnt::new(Dim::Face, 1)
+        );
     }
 
     #[test]

@@ -149,7 +149,12 @@ impl Model {
 
     /// Iterate all entities of dimension `dim`, sorted by tag (deterministic).
     pub fn ents_of_dim(&self, dim: Dim) -> Vec<GeomEnt> {
-        let mut v: Vec<GeomEnt> = self.ents.keys().filter(|e| e.dim() == dim).copied().collect();
+        let mut v: Vec<GeomEnt> = self
+            .ents
+            .keys()
+            .filter(|e| e.dim() == dim)
+            .copied()
+            .collect();
         v.sort_unstable();
         v
     }

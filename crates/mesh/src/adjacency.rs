@@ -30,7 +30,11 @@ impl Mesh {
             Ordering::Less => self.downward(e, target),
             Ordering::Greater => self.upward(e, target),
             Ordering::Equal => {
-                let bridge = if d == 0 { Dim::Edge } else { Dim::from_usize(d - 1) };
+                let bridge = if d == 0 {
+                    Dim::Edge
+                } else {
+                    Dim::from_usize(d - 1)
+                };
                 self.neighbors_via(e, bridge)
             }
         }

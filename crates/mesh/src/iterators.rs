@@ -62,14 +62,13 @@ mod tests {
         .map(|&x| m.add_vertex(x, NO_GEOM).index())
         .collect();
         m.add_element(Topology::Tet, &[v[0], v[1], v[2], v[3]], NO_GEOM);
-        m.add_element(
-            Topology::Pyramid,
-            &[v[0], v[1], v[4], v[2], v[5]],
-            NO_GEOM,
-        );
+        m.add_element(Topology::Pyramid, &[v[0], v[1], v[4], v[2], v[5]], NO_GEOM);
         assert_eq!(m.iter_topo(Topology::Tet).count(), 1);
         assert_eq!(m.iter_topo(Topology::Pyramid).count(), 1);
-        assert_eq!(m.iter_topo(Topology::Triangle).count() + m.iter_topo(Topology::Quad).count(), m.count(Dim::Face));
+        assert_eq!(
+            m.iter_topo(Topology::Triangle).count() + m.iter_topo(Topology::Quad).count(),
+            m.count(Dim::Face)
+        );
     }
 
     #[test]
@@ -80,11 +79,7 @@ mod tests {
         let a = m.add_vertex([0.; 3], g1);
         let b = m.add_vertex([1., 0., 0.], g1);
         let c = m.add_vertex([0., 1., 0.], g2);
-        m.add_element(
-            Topology::Triangle,
-            &[a.index(), b.index(), c.index()],
-            g2,
-        );
+        m.add_element(Topology::Triangle, &[a.index(), b.index(), c.index()], g2);
         assert_eq!(m.iter_classified(Dim::Vertex, g1).count(), 2);
         assert_eq!(m.iter_classified(Dim::Vertex, g2).count(), 1);
         assert_eq!(m.iter_classified_dim(Dim::Vertex, Dim::Edge).count(), 2);

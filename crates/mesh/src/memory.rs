@@ -80,7 +80,6 @@ impl Mesh {
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::mesh::Mesh;
 
     #[test]

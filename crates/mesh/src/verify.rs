@@ -102,7 +102,11 @@ impl Mesh {
     pub fn count_unclassified(&self) -> usize {
         Dim::ALL
             .iter()
-            .map(|&d| self.iter(d).filter(|&e| self.class_of(e) == NO_GEOM).count())
+            .map(|&d| {
+                self.iter(d)
+                    .filter(|&e| self.class_of(e) == NO_GEOM)
+                    .count()
+            })
             .sum()
     }
 }

@@ -96,13 +96,8 @@ pub fn tet_box_unclassified(
     for k in 0..nz {
         for j in 0..ny {
             for i in 0..nx {
-                let corner = |bits: usize| {
-                    vid(
-                        i + (bits & 1),
-                        j + ((bits >> 1) & 1),
-                        k + ((bits >> 2) & 1),
-                    )
-                };
+                let corner =
+                    |bits: usize| vid(i + (bits & 1), j + ((bits >> 1) & 1), k + ((bits >> 2) & 1));
                 for path in &KUHN_PATHS {
                     let verts = [
                         corner(path[0]),
@@ -141,7 +136,10 @@ mod tests {
         let m = tri_rect(4, 3, 2.0, 1.0);
         // Boundary vertex count: perimeter of the lattice.
         assert_eq!(m.count_classified(Dim::Vertex, Dim::Vertex), 4);
-        assert_eq!(m.count_classified(Dim::Vertex, Dim::Edge), 2 * (4 - 1) + 2 * (3 - 1));
+        assert_eq!(
+            m.count_classified(Dim::Vertex, Dim::Edge),
+            2 * (4 - 1) + 2 * (3 - 1)
+        );
         // Boundary edges: 2*(nx+ny).
         assert_eq!(m.count_classified(Dim::Edge, Dim::Edge), 2 * (4 + 3));
         assert_eq!(m.count_unclassified(), 0);
@@ -155,10 +153,7 @@ mod tests {
         // Kuhn subdivision of one cube: 18 faces? check via manifoldness and
         // boundary count: each cube face is split into 2 triangles -> 12
         // boundary faces; interior faces = (4*6 - 12)/2 = 6.
-        let boundary = m
-            .iter(Dim::Face)
-            .filter(|&f| m.is_boundary_side(f))
-            .count();
+        let boundary = m.iter(Dim::Face).filter(|&f| m.is_boundary_side(f)).count();
         assert_eq!(boundary, 12);
         assert_eq!(m.count(Dim::Face), 18);
         m.assert_valid();
@@ -173,10 +168,7 @@ mod tests {
         // and the boundary face count must equal 2 triangles per lattice
         // face on the surface.
         let surface_cells = 2 * (3 * 2 + 3 * 2 + 2 * 2);
-        let boundary = m
-            .iter(Dim::Face)
-            .filter(|&f| m.is_boundary_side(f))
-            .count();
+        let boundary = m.iter(Dim::Face).filter(|&f| m.is_boundary_side(f)).count();
         assert_eq!(boundary, 2 * surface_cells);
         m.assert_valid();
     }
@@ -188,10 +180,7 @@ mod tests {
         assert_eq!(m.count_unclassified(), 0);
         assert_eq!(m.count_classified(Dim::Vertex, Dim::Vertex), 8);
         // Vertices on model edges: 12 edges × (n-1) interior lattice points.
-        assert_eq!(
-            m.count_classified(Dim::Vertex, Dim::Edge),
-            12 * (nx - 1)
-        );
+        assert_eq!(m.count_classified(Dim::Vertex, Dim::Edge), 12 * (nx - 1));
         // All regions interior.
         assert_eq!(
             m.count_classified(Dim::Region, Dim::Region),
@@ -323,16 +312,12 @@ mod nonsimplex_tests {
         // Structured counts: faces and edges of a hex lattice.
         let faces = (nx + 1) * ny * nz + nx * (ny + 1) * nz + nx * ny * (nz + 1);
         assert_eq!(m.count(Dim::Face), faces);
-        let edges =
-            nx * (ny + 1) * (nz + 1) + (nx + 1) * ny * (nz + 1) + (nx + 1) * (ny + 1) * nz;
+        let edges = nx * (ny + 1) * (nz + 1) + (nx + 1) * ny * (nz + 1) + (nx + 1) * (ny + 1) * nz;
         assert_eq!(m.count(Dim::Edge), edges);
         m.assert_valid();
         assert_eq!(m.count_unclassified(), 0);
         // Interior faces bound exactly 2 hexes; boundary faces 1.
-        let boundary = m
-            .iter(Dim::Face)
-            .filter(|&f| m.is_boundary_side(f))
-            .count();
+        let boundary = m.iter(Dim::Face).filter(|&f| m.is_boundary_side(f)).count();
         assert_eq!(boundary, 2 * (nx * ny + ny * nz + nx * nz));
     }
 
@@ -354,7 +339,10 @@ mod nonsimplex_tests {
         // Each hex has 6 face neighbours or fewer (corner hexes have 3).
         for e in m.elems() {
             let n = m.adjacent(e, Dim::Region).len();
-            assert!(n == 3, "2x2x2 corner hexes have exactly 3 neighbours, got {n}");
+            assert!(
+                n == 3,
+                "2x2x2 corner hexes have exactly 3 neighbours, got {n}"
+            );
         }
     }
 

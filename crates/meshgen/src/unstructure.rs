@@ -45,7 +45,11 @@ pub fn jitter(mesh: &mut Mesh, amplitude: f64, seed: u64) {
         let dx: [f64; 3] = [
             rng.gen_range(-r..=r),
             rng.gen_range(-r..=r),
-            if elem_dim == 3 { rng.gen_range(-r..=r) } else { 0.0 },
+            if elem_dim == 3 {
+                rng.gen_range(-r..=r)
+            } else {
+                0.0
+            },
         ];
         mesh.set_coords(v, [p[0] + dx[0], p[1] + dx[1], p[2] + dx[2]]);
     }

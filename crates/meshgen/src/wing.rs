@@ -56,6 +56,9 @@ mod tests {
             }
         }
         // The plane passes through the box: both sides populated.
-        assert!(pos > 20 && neg > 20, "shock plane misses the box: +{pos} -{neg}");
+        assert!(
+            pos > 20 && neg > 20,
+            "shock plane misses the box: +{pos} -{neg}"
+        );
     }
 }

@@ -1,0 +1,46 @@
+//! Observability for the PUMI/ParMA reproduction.
+//!
+//! The paper's performance story (Tables II/III, Figs 5/6/12/13) is told in
+//! three currencies: wall time per phase, message traffic per link class, and
+//! the per-iteration trajectory of the ParMA balancer. This crate records all
+//! three on the rank that produced them and renders them as machine-readable
+//! JSON, so every bench binary can emit a `results/*.json` next to its tables.
+//!
+//! Components:
+//! * [`span`] — scoped phase timers (`let _g = span!("migrate.pack");`) that
+//!   aggregate count + inclusive nanoseconds per slash-joined span path,
+//! * [`metrics`] — a per-thread registry of counters, gauges and histograms,
+//!   plus message-traffic accounting per `(span path, link class)` — the
+//!   per-phase extension of PCU's world-total `TrafficCounters`,
+//! * [`parma`] — the ParMA iteration recorder: imbalance trajectory,
+//!   migration sizes and stop reasons per balancing stage,
+//! * [`json`] — a dependency-free JSON value with a pretty renderer,
+//! * [`report`] — the `results/<name>.json` sink.
+//!
+//! # Threading model
+//!
+//! One simulated rank is one OS thread, so *all* state here is thread-local:
+//! recording never takes a lock and never syncs with other ranks. Cross-rank
+//! aggregation is a collective concern and lives where the communicator
+//! lives (`pumi_pcu::obs`), not here.
+//!
+//! # Disabling
+//!
+//! Everything is gated on the `enabled` feature (re-exported by dependents
+//! as their default-on `obs` feature). With the feature off, the recording
+//! functions still exist but compile to no-ops and the drain functions
+//! return empty collections, so hook call sites need no `cfg` attributes.
+
+pub mod json;
+pub mod metrics;
+pub mod parma;
+pub mod report;
+pub mod span;
+
+pub use json::Json;
+pub use span::{SpanGuard, SpanStat};
+
+/// Whether recording is compiled in (the `enabled` feature).
+pub const fn enabled() -> bool {
+    cfg!(feature = "enabled")
+}

@@ -1,0 +1,293 @@
+//! Per-thread metrics registry: counters, gauges, histograms, and message
+//! traffic accounted per `(span path, link class)`.
+//!
+//! This is the per-phase extension of PCU's world-total `TrafficCounters`:
+//! the runtime keeps calling those for whole-run totals, and additionally
+//! reports every message here, where it lands under the phase (span path)
+//! that sent it. Cross-rank reduction happens in `pumi_pcu::obs`.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+
+/// Link classification, mirroring `pumi_pcu::LinkClass` (this crate sits
+/// below the runtime and cannot name that type).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Link {
+    /// Rank messaging itself (local pack/unpack only).
+    SelfLoop,
+    /// Ranks sharing a node (shared-memory path).
+    OnNode,
+    /// Ranks on different nodes (network path).
+    OffNode,
+}
+
+impl Link {
+    /// All classes, in report order.
+    pub const ALL: [Link; 3] = [Link::SelfLoop, Link::OnNode, Link::OffNode];
+
+    /// Stable lowercase name used in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Link::SelfLoop => "self",
+            Link::OnNode => "on_node",
+            Link::OffNode => "off_node",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Link::SelfLoop => 0,
+            Link::OnNode => 1,
+            Link::OffNode => 2,
+        }
+    }
+}
+
+/// Message/byte totals for one link class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkTotals {
+    /// Messages sent.
+    pub msgs: u64,
+    /// Payload bytes sent.
+    pub bytes: u64,
+}
+
+/// One row of drained traffic: what a phase sent over one link class.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficRow {
+    /// Span path of the sender (`""` for traffic outside any span).
+    pub phase: String,
+    /// Link classification.
+    pub link: Link,
+    /// Totals.
+    pub totals: LinkTotals,
+}
+
+/// Value distribution summary (count/sum/min/max).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HistStat {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+}
+
+impl HistStat {
+    fn record(&mut self, v: f64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the recorded samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+}
+
+impl Default for HistStat {
+    fn default() -> Self {
+        HistStat {
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+#[derive(Default)]
+struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    hists: BTreeMap<String, HistStat>,
+    /// phase path -> per-link totals.
+    traffic: BTreeMap<String, [LinkTotals; 3]>,
+}
+
+thread_local! {
+    static REG: RefCell<Registry> = RefCell::new(Registry::default());
+}
+
+/// Add `v` to the named monotonic counter.
+pub fn counter_add(name: &str, v: u64) {
+    if cfg!(feature = "enabled") {
+        REG.with(|r| {
+            let mut r = r.borrow_mut();
+            match r.counters.get_mut(name) {
+                Some(c) => *c += v,
+                None => {
+                    r.counters.insert(name.to_string(), v);
+                }
+            }
+        });
+    }
+}
+
+/// Set the named gauge to `v` (last write wins).
+pub fn gauge_set(name: &str, v: f64) {
+    if cfg!(feature = "enabled") {
+        REG.with(|r| {
+            r.borrow_mut().gauges.insert(name.to_string(), v);
+        });
+    }
+}
+
+/// Record one sample into the named histogram.
+pub fn hist_record(name: &str, v: f64) {
+    if cfg!(feature = "enabled") {
+        REG.with(|r| {
+            let mut r = r.borrow_mut();
+            match r.hists.get_mut(name) {
+                Some(h) => h.record(v),
+                None => {
+                    let mut h = HistStat::default();
+                    h.record(v);
+                    r.hists.insert(name.to_string(), h);
+                }
+            }
+        });
+    }
+}
+
+/// Record one message of `bytes` over `link`, attributed to the calling
+/// thread's current span path. Called by the runtime's send path.
+pub fn record_traffic(link: Link, bytes: u64) {
+    if cfg!(feature = "enabled") {
+        crate::span::with_path(|path| {
+            REG.with(|r| {
+                let mut r = r.borrow_mut();
+                if !r.traffic.contains_key(path) {
+                    r.traffic.insert(path.to_string(), Default::default());
+                }
+                let cells = r.traffic.get_mut(path).expect("just inserted");
+                let cell = &mut cells[link.index()];
+                cell.msgs += 1;
+                cell.bytes += bytes;
+            });
+        });
+    }
+}
+
+/// Drain this thread's counters, sorted by name.
+pub fn take_counters() -> Vec<(String, u64)> {
+    if cfg!(feature = "enabled") {
+        REG.with(|r| {
+            std::mem::take(&mut r.borrow_mut().counters)
+                .into_iter()
+                .collect()
+        })
+    } else {
+        Vec::new()
+    }
+}
+
+/// Drain this thread's gauges, sorted by name.
+pub fn take_gauges() -> Vec<(String, f64)> {
+    if cfg!(feature = "enabled") {
+        REG.with(|r| {
+            std::mem::take(&mut r.borrow_mut().gauges)
+                .into_iter()
+                .collect()
+        })
+    } else {
+        Vec::new()
+    }
+}
+
+/// Drain this thread's histograms, sorted by name.
+pub fn take_hists() -> Vec<(String, HistStat)> {
+    if cfg!(feature = "enabled") {
+        REG.with(|r| {
+            std::mem::take(&mut r.borrow_mut().hists)
+                .into_iter()
+                .collect()
+        })
+    } else {
+        Vec::new()
+    }
+}
+
+/// Drain this thread's per-phase traffic, sorted by phase path then link.
+/// Rows with zero messages are omitted.
+pub fn take_traffic() -> Vec<TrafficRow> {
+    if cfg!(feature = "enabled") {
+        REG.with(|r| {
+            let traffic = std::mem::take(&mut r.borrow_mut().traffic);
+            let mut rows = Vec::new();
+            for (phase, cells) in traffic {
+                for link in Link::ALL {
+                    let totals = cells[link.index()];
+                    if totals.msgs > 0 {
+                        rows.push(TrafficRow {
+                            phase: phase.clone(),
+                            link,
+                            totals,
+                        });
+                    }
+                }
+            }
+            rows
+        })
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+#[cfg(feature = "enabled")]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_hists_roundtrip() {
+        let _ = (take_counters(), take_gauges(), take_hists());
+        counter_add("msgs", 2);
+        counter_add("msgs", 3);
+        gauge_set("imb", 1.5);
+        gauge_set("imb", 1.2);
+        hist_record("sz", 10.0);
+        hist_record("sz", 30.0);
+        assert_eq!(take_counters(), vec![("msgs".to_string(), 5)]);
+        assert_eq!(take_gauges(), vec![("imb".to_string(), 1.2)]);
+        let hists = take_hists();
+        assert_eq!(hists[0].0, "sz");
+        let h = hists[0].1;
+        assert_eq!(h.count, 2);
+        assert_eq!(h.min, 10.0);
+        assert_eq!(h.max, 30.0);
+        assert_eq!(h.mean(), 20.0);
+        assert!(take_counters().is_empty());
+    }
+
+    #[test]
+    fn traffic_keys_on_current_span_path() {
+        let _ = take_traffic();
+        record_traffic(Link::OffNode, 100);
+        {
+            let _g = crate::span!("phase-a");
+            record_traffic(Link::OffNode, 10);
+            record_traffic(Link::OnNode, 5);
+            record_traffic(Link::OffNode, 10);
+        }
+        let rows = take_traffic();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].phase, "");
+        assert_eq!(rows[0].link, Link::OffNode);
+        assert_eq!(rows[0].totals.bytes, 100);
+        assert_eq!(rows[1].phase, "phase-a");
+        assert_eq!(rows[1].link, Link::OnNode);
+        assert_eq!(rows[2].link, Link::OffNode);
+        assert_eq!(rows[2].totals, LinkTotals { msgs: 2, bytes: 20 });
+        let _ = crate::span::take();
+    }
+}

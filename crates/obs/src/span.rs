@@ -1,0 +1,176 @@
+//! Scoped phase timers.
+//!
+//! A span is a named scope: entering pushes onto a per-thread stack, dropping
+//! the guard pops it and adds the inclusive elapsed time to the aggregate for
+//! the span's *path* — the slash-joined names of every span on the stack, so
+//! `migrate` calling `pcu.exchange` aggregates under
+//! `"migrate/pcu.exchange"`. Paths keep caller context without any manual
+//! plumbing, and [`metrics::record_traffic`](crate::metrics::record_traffic)
+//! uses the innermost path to attribute message traffic to phases.
+//!
+//! Guards must drop in LIFO order — the natural result of scope-based use:
+//!
+//! ```
+//! {
+//!     let _g = pumi_obs::span!("migrate.pack");
+//!     // ... work ...
+//! } // elapsed time recorded here
+//! ```
+//!
+//! Times are *inclusive*: a parent's total contains its children's.
+
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// Aggregate for one span path on one thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SpanStat {
+    /// Times the span was entered.
+    pub count: u64,
+    /// Total inclusive nanoseconds across entries.
+    pub nanos: u64,
+}
+
+struct Frame {
+    start: Option<Instant>,
+    /// Length of the joined path before this frame was pushed.
+    path_len: usize,
+}
+
+#[derive(Default)]
+struct SpanState {
+    stack: Vec<Frame>,
+    /// Slash-joined names of the active stack.
+    path: String,
+    agg: BTreeMap<String, SpanStat>,
+}
+
+thread_local! {
+    static STATE: RefCell<SpanState> = RefCell::new(SpanState::default());
+}
+
+/// Guard returned by [`enter`]; records the elapsed time when dropped.
+#[must_use = "a span only measures while its guard is alive"]
+pub struct SpanGuard {
+    _priv: (),
+}
+
+/// Enter a span named `name`. Prefer the [`span!`](crate::span!) macro.
+pub fn enter(name: &str) -> SpanGuard {
+    if cfg!(feature = "enabled") {
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            let path_len = s.path.len();
+            if path_len > 0 {
+                s.path.push('/');
+            }
+            s.path.push_str(name);
+            s.stack.push(Frame {
+                start: Some(Instant::now()),
+                path_len,
+            });
+        });
+    }
+    SpanGuard { _priv: () }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if cfg!(feature = "enabled") {
+            STATE.with(|s| {
+                let mut s = s.borrow_mut();
+                let frame = s.stack.pop().expect("span guard dropped twice");
+                let nanos = frame
+                    .start
+                    .map(|t| t.elapsed().as_nanos() as u64)
+                    .unwrap_or(0);
+                let path = s.path.clone();
+                let stat = s.agg.entry(path).or_default();
+                stat.count += 1;
+                stat.nanos += nanos;
+                s.path.truncate(frame.path_len);
+            });
+        }
+    }
+}
+
+/// Run `f` with the current span path (`""` outside any span).
+pub fn with_path<R>(f: impl FnOnce(&str) -> R) -> R {
+    if cfg!(feature = "enabled") {
+        STATE.with(|s| f(&s.borrow().path))
+    } else {
+        f("")
+    }
+}
+
+/// Drain this thread's aggregated spans, sorted by path. Active (not yet
+/// dropped) spans are unaffected and will aggregate into the fresh map.
+pub fn take() -> Vec<(String, SpanStat)> {
+    if cfg!(feature = "enabled") {
+        STATE.with(|s| {
+            std::mem::take(&mut s.borrow_mut().agg)
+                .into_iter()
+                .collect()
+        })
+    } else {
+        Vec::new()
+    }
+}
+
+/// Enter a span scope: `let _g = pumi_obs::span!("migrate.pack");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span::enter($name)
+    };
+}
+
+#[cfg(test)]
+#[cfg(feature = "enabled")]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_joins_paths() {
+        let _ = take();
+        {
+            let _a = enter("outer");
+            with_path(|p| assert_eq!(p, "outer"));
+            {
+                let _b = enter("inner");
+                with_path(|p| assert_eq!(p, "outer/inner"));
+            }
+            {
+                let _b = enter("inner");
+            }
+        }
+        with_path(|p| assert_eq!(p, ""));
+        let spans = take();
+        let paths: Vec<&str> = spans.iter().map(|(p, _)| p.as_str()).collect();
+        assert_eq!(paths, vec!["outer", "outer/inner"]);
+        assert_eq!(spans[1].1.count, 2);
+        assert_eq!(spans[0].1.count, 1);
+        assert!(
+            spans[0].1.nanos >= spans[1].1.nanos,
+            "parent time is inclusive"
+        );
+    }
+
+    #[test]
+    fn take_drains() {
+        let _ = take();
+        drop(enter("x"));
+        assert_eq!(take().len(), 1);
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn macro_expands_to_guard() {
+        let _ = take();
+        {
+            let _g = crate::span!("via-macro");
+        }
+        assert_eq!(take()[0].0, "via-macro");
+    }
+}

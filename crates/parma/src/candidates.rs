@@ -45,7 +45,9 @@ pub fn candidates(
             // sense, otherwise migration raises the peak elsewhere.
             loads.of(d)[q as usize] < loads.of(d)[part.id as usize]
                 && is_light(loads, d, q, part.id, tol)
-                && lesser.iter().all(|&ld| is_light(loads, ld, q, part.id, tol))
+                && lesser
+                    .iter()
+                    .all(|&ld| is_light(loads, ld, q, part.id, tol))
         })
         .collect();
     cands.sort_by(|&a, &b| {

@@ -51,6 +51,51 @@ impl Default for ImproveOpts {
     }
 }
 
+/// Builder-style setters: `ImproveOpts::new().tol(0.05).handshake(false)`.
+/// The fields stay public, so struct updates keep working too.
+impl ImproveOpts {
+    /// The paper's defaults (5% tolerance, all mechanisms on).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the target imbalance tolerance (0.05 = 5%).
+    pub fn tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Set the per-type diffusion iteration cap.
+    pub fn max_iters(mut self, n: usize) -> Self {
+        self.max_iters = n;
+        self
+    }
+
+    /// Toggle per-iteration progress on stderr.
+    pub fn verbose(mut self, on: bool) -> Self {
+        self.verbose = on;
+        self
+    }
+
+    /// Toggle the destination admission handshake.
+    pub fn handshake(mut self, on: bool) -> Self {
+        self.handshake = on;
+        self
+    }
+
+    /// Toggle stage-entry peak caps.
+    pub fn peak_caps(mut self, on: bool) -> Self {
+        self.peak_caps = on;
+        self
+    }
+
+    /// Toggle the strict Fig 9 selection passes.
+    pub fn strict_selection(mut self, on: bool) -> Self {
+        self.strict_selection = on;
+        self
+    }
+}
+
 /// Outcome for one balanced entity type.
 #[derive(Debug, Clone, Copy)]
 pub struct TypeReport {
@@ -82,6 +127,8 @@ pub fn improve(
     priority: &Priority,
     opts: ImproveOpts,
 ) -> ImproveReport {
+    let _span = pumi_obs::span!("parma.improve");
+    pumi_obs::parma::begin(&priority.to_string());
     let timer = Timer::start();
     let mut types = Vec::new();
     let mut elements_moved = 0u64;
@@ -91,14 +138,17 @@ pub fn improve(
         let lesser = priority.lesser(li);
         let mut guarded = protected.clone();
         guarded.push(d); // never create a fresh spike in the balanced type
-        // Lesser-priority types may be harmed (§III-A), but unboundedly
-        // harming them leaves the later stage unable to recover without
-        // violating this stage's result — so they get a loose cap.
+                         // Lesser-priority types may be harmed (§III-A), but unboundedly
+                         // harming them leaves the later stage unable to recover without
+                         // violating this stage's result — so they get a loose cap.
         let loose_tol = (2.0 * opts.tol).max(0.10);
         let mut loose_guarded = lesser.clone();
         loose_guarded.retain(|x| !guarded.contains(x));
+        let _stage_span = pumi_obs::span::enter(&format!("stage.{d}"));
         let entry_loads = EntityLoads::gather(comm, dm);
         let initial_pct = entry_loads.imbalance_pct(d);
+        pumi_obs::parma::stage_begin(&d.to_string(), initial_pct);
+        let mut stop = pumi_obs::parma::StopReason::MaxIters;
         let mut final_pct;
         let mut iterations = 0usize;
 
@@ -139,6 +189,7 @@ pub fn improve(
             let loads = EntityLoads::gather(comm, dm);
             final_pct = loads.imbalance_pct(d);
             if loads.imbalance(d) <= 1.0 + opts.tol {
+                stop = pumi_obs::parma::StopReason::Converged;
                 break;
             }
             // Early stop when diffusion stops making headway (§III-B: such
@@ -146,6 +197,7 @@ pub fn improve(
             if prev_pct - final_pct < 0.2 {
                 no_progress += 1;
                 if no_progress >= 3 {
+                    stop = pumi_obs::parma::StopReason::Stagnated;
                     break;
                 }
             } else {
@@ -244,11 +296,13 @@ pub fn improve(
             if planned == 0 {
                 // Diffusion is stuck for this type (§III-B motivates heavy
                 // part splitting for exactly this case).
+                stop = pumi_obs::parma::StopReason::NoCandidates;
                 break;
             }
             let stats = migrate(comm, dm, &plans);
             elements_moved += stats.elements_moved;
             iterations += 1;
+            pumi_obs::parma::iter(final_pct, planned, stats.elements_moved);
             if opts.verbose && comm.rank() == 0 {
                 eprintln!(
                     "parma: {d} iter {iterations}: imb {:.2}% -> planned {planned}",
@@ -258,6 +312,7 @@ pub fn improve(
         }
         // Refresh after the last migration.
         final_pct = EntityLoads::gather(comm, dm).imbalance_pct(d);
+        pumi_obs::parma::stage_end(final_pct, stop);
         types.push(TypeReport {
             dim: d,
             initial_pct,
@@ -270,6 +325,7 @@ pub fn improve(
         .allgather_f64(timer.seconds())
         .into_iter()
         .fold(0.0, f64::max);
+    pumi_obs::parma::end(seconds, elements_moved);
     ImproveReport {
         types,
         seconds,

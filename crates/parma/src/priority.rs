@@ -120,12 +120,7 @@ impl fmt::Display for Priority {
         let levels: Vec<String> = self
             .levels
             .iter()
-            .map(|l| {
-                l.iter()
-                    .map(|&d| name(d))
-                    .collect::<Vec<_>>()
-                    .join(" = ")
-            })
+            .map(|l| l.iter().map(|&d| name(d)).collect::<Vec<_>>().join(" = "))
             .collect();
         write!(f, "{}", levels.join(" > "))
     }
@@ -148,7 +143,10 @@ mod tests {
         );
         // T4: Edge = Face > Rgn
         let p: Priority = "Edge=Face>Rgn".parse().unwrap();
-        assert_eq!(p.levels, vec![vec![Dim::Edge, Dim::Face], vec![Dim::Region]]);
+        assert_eq!(
+            p.levels,
+            vec![vec![Dim::Edge, Dim::Face], vec![Dim::Region]]
+        );
     }
 
     #[test]

@@ -88,7 +88,8 @@ impl HarmGuard {
     pub fn commit(&mut self, q: PartId, gains: &[f64; 4], base: impl Fn(Dim) -> f64) {
         for &d in &self.guarded {
             let now = self.current(q, d, base(d));
-            self.dest_load.insert((q, d.as_usize()), now + gains[d.as_usize()]);
+            self.dest_load
+                .insert((q, d.as_usize()), now + gains[d.as_usize()]);
         }
     }
 
@@ -307,9 +308,10 @@ impl<'p> Selector<'p> {
         }
         let mut n = 0.0;
         for sub in cands {
-            let all_gone = mesh.adjacent(sub, self.elem_dim).iter().all(|el| {
-                self.selected.contains(el) || cavity.contains(el)
-            });
+            let all_gone = mesh
+                .adjacent(sub, self.elem_dim)
+                .iter()
+                .all(|el| self.selected.contains(el) || cavity.contains(el));
             if all_gone {
                 n += 1.0;
             }
@@ -333,11 +335,7 @@ impl<'p> Selector<'p> {
                 if counted.is_some_and(|c| c.contains(&sub)) {
                     continue;
                 }
-                let on_cand = self
-                    .part
-                    .remotes_of(sub)
-                    .iter()
-                    .any(|&(q, _)| q == cand);
+                let on_cand = self.part.remotes_of(sub).iter().any(|&(q, _)| q == cand);
                 if !on_cand {
                     gains[sub.dim().as_usize()] += 1.0;
                 }
@@ -483,7 +481,12 @@ mod tests {
         }
         for e in serial.iter(Dim::Face) {
             let verts: Vec<u32> = serial.verts_of(e).iter().map(|v| vmap[v]).collect();
-            part.add_entity(serial.topo(e), &verts, serial.class_of(e), 100 + e.idx() as u64);
+            part.add_entity(
+                serial.topo(e),
+                &verts,
+                serial.class_of(e),
+                100 + e.idx() as u64,
+            );
         }
         let sel = Selector::new(&part);
         let cavity: Vec<MeshEnt> = part.mesh.elems().collect();

@@ -60,6 +60,7 @@ fn element_loads(comm: &Comm, dm: &DistMesh) -> Vec<f64> {
 /// Run heavy part splitting: merge+split rounds until no part is heavy, no
 /// merge can be formed, or `opts.rounds` is exhausted. Collective.
 pub fn heavy_part_split(comm: &Comm, dm: &mut DistMesh, opts: SplitOpts) -> SplitReport {
+    let _span = pumi_obs::span!("parma.split");
     let initial_pct = {
         let loads = element_loads(comm, dm);
         pumi_util::stats::LoadStats::of(&loads).imbalance_pct()
@@ -127,7 +128,10 @@ fn split_round(comm: &Comm, dm: &mut DistMesh, opts: SplitOpts) -> SplitReport {
             continue;
         }
         let capacity = (avg - my_load).max(0.0) as u64;
-        let weights: Vec<u64> = neighbors.iter().map(|&q| loads[q as usize] as u64).collect();
+        let weights: Vec<u64> = neighbors
+            .iter()
+            .map(|&q| loads[q as usize] as u64)
+            .collect();
         let (value, chosen, _) = knap::solve(&weights, &weights, capacity);
         if value == 0 {
             continue;

@@ -103,11 +103,11 @@ fn weighted_partition_balances_weights() {
         wloads[labels[e.idx()] as usize] += weight(e);
         eloads[labels[e.idx()] as usize] += 1.0;
     }
-    assert!(
-        imbalance(&wloads) < 1.2,
-        "weights not balanced: {wloads:?}"
-    );
+    assert!(imbalance(&wloads) < 1.2, "weights not balanced: {wloads:?}");
     // Element counts end up more skewed than the weights (parts rich in
     // cheap right-half elements must hold more of them).
-    assert!(imbalance(&eloads) > imbalance(&wloads), "{eloads:?} vs {wloads:?}");
+    assert!(
+        imbalance(&eloads) > imbalance(&wloads),
+        "{eloads:?} vs {wloads:?}"
+    );
 }

@@ -13,6 +13,7 @@ impl Comm {
     /// Block until every rank reaches the barrier (dissemination algorithm,
     /// O(log N) rounds).
     pub fn barrier(&self) {
+        let _span = pumi_obs::span!("pcu.barrier");
         let n = self.nranks();
         if n == 1 {
             self.next_coll_tag();
@@ -35,6 +36,7 @@ impl Comm {
     /// Gather one buffer from every rank to `root`; returns `Some(bufs)` on
     /// the root (indexed by rank), `None` elsewhere.
     pub fn gather_bytes(&self, root: usize, data: Bytes) -> Option<Vec<Bytes>> {
+        let _span = pumi_obs::span!("pcu.gather");
         let tag = self.next_coll_tag();
         if self.rank() == root {
             let mut out: Vec<Bytes> = vec![Bytes::new(); self.nranks()];
@@ -52,6 +54,7 @@ impl Comm {
 
     /// Broadcast a buffer from `root` to all ranks.
     pub fn bcast_bytes(&self, root: usize, data: Bytes) -> Bytes {
+        let _span = pumi_obs::span!("pcu.bcast");
         let tag = self.next_coll_tag();
         if self.rank() == root {
             for r in 0..self.nranks() {
@@ -69,6 +72,7 @@ impl Comm {
     /// All ranks contribute one buffer; all ranks receive every buffer,
     /// indexed by rank.
     pub fn allgather_bytes(&self, data: Bytes) -> Vec<Bytes> {
+        let _span = pumi_obs::span!("pcu.allgather");
         let gathered = self.gather_bytes(0, data);
         // Root packs the concatenation with offsets and broadcasts.
         let packed = if self.rank() == 0 {
@@ -138,6 +142,7 @@ impl Comm {
     /// Element-wise sum of a `u64` vector across ranks. All ranks pass a
     /// vector of identical length and receive the summed vector.
     pub fn allreduce_sum_u64_vec(&self, xs: &[u64]) -> Vec<u64> {
+        let _span = pumi_obs::span!("pcu.allreduce_vec");
         let mut w = MsgWriter::with_capacity(8 * xs.len() + 4);
         w.put_u64_slice(xs);
         let gathered = self.gather_bytes(0, w.finish());
@@ -162,6 +167,7 @@ impl Comm {
 
     /// Element-wise sum of an `f64` vector across ranks (rank-ordered).
     pub fn allreduce_sum_f64_vec(&self, xs: &[f64]) -> Vec<f64> {
+        let _span = pumi_obs::span!("pcu.allreduce_vec");
         let mut w = MsgWriter::with_capacity(8 * xs.len() + 4);
         w.put_f64_slice(xs);
         let gathered = self.gather_bytes(0, w.finish());

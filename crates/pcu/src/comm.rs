@@ -81,7 +81,11 @@ impl Comm {
     }
 
     pub(crate) fn send_raw(&self, to: usize, tag: u32, data: Bytes) {
-        self.counters.record(self.machine.link(self.rank, to), data.len());
+        let link = self.machine.link(self.rank, to);
+        self.counters.record(link, data.len());
+        // Per-phase metering: the same message lands in the obs registry
+        // under the sender's current span path (no-op without `obs`).
+        pumi_obs::metrics::record_traffic(link.to_obs(), data.len() as u64);
         self.senders[to]
             .send(Envelope {
                 from: self.rank,

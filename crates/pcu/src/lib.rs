@@ -15,7 +15,11 @@
 //!   send, iterate received buffers),
 //! * [`machine`] — the architecture model: rank ↔ (node, core) mapping and
 //!   on-node vs off-node link classification (Figs 5/6),
-//! * [`msg`] — typed little-endian message writers/readers over [`bytes`].
+//! * [`msg`] — typed little-endian message writers/readers over [`bytes`],
+//!   with fallible `try_get_*` reads (returning [`MsgError`]) for
+//!   deserialization layers and panicking `get_*` wrappers for short frames,
+//! * [`obs`] — cross-rank reduction of `pumi-obs` span timings and
+//!   per-phase traffic to rank 0 (the world view benches report).
 //!
 //! Determinism: given the same inputs, all collectives reduce in rank order,
 //! so distributed results are bitwise reproducible across runs.
@@ -24,8 +28,10 @@ pub mod collectives;
 pub mod comm;
 pub mod machine;
 pub mod msg;
+pub mod obs;
 pub mod phased;
 
 pub use comm::{execute, execute_on, Comm};
 pub use machine::{LinkClass, MachineModel, TrafficReport};
-pub use msg::{MsgReader, MsgWriter};
+pub use msg::{MsgError, MsgReader, MsgWriter};
+pub use phased::{Exchange, Received};

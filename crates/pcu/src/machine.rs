@@ -23,6 +23,18 @@ pub enum LinkClass {
     SelfLoop,
 }
 
+impl LinkClass {
+    /// The observability-layer mirror of this class (`pumi-obs` sits below
+    /// the runtime and defines its own copy).
+    pub fn to_obs(self) -> pumi_obs::metrics::Link {
+        match self {
+            LinkClass::OnNode => pumi_obs::metrics::Link::OnNode,
+            LinkClass::OffNode => pumi_obs::metrics::Link::OffNode,
+            LinkClass::SelfLoop => pumi_obs::metrics::Link::SelfLoop,
+        }
+    }
+}
+
 /// An explicit description of the machine: `nodes` × `cores_per_node`.
 ///
 /// Ranks are laid out node-major: rank `r` lives on node `r / cores_per_node`,

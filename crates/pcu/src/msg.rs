@@ -3,10 +3,48 @@
 //! All cross-part data crosses the simulated network as little-endian byte
 //! streams. [`MsgWriter`] appends primitives to a growable buffer;
 //! [`MsgReader`] consumes them in the same order. Framing is the caller's
-//! contract (as in MPI) — the reader panics on underrun in debug terms via
-//! explicit checks, returning defaults is never silently allowed.
+//! contract (as in MPI).
+//!
+//! # Fallible and infallible reads
+//!
+//! Every read exists in two forms:
+//!
+//! * `try_get_*` returns `Result<T, MsgError>` on underrun — use these in
+//!   deserialization layers that want to name the corrupt frame before
+//!   failing (migration, ghosting, field sync all do),
+//! * `get_*` is a thin wrapper that panics with the [`MsgError`] text —
+//!   fine for short fixed frames where the writer is in the same function.
+//!
+//! Note that an underrun is always a *bug* (the writer and reader disagree),
+//! never an environmental condition, and most reads happen inside
+//! collectives where an early return would deadlock the other ranks. So the
+//! layered convention is: `try_get_*` upward through pure deserialization
+//! code, then one `expect`/panic with frame context at the collective
+//! boundary — not `Result` signatures on collective operations themselves.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A message deserialization failure: the reader ran past the end of the
+/// buffer, i.e. writer and reader disagreed on the frame layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MsgError {
+    /// Bytes the failing read needed.
+    pub needed: usize,
+    /// Bytes that were left in the buffer.
+    pub available: usize,
+}
+
+impl std::fmt::Display for MsgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "message underrun: need {} bytes, have {}",
+            self.needed, self.available
+        )
+    }
+}
+
+impl std::error::Error for MsgError {}
 
 /// Append-only typed writer over a [`BytesMut`].
 #[derive(Debug, Default)]
@@ -117,7 +155,9 @@ impl MsgReader {
 
     /// Read from a `Vec<u8>`.
     pub fn from_vec(v: Vec<u8>) -> MsgReader {
-        MsgReader { buf: Bytes::from(v) }
+        MsgReader {
+            buf: Bytes::from(v),
+        }
     }
 
     /// Bytes remaining.
@@ -130,69 +170,124 @@ impl MsgReader {
         self.remaining() == 0
     }
 
-    fn check(&self, n: usize) {
-        assert!(
-            self.buf.remaining() >= n,
-            "message underrun: need {n} bytes, have {}",
-            self.buf.remaining()
-        );
+    fn check(&self, n: usize) -> Result<(), MsgError> {
+        if self.buf.remaining() >= n {
+            Ok(())
+        } else {
+            Err(MsgError {
+                needed: n,
+                available: self.buf.remaining(),
+            })
+        }
+    }
+
+    /// Read a `u8`, or report an underrun.
+    pub fn try_get_u8(&mut self) -> Result<u8, MsgError> {
+        self.check(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    /// Read a `u32`, or report an underrun.
+    pub fn try_get_u32(&mut self) -> Result<u32, MsgError> {
+        self.check(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    /// Read a `u64`, or report an underrun.
+    pub fn try_get_u64(&mut self) -> Result<u64, MsgError> {
+        self.check(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    /// Read an `i64`, or report an underrun.
+    pub fn try_get_i64(&mut self) -> Result<i64, MsgError> {
+        self.check(8)?;
+        Ok(self.buf.get_i64_le())
+    }
+
+    /// Read an `f64`, or report an underrun.
+    pub fn try_get_f64(&mut self) -> Result<f64, MsgError> {
+        self.check(8)?;
+        Ok(self.buf.get_f64_le())
+    }
+
+    /// Read a length-prefixed byte vector, or report an underrun (including
+    /// a length prefix pointing past the end of the buffer).
+    pub fn try_get_bytes(&mut self) -> Result<Vec<u8>, MsgError> {
+        let n = self.try_get_u32()? as usize;
+        self.check(n)?;
+        let mut v = vec![0u8; n];
+        self.buf.copy_to_slice(&mut v);
+        Ok(v)
+    }
+
+    /// Read a length-prefixed `u32` vector, or report an underrun.
+    pub fn try_get_u32_slice(&mut self) -> Result<Vec<u32>, MsgError> {
+        let n = self.try_get_u32()? as usize;
+        self.check(n.saturating_mul(4))?;
+        Ok((0..n).map(|_| self.buf.get_u32_le()).collect())
+    }
+
+    /// Read a length-prefixed `u64` vector, or report an underrun.
+    pub fn try_get_u64_slice(&mut self) -> Result<Vec<u64>, MsgError> {
+        let n = self.try_get_u32()? as usize;
+        self.check(n.saturating_mul(8))?;
+        Ok((0..n).map(|_| self.buf.get_u64_le()).collect())
+    }
+
+    /// Read a length-prefixed `f64` vector, or report an underrun.
+    pub fn try_get_f64_slice(&mut self) -> Result<Vec<f64>, MsgError> {
+        let n = self.try_get_u32()? as usize;
+        self.check(n.saturating_mul(8))?;
+        Ok((0..n).map(|_| self.buf.get_f64_le()).collect())
     }
 
     /// Read a `u8`.
+    ///
+    /// # Panics
+    /// On underrun, with the [`MsgError`] message.
     pub fn get_u8(&mut self) -> u8 {
-        self.check(1);
-        self.buf.get_u8()
+        self.try_get_u8().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Read a `u32`.
+    /// Read a `u32`. Panics on underrun.
     pub fn get_u32(&mut self) -> u32 {
-        self.check(4);
-        self.buf.get_u32_le()
+        self.try_get_u32().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Read a `u64`.
+    /// Read a `u64`. Panics on underrun.
     pub fn get_u64(&mut self) -> u64 {
-        self.check(8);
-        self.buf.get_u64_le()
+        self.try_get_u64().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Read an `i64`.
+    /// Read an `i64`. Panics on underrun.
     pub fn get_i64(&mut self) -> i64 {
-        self.check(8);
-        self.buf.get_i64_le()
+        self.try_get_i64().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Read an `f64`.
+    /// Read an `f64`. Panics on underrun.
     pub fn get_f64(&mut self) -> f64 {
-        self.check(8);
-        self.buf.get_f64_le()
+        self.try_get_f64().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Read a length-prefixed byte vector.
+    /// Read a length-prefixed byte vector. Panics on underrun.
     pub fn get_bytes(&mut self) -> Vec<u8> {
-        let n = self.get_u32() as usize;
-        self.check(n);
-        let mut v = vec![0u8; n];
-        self.buf.copy_to_slice(&mut v);
-        v
+        self.try_get_bytes().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Read a length-prefixed `u32` vector.
+    /// Read a length-prefixed `u32` vector. Panics on underrun.
     pub fn get_u32_slice(&mut self) -> Vec<u32> {
-        let n = self.get_u32() as usize;
-        (0..n).map(|_| self.get_u32()).collect()
+        self.try_get_u32_slice().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Read a length-prefixed `u64` vector.
+    /// Read a length-prefixed `u64` vector. Panics on underrun.
     pub fn get_u64_slice(&mut self) -> Vec<u64> {
-        let n = self.get_u32() as usize;
-        (0..n).map(|_| self.get_u64()).collect()
+        self.try_get_u64_slice().unwrap_or_else(|e| panic!("{e}"))
     }
 
-    /// Read a length-prefixed `f64` vector.
+    /// Read a length-prefixed `f64` vector. Panics on underrun.
     pub fn get_f64_slice(&mut self) -> Vec<f64> {
-        let n = self.get_u32() as usize;
-        (0..n).map(|_| self.get_f64()).collect()
+        self.try_get_f64_slice().unwrap_or_else(|e| panic!("{e}"))
     }
 }
 
@@ -230,6 +325,68 @@ mod tests {
     fn underrun_panics() {
         let mut r = MsgReader::from_vec(vec![1, 2]);
         r.get_u32();
+    }
+
+    #[test]
+    fn try_get_reports_needed_and_available() {
+        let mut r = MsgReader::from_vec(vec![1, 2]);
+        assert_eq!(
+            r.try_get_u32(),
+            Err(MsgError {
+                needed: 4,
+                available: 2
+            })
+        );
+        // The failed read consumed nothing; smaller reads still work.
+        assert_eq!(r.try_get_u8(), Ok(1));
+        assert_eq!(r.remaining(), 1);
+        let e = r.try_get_f64().unwrap_err();
+        assert_eq!(e.to_string(), "message underrun: need 8 bytes, have 1");
+    }
+
+    #[test]
+    fn try_get_slice_rejects_lying_length_prefix() {
+        // Length prefix claims 1000 u64s but the body is empty.
+        let mut w = MsgWriter::new();
+        w.put_u32(1000);
+        let mut r = MsgReader::new(w.finish());
+        let e = r.try_get_u64_slice().unwrap_err();
+        assert_eq!(e.needed, 8000);
+        assert_eq!(e.available, 0);
+
+        // Same for a byte vector.
+        let mut w = MsgWriter::new();
+        w.put_u32(10);
+        w.put_u8(1);
+        let mut r = MsgReader::new(w.finish());
+        let e = r.try_get_bytes().unwrap_err();
+        assert_eq!(
+            e,
+            MsgError {
+                needed: 10,
+                available: 1
+            }
+        );
+    }
+
+    #[test]
+    fn try_get_roundtrip_matches_infallible() {
+        let mut w = MsgWriter::new();
+        w.put_u32(5);
+        w.put_f64_slice(&[1.0, 2.0]);
+        w.put_bytes(b"xy");
+        let mut r = MsgReader::new(w.finish());
+        assert_eq!(r.try_get_u32(), Ok(5));
+        assert_eq!(r.try_get_f64_slice(), Ok(vec![1.0, 2.0]));
+        assert_eq!(r.try_get_bytes(), Ok(b"xy".to_vec()));
+        assert!(r.is_done());
+        assert_eq!(
+            r.try_get_u8(),
+            Err(MsgError {
+                needed: 1,
+                available: 0
+            })
+        );
     }
 
     #[test]

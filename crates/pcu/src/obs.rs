@@ -1,0 +1,282 @@
+//! Cross-rank reduction of observability data.
+//!
+//! `pumi-obs` records spans and per-phase traffic thread-locally, one store
+//! per rank; it has no communicator and cannot aggregate across the world.
+//! This module is the bridge: collectives that drain every rank's local
+//! store, gather to rank 0, and merge — giving the world view the paper's
+//! tables are written in (max-over-ranks phase times, summed per-link
+//! traffic).
+//!
+//! All functions here are **collective**: every rank of the world must call
+//! them at the same point, and rank 0 gets `Some(..)`. They also work with
+//! the `obs` feature off — every rank simply contributes empty stores.
+
+use crate::comm::Comm;
+use crate::msg::{MsgReader, MsgWriter};
+use pumi_obs::json::Json;
+use pumi_obs::metrics::Link;
+use std::collections::BTreeMap;
+
+/// One span path reduced across the world.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldSpan {
+    /// Slash-joined span path.
+    pub path: String,
+    /// Entries summed over all ranks.
+    pub count: u64,
+    /// Inclusive seconds summed over all ranks (CPU-time-like).
+    pub total_seconds: f64,
+    /// Largest single rank's inclusive seconds (wall-time-like; the
+    /// critical-path view used for phase timings).
+    pub max_rank_seconds: f64,
+    /// Ranks that entered this span at least once.
+    pub ranks: u32,
+}
+
+/// One `(phase, link class)` traffic cell reduced across the world.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorldTraffic {
+    /// Span path of the sending phase (`""` for unphased traffic).
+    pub phase: String,
+    /// Link classification.
+    pub link: Link,
+    /// Messages summed over all ranks.
+    pub msgs: u64,
+    /// Payload bytes summed over all ranks.
+    pub bytes: u64,
+}
+
+/// Drain every rank's span aggregates and reduce them to rank 0, sorted by
+/// path. Collective; `Some` on rank 0 only.
+pub fn reduce_spans(comm: &Comm) -> Option<Vec<WorldSpan>> {
+    let spans = pumi_obs::span::take();
+    let mut w = MsgWriter::new();
+    w.put_u32(spans.len() as u32);
+    for (path, s) in &spans {
+        w.put_bytes(path.as_bytes());
+        w.put_u64(s.count);
+        w.put_u64(s.nanos);
+    }
+    let gathered = comm.gather_bytes(0, w.finish())?;
+    let mut agg: BTreeMap<String, WorldSpan> = BTreeMap::new();
+    for b in gathered {
+        let mut r = MsgReader::new(b);
+        let n = r.get_u32();
+        for _ in 0..n {
+            let path = String::from_utf8(r.get_bytes()).expect("span paths are utf-8");
+            let count = r.get_u64();
+            let seconds = r.get_u64() as f64 * 1e-9;
+            let e = agg.entry(path.clone()).or_insert_with(|| WorldSpan {
+                path,
+                count: 0,
+                total_seconds: 0.0,
+                max_rank_seconds: 0.0,
+                ranks: 0,
+            });
+            e.count += count;
+            e.total_seconds += seconds;
+            e.max_rank_seconds = e.max_rank_seconds.max(seconds);
+            e.ranks += 1;
+        }
+    }
+    Some(agg.into_values().collect())
+}
+
+/// Drain every rank's per-phase traffic and reduce it to rank 0, sorted by
+/// `(phase, link)`. Collective; `Some` on rank 0 only.
+pub fn reduce_traffic(comm: &Comm) -> Option<Vec<WorldTraffic>> {
+    let rows = pumi_obs::metrics::take_traffic();
+    let mut w = MsgWriter::new();
+    w.put_u32(rows.len() as u32);
+    for row in &rows {
+        w.put_bytes(row.phase.as_bytes());
+        w.put_u8(link_code(row.link));
+        w.put_u64(row.totals.msgs);
+        w.put_u64(row.totals.bytes);
+    }
+    let gathered = comm.gather_bytes(0, w.finish())?;
+    let mut agg: BTreeMap<(String, u8), WorldTraffic> = BTreeMap::new();
+    for b in gathered {
+        let mut r = MsgReader::new(b);
+        let n = r.get_u32();
+        for _ in 0..n {
+            let phase = String::from_utf8(r.get_bytes()).expect("span paths are utf-8");
+            let code = r.get_u8();
+            let msgs = r.get_u64();
+            let bytes = r.get_u64();
+            let e = agg
+                .entry((phase.clone(), code))
+                .or_insert_with(|| WorldTraffic {
+                    phase,
+                    link: link_from_code(code),
+                    msgs: 0,
+                    bytes: 0,
+                });
+            e.msgs += msgs;
+            e.bytes += bytes;
+        }
+    }
+    Some(agg.into_values().collect())
+}
+
+fn link_code(link: Link) -> u8 {
+    match link {
+        Link::SelfLoop => 0,
+        Link::OnNode => 1,
+        Link::OffNode => 2,
+    }
+}
+
+fn link_from_code(code: u8) -> Link {
+    match code {
+        0 => Link::SelfLoop,
+        1 => Link::OnNode,
+        2 => Link::OffNode,
+        other => panic!("bad link code {other}"),
+    }
+}
+
+/// Reduce spans and traffic and render both as the standard report
+/// sections: `{"spans": [...], "traffic": [...]}`. Collective; `Some` on
+/// rank 0 only. The typical bench pattern:
+///
+/// ```ignore
+/// let out = execute(n, |c| {
+///     run_workload(c);
+///     pumi_pcu::obs::world_report(c)   // drain + reduce at the end
+/// });
+/// let obs = out.into_iter().flatten().next().unwrap();
+/// ```
+pub fn world_report(comm: &Comm) -> Option<Json> {
+    let spans = reduce_spans(comm);
+    let traffic = reduce_traffic(comm);
+    let spans = spans?;
+    let traffic = traffic.expect("rank 0 sees both reductions");
+    Some(Json::obj([
+        (
+            "spans",
+            Json::arr(spans.iter().map(|s| {
+                Json::obj([
+                    ("path", Json::str(&s.path)),
+                    ("count", Json::U64(s.count)),
+                    ("total_seconds", Json::F64(s.total_seconds)),
+                    ("max_rank_seconds", Json::F64(s.max_rank_seconds)),
+                    ("ranks", Json::U64(s.ranks as u64)),
+                ])
+            })),
+        ),
+        (
+            "traffic",
+            Json::arr(traffic.iter().map(|t| {
+                Json::obj([
+                    ("phase", Json::str(&t.phase)),
+                    ("link", Json::str(t.link.name())),
+                    ("msgs", Json::U64(t.msgs)),
+                    ("bytes", Json::U64(t.bytes)),
+                ])
+            })),
+        ),
+    ]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comm::{execute, execute_on};
+    use crate::machine::MachineModel;
+
+    #[test]
+    fn silent_world_reduces_to_empty() {
+        let out = execute(3, |c| {
+            // Drain anything earlier tests on this thread left behind.
+            let _ = pumi_obs::span::take();
+            let _ = pumi_obs::metrics::take_traffic();
+            let spans = reduce_spans(c);
+            let traffic = reduce_traffic(c);
+            (c.rank() == 0) == (spans.is_some() && traffic.is_some())
+        });
+        assert!(out.into_iter().all(|ok| ok));
+    }
+
+    #[test]
+    #[cfg(feature = "obs")]
+    fn spans_reduce_with_max_and_sum() {
+        let out = execute(4, |c| {
+            let _ = pumi_obs::span::take();
+            {
+                let _g = pumi_obs::span!("work");
+                std::thread::sleep(std::time::Duration::from_millis(1 + c.rank() as u64));
+            }
+            reduce_spans(c)
+        });
+        let spans = out.into_iter().flatten().next().unwrap();
+        let row = spans.iter().find(|s| s.path == "work").unwrap();
+        assert_eq!(row.count, 4);
+        assert_eq!(row.ranks, 4);
+        assert!(row.max_rank_seconds >= 0.001);
+        assert!(row.total_seconds >= row.max_rank_seconds);
+        // The reduction's own gather also ran under no span on each rank —
+        // it must not pollute the reduced set (it was drained before).
+        assert!(spans.iter().all(|s| !s.path.contains("pcu.gather")));
+    }
+
+    /// Buffers crossing node boundaries on a multi-node machine: per-phase
+    /// traffic must split between on-node and off-node link classes.
+    #[test]
+    #[cfg(feature = "obs")]
+    fn traffic_reduces_per_phase_and_link() {
+        let m = MachineModel::new(2, 2); // ranks 0,1 on node 0; 2,3 on node 1
+        let out = execute_on(m, |c| {
+            let _ = pumi_obs::span::take();
+            let _ = pumi_obs::metrics::take_traffic();
+            {
+                let _g = pumi_obs::span!("halo");
+                let mut ex = crate::phased::Exchange::new(c);
+                // Each rank sends 8 bytes to every other rank and 8 to itself.
+                for dest in 0..c.nranks() {
+                    ex.to(dest).put_u64(c.rank() as u64);
+                }
+                let got = ex.finish();
+                assert_eq!(got.len(), c.nranks());
+                assert_eq!(got.total_bytes(), 8 * c.nranks() as u64);
+            }
+            reduce_traffic(c)
+        });
+        let traffic = out.into_iter().flatten().next().unwrap();
+        let find = |link: Link| {
+            traffic
+                .iter()
+                .find(|t| t.phase.ends_with("halo/pcu.exchange") && t.link == link)
+                .unwrap_or_else(|| panic!("no {link:?} row in {traffic:?}"))
+        };
+        // 4 ranks × 1 on-node peer, × 2 off-node peers, × 1 self.
+        assert_eq!(find(Link::OnNode).msgs, 4);
+        assert_eq!(find(Link::OnNode).bytes, 32);
+        assert_eq!(find(Link::OffNode).msgs, 8);
+        assert_eq!(find(Link::OffNode).bytes, 64);
+        assert_eq!(find(Link::SelfLoop).msgs, 4);
+        // The termination-detection allreduce is traffic too, but lands
+        // under its own nested span path.
+        assert!(traffic
+            .iter()
+            .any(|t| t.phase.contains("pcu.allreduce_vec")));
+    }
+
+    #[test]
+    fn world_report_shape() {
+        let out = execute(2, |c| {
+            let _ = pumi_obs::span::take();
+            let _ = pumi_obs::metrics::take_traffic();
+            {
+                let _g = pumi_obs::span!("phase");
+                c.barrier();
+            }
+            world_report(c).map(|j| j.render())
+        });
+        let j = out.into_iter().flatten().next().unwrap();
+        assert!(j.contains("\"spans\""));
+        assert!(j.contains("\"traffic\""));
+        #[cfg(feature = "obs")]
+        assert!(j.contains("\"path\": \"phase/pcu.barrier\""));
+    }
+}

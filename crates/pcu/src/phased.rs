@@ -55,9 +55,10 @@ impl<'c> Exchange<'c> {
         self.bufs.get(&rank).is_some_and(|w| !w.is_empty())
     }
 
-    /// Send all packed buffers and collect this rank's incoming buffers,
-    /// sorted by source rank (deterministic iteration order).
-    pub fn finish(self) -> Vec<(usize, MsgReader)> {
+    /// Send all packed buffers and collect this rank's incoming buffers as a
+    /// [`Received`], sorted by source rank (deterministic iteration order).
+    pub fn finish(self) -> Received {
+        let _span = pumi_obs::span!("pcu.exchange");
         let comm = self.comm;
         let n = comm.nranks();
         let tag = comm.next_coll_tag();
@@ -71,6 +72,12 @@ impl<'c> Exchange<'c> {
                 continue;
             }
             if dest == comm.rank() {
+                // Local delivery bypasses the wire; meter it as a self-loop
+                // so per-phase traffic still accounts for the pack volume.
+                pumi_obs::metrics::record_traffic(
+                    pumi_obs::metrics::Link::SelfLoop,
+                    w.len() as u64,
+                );
                 local = Some(MsgReader::new(w.finish()));
             } else {
                 counts[dest] += 1;
@@ -83,16 +90,97 @@ impl<'c> Exchange<'c> {
             comm.send_raw(dest, tag, data);
         }
 
-        let mut received: Vec<(usize, MsgReader)> = Vec::with_capacity(expected as usize + 1);
+        let mut msgs: Vec<(usize, MsgReader)> = Vec::with_capacity(expected as usize + 1);
+        let mut total_bytes = 0u64;
         for _ in 0..expected {
             let (from, data) = comm.recv_raw(None, tag);
-            received.push((from, MsgReader::new(data)));
+            total_bytes += data.len() as u64;
+            msgs.push((from, MsgReader::new(data)));
         }
         if let Some(r) = local {
-            received.push((comm.rank(), r));
+            total_bytes += r.remaining() as u64;
+            msgs.push((comm.rank(), r));
         }
-        received.sort_by_key(|(from, _)| *from);
-        received
+        msgs.sort_by_key(|(from, _)| *from);
+        Received { msgs, total_bytes }
+    }
+}
+
+/// The incoming side of a completed exchange: one [`MsgReader`] per source
+/// rank that sent to us, sorted by source (iteration is deterministic).
+///
+/// Iterate it like the `Vec` it replaces — `for (from, mut r) in received` —
+/// or address a specific source with [`Received::from`].
+#[derive(Debug, Default)]
+pub struct Received {
+    /// `(source rank, reader)`, sorted by source; at most one per source.
+    msgs: Vec<(usize, MsgReader)>,
+    total_bytes: u64,
+}
+
+impl Received {
+    /// Number of buffers received.
+    pub fn len(&self) -> usize {
+        self.msgs.len()
+    }
+
+    /// Whether nothing was received.
+    pub fn is_empty(&self) -> bool {
+        self.msgs.is_empty()
+    }
+
+    /// Total payload bytes received (including local self-delivery).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bytes
+    }
+
+    /// The source ranks that sent to us, ascending.
+    pub fn sources(&self) -> impl Iterator<Item = usize> + '_ {
+        self.msgs.iter().map(|(from, _)| *from)
+    }
+
+    /// The buffer sent by `rank`, if any.
+    pub fn from(&self, rank: usize) -> Option<&MsgReader> {
+        self.msgs
+            .binary_search_by_key(&rank, |(from, _)| *from)
+            .ok()
+            .map(|i| &self.msgs[i].1)
+    }
+
+    /// The buffer sent by `rank`, mutably (readers consume as they read).
+    pub fn from_mut(&mut self, rank: usize) -> Option<&mut MsgReader> {
+        self.msgs
+            .binary_search_by_key(&rank, |(from, _)| *from)
+            .ok()
+            .map(|i| &mut self.msgs[i].1)
+    }
+
+    /// Iterate `(source, reader)` pairs in source order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (usize, MsgReader)> {
+        self.msgs.iter()
+    }
+
+    /// Iterate `(source, reader)` pairs mutably, in source order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, (usize, MsgReader)> {
+        self.msgs.iter_mut()
+    }
+}
+
+impl IntoIterator for Received {
+    type Item = (usize, MsgReader);
+    type IntoIter = std::vec::IntoIter<(usize, MsgReader)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.msgs.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Received {
+    type Item = &'a (usize, MsgReader);
+    type IntoIter = std::slice::Iter<'a, (usize, MsgReader)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.msgs.iter()
     }
 }
 
@@ -143,7 +231,23 @@ mod tests {
     fn empty_exchange_terminates() {
         execute(5, |c| {
             let ex = Exchange::new(c);
-            assert!(ex.finish().is_empty());
+            let got = ex.finish();
+            assert!(got.is_empty());
+            assert_eq!(got.total_bytes(), 0);
+        });
+    }
+
+    /// A world where every exchange is silent for several successive phases:
+    /// termination detection must not carry state across phases.
+    #[test]
+    fn repeated_silent_phases_terminate() {
+        execute(4, |c| {
+            for _ in 0..4 {
+                let got = Exchange::new(c).finish();
+                assert!(got.is_empty());
+                assert!(got.sources().next().is_none());
+                assert!(got.from(0).is_none());
+            }
         });
     }
 
@@ -154,7 +258,29 @@ mod tests {
             ex.to(c.rank()).put_u64(42);
             let got = ex.finish();
             assert_eq!(got.len(), 1);
-            assert_eq!(got[0].0, c.rank());
+            assert_eq!(got.sources().collect::<Vec<_>>(), vec![c.rank()]);
+        });
+    }
+
+    /// Every rank sends only to itself: no wire traffic at all, yet each
+    /// rank must see exactly its own buffer with its payload intact.
+    #[test]
+    fn self_send_only_world() {
+        let n = 4;
+        execute(n, |c| {
+            let mut ex = Exchange::new(c);
+            ex.to(c.rank()).put_u32(c.rank() as u32);
+            ex.to(c.rank()).put_f64_slice(&[1.5; 3]);
+            let mut got = ex.finish();
+            assert_eq!(got.len(), 1);
+            assert_eq!(got.total_bytes(), 4 + 4 + 3 * 8);
+            for other in 0..n {
+                assert_eq!(got.from(other).is_some(), other == c.rank());
+            }
+            let r = got.from_mut(c.rank()).unwrap();
+            assert_eq!(r.get_u32(), c.rank() as u32);
+            assert_eq!(r.get_f64_slice(), vec![1.5; 3]);
+            assert!(r.is_done());
         });
     }
 
@@ -168,7 +294,7 @@ mod tests {
             }
             let got = ex.finish();
             if c.rank() == 0 {
-                let sources: Vec<usize> = got.iter().map(|(f, _)| *f).collect();
+                let sources: Vec<usize> = got.sources().collect();
                 assert_eq!(sources, (1..n).collect::<Vec<_>>());
                 for (from, r) in got {
                     let mut r = r;
@@ -176,6 +302,32 @@ mod tests {
                 }
             } else {
                 assert!(got.is_empty());
+            }
+        });
+    }
+
+    /// Received::from addresses sources without consuming the others.
+    #[test]
+    fn received_addressing_by_source() {
+        let n = 5;
+        execute(n, |c| {
+            let mut ex = Exchange::new(c);
+            if c.rank() != 2 {
+                ex.to(2).put_u32(c.rank() as u32 + 7);
+            }
+            let mut got = ex.finish();
+            if c.rank() == 2 {
+                assert_eq!(got.len(), n - 1);
+                // Read an arbitrary subset, out of order.
+                assert_eq!(got.from_mut(3).unwrap().get_u32(), 10);
+                assert_eq!(got.from_mut(0).unwrap().get_u32(), 7);
+                assert!(got.from(2).is_none(), "rank 2 sent nothing to itself");
+                // Untouched sources remain readable via iteration.
+                for (from, r) in got.iter_mut() {
+                    if *from != 3 && *from != 0 {
+                        assert_eq!(r.get_u32(), *from as u32 + 7);
+                    }
+                }
             }
         });
     }

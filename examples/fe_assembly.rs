@@ -92,7 +92,5 @@ fn main() {
         ds.mean,
         ds.imbalance_pct()
     );
-    println!(
-        "same partition, different bottleneck — why ParMA balances multiple entity types"
-    );
+    println!("same partition, different bottleneck — why ParMA balances multiple entity types");
 }

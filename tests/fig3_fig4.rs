@@ -107,8 +107,16 @@ fn fig6_on_node_vs_off_node_boundaries() {
             0 | 1 => {
                 // P0 and P1 share an on-node boundary (each other) and an
                 // off-node boundary (P2).
-                assert!(split.on_node_total() > 0, "P{}: no on-node boundary", part.id);
-                assert!(split.off_node_total() > 0, "P{}: no off-node boundary", part.id);
+                assert!(
+                    split.on_node_total() > 0,
+                    "P{}: no on-node boundary",
+                    part.id
+                );
+                assert!(
+                    split.off_node_total() > 0,
+                    "P{}: no off-node boundary",
+                    part.id
+                );
                 // Entities shared ONLY with the sibling are on-node.
                 let sibling = part.id ^ 1;
                 for (e, remotes) in part.shared_entities() {

@@ -35,9 +35,8 @@ fn run_random_migrations(seed: u64, rounds: usize) {
         for round in 0..rounds {
             let mut plans: FxHashMap<PartId, MigrationPlan> = FxHashMap::default();
             for part in &dm.parts {
-                let mut rng = StdRng::seed_from_u64(
-                    seed ^ (round as u64) << 8 ^ (part.id as u64) << 32,
-                );
+                let mut rng =
+                    StdRng::seed_from_u64(seed ^ (round as u64) << 8 ^ (part.id as u64) << 32);
                 let mut plan = MigrationPlan::new();
                 for e in part.mesh.elems() {
                     if rng.gen_bool(0.15) {

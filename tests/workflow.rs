@@ -27,7 +27,11 @@ fn aaa_pipeline_balances_and_conserves() {
     let labels = partition_mesh(&serial, nparts);
     let q0 = PartitionQuality::compute(&serial, &labels, nparts);
     // The baseline partitioner balances elements but not vertices.
-    assert!(q0.imbalance_pct(Dim::Region) < 15.0, "rgn {:?}", q0.imbalance_pct(Dim::Region));
+    assert!(
+        q0.imbalance_pct(Dim::Region) < 15.0,
+        "rgn {:?}",
+        q0.imbalance_pct(Dim::Region)
+    );
 
     let serial_counts = [
         serial.count(Dim::Vertex) as u64,

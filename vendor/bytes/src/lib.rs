@@ -1,0 +1,264 @@
+//! Vendored minimal stand-in for the [`bytes`](https://docs.rs/bytes) crate.
+//!
+//! This workspace builds fully offline (see `vendor/README.md`), so the small
+//! slice of the `bytes` API that PUMI's message layer uses is reimplemented
+//! here on top of `Arc<Vec<u8>>`. Semantics match the real crate for the
+//! methods provided: `Bytes` is a cheaply-clonable immutable buffer with a
+//! read cursor, `BytesMut` an append-only growable buffer that freezes into
+//! `Bytes`.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// Cheaply clonable immutable byte buffer with a consume cursor.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+    /// Consumed prefix: `Deref` and `Buf` reads see `data[off..]`.
+    off: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes::default()
+    }
+
+    /// A buffer viewing a static slice (copied; the real crate borrows).
+    pub fn from_static(s: &'static [u8]) -> Bytes {
+        Bytes {
+            data: Arc::new(s.to_vec()),
+            off: 0,
+        }
+    }
+
+    /// Unconsumed length.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.off
+    }
+
+    /// Whether no unconsumed bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy the unconsumed bytes into a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data[self.off..].to_vec()
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(
+            self.len() >= n,
+            "Bytes advanced past end: need {n}, have {}",
+            self.len()
+        );
+        let s = &self.data[self.off..self.off + n];
+        self.off += n;
+        s
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Arc::new(v),
+            off: 0,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.off..]
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({:?})", &self[..])
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self[..] == other[..]
+    }
+}
+impl Eq for Bytes {}
+
+/// Read-side cursor operations (little-endian, as used by `pumi-pcu::msg`).
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+    /// Consume one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Consume a little-endian `u32`.
+    fn get_u32_le(&mut self) -> u32;
+    /// Consume a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+    /// Consume a little-endian `i64`.
+    fn get_i64_le(&mut self) -> i64;
+    /// Consume a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64;
+    /// Consume exactly `dst.len()` bytes into `dst`.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes(self.take(4).try_into().unwrap())
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        u64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_i64_le(&mut self) -> i64 {
+        i64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_le_bytes(self.take(8).try_into().unwrap())
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        let src = self.take(dst.len());
+        dst.copy_from_slice(src);
+    }
+}
+
+/// Growable append-only byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct BytesMut {
+    buf: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> BytesMut {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> BytesMut {
+        BytesMut {
+            buf: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Bytes written.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Copy out as a `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.buf.clone()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.buf)
+    }
+}
+
+/// Write-side append operations (little-endian).
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, x: u8);
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, x: u32);
+    /// Append a little-endian `u64`.
+    fn put_u64_le(&mut self, x: u64);
+    /// Append a little-endian `i64`.
+    fn put_i64_le(&mut self, x: i64);
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, x: f64);
+    /// Append a slice verbatim.
+    fn put_slice(&mut self, s: &[u8]);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, x: u8) {
+        self.buf.push(x);
+    }
+
+    fn put_u32_le(&mut self, x: u32) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn put_u64_le(&mut self, x: u64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn put_i64_le(&mut self, x: i64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn put_f64_le(&mut self, x: f64) {
+        self.buf.extend_from_slice(&x.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.buf.extend_from_slice(s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_freeze_read_roundtrip() {
+        let mut w = BytesMut::with_capacity(64);
+        w.put_u8(9);
+        w.put_u32_le(1234);
+        w.put_u64_le(u64::MAX);
+        w.put_i64_le(-5);
+        w.put_f64_le(2.5);
+        w.put_slice(b"abc");
+        let mut b = w.freeze();
+        assert_eq!(b.get_u8(), 9);
+        assert_eq!(b.get_u32_le(), 1234);
+        assert_eq!(b.get_u64_le(), u64::MAX);
+        assert_eq!(b.get_i64_le(), -5);
+        assert_eq!(b.get_f64_le(), 2.5);
+        let mut s = [0u8; 3];
+        b.copy_to_slice(&mut s);
+        assert_eq!(&s, b"abc");
+        assert_eq!(b.remaining(), 0);
+    }
+
+    #[test]
+    fn clones_share_storage_but_not_cursor() {
+        let mut a = Bytes::from(vec![1, 2, 3, 4]);
+        let b = a.clone();
+        a.get_u8();
+        assert_eq!(a.len(), 3);
+        assert_eq!(b.len(), 4);
+        assert_eq!(&b[..], &[1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn deref_sees_unconsumed_suffix() {
+        let mut b = Bytes::from_static(b"hello");
+        b.get_u8();
+        assert_eq!(&b[..], b"ello");
+        assert_eq!(b[0], b'e');
+    }
+}
