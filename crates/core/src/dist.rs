@@ -143,7 +143,9 @@ impl<'c, 'm> PartExchange<'c, 'm> {
     /// The writer packing data from part `from` to part `to`.
     pub fn to(&mut self, from: PartId, to: PartId) -> &mut MsgWriter {
         debug_assert!((to as usize) < self.map.nparts(), "bad destination part");
-        self.bufs.entry((from, to)).or_default()
+        self.bufs
+            .entry((from, to))
+            .or_insert_with(MsgWriter::pooled)
     }
 
     /// Send everything; returns `(from_part, to_part, reader)` triples
@@ -155,26 +157,32 @@ impl<'c, 'm> PartExchange<'c, 'm> {
         items.sort_by_key(|&(k, _)| k);
         for ((from, to), w) in items {
             if w.is_empty() {
+                w.recycle();
                 continue;
             }
             let rank = self.map.rank_of(to);
             let out = ex.to(rank);
             out.put_u32(from);
             out.put_u32(to);
-            out.put_bytes(&w.into_vec());
+            // Re-frame without consuming: the staging buffer's allocation
+            // goes back to the pool for the next part's writer.
+            out.put_bytes(w.as_slice());
+            w.recycle();
         }
         let mut result = Vec::new();
         for (sender, mut r) in ex.finish() {
             while !r.is_done() {
-                let frame = || -> Result<(PartId, PartId, Vec<u8>), pumi_pcu::MsgError> {
+                let frame = || -> Result<(PartId, PartId, bytes::Bytes), pumi_pcu::MsgError> {
                     let from = r.try_get_u32()?;
                     let to = r.try_get_u32()?;
-                    let body = r.try_get_bytes()?;
+                    // Zero copy: the part body is a sub-slice of the rank
+                    // message, not a fresh Vec.
+                    let body = r.try_get_bytes_shared()?;
                     Ok((from, to, body))
                 }();
                 let (from, to, body) =
                     frame.unwrap_or_else(|e| panic!("corrupt part frame from rank {sender}: {e}"));
-                result.push((from, to, MsgReader::from_vec(body)));
+                result.push((from, to, MsgReader::new(body)));
             }
         }
         result.sort_by_key(|&(f, t, _)| (t, f));

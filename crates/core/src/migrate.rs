@@ -71,6 +71,7 @@ pub struct MigrationStats {
 pub(crate) fn pack_tags(part: &Part, e: MeshEnt, w: &mut MsgWriter) {
     let tags = part.mesh.tags().collect(e);
     w.put_u32(tags.len() as u32);
+    let mut buf = Vec::new();
     for (tid, data) in tags {
         let tm = part.mesh.tags();
         w.put_bytes(tm.name(tid).as_bytes());
@@ -80,7 +81,7 @@ pub(crate) fn pack_tags(part: &Part, e: MeshEnt, w: &mut MsgWriter) {
             TagKind::Bytes => 2,
         });
         w.put_u32(tm.len_of(tid) as u32);
-        let mut buf = Vec::new();
+        buf.clear();
         data.encode(&mut buf);
         w.put_bytes(&buf);
     }
@@ -89,17 +90,20 @@ pub(crate) fn pack_tags(part: &Part, e: MeshEnt, w: &mut MsgWriter) {
 pub(crate) fn unpack_tags(part: &mut Part, e: MeshEnt, r: &mut MsgReader) -> Result<(), MsgError> {
     let n = r.try_get_u32()?;
     for _ in 0..n {
-        let name = String::from_utf8(r.try_get_bytes()?).expect("tag name utf8");
+        // Zero-copy sub-slices of the incoming message: tag names and
+        // payloads are borrowed, not copied into fresh Vecs.
+        let name_bytes = r.try_get_bytes_shared()?;
+        let name = std::str::from_utf8(&name_bytes).expect("tag name utf8");
         let kind = match r.try_get_u8()? {
             0 => TagKind::Int,
             1 => TagKind::Double,
             _ => TagKind::Bytes,
         };
         let len = r.try_get_u32()? as usize;
-        let buf = r.try_get_bytes()?;
+        let buf = r.try_get_bytes_shared()?;
         let mut pos = 0;
         let data = TagData::decode(&buf, &mut pos).expect("tag data");
-        let tid = part.mesh.tags_mut().declare(&name, kind, len);
+        let tid = part.mesh.tags_mut().declare(name, kind, len);
         part.mesh.tags_mut().set(tid, e, data);
     }
     Ok(())

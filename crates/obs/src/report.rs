@@ -1,8 +1,8 @@
 //! The machine-readable report sink.
 //!
 //! Every bench binary assembles a [`Report`] and writes it to
-//! `results/<name>.json` (relative to the working directory). The JSON
-//! schema is flat and stable:
+//! `results/<name>.json` (relative to the working directory, or to
+//! `$PUMI_RESULTS_DIR` when set). The JSON schema is flat and stable:
 //!
 //! ```json
 //! {
@@ -66,9 +66,15 @@ impl Report {
     }
 
     /// Write to `results/<name>.json`, creating the directory as needed.
-    /// Returns the path written.
+    /// Returns the path written. The destination directory can be overridden
+    /// with the `PUMI_RESULTS_DIR` environment variable — cargo runs bench
+    /// binaries with the package directory as the working directory, so
+    /// snapshot scripts use this to collect reports at the workspace root.
     pub fn write(&self) -> std::io::Result<PathBuf> {
-        self.write_under("results")
+        match std::env::var("PUMI_RESULTS_DIR") {
+            Ok(dir) if !dir.is_empty() => self.write_under(&dir),
+            _ => self.write_under("results"),
+        }
     }
 
     /// Write to `<dir>/<name>.json`.

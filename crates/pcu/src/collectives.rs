@@ -33,6 +33,31 @@ impl Comm {
         }
     }
 
+    /// Dissemination barrier among the ranks of this rank's node only: all
+    /// rounds travel shared-memory links. Collective across the whole world
+    /// (every rank calls it; the machine is uniform, so every node runs the
+    /// same number of rounds and collective tags stay aligned). Used by the
+    /// two-level exchange to fence intra-node delivery hops.
+    pub(crate) fn node_barrier(&self) {
+        let _span = pumi_obs::span!("pcu.node_barrier");
+        let machine = self.machine();
+        let cores = machine.cores_per_node;
+        if cores == 1 {
+            return;
+        }
+        let base = machine.leader_of(machine.node_of(self.rank()));
+        let core = self.rank() - base;
+        let mut k = 1usize;
+        while k < cores {
+            let tag = self.next_coll_tag();
+            let to = base + (core + k) % cores;
+            let from = base + (core + cores - k) % cores;
+            self.send_raw(to, tag, Bytes::new());
+            let _ = self.recv_raw(Some(from), tag);
+            k <<= 1;
+        }
+    }
+
     /// Gather one buffer from every rank to `root`; returns `Some(bufs)` on
     /// the root (indexed by rank), `None` elsewhere.
     pub fn gather_bytes(&self, root: usize, data: Bytes) -> Option<Vec<Bytes>> {

@@ -9,7 +9,9 @@
 use crate::machine::{LinkClass, MachineModel, TrafficCounters, TrafficReport};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use pumi_util::FxHashMap;
 use std::cell::{Cell, RefCell};
+use std::collections::VecDeque;
 
 /// Highest tag value available to users; larger tags are reserved for
 /// collectives.
@@ -20,6 +22,51 @@ pub(crate) struct Envelope {
     pub from: usize,
     pub tag: u32,
     pub data: Bytes,
+}
+
+/// Out-of-order messages awaiting a matching recv, indexed by tag so the
+/// receive path never re-scans unrelated stashed traffic. Queues preserve
+/// arrival order per tag; an emptied tag's entry is removed immediately
+/// (collective tags are never reused, so stale entries would otherwise
+/// accumulate forever).
+#[derive(Debug, Default)]
+struct Mailbox {
+    queues: FxHashMap<u32, VecDeque<(usize, Bytes)>>,
+}
+
+impl Mailbox {
+    fn push(&mut self, e: Envelope) {
+        self.queues
+            .entry(e.tag)
+            .or_default()
+            .push_back((e.from, e.data));
+    }
+
+    /// Pop the first stashed message matching `(from, tag)`.
+    fn pop(&mut self, from: Option<usize>, tag: u32) -> Option<(usize, Bytes)> {
+        let q = self.queues.get_mut(&tag)?;
+        let i = match from {
+            None => 0,
+            Some(f) => q.iter().position(|&(src, _)| src == f)?,
+        };
+        let msg = q.remove(i)?;
+        if q.is_empty() {
+            self.queues.remove(&tag);
+        }
+        Some(msg)
+    }
+
+    fn has(&self, from: Option<usize>, tag: u32) -> bool {
+        self.queues.get(&tag).is_some_and(|q| match from {
+            None => true,
+            Some(f) => q.iter().any(|&(src, _)| src == f),
+        })
+    }
+
+    /// Remove and return the whole queue for `tag` (arrival order).
+    fn take_tag(&mut self, tag: u32) -> VecDeque<(usize, Bytes)> {
+        self.queues.remove(&tag).unwrap_or_default()
+    }
 }
 
 /// Per-rank communicator handle.
@@ -33,7 +80,7 @@ pub struct Comm {
     senders: Vec<Sender<Envelope>>,
     receiver: Receiver<Envelope>,
     /// Out-of-order messages awaiting a matching recv.
-    pending: RefCell<Vec<Envelope>>,
+    mailbox: RefCell<Mailbox>,
     /// Monotonic collective sequence number; identical across ranks because
     /// collectives are called in SPMD order.
     pub(crate) coll_seq: Cell<u32>,
@@ -81,6 +128,14 @@ impl Comm {
     }
 
     pub(crate) fn send_raw(&self, to: usize, tag: u32, data: Bytes) {
+        self.forward_raw(self.rank, to, tag, data);
+    }
+
+    /// Send on behalf of `origin`: the receiver sees the envelope as coming
+    /// from `origin`, not from this rank. Used by the two-level exchange
+    /// relay to re-deliver sub-buffers transparently; traffic is metered on
+    /// the physical link (this rank → `to`).
+    pub(crate) fn forward_raw(&self, origin: usize, to: usize, tag: u32, data: Bytes) {
         let link = self.machine.link(self.rank, to);
         self.counters.record(link, data.len());
         // Per-phase metering: the same message lands in the obs registry
@@ -88,7 +143,7 @@ impl Comm {
         pumi_obs::metrics::record_traffic(link.to_obs(), data.len() as u64);
         self.senders[to]
             .send(Envelope {
-                from: self.rank,
+                from: origin,
                 tag,
                 data,
             })
@@ -103,16 +158,10 @@ impl Comm {
     }
 
     pub(crate) fn recv_raw(&self, from: Option<usize>, tag: u32) -> (usize, Bytes) {
-        // First satisfy from the stash.
-        {
-            let mut pending = self.pending.borrow_mut();
-            if let Some(i) = pending
-                .iter()
-                .position(|e| e.tag == tag && from.is_none_or(|f| f == e.from))
-            {
-                let e = pending.swap_remove(i);
-                return (e.from, e.data);
-            }
+        // First satisfy from the mailbox (indexed by tag: no linear re-scan
+        // of unrelated stashed traffic).
+        if let Some(msg) = self.mailbox.borrow_mut().pop(from, tag) {
+            return msg;
         }
         // Then block on the wire, stashing non-matching arrivals.
         loop {
@@ -123,29 +172,33 @@ impl Comm {
             if e.tag == tag && from.is_none_or(|f| f == e.from) {
                 return (e.from, e.data);
             }
-            self.pending.borrow_mut().push(e);
+            self.mailbox.borrow_mut().push(e);
         }
     }
 
     /// Non-blocking probe: is a message matching `(from, tag)` available?
     pub fn iprobe(&self, from: Option<usize>, tag: u32) -> bool {
-        {
-            let pending = self.pending.borrow();
-            if pending
-                .iter()
-                .any(|e| e.tag == tag && from.is_none_or(|f| f == e.from))
-            {
-                return true;
-            }
+        if self.mailbox.borrow().has(from, tag) {
+            return true;
         }
-        // Drain whatever is on the wire into the stash, then re-check.
+        // Drain whatever is on the wire into the mailbox, then re-check.
+        self.drain_wire();
+        self.mailbox.borrow().has(from, tag)
+    }
+
+    /// Move every message currently on the wire into the mailbox.
+    pub(crate) fn drain_wire(&self) {
+        let mut mailbox = self.mailbox.borrow_mut();
         while let Ok(e) = self.receiver.try_recv() {
-            self.pending.borrow_mut().push(e);
+            mailbox.push(e);
         }
-        self.pending
-            .borrow()
-            .iter()
-            .any(|e| e.tag == tag && from.is_none_or(|f| f == e.from))
+    }
+
+    /// Remove and return every stashed message with `tag`, in arrival
+    /// order. Callers must have established (e.g. via a barrier) that no
+    /// more messages with this tag are in flight.
+    pub(crate) fn take_tag(&self, tag: u32) -> VecDeque<(usize, Bytes)> {
+        self.mailbox.borrow_mut().take_tag(tag)
     }
 
     /// Traffic totals for the whole world (shared counters).
@@ -196,7 +249,7 @@ where
             machine,
             senders: senders.clone(),
             receiver,
-            pending: RefCell::new(Vec::new()),
+            mailbox: RefCell::new(Mailbox::default()),
             coll_seq: Cell::new(0),
             counters: counters.clone(),
         })

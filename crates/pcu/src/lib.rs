@@ -12,7 +12,9 @@
 //!   [`comm::Comm`] handle with point-to-point send/recv,
 //! * [`collectives`] — barrier, reductions, gathers, all-to-all,
 //! * [`phased`] — PCU-style phased neighbour exchange (pack per destination,
-//!   send, iterate received buffers),
+//!   send, iterate received buffers) with selectable off-node routing
+//!   ([`phased::RouteMode`]): direct rank-to-rank, or node-aware two-level
+//!   aggregation through node leaders,
 //! * [`machine`] — the architecture model: rank ↔ (node, core) mapping and
 //!   on-node vs off-node link classification (Figs 5/6),
 //! * [`msg`] — typed little-endian message writers/readers over [`bytes`],
@@ -34,4 +36,4 @@ pub mod phased;
 pub use comm::{execute, execute_on, Comm};
 pub use machine::{LinkClass, MachineModel, TrafficReport};
 pub use msg::{MsgError, MsgReader, MsgWriter};
-pub use phased::{Exchange, Received};
+pub use phased::{Exchange, ExchangeOpts, Received, RouteMode};

@@ -83,6 +83,17 @@ impl MachineModel {
         node * self.cores_per_node..(node + 1) * self.cores_per_node
     }
 
+    /// The node-leader rank of `node` (its lowest rank) — the relay
+    /// endpoint for two-level message routing.
+    pub fn leader_of(&self, node: usize) -> usize {
+        node * self.cores_per_node
+    }
+
+    /// Whether `rank` is its node's leader.
+    pub fn is_leader(&self, rank: usize) -> bool {
+        self.core_of(rank) == 0
+    }
+
     /// Classify the link between two ranks.
     pub fn link(&self, a: usize, b: usize) -> LinkClass {
         if a == b {

@@ -5,6 +5,25 @@
 //! [`MsgReader`] consumes them in the same order. Framing is the caller's
 //! contract (as in MPI).
 //!
+//! # Buffer pooling
+//!
+//! Phased algorithms (migrate, ghost, field sync) allocate one writer per
+//! destination per round; [`MsgWriter::pooled`] seeds a writer from a
+//! thread-local free list of capacity-retaining buffers instead of the
+//! allocator. The list is refilled when a [`MsgReader`] holding the last
+//! handle to a message drops ([`Bytes::try_unfreeze`]), so in steady-state
+//! neighbour exchange the same allocations circulate between the pack and
+//! unpack sides of a rank without touching `malloc`. Each rank is one OS
+//! thread, so thread-local means per-rank.
+//!
+//! # Zero-copy reads
+//!
+//! [`MsgReader::try_get_bytes_shared`] returns a length-prefixed payload as
+//! a [`Bytes`] sub-slice sharing the incoming message's allocation —
+//! deserialization layers that re-frame nested buffers (part exchange,
+//! relay routing) use it to avoid copying every payload into a fresh
+//! `Vec<u8>`.
+//!
 //! # Fallible and infallible reads
 //!
 //! Every read exists in two forms:
@@ -23,6 +42,46 @@
 //! boundary — not `Result` signatures on collective operations themselves.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Thread-local free list of message buffers (capacity-retaining).
+mod pool {
+    use bytes::{Bytes, BytesMut};
+    use std::cell::RefCell;
+
+    /// Buffers kept per thread; beyond this, returns go to the allocator.
+    const MAX_BUFS: usize = 32;
+    /// Capacities worth retaining: below this a fresh alloc is cheap, above
+    /// it a pooled buffer would pin too much memory between phases.
+    const MIN_CAP: usize = 64;
+    const MAX_CAP: usize = 1 << 20;
+
+    thread_local! {
+        static POOL: RefCell<Vec<BytesMut>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn take() -> BytesMut {
+        POOL.with(|p| p.borrow_mut().pop()).unwrap_or_default()
+    }
+
+    pub(super) fn put(buf: BytesMut) {
+        if !(MIN_CAP..=MAX_CAP).contains(&buf.capacity()) {
+            return;
+        }
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < MAX_BUFS {
+                p.push(buf);
+            }
+        });
+    }
+
+    /// Reclaim a frozen buffer's allocation if this is the last handle.
+    pub(super) fn recycle(b: Bytes) {
+        if let Ok(m) = b.try_unfreeze() {
+            put(m);
+        }
+    }
+}
 
 /// A message deserialization failure: the reader ran past the end of the
 /// buffer, i.e. writer and reader disagreed on the frame layout.
@@ -63,6 +122,28 @@ impl MsgWriter {
         MsgWriter {
             buf: BytesMut::with_capacity(cap),
         }
+    }
+
+    /// An empty writer seeded from the thread-local buffer pool: reuses the
+    /// capacity of a previously finished-and-consumed message when one is
+    /// available, so per-destination packing in a phase loop stops paying an
+    /// allocation per round.
+    pub fn pooled() -> MsgWriter {
+        MsgWriter { buf: pool::take() }
+    }
+
+    /// Return this writer's backing buffer to the thread-local pool without
+    /// sending it (e.g. a staging buffer whose contents were re-framed into
+    /// another writer).
+    pub fn recycle(self) {
+        let mut buf = self.buf;
+        buf.clear();
+        pool::put(buf);
+    }
+
+    /// View the bytes written so far.
+    pub fn as_slice(&self) -> &[u8] {
+        self.buf.as_slice()
     }
 
     /// Bytes written so far.
@@ -221,6 +302,16 @@ impl MsgReader {
         Ok(v)
     }
 
+    /// Read a length-prefixed payload as a zero-copy [`Bytes`] sub-slice
+    /// sharing this message's allocation, or report an underrun. The frame
+    /// layout is identical to [`MsgWriter::put_bytes`] /
+    /// [`Self::try_get_bytes`]; only the ownership of the result differs.
+    pub fn try_get_bytes_shared(&mut self) -> Result<Bytes, MsgError> {
+        let n = self.try_get_u32()? as usize;
+        self.check(n)?;
+        Ok(self.buf.split_to(n))
+    }
+
     /// Read a length-prefixed `u32` vector, or report an underrun.
     pub fn try_get_u32_slice(&mut self) -> Result<Vec<u32>, MsgError> {
         let n = self.try_get_u32()? as usize;
@@ -275,6 +366,13 @@ impl MsgReader {
         self.try_get_bytes().unwrap_or_else(|e| panic!("{e}"))
     }
 
+    /// Read a length-prefixed payload as a zero-copy sub-slice. Panics on
+    /// underrun.
+    pub fn get_bytes_shared(&mut self) -> Bytes {
+        self.try_get_bytes_shared()
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
     /// Read a length-prefixed `u32` vector. Panics on underrun.
     pub fn get_u32_slice(&mut self) -> Vec<u32> {
         self.try_get_u32_slice().unwrap_or_else(|e| panic!("{e}"))
@@ -289,6 +387,34 @@ impl MsgReader {
     pub fn get_f64_slice(&mut self) -> Vec<f64> {
         self.try_get_f64_slice().unwrap_or_else(|e| panic!("{e}"))
     }
+}
+
+impl Drop for MsgReader {
+    fn drop(&mut self) {
+        // If this reader held the last handle to the message, its allocation
+        // returns to the thread-local pool for the next MsgWriter::pooled().
+        pool::recycle(std::mem::take(&mut self.buf));
+    }
+}
+
+/// Relay sub-frame layout used by the two-level exchange (DESIGN.md
+/// "Two-level message routing"): `[u32 dest rank][u32 origin rank]
+/// [u32 len][len payload bytes]`. A node-bound super-message is a
+/// concatenation of these; a relay re-delivers each payload by slicing it
+/// out of the super-message without copying.
+pub(crate) fn put_relay_frame(w: &mut MsgWriter, dest: u32, origin: u32, payload: &[u8]) {
+    w.put_u32(dest);
+    w.put_u32(origin);
+    w.put_bytes(payload);
+}
+
+/// Parse one relay sub-frame: `(dest rank, origin rank, payload)`. The
+/// payload shares the super-message's allocation (zero copy).
+pub(crate) fn take_relay_frame(r: &mut MsgReader) -> Result<(u32, u32, Bytes), MsgError> {
+    let dest = r.try_get_u32()?;
+    let origin = r.try_get_u32()?;
+    let payload = r.try_get_bytes_shared()?;
+    Ok((dest, origin, payload))
 }
 
 #[cfg(test)]
@@ -387,6 +513,79 @@ mod tests {
                 available: 0
             })
         );
+    }
+
+    #[test]
+    fn bytes_shared_matches_copying_read() {
+        let mut w = MsgWriter::new();
+        w.put_bytes(b"alpha");
+        w.put_bytes(b"");
+        w.put_bytes(b"omega");
+        let frozen = w.finish();
+        let mut a = MsgReader::new(frozen.clone());
+        let mut b = MsgReader::new(frozen);
+        assert_eq!(&a.get_bytes_shared()[..], &b.get_bytes()[..]);
+        assert_eq!(&a.get_bytes_shared()[..], &b.get_bytes()[..]);
+        assert_eq!(&a.get_bytes_shared()[..], &b.get_bytes()[..]);
+        assert!(a.is_done());
+        // Underrun reporting matches the copying variant.
+        let mut w = MsgWriter::new();
+        w.put_u32(10);
+        w.put_u8(1);
+        let mut r = MsgReader::new(w.finish());
+        assert_eq!(
+            r.try_get_bytes_shared().unwrap_err(),
+            MsgError {
+                needed: 10,
+                available: 1
+            }
+        );
+    }
+
+    #[test]
+    fn relay_frame_roundtrip_is_zero_copy() {
+        let mut w = MsgWriter::new();
+        put_relay_frame(&mut w, 7, 3, b"payload-a");
+        put_relay_frame(&mut w, 2, 3, b"");
+        let mut r = MsgReader::new(w.finish());
+        let (dest, origin, payload) = take_relay_frame(&mut r).unwrap();
+        assert_eq!((dest, origin), (7, 3));
+        assert_eq!(&payload[..], b"payload-a");
+        let (dest, origin, payload) = take_relay_frame(&mut r).unwrap();
+        assert_eq!((dest, origin), (2, 3));
+        assert!(payload.is_empty());
+        assert!(r.is_done());
+        assert!(take_relay_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn pooled_writer_recycles_reader_capacity() {
+        // Drain whatever earlier tests left in this thread's pool (a pooled
+        // writer from an empty pool has a fresh zero-capacity buffer).
+        loop {
+            let w = MsgWriter::pooled();
+            if w.buf.capacity() == 0 {
+                break;
+            }
+        }
+        let mut w = MsgWriter::with_capacity(512);
+        w.put_bytes(&[7u8; 100]);
+        let r = MsgReader::new(w.finish());
+        drop(r); // last handle: allocation returns to the pool
+        let w2 = MsgWriter::pooled();
+        assert!(w2.buf.capacity() >= 512, "capacity was not retained");
+        assert!(w2.is_empty());
+        w2.recycle();
+    }
+
+    #[test]
+    fn shared_slice_blocks_reclaim_until_dropped() {
+        let mut w = MsgWriter::with_capacity(256);
+        w.put_bytes(&[1u8; 64]);
+        let mut r = MsgReader::new(w.finish());
+        let slice = r.get_bytes_shared();
+        drop(r); // slice still alive: no reclaim, no corruption
+        assert_eq!(&slice[..], &[1u8; 64]);
     }
 
     #[test]

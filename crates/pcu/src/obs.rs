@@ -255,11 +255,75 @@ mod tests {
         assert_eq!(find(Link::OffNode).msgs, 8);
         assert_eq!(find(Link::OffNode).bytes, 64);
         assert_eq!(find(Link::SelfLoop).msgs, 4);
-        // The termination-detection allreduce is traffic too, but lands
+        // The termination-detection barrier is traffic too, but lands
         // under its own nested span path.
-        assert!(traffic
+        assert!(traffic.iter().any(|t| t.phase.contains("pcu.barrier")));
+    }
+
+    /// Under two-level routing the exchange-path rows stay identical to
+    /// direct routing (logical rank-to-rank traffic), while the physical
+    /// off-node envelopes land under the nested relay span and are bounded
+    /// by one super-message per ordered node pair.
+    #[test]
+    #[cfg(feature = "obs")]
+    fn relay_span_shows_off_node_envelope_reduction() {
+        use crate::phased::{Exchange, ExchangeOpts};
+        let m = MachineModel::new(4, 2);
+        let run = |opts: ExchangeOpts| {
+            execute_on(m, move |c| {
+                let _ = pumi_obs::span::take();
+                let _ = pumi_obs::metrics::take_traffic();
+                {
+                    let _g = pumi_obs::span!("halo");
+                    let mut ex = Exchange::with_opts(c, opts);
+                    // Dense all-to-all: the worst case for direct routing.
+                    for dest in 0..c.nranks() {
+                        ex.to(dest).put_u64(c.rank() as u64);
+                    }
+                    let got = ex.finish();
+                    assert_eq!(got.len(), c.nranks());
+                }
+                reduce_traffic(c)
+            })
+            .into_iter()
+            .flatten()
+            .next()
+            .unwrap()
+        };
+        let direct = run(ExchangeOpts::direct());
+        let agg = run(ExchangeOpts::two_level());
+        let exchange_rows = |t: &[WorldTraffic]| {
+            t.iter()
+                .filter(|r| r.phase.ends_with("halo/pcu.exchange"))
+                .cloned()
+                .collect::<Vec<_>>()
+        };
+        // Logical per-phase accounting is routing-invariant.
+        assert_eq!(exchange_rows(&direct), exchange_rows(&agg));
+        // Physically, 8 ranks × 6 off-node peers = 48 direct envelopes
+        // collapse to one super-message per ordered node pair: 4×3 = 12,
+        // within the nodes² bound.
+        let direct_off = exchange_rows(&direct)
             .iter()
-            .any(|t| t.phase.contains("pcu.allreduce_vec")));
+            .find(|r| r.link == Link::OffNode)
+            .unwrap()
+            .msgs;
+        assert_eq!(direct_off, 48);
+        let relay_off = agg
+            .iter()
+            .find(|r| {
+                r.phase.ends_with(&format!(
+                    "halo/pcu.exchange/{}",
+                    pumi_obs::metrics::RELAY_SPAN
+                )) && r.link == Link::OffNode
+            })
+            .expect("relay span records off-node supers");
+        assert_eq!(relay_off.msgs, (m.nodes * (m.nodes - 1)) as u64);
+        assert!(relay_off.msgs <= (m.nodes * m.nodes) as u64);
+        // Direct mode never enters the relay span.
+        assert!(!direct
+            .iter()
+            .any(|r| r.phase.contains(pumi_obs::metrics::RELAY_SPAN)));
     }
 
     #[test]

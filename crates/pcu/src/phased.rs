@@ -3,10 +3,19 @@
 //! message buffer management and message routing").
 //!
 //! A phase has three steps: pack data per destination rank, send everything,
-//! then iterate over received buffers. Termination detection (how many
-//! messages each rank should expect) is resolved with one vector sum-reduce
-//! of per-destination message counts, keeping the exchange O(messages + N)
-//! rather than O(N²).
+//! then iterate over received buffers. Termination is sparse: the simulated
+//! transport enqueues sends synchronously, so one dissemination barrier after
+//! the sends proves every buffer of the phase has reached its destination's
+//! queue — the exchange costs O(messages + log N), with no dense
+//! per-destination count reduction.
+//!
+//! Off-node routing is selectable per exchange ([`ExchangeOpts`]):
+//! [`RouteMode::Direct`] sends every buffer straight to its destination;
+//! [`RouteMode::TwoLevel`] funnels off-node buffers through node leaders,
+//! which coalesce all traffic for a remote node into one super-message and
+//! re-deliver the pieces over shared-memory links on arrival — bounding
+//! off-node envelopes per phase by nodes² (the paper's architecture-aware
+//! message routing, §II-D).
 //!
 //! ```
 //! use pumi_pcu::phased::Exchange;
@@ -23,31 +32,107 @@
 //! ```
 
 use crate::comm::Comm;
-use crate::msg::{MsgReader, MsgWriter};
+use crate::machine::LinkClass;
+use crate::msg::{put_relay_frame, take_relay_frame, MsgReader, MsgWriter};
+use bytes::Bytes;
+use pumi_obs::metrics::Link;
 use pumi_util::FxHashMap;
+use std::sync::OnceLock;
+
+/// How [`Exchange::finish`] routes buffers whose destination lives on a
+/// different node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteMode {
+    /// Every buffer travels straight to its destination rank: at worst
+    /// O(ranks²) off-node envelopes per phase.
+    #[default]
+    Direct,
+    /// Node-aware two-level routing: off-node buffers funnel through the
+    /// sender's node leader, which coalesces everything bound for a given
+    /// remote node into one framed super-message to that node's leader; the
+    /// receiving leader re-delivers the sub-buffers over shared-memory
+    /// links. Off-node envelopes per phase are bounded by nodes².
+    TwoLevel,
+}
+
+impl RouteMode {
+    /// The process-wide default, read once from the `PUMI_PCU_ROUTE`
+    /// environment variable (`two-level` selects aggregation; anything else,
+    /// or unset, selects direct routing).
+    pub fn from_env() -> RouteMode {
+        static MODE: OnceLock<RouteMode> = OnceLock::new();
+        *MODE.get_or_init(|| match std::env::var("PUMI_PCU_ROUTE").as_deref() {
+            Ok("two-level") | Ok("twolevel") | Ok("two_level") => RouteMode::TwoLevel,
+            _ => RouteMode::Direct,
+        })
+    }
+}
+
+/// Per-exchange knobs. [`Default`] honours `PUMI_PCU_ROUTE`, so whole runs
+/// can be A/B-ed between routing strategies without code changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExchangeOpts {
+    /// Off-node routing strategy. Must be SPMD-uniform: all ranks of one
+    /// exchange phase must use the same mode.
+    pub route: RouteMode,
+}
+
+impl Default for ExchangeOpts {
+    fn default() -> ExchangeOpts {
+        ExchangeOpts {
+            route: RouteMode::from_env(),
+        }
+    }
+}
+
+impl ExchangeOpts {
+    /// Direct rank-to-rank routing.
+    pub fn direct() -> ExchangeOpts {
+        ExchangeOpts {
+            route: RouteMode::Direct,
+        }
+    }
+
+    /// Node-aware two-level routing.
+    pub fn two_level() -> ExchangeOpts {
+        ExchangeOpts {
+            route: RouteMode::TwoLevel,
+        }
+    }
+}
 
 /// A single phased exchange. Pack with [`Exchange::to`], complete with
 /// [`Exchange::finish`].
 pub struct Exchange<'c> {
     comm: &'c Comm,
     bufs: FxHashMap<usize, MsgWriter>,
+    opts: ExchangeOpts,
 }
 
 impl<'c> Exchange<'c> {
-    /// Begin an exchange phase on `comm`. All ranks of the world must
-    /// participate (SPMD), even those with nothing to send.
+    /// Begin an exchange phase on `comm` with the default (environment-
+    /// selected) routing. All ranks of the world must participate (SPMD),
+    /// even those with nothing to send.
     pub fn new(comm: &'c Comm) -> Exchange<'c> {
+        Exchange::with_opts(comm, ExchangeOpts::default())
+    }
+
+    /// Begin an exchange phase with explicit options.
+    pub fn with_opts(comm: &'c Comm, opts: ExchangeOpts) -> Exchange<'c> {
         Exchange {
             comm,
             bufs: FxHashMap::default(),
+            opts,
         }
     }
 
     /// The writer that packs data destined for `rank`. Packing to one's own
-    /// rank is allowed — the buffer is delivered locally.
+    /// rank is allowed — the buffer is delivered locally. Writers are seeded
+    /// from the thread-local buffer pool, so steady-state phase loops reuse
+    /// the capacity of already-consumed messages.
     pub fn to(&mut self, rank: usize) -> &mut MsgWriter {
         assert!(rank < self.comm.nranks(), "destination {rank} out of range");
-        self.bufs.entry(rank).or_default()
+        self.bufs.entry(rank).or_insert_with(MsgWriter::pooled)
     }
 
     /// Whether anything has been packed for `rank`.
@@ -60,50 +145,184 @@ impl<'c> Exchange<'c> {
     pub fn finish(self) -> Received {
         let _span = pumi_obs::span!("pcu.exchange");
         let comm = self.comm;
-        let n = comm.nranks();
-        let tag = comm.next_coll_tag();
+        // A one-node machine has no off-node links to aggregate; the
+        // downgrade is machine-derived, hence still SPMD-uniform.
+        let two_level = self.opts.route == RouteMode::TwoLevel && comm.machine().nodes > 1;
 
-        // Count messages per destination and resolve expected arrivals.
-        let mut counts = vec![0u64; n];
-        let mut local: Option<MsgReader> = None;
-        let mut to_send = Vec::new();
-        for (dest, w) in self.bufs {
-            if w.is_empty() {
-                continue;
-            }
-            if dest == comm.rank() {
-                // Local delivery bypasses the wire; meter it as a self-loop
-                // so per-phase traffic still accounts for the pack volume.
-                pumi_obs::metrics::record_traffic(
-                    pumi_obs::metrics::Link::SelfLoop,
-                    w.len() as u64,
-                );
-                local = Some(MsgReader::new(w.finish()));
-            } else {
-                counts[dest] += 1;
-                to_send.push((dest, w.finish()));
-            }
-        }
-        let expected = comm.allreduce_sum_u64_vec(&counts)[comm.rank()];
+        // Deterministic send order (the buffer map iterates in hash order).
+        let mut bufs: Vec<(usize, MsgWriter)> = self.bufs.into_iter().collect();
+        bufs.sort_unstable_by_key(|&(dest, _)| dest);
 
-        for (dest, data) in to_send {
-            comm.send_raw(dest, tag, data);
-        }
-
-        let mut msgs: Vec<(usize, MsgReader)> = Vec::with_capacity(expected as usize + 1);
-        let mut total_bytes = 0u64;
-        for _ in 0..expected {
-            let (from, data) = comm.recv_raw(None, tag);
-            total_bytes += data.len() as u64;
-            msgs.push((from, MsgReader::new(data)));
-        }
-        if let Some(r) = local {
-            total_bytes += r.remaining() as u64;
-            msgs.push((comm.rank(), r));
-        }
+        let (mut msgs, total_bytes) = if two_level {
+            finish_two_level(comm, bufs)
+        } else {
+            finish_direct(comm, bufs)
+        };
         msgs.sort_by_key(|(from, _)| *from);
         Received { msgs, total_bytes }
     }
+}
+
+/// Direct routing: send each buffer to its destination, then run the
+/// termination consensus and collect arrivals.
+fn finish_direct(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, MsgReader)>, u64) {
+    let tag = comm.next_coll_tag();
+    let mut local: Option<MsgReader> = None;
+    for (dest, w) in bufs {
+        if w.is_empty() {
+            w.recycle();
+        } else if dest == comm.rank() {
+            // Local delivery bypasses the wire; meter it as a self-loop so
+            // per-phase traffic still accounts for the pack volume.
+            pumi_obs::metrics::record_traffic(Link::SelfLoop, w.len() as u64);
+            local = Some(MsgReader::new(w.finish()));
+        } else {
+            comm.send_raw(dest, tag, w.finish());
+        }
+    }
+    // Termination consensus: channel sends enqueue synchronously, and a
+    // dissemination barrier completes on a rank only once every rank has
+    // entered it — so by then every buffer of this phase sits in its
+    // destination's channel or mailbox. One O(log N) barrier replaces a
+    // dense per-destination count reduction.
+    comm.barrier();
+    comm.drain_wire();
+    let mut total_bytes = 0u64;
+    let mut msgs: Vec<(usize, MsgReader)> = Vec::new();
+    for (from, data) in comm.take_tag(tag) {
+        total_bytes += data.len() as u64;
+        msgs.push((from, MsgReader::new(data)));
+    }
+    if let Some(r) = local {
+        total_bytes += r.remaining() as u64;
+        msgs.push((comm.rank(), r));
+    }
+    (msgs, total_bytes)
+}
+
+/// Two-level routing: on-node buffers go direct; off-node buffers ride
+/// relay frames through node leaders (see DESIGN.md "Two-level message
+/// routing"). Three fences — node, world, node — make each relay hop's
+/// traffic quiescent before it is consumed.
+fn finish_two_level(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, MsgReader)>, u64) {
+    let tag_data = comm.next_coll_tag();
+    let tag_up = comm.next_coll_tag();
+    let tag_super = comm.next_coll_tag();
+    let machine = comm.machine();
+    let me = comm.rank();
+    let leader = machine.leader_of(machine.node_of(me));
+    let is_leader = me == leader;
+
+    let mut local: Option<MsgReader> = None;
+    // Off-node sub-buffers awaiting relay, as (dest, origin, payload).
+    let mut staged: Vec<(u32, u32, Bytes)> = Vec::new();
+    let mut uplink: Option<MsgWriter> = None;
+    for (dest, w) in bufs {
+        if w.is_empty() {
+            w.recycle();
+            continue;
+        }
+        match comm.link_to(dest) {
+            LinkClass::SelfLoop => {
+                pumi_obs::metrics::record_traffic(Link::SelfLoop, w.len() as u64);
+                local = Some(MsgReader::new(w.finish()));
+            }
+            // Shared-memory links are exactly what aggregation is meant to
+            // spare: on-node buffers go direct.
+            LinkClass::OnNode => comm.send_raw(dest, tag_data, w.finish()),
+            LinkClass::OffNode => {
+                // Record the logical rank-to-rank message at the exchange
+                // span path, exactly as direct routing would; the physical
+                // relay envelopes are metered under the nested relay span.
+                pumi_obs::metrics::record_traffic(Link::OffNode, w.len() as u64);
+                let data = w.finish();
+                if is_leader {
+                    staged.push((dest as u32, me as u32, data));
+                } else {
+                    let up = uplink.get_or_insert_with(MsgWriter::pooled);
+                    put_relay_frame(up, dest as u32, me as u32, &data);
+                }
+            }
+        }
+    }
+    if let Some(up) = uplink {
+        let _relay = pumi_obs::span!(pumi_obs::metrics::RELAY_SPAN);
+        comm.send_raw(leader, tag_up, up.finish());
+    }
+    // Fence 1 (on-node): after it, every uplink bundle of this node is in
+    // its leader's channel or mailbox.
+    comm.node_barrier();
+    if is_leader {
+        comm.drain_wire();
+        for (_, bundle) in comm.take_tag(tag_up) {
+            let mut r = MsgReader::new(bundle);
+            while !r.is_done() {
+                let (dest, origin, payload) = take_relay_frame(&mut r)
+                    .unwrap_or_else(|e| panic!("corrupt relay uplink frame: {e}"));
+                staged.push((dest, origin, payload));
+            }
+        }
+        // One super-message per destination node, sub-frames ordered by
+        // (dest, origin); payloads are zero-copy slices of the uplink
+        // bundles, so regrouping copies each byte exactly once.
+        staged.sort_unstable_by_key(|&(dest, origin, _)| (dest, origin));
+        let mut supers: Vec<(usize, MsgWriter)> = Vec::new();
+        for (dest, origin, payload) in &staged {
+            let node = machine.node_of(*dest as usize);
+            match supers.last_mut() {
+                Some((n, w)) if *n == node => put_relay_frame(w, *dest, *origin, payload),
+                _ => {
+                    let mut w = MsgWriter::pooled();
+                    put_relay_frame(&mut w, *dest, *origin, payload);
+                    supers.push((node, w));
+                }
+            }
+        }
+        drop(staged);
+        let _relay = pumi_obs::span!(pumi_obs::metrics::RELAY_SPAN);
+        for (node, w) in supers {
+            comm.send_raw(machine.leader_of(node), tag_super, w.finish());
+        }
+    }
+    // Fence 2 (world): all super-messages have reached their destination
+    // leaders. This is also the phase's termination consensus, exactly as
+    // in direct routing.
+    comm.barrier();
+    let mut total_bytes = 0u64;
+    let mut msgs: Vec<(usize, MsgReader)> = Vec::new();
+    if is_leader {
+        comm.drain_wire();
+        for (_, bundle) in comm.take_tag(tag_super) {
+            let mut r = MsgReader::new(bundle);
+            while !r.is_done() {
+                let (dest, origin, payload) = take_relay_frame(&mut r)
+                    .unwrap_or_else(|e| panic!("corrupt relay super-frame: {e}"));
+                if dest as usize == me {
+                    total_bytes += payload.len() as u64;
+                    msgs.push((origin as usize, MsgReader::new(payload)));
+                } else {
+                    // Re-deliver on-node with the envelope showing the true
+                    // origin; the payload is a zero-copy slice of the
+                    // super-message.
+                    let _relay = pumi_obs::span!(pumi_obs::metrics::RELAY_SPAN);
+                    comm.forward_raw(origin as usize, dest as usize, tag_data, payload);
+                }
+            }
+        }
+    }
+    // Fence 3 (on-node): forwarded sub-buffers have reached their final
+    // destinations; tag_data is now quiescent everywhere.
+    comm.node_barrier();
+    comm.drain_wire();
+    for (from, data) in comm.take_tag(tag_data) {
+        total_bytes += data.len() as u64;
+        msgs.push((from, MsgReader::new(data)));
+    }
+    if let Some(r) = local {
+        total_bytes += r.remaining() as u64;
+        msgs.push((me, r));
+    }
+    (msgs, total_bytes)
 }
 
 /// The incoming side of a completed exchange: one [`MsgReader`] per source
@@ -347,6 +566,65 @@ mod tests {
                 }
             }
         });
+    }
+
+    /// Two-level routing must be observationally identical to direct
+    /// routing: same sources, same payload bytes, same totals.
+    #[test]
+    fn two_level_matches_direct() {
+        use crate::comm::execute_on;
+        use crate::machine::MachineModel;
+        let m = MachineModel::new(3, 2);
+        let run = |opts: ExchangeOpts| {
+            execute_on(m, move |c| {
+                let n = c.nranks();
+                let mut ex = Exchange::with_opts(c, opts);
+                // A sparse pattern with self-sends and uneven sizes.
+                for k in [0usize, 1, 3] {
+                    let dest = (c.rank() + k) % n;
+                    let w = ex.to(dest);
+                    w.put_u32((c.rank() * 100 + dest) as u32);
+                    w.put_bytes(&vec![dest as u8; c.rank() + k]);
+                }
+                let got = ex.finish();
+                let total = got.total_bytes();
+                let flat: Vec<(usize, u32, Vec<u8>)> = got
+                    .into_iter()
+                    .map(|(from, mut r)| {
+                        let tagv = r.get_u32();
+                        let body = r.get_bytes();
+                        assert!(r.is_done());
+                        (from, tagv, body)
+                    })
+                    .collect();
+                (total, flat)
+            })
+        };
+        assert_eq!(run(ExchangeOpts::direct()), run(ExchangeOpts::two_level()));
+    }
+
+    /// Silent phases and leaders-only machines terminate under aggregation,
+    /// and successive two-level phases do not cross.
+    #[test]
+    fn two_level_silent_phases_and_flat_nodes() {
+        use crate::comm::execute_on;
+        use crate::machine::MachineModel;
+        for m in [MachineModel::new(4, 2), MachineModel::new(5, 1)] {
+            execute_on(m, |c| {
+                for phase in 0..4u32 {
+                    let mut ex = Exchange::with_opts(c, ExchangeOpts::two_level());
+                    if phase % 2 == 1 && c.rank() % 3 == 0 {
+                        ex.to(c.rank()).put_u32(phase);
+                        ex.to((c.rank() + c.nranks() - 1) % c.nranks())
+                            .put_u32(phase);
+                    }
+                    for (_, mut r) in ex.finish() {
+                        assert_eq!(r.get_u32(), phase);
+                        assert!(r.is_done());
+                    }
+                }
+            });
+        }
     }
 
     #[test]

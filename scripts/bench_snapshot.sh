@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Snapshot the PCU hot-path benchmarks into a machine-readable baseline.
+#
+# Runs the `pcu_exchange` and `migration` criterion benches with
+# CRITERION_JSON pointing at a scratch file, then folds the emitted JSON
+# lines into BENCH_pcu.json at the repository root:
+#
+#   { "schema": 1, "unix_time": ..., "benches": { "<group>/<id>": {"median_ns": N, "samples": S}, ... } }
+#
+# Usage: scripts/bench_snapshot.sh [output.json]
+# Compare two snapshots with e.g.
+#   python3 - old.json new.json <<'EOF'
+#   import json, sys
+#   a, b = (json.load(open(p))["benches"] for p in sys.argv[1:3])
+#   for k in sorted(a.keys() & b.keys()):
+#       print(f"{k}: {a[k]['median_ns'] / b[k]['median_ns']:.2f}x")
+#   EOF
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+out="${1:-BENCH_pcu.json}"
+scratch="$(mktemp)"
+trap 'rm -f "$scratch"' EXIT
+
+export CRITERION_JSON="$scratch"
+export PUMI_RESULTS_DIR="$PWD/results"
+cargo bench -p pumi-bench --bench pcu_exchange
+cargo bench -p pumi-bench --bench migration
+
+python3 - "$scratch" "$out" <<'EOF'
+import json, sys, time
+
+lines, out = sys.argv[1], sys.argv[2]
+benches = {}
+with open(lines) as f:
+    for line in f:
+        line = line.strip()
+        if not line:
+            continue
+        row = json.loads(line)
+        benches[row["bench"]] = {
+            "median_ns": row["median_ns"],
+            "samples": row["samples"],
+        }
+if not benches:
+    sys.exit("no bench lines collected — did the benches run?")
+snapshot = {
+    "schema": 1,
+    "unix_time": int(time.time()),
+    "benches": dict(sorted(benches.items())),
+}
+with open(out, "w") as f:
+    json.dump(snapshot, f, indent=2)
+    f.write("\n")
+print(f"wrote {out} ({len(benches)} benches)")
+EOF

@@ -5,7 +5,10 @@
 //! here on top of `Arc<Vec<u8>>`. Semantics match the real crate for the
 //! methods provided: `Bytes` is a cheaply-clonable immutable buffer with a
 //! read cursor, `BytesMut` an append-only growable buffer that freezes into
-//! `Bytes`.
+//! `Bytes`. Two extensions beyond the original subset serve the PCU hot
+//! path: [`Bytes::split_to`] hands out zero-copy sub-slices (relay frames,
+//! length-prefixed payloads) and [`Bytes::try_unfreeze`] reclaims a uniquely
+//! owned allocation so buffer pools can retain capacity across phases.
 
 use std::ops::Deref;
 use std::sync::Arc;
@@ -14,8 +17,10 @@ use std::sync::Arc;
 #[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<Vec<u8>>,
-    /// Consumed prefix: `Deref` and `Buf` reads see `data[off..]`.
+    /// Consumed prefix: reads see `data[off..end]`.
     off: usize,
+    /// Exclusive end of this view (sub-slices share `data`).
+    end: usize,
 }
 
 impl Bytes {
@@ -26,15 +31,12 @@ impl Bytes {
 
     /// A buffer viewing a static slice (copied; the real crate borrows).
     pub fn from_static(s: &'static [u8]) -> Bytes {
-        Bytes {
-            data: Arc::new(s.to_vec()),
-            off: 0,
-        }
+        Bytes::from(s.to_vec())
     }
 
     /// Unconsumed length.
     pub fn len(&self) -> usize {
-        self.data.len() - self.off
+        self.end - self.off
     }
 
     /// Whether no unconsumed bytes remain.
@@ -44,7 +46,41 @@ impl Bytes {
 
     /// Copy the unconsumed bytes into a `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data[self.off..].to_vec()
+        self.data[self.off..self.end].to_vec()
+    }
+
+    /// Split off the next `n` unconsumed bytes as a new `Bytes` sharing the
+    /// same allocation (zero copy); `self` advances past them.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the unconsumed length.
+    pub fn split_to(&mut self, n: usize) -> Bytes {
+        assert!(
+            n <= self.len(),
+            "split_to past end: need {n}, have {}",
+            self.len()
+        );
+        let head = Bytes {
+            data: Arc::clone(&self.data),
+            off: self.off,
+            end: self.off + n,
+        };
+        self.off += n;
+        head
+    }
+
+    /// Recover the backing allocation as a [`BytesMut`] (cleared, capacity
+    /// retained) if this is the only handle to it; otherwise hand `self`
+    /// back. Used by buffer pools to recycle message storage.
+    pub fn try_unfreeze(self) -> Result<BytesMut, Bytes> {
+        let Bytes { data, off, end } = self;
+        match Arc::try_unwrap(data) {
+            Ok(mut v) => {
+                v.clear();
+                Ok(BytesMut { buf: v })
+            }
+            Err(data) => Err(Bytes { data, off, end }),
+        }
     }
 
     fn take(&mut self, n: usize) -> &[u8] {
@@ -61,9 +97,11 @@ impl Bytes {
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Bytes {
+        let end = v.len();
         Bytes {
             data: Arc::new(v),
             off: 0,
+            end,
         }
     }
 }
@@ -71,7 +109,7 @@ impl From<Vec<u8>> for Bytes {
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data[self.off..]
+        &self.data[self.off..self.end]
     }
 }
 
@@ -164,6 +202,26 @@ impl BytesMut {
     /// Whether nothing has been written.
     pub fn is_empty(&self) -> bool {
         self.buf.is_empty()
+    }
+
+    /// Allocated capacity.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Reserve room for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+
+    /// Drop the contents, retaining capacity.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// View the written bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf
     }
 
     /// Copy out as a `Vec`.
@@ -260,5 +318,47 @@ mod tests {
         b.get_u8();
         assert_eq!(&b[..], b"ello");
         assert_eq!(b[0], b'e');
+    }
+
+    #[test]
+    fn split_to_shares_storage() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        b.get_u8();
+        let mut head = b.split_to(2);
+        assert_eq!(&head[..], &[2, 3]);
+        assert_eq!(&b[..], &[4, 5]);
+        assert_eq!(head.get_u8(), 2);
+        assert_eq!(head.len(), 1);
+        // The parent's cursor is independent of the slice's.
+        assert_eq!(b.len(), 2);
+        let empty = b.split_to(0);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "split_to past end")]
+    fn split_to_checks_bounds() {
+        let mut b = Bytes::from(vec![1]);
+        b.split_to(2);
+    }
+
+    #[test]
+    fn try_unfreeze_reclaims_unique_allocation() {
+        let mut w = BytesMut::with_capacity(128);
+        w.put_slice(b"payload");
+        let b = w.freeze();
+        let back = b.try_unfreeze().expect("unique");
+        assert!(back.is_empty());
+        assert!(back.capacity() >= 128);
+    }
+
+    #[test]
+    fn try_unfreeze_fails_when_shared() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let clone = b.clone();
+        let back = b.try_unfreeze().unwrap_err();
+        assert_eq!(&back[..], &[1, 2, 3]);
+        drop(clone);
+        assert!(back.try_unfreeze().is_ok());
     }
 }

@@ -4,6 +4,11 @@
 //! sampling, each benchmark is timed over `sample_size` batches and the
 //! median per-iteration wall time is printed — enough to compare hot paths
 //! release-to-release without any external dependency.
+//!
+//! When the `CRITERION_JSON` environment variable names a file, every
+//! completed benchmark additionally appends one machine-readable JSON line
+//! to it: `{"bench": "<group>/<id>", "median_ns": N, "samples": S}`.
+//! Snapshot scripts use this to collect medians without scraping stdout.
 
 use std::time::{Duration, Instant};
 
@@ -103,6 +108,22 @@ impl BenchmarkGroup<'_> {
             "bench {}/{}: median {:?} over {} samples{}",
             self.name, id.id, median, self.samples, rate
         );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if !path.is_empty() {
+                let line = format!(
+                    "{{\"bench\": \"{}/{}\", \"median_ns\": {}, \"samples\": {}}}\n",
+                    self.name,
+                    id.id,
+                    median.as_nanos(),
+                    self.samples
+                );
+                let _ = std::fs::OpenOptions::new()
+                    .create(true)
+                    .append(true)
+                    .open(&path)
+                    .and_then(|mut f| std::io::Write::write_all(&mut f, line.as_bytes()));
+            }
+        }
         self
     }
 
@@ -174,5 +195,24 @@ mod tests {
     #[test]
     fn group_runs_to_completion() {
         bench_demo();
+    }
+
+    #[test]
+    fn json_lines_append_when_env_names_a_file() {
+        let path = std::env::temp_dir().join("criterion-jsonl-test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        // Note: affects the whole test process, but only this crate's tests
+        // run benches, and a concurrent extra line is harmless below.
+        std::env::set_var("CRITERION_JSON", &path);
+        bench_demo();
+        std::env::remove_var("CRITERION_JSON");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let line = body
+            .lines()
+            .find(|l| l.contains("\"bench\": \"demo/sum/100\""))
+            .expect("bench line present");
+        assert!(line.contains("\"median_ns\": "));
+        assert!(line.contains("\"samples\": 3"));
+        let _ = std::fs::remove_file(&path);
     }
 }
