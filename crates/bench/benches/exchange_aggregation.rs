@@ -125,9 +125,8 @@ fn aggregation(c: &mut Criterion) {
         ]),
     );
     report.section("configs", Json::Arr(configs));
-    match report.write() {
-        Ok(path) => println!("wrote {}", path.display()),
-        Err(e) => eprintln!("exchange_aggregation report write failed: {e}"),
+    if let Some(path) = report.write_or_warn() {
+        println!("wrote {}", path.display());
     }
 }
 

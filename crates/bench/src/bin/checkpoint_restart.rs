@@ -1,0 +1,168 @@
+//! Checkpoint/restart timing: `.pmb` write and N→M restore costs.
+//!
+//! Writes a jittered tet mesh from N parts, then restores it on M ranks
+//! for M ∈ {N/2, N, 2N} — exercising the merge, verbatim, and split paths
+//! of `pumi-io`. Each leg is repeated and the median wall time reported,
+//! alongside checkpoint size and the partition-invariant structural hash
+//! (which must agree across every leg).
+//!
+//! Usage: `checkpoint_restart [--n N] [--nx N] [--reps N]`
+//! Emits `results/io_checkpoint.json`.
+
+use pumi_bench::report::{f, print_table, table_to_json, write_report, Table};
+use pumi_core::{distribute, PartMap};
+use pumi_field::{DistField, Field, FieldShape};
+use pumi_io::{read_checkpoint, struct_hash, write_checkpoint};
+use pumi_meshgen::{jitter, tet_box};
+use pumi_obs::json::Json;
+use pumi_obs::report::Report;
+use pumi_partition::partition_mesh;
+use pumi_pcu::execute;
+use pumi_util::stats::Timer;
+use pumi_util::Dim;
+
+struct Leg {
+    name: String,
+    median_ns: u64,
+    samples: u64,
+    detail: String,
+}
+
+fn median_ns(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn parse_args() -> (usize, usize, usize) {
+    let (mut n, mut nx, mut reps) = (4usize, 12usize, 3usize);
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        let v = &args[i + 1];
+        match args[i].as_str() {
+            "--n" => n = v.parse().expect("--n"),
+            "--nx" => nx = v.parse().expect("--nx"),
+            "--reps" => reps = v.parse().expect("--reps"),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    (n, nx, reps)
+}
+
+fn make_fields(dm: &pumi_core::DistMesh) -> DistField {
+    dm.parts
+        .iter()
+        .map(|part| {
+            let mut fld = Field::new("temp", FieldShape::Linear, 3);
+            for v in part.mesh.iter(Dim::Vertex) {
+                let x = part.mesh.coords(v);
+                fld.set(v, &[x[0] + x[1], x[1] * x[2], x[2] - x[0]]);
+            }
+            fld
+        })
+        .collect()
+}
+
+fn main() {
+    let (n, nx, reps) = parse_args();
+    let mut serial = tet_box(nx, nx, nx, 1.0, 1.0, 1.0);
+    jitter(&mut serial, 0.15, 42);
+    let elements = serial.count(Dim::Region);
+    eprintln!("checkpoint_restart: {elements} tets, {n} parts, {reps} reps");
+    let labels = partition_mesh(&serial, n);
+    let dir = std::env::temp_dir().join(format!("pumi_io_bench_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut legs: Vec<Leg> = Vec::new();
+
+    // ---- write leg ----
+    let mut write_ns = Vec::with_capacity(reps);
+    let mut bytes_global = 0u64;
+    let mut want_hash = 0u64;
+    for _ in 0..reps {
+        let out = execute(n, |c| {
+            let dm = distribute(c, PartMap::contiguous(n, n), &serial, &labels);
+            let fields = make_fields(&dm);
+            let t = Timer::start();
+            let stats = write_checkpoint(c, &dm, &[&fields], &dir).expect("write_checkpoint");
+            let ns = (t.seconds() * 1e9) as u64;
+            (ns, stats.bytes_global, struct_hash(c, &dm))
+        });
+        let (ns, bytes, hash) = out.into_iter().max().expect("ranks");
+        write_ns.push(ns);
+        bytes_global = bytes;
+        want_hash = hash;
+    }
+    legs.push(Leg {
+        name: format!("write_n{n}"),
+        median_ns: median_ns(write_ns),
+        samples: reps as u64,
+        detail: format!("{bytes_global} bytes"),
+    });
+
+    // ---- read legs: merge (N/2), verbatim (N), split (2N) ----
+    for m in [n.div_ceil(2), n, n * 2] {
+        let mut read_ns = Vec::with_capacity(reps);
+        let mut moved = 0u64;
+        for _ in 0..reps {
+            let out = execute(m, |c| {
+                let t = Timer::start();
+                let restored = read_checkpoint(c, &dir).expect("read_checkpoint");
+                let ns = (t.seconds() * 1e9) as u64;
+                let hash = struct_hash(c, &restored.dm);
+                assert_eq!(hash, want_hash, "structural hash drifted on {m} ranks");
+                (ns, restored.stats.elements_moved)
+            });
+            let (ns, elems_moved) = out.into_iter().max().expect("ranks");
+            read_ns.push(ns);
+            moved = elems_moved;
+        }
+        legs.push(Leg {
+            name: format!("read_{n}to{m}"),
+            median_ns: median_ns(read_ns),
+            samples: reps as u64,
+            detail: format!("{moved} elements moved"),
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // ---- table + report ----
+    let mut table = Table::new(
+        &format!("Checkpoint/restart, {elements} tets, {n} parts"),
+        &["leg", "median (ms)", "samples", "detail"],
+    );
+    for leg in &legs {
+        table.row(vec![
+            leg.name.clone(),
+            f(leg.median_ns as f64 * 1e-6, 3),
+            leg.samples.to_string(),
+            leg.detail.clone(),
+        ]);
+    }
+    print_table(&table);
+
+    let mut report = Report::new("io_checkpoint");
+    report.section(
+        "config",
+        Json::obj([
+            ("elements", Json::U64(elements as u64)),
+            ("parts", Json::U64(n as u64)),
+            ("reps", Json::U64(reps as u64)),
+            ("bytes_global", Json::U64(bytes_global)),
+            ("struct_hash", Json::U64(want_hash)),
+        ]),
+    );
+    report.section(
+        "medians",
+        Json::arr(legs.iter().map(|leg| {
+            Json::obj([
+                ("bench", Json::str(format!("io_checkpoint/{}", leg.name))),
+                ("median_ns", Json::U64(leg.median_ns)),
+                ("samples", Json::U64(leg.samples)),
+            ])
+        })),
+    );
+    report.section("table", table_to_json(&table));
+    write_report(&report);
+}

@@ -88,9 +88,8 @@ pub fn table_to_json(t: &Table) -> Json {
 /// A bench run should not abort because the results directory is
 /// unwritable, so failures are reported and swallowed.
 pub fn write_report(report: &Report) {
-    match report.write() {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("warning: could not write report: {e}"),
+    if let Some(path) = report.write_or_warn() {
+        eprintln!("wrote {}", path.display());
     }
 }
 

@@ -33,6 +33,27 @@ impl PartMap {
         Self::from_ranks(rank_of, nranks)
     }
 
+    /// Balanced block map: rank `r` hosts parts
+    /// `[r*nparts/nranks, (r+1)*nparts/nranks)`. Unlike
+    /// [`PartMap::contiguous`] (which sizes blocks by `ceil` and can starve
+    /// the last ranks), every rank receives at least one part whenever
+    /// `nparts >= nranks` — checkpoint restore relies on this to give each
+    /// rank a merge target.
+    pub fn balanced_blocks(nparts: usize, nranks: usize) -> PartMap {
+        assert!(nparts >= 1 && nranks >= 1);
+        let mut rank_of = vec![0usize; nparts];
+        for r in 0..nranks {
+            for p in rank_of
+                .iter_mut()
+                .take((r + 1) * nparts / nranks)
+                .skip(r * nparts / nranks)
+            {
+                *p = r;
+            }
+        }
+        Self::from_ranks(rank_of, nranks)
+    }
+
     /// Build from an explicit part → rank vector.
     pub fn from_ranks(rank_of: Vec<usize>, nranks: usize) -> PartMap {
         let mut by_rank = vec![Vec::new(); nranks];
@@ -335,6 +356,24 @@ mod tests {
         assert_eq!(m.parts_on(2), &[6, 7]);
         assert_eq!(m.rank_of(4), 1);
         assert_eq!(m.slot_of(4), 1);
+    }
+
+    #[test]
+    fn partmap_balanced_blocks_feeds_every_rank() {
+        // 5 parts on 4 ranks: contiguous starves rank 3, blocks do not.
+        let m = PartMap::balanced_blocks(5, 4);
+        assert_eq!(m.parts_on(0), &[0]);
+        assert_eq!(m.parts_on(1), &[1]);
+        assert_eq!(m.parts_on(2), &[2]);
+        assert_eq!(m.parts_on(3), &[3, 4]);
+        for nparts in 1..20 {
+            for nranks in 1..=nparts {
+                let m = PartMap::balanced_blocks(nparts, nranks);
+                for r in 0..nranks {
+                    assert!(!m.parts_on(r).is_empty(), "{nparts} on {nranks}: rank {r}");
+                }
+            }
+        }
     }
 
     #[test]

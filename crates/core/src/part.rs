@@ -283,6 +283,33 @@ impl Part {
         self.mesh.delete(e);
     }
 
+    /// The fresh-gid counter feeding [`Part::new_gid`]. Checkpointing
+    /// persists it so a restored part never re-issues a gid that is already
+    /// present in the file.
+    pub fn gid_counter(&self) -> u64 {
+        self.gid_counter
+    }
+
+    /// Raise the fresh-gid counter to at least `floor`. Checkpoint restore
+    /// floors every part at the global maximum so parts that change id on
+    /// load (N→M merge targets, split children) cannot collide with gids
+    /// issued before the checkpoint under the same birth part.
+    pub fn bump_gid_counter(&mut self, floor: u64) {
+        self.gid_counter = self.gid_counter.max(floor);
+    }
+
+    /// Apply a part-id renumbering to every remote-copy list. Used when
+    /// checkpoint restore renames parts (N-part file merged onto M ranks);
+    /// the caller updates [`Part::id`] itself. `f` must be injective over
+    /// the referenced part ids and `f(p)` must never equal the new local id.
+    pub fn remap_remote_parts(&mut self, f: impl Fn(PartId) -> PartId) {
+        let old = std::mem::take(&mut self.remotes);
+        for (e, copies) in old {
+            let mapped: Vec<(PartId, u32)> = copies.into_iter().map(|(p, i)| (f(p), i)).collect();
+            self.set_remotes(e, mapped);
+        }
+    }
+
     /// Per-dimension entity counts `[vtx, edge, face, rgn]` — the loads
     /// ParMA balances (counts include part-boundary copies, matching the
     /// paper's Table II accounting).
@@ -395,6 +422,36 @@ mod tests {
         p.delete_entity(v);
         assert_eq!(p.find_gid(Dim::Vertex, 5), None);
         assert_eq!(p.mesh.count(Dim::Vertex), 0);
+    }
+
+    #[test]
+    fn gid_counter_floor_keeps_fresh_gids_disjoint() {
+        let mut p = Part::new(0, 2);
+        let a = p.new_gid();
+        let b = p.new_gid();
+        assert_eq!(p.gid_counter(), 2);
+        // A restored part floored at the old counter continues the sequence.
+        let mut q = Part::new(0, 2);
+        q.bump_gid_counter(p.gid_counter());
+        let c = q.new_gid();
+        assert!(c != a && c != b);
+        // Flooring never lowers the counter.
+        q.bump_gid_counter(0);
+        assert_eq!(q.gid_counter(), 3);
+    }
+
+    #[test]
+    fn remap_remote_parts_rewrites_and_resorts() {
+        let mut p = Part::new(0, 2);
+        let v = p.add_vertex([0.; 3], NO_GEOM, 5);
+        p.set_remotes(v, vec![(4, 9), (8, 3)]);
+        // 4 -> 2, 8 -> 1: order by part id must be re-established.
+        p.remap_remote_parts(|q| match q {
+            4 => 2,
+            8 => 1,
+            other => other,
+        });
+        assert_eq!(p.remotes_of(v), &[(1, 3), (2, 9)]);
     }
 
     #[test]

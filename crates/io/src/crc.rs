@@ -1,0 +1,59 @@
+//! CRC-32 (IEEE 802.3, reflected polynomial `0xEDB88320`), table-driven.
+//!
+//! The workspace builds fully offline, so the checksum is implemented here
+//! rather than pulled from crates.io. Every `.pmb` section payload and the
+//! header + section table carry one of these; a flipped bit anywhere in a
+//! checkpoint surfaces as a typed [`crate::IoError`] instead of garbage
+//! entities.
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = build_table();
+
+/// The CRC-32 of `data` (init all-ones, final xor — the zlib/PNG variant).
+pub fn crc32(data: &[u8]) -> u32 {
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in data {
+        c = TABLE[((c ^ b as u32) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn sensitive_to_single_bit() {
+        let a = crc32(&[0u8; 64]);
+        let mut buf = [0u8; 64];
+        buf[40] ^= 1;
+        assert_ne!(crc32(&buf), a);
+    }
+}

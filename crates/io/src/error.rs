@@ -1,0 +1,219 @@
+//! Typed checkpoint I/O errors.
+//!
+//! Corruption is a *recoverable* condition: a bad checksum or truncated
+//! section yields an [`IoError`] naming the damaged part and section, never
+//! a panic. Collective entry points agree on failure across ranks — ranks
+//! without a local error return [`IoError::PeerFailed`] so no rank is left
+//! blocked in an exchange.
+
+use pumi_util::PartId;
+use std::path::PathBuf;
+
+/// The sections of a `.pmb` part file, in file order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Section {
+    /// Entities per dimension: gid, topology, classification, ghost
+    /// provenance, coordinates / vertex gids.
+    Entities,
+    /// Part-boundary entities with their residence part sets.
+    Remotes,
+    /// Tag declarations and per-entity values.
+    Tags,
+    /// `pumi-field` fields: descriptors and per-node values.
+    Fields,
+}
+
+impl Section {
+    /// All sections in file order.
+    pub const ALL: [Section; 4] = [
+        Section::Entities,
+        Section::Remotes,
+        Section::Tags,
+        Section::Fields,
+    ];
+
+    /// Stable on-disk code.
+    pub fn to_u8(self) -> u8 {
+        match self {
+            Section::Entities => 0,
+            Section::Remotes => 1,
+            Section::Tags => 2,
+            Section::Fields => 3,
+        }
+    }
+
+    /// Decode an on-disk code.
+    pub fn from_u8(x: u8) -> Option<Section> {
+        match x {
+            0 => Some(Section::Entities),
+            1 => Some(Section::Remotes),
+            2 => Some(Section::Tags),
+            3 => Some(Section::Fields),
+            _ => None,
+        }
+    }
+
+    /// Human-readable section name (used in error messages).
+    pub fn name(self) -> &'static str {
+        match self {
+            Section::Entities => "entities",
+            Section::Remotes => "remotes",
+            Section::Tags => "tags",
+            Section::Fields => "fields",
+        }
+    }
+}
+
+/// A checkpoint read/write failure. Every variant that concerns a part file
+/// names the part (and where applicable the section) so an operator can
+/// identify the damaged file.
+#[derive(Debug)]
+pub enum IoError {
+    /// An OS-level I/O failure (open/read/write/create).
+    Io {
+        /// The path involved.
+        path: PathBuf,
+        /// The underlying error.
+        source: std::io::Error,
+    },
+    /// The manifest is missing, unreadable, or malformed.
+    Manifest {
+        /// The manifest path (as resolved on the failing rank).
+        path: PathBuf,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A part file's header or section table is damaged (bad magic,
+    /// unsupported version, truncated or checksum-failing header bytes).
+    Header {
+        /// The part whose file is damaged.
+        part: PartId,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A section payload failed its CRC-32 — the file was corrupted at rest.
+    BadChecksum {
+        /// The part whose file is damaged.
+        part: PartId,
+        /// The damaged section.
+        section: Section,
+    },
+    /// A section extends past the end of the file — the file was truncated.
+    Truncated {
+        /// The part whose file is damaged.
+        part: PartId,
+        /// The truncated section.
+        section: Section,
+        /// Bytes the section table promised.
+        needed: u64,
+        /// Bytes actually present.
+        have: u64,
+    },
+    /// A section passed its checksum but does not decode — a writer/reader
+    /// disagreement (or a deliberate format attack).
+    Decode {
+        /// The part whose file is damaged.
+        part: PartId,
+        /// The undecodable section.
+        section: Section,
+        /// What went wrong.
+        detail: String,
+    },
+    /// Another rank reported a failure; this rank's local work was fine.
+    /// Collective calls return this so every rank exits the operation
+    /// together instead of deadlocking in a later exchange.
+    PeerFailed {
+        /// Number of ranks reporting failure.
+        failures: u64,
+    },
+    /// The restored mesh failed `pumi_core::verify` (empty on ranks whose
+    /// local parts were clean; the count is global).
+    Verify {
+        /// This rank's violations.
+        errors: Vec<String>,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io { path, source } => write!(f, "i/o error on {}: {source}", path.display()),
+            IoError::Manifest { path, detail } => {
+                write!(f, "bad manifest {}: {detail}", path.display())
+            }
+            IoError::Header { part, detail } => {
+                write!(f, "part {part}: damaged header: {detail}")
+            }
+            IoError::BadChecksum { part, section } => {
+                write!(f, "part {part}: section '{}' failed CRC-32", section.name())
+            }
+            IoError::Truncated {
+                part,
+                section,
+                needed,
+                have,
+            } => write!(
+                f,
+                "part {part}: section '{}' truncated: need {needed} bytes, have {have}",
+                section.name()
+            ),
+            IoError::Decode {
+                part,
+                section,
+                detail,
+            } => write!(
+                f,
+                "part {part}: section '{}' does not decode: {detail}",
+                section.name()
+            ),
+            IoError::PeerFailed { failures } => {
+                write!(f, "{failures} peer rank(s) reported checkpoint failures")
+            }
+            IoError::Verify { errors } => write!(
+                f,
+                "restored mesh failed verification ({} local violations)",
+                errors.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn section_codes_roundtrip() {
+        for s in Section::ALL {
+            assert_eq!(Section::from_u8(s.to_u8()), Some(s));
+        }
+        assert_eq!(Section::from_u8(200), None);
+    }
+
+    #[test]
+    fn errors_name_part_and_section() {
+        let e = IoError::BadChecksum {
+            part: 7,
+            section: Section::Tags,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("part 7") && msg.contains("tags"), "{msg}");
+        let e = IoError::Truncated {
+            part: 3,
+            section: Section::Entities,
+            needed: 100,
+            have: 40,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("part 3") && msg.contains("entities"), "{msg}");
+    }
+}

@@ -1,0 +1,480 @@
+//! The `.pmb` (PUMI mesh, binary) on-disk layout.
+//!
+//! A checkpoint is a directory: one `manifest.pmb` plus one
+//! `part_<id>.pmb` per part. All integers are little-endian.
+//!
+//! Part file:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "PMBP"
+//! 4       4     format version (u32)
+//! 8       4     part id (u32)
+//! 12      4     element dimension (u32)
+//! 16      8     fresh-gid counter (u64)
+//! 24      4     section count n (u32)
+//! 28      21*n  section table: (kind u8, offset u64, len u64, crc32 u32)
+//! 28+21n  4     crc32 of bytes [0, 28+21n)
+//! ...           section payloads (offsets are absolute)
+//! ```
+//!
+//! The header + table carry their own CRC so a damaged table is detected
+//! before any offset is trusted; each payload carries a CRC checked before
+//! decoding. Section payloads are [`pumi_pcu::MsgWriter`] streams — the same
+//! encoding migration uses on the wire.
+//!
+//! Manifest file:
+//!
+//! ```text
+//! magic "PMBM" | version u32 | body_len u32 | body | crc32(body)
+//! ```
+//!
+//! where `body` holds part count, element dimension, writer world size,
+//! global owned entity counts, a ghost flag, and the field descriptors.
+
+use crate::crc::crc32;
+use crate::error::{IoError, Section};
+use bytes::Bytes;
+use pumi_field::FieldShape;
+use pumi_pcu::{MsgReader, MsgWriter};
+use pumi_util::PartId;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every part file.
+pub const PART_MAGIC: [u8; 4] = *b"PMBP";
+/// Magic bytes opening the manifest.
+pub const MANIFEST_MAGIC: [u8; 4] = *b"PMBM";
+/// Current format version. Readers reject anything newer.
+pub const FORMAT_VERSION: u32 = 1;
+/// The manifest file name inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "manifest.pmb";
+
+const HEADER_FIXED: usize = 28;
+const TABLE_ENTRY: usize = 21;
+
+/// The file name of a part's data inside a checkpoint directory.
+pub fn part_file_name(part: PartId) -> String {
+    format!("part_{part:05}.pmb")
+}
+
+/// The path of a part's data inside a checkpoint directory.
+pub fn part_file_path(dir: &Path, part: PartId) -> PathBuf {
+    dir.join(part_file_name(part))
+}
+
+/// One row of a parsed section table.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionEntry {
+    /// Which section this is.
+    pub section: Section,
+    /// Absolute byte offset of the payload.
+    pub offset: u64,
+    /// Payload length in bytes.
+    pub len: u64,
+    /// CRC-32 of the payload.
+    pub crc: u32,
+}
+
+/// A parsed part-file header.
+#[derive(Debug)]
+pub struct PartHeader {
+    /// The part id recorded in the file.
+    pub part: PartId,
+    /// Element dimension of the part's mesh.
+    pub elem_dim: u32,
+    /// The part's fresh-gid counter at write time.
+    pub gid_counter: u64,
+    /// The section table, in file order.
+    pub sections: Vec<SectionEntry>,
+}
+
+/// Assemble a complete part file from section payloads.
+pub fn encode_part_file(
+    part: PartId,
+    elem_dim: u32,
+    gid_counter: u64,
+    sections: &[(Section, Bytes)],
+) -> Vec<u8> {
+    let table_len = HEADER_FIXED + TABLE_ENTRY * sections.len() + 4;
+    let total: usize = table_len + sections.iter().map(|(_, b)| b.len()).sum::<usize>();
+    let mut out = Vec::with_capacity(total);
+    out.extend_from_slice(&PART_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&part.to_le_bytes());
+    out.extend_from_slice(&elem_dim.to_le_bytes());
+    out.extend_from_slice(&gid_counter.to_le_bytes());
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    let mut offset = table_len as u64;
+    for (s, payload) in sections {
+        out.push(s.to_u8());
+        out.extend_from_slice(&offset.to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&crc32(payload).to_le_bytes());
+        offset += payload.len() as u64;
+    }
+    let hcrc = crc32(&out);
+    out.extend_from_slice(&hcrc.to_le_bytes());
+    for (_, payload) in sections {
+        out.extend_from_slice(payload);
+    }
+    debug_assert_eq!(out.len(), total);
+    out
+}
+
+fn get_u32(data: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(data[at..at + 4].try_into().expect("bounds checked"))
+}
+
+fn get_u64(data: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(data[at..at + 8].try_into().expect("bounds checked"))
+}
+
+/// Parse and checksum-verify a part file's header and section table.
+/// `part` is the id implied by the file name; the header must agree.
+pub fn parse_part_header(part: PartId, data: &[u8]) -> Result<PartHeader, IoError> {
+    let header_err = |detail: String| IoError::Header { part, detail };
+    if data.len() < HEADER_FIXED + 4 {
+        return Err(header_err(format!(
+            "file too short for a header: {} bytes",
+            data.len()
+        )));
+    }
+    if data[0..4] != PART_MAGIC {
+        return Err(header_err("bad magic (not a .pmb part file)".into()));
+    }
+    let version = get_u32(data, 4);
+    if version != FORMAT_VERSION {
+        return Err(header_err(format!(
+            "unsupported format version {version} (reader supports {FORMAT_VERSION})"
+        )));
+    }
+    let file_part = get_u32(data, 8);
+    if file_part != part {
+        return Err(header_err(format!(
+            "header names part {file_part}, expected {part}"
+        )));
+    }
+    let elem_dim = get_u32(data, 12);
+    let gid_counter = get_u64(data, 16);
+    let nsections = get_u32(data, 24) as usize;
+    let table_end = HEADER_FIXED + TABLE_ENTRY * nsections;
+    if data.len() < table_end + 4 {
+        return Err(header_err(format!(
+            "section table truncated: {} sections need {} bytes, have {}",
+            nsections,
+            table_end + 4,
+            data.len()
+        )));
+    }
+    let stored = get_u32(data, table_end);
+    let actual = crc32(&data[..table_end]);
+    if stored != actual {
+        return Err(header_err(format!(
+            "header CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let mut sections = Vec::with_capacity(nsections);
+    for i in 0..nsections {
+        let at = HEADER_FIXED + TABLE_ENTRY * i;
+        let section = Section::from_u8(data[at])
+            .ok_or_else(|| header_err(format!("unknown section code {}", data[at])))?;
+        sections.push(SectionEntry {
+            section,
+            offset: get_u64(data, at + 1),
+            len: get_u64(data, at + 9),
+            crc: get_u32(data, at + 17),
+        });
+    }
+    Ok(PartHeader {
+        part,
+        elem_dim,
+        gid_counter,
+        sections,
+    })
+}
+
+/// Slice out a section payload, verifying bounds and checksum.
+pub fn section_payload<'a>(
+    part: PartId,
+    data: &'a [u8],
+    entry: &SectionEntry,
+) -> Result<&'a [u8], IoError> {
+    let end = entry.offset.saturating_add(entry.len);
+    if end > data.len() as u64 {
+        return Err(IoError::Truncated {
+            part,
+            section: entry.section,
+            needed: end,
+            have: data.len() as u64,
+        });
+    }
+    let payload = &data[entry.offset as usize..end as usize];
+    if crc32(payload) != entry.crc {
+        return Err(IoError::BadChecksum {
+            part,
+            section: entry.section,
+        });
+    }
+    Ok(payload)
+}
+
+/// Find a section's table entry.
+pub fn find_section(header: &PartHeader, section: Section) -> Option<SectionEntry> {
+    header
+        .sections
+        .iter()
+        .copied()
+        .find(|e| e.section == section)
+}
+
+/// A field's descriptor in the manifest (enough to rebuild the `Field`
+/// template on any rank count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldDesc {
+    /// Field name.
+    pub name: String,
+    /// Node distribution.
+    pub shape: FieldShape,
+    /// Components per node.
+    pub ncomp: u32,
+}
+
+/// Stable on-disk code for a [`FieldShape`].
+pub fn shape_to_u8(s: FieldShape) -> u8 {
+    match s {
+        FieldShape::Linear => 0,
+        FieldShape::Quadratic => 1,
+        FieldShape::Constant => 2,
+    }
+}
+
+/// Decode a [`FieldShape`] code.
+pub fn shape_from_u8(x: u8) -> Option<FieldShape> {
+    match x {
+        0 => Some(FieldShape::Linear),
+        1 => Some(FieldShape::Quadratic),
+        2 => Some(FieldShape::Constant),
+        _ => None,
+    }
+}
+
+/// The checkpoint manifest written by rank 0.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Number of parts in the checkpoint (= number of part files).
+    pub nparts: u32,
+    /// Element dimension of the mesh.
+    pub elem_dim: u32,
+    /// World size at write time (informational).
+    pub nranks_at_write: u32,
+    /// Global owned entity counts per dimension `[vtx, edge, face, rgn]`.
+    pub owned_counts: [u64; 4],
+    /// Whether any part carried ghost copies (restored only for N == M).
+    pub has_ghosts: bool,
+    /// Field descriptors, in write order.
+    pub fields: Vec<FieldDesc>,
+}
+
+/// Serialize the manifest to its on-disk bytes.
+pub fn encode_manifest(m: &Manifest) -> Vec<u8> {
+    let mut w = MsgWriter::new();
+    w.put_u32(m.nparts);
+    w.put_u32(m.elem_dim);
+    w.put_u32(m.nranks_at_write);
+    for &c in &m.owned_counts {
+        w.put_u64(c);
+    }
+    w.put_u8(m.has_ghosts as u8);
+    w.put_u32(m.fields.len() as u32);
+    for f in &m.fields {
+        w.put_bytes(f.name.as_bytes());
+        w.put_u8(shape_to_u8(f.shape));
+        w.put_u32(f.ncomp);
+    }
+    let body = w.finish();
+    let mut out = Vec::with_capacity(12 + body.len() + 4);
+    out.extend_from_slice(&MANIFEST_MAGIC);
+    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&body);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out
+}
+
+/// Parse and checksum-verify manifest bytes. `path` is used only for error
+/// messages.
+pub fn parse_manifest(path: &Path, data: &[u8]) -> Result<Manifest, IoError> {
+    let err = |detail: String| IoError::Manifest {
+        path: path.to_path_buf(),
+        detail,
+    };
+    if data.len() < 16 {
+        return Err(err(format!("too short: {} bytes", data.len())));
+    }
+    if data[0..4] != MANIFEST_MAGIC {
+        return Err(err("bad magic (not a .pmb manifest)".into()));
+    }
+    let version = get_u32(data, 4);
+    if version != FORMAT_VERSION {
+        return Err(err(format!("unsupported format version {version}")));
+    }
+    let body_len = get_u32(data, 8) as usize;
+    if data.len() < 12 + body_len + 4 {
+        return Err(err(format!(
+            "body truncated: need {} bytes, have {}",
+            12 + body_len + 4,
+            data.len()
+        )));
+    }
+    let body = &data[12..12 + body_len];
+    let stored = get_u32(data, 12 + body_len);
+    if crc32(body) != stored {
+        return Err(err("body CRC mismatch".into()));
+    }
+    let mut r = MsgReader::from_vec(body.to_vec());
+    let parse = |e: pumi_pcu::MsgError| err(format!("body does not decode: {e}"));
+    let nparts = r.try_get_u32().map_err(parse)?;
+    let elem_dim = r.try_get_u32().map_err(parse)?;
+    let nranks_at_write = r.try_get_u32().map_err(parse)?;
+    let mut owned_counts = [0u64; 4];
+    for c in &mut owned_counts {
+        *c = r.try_get_u64().map_err(parse)?;
+    }
+    let has_ghosts = r.try_get_u8().map_err(parse)? != 0;
+    let nfields = r.try_get_u32().map_err(parse)?;
+    let mut fields = Vec::with_capacity(nfields as usize);
+    for _ in 0..nfields {
+        let name_bytes = r.try_get_bytes_shared().map_err(parse)?;
+        let name = std::str::from_utf8(&name_bytes)
+            .map_err(|_| err("field name is not UTF-8".into()))?
+            .to_string();
+        let shape_code = r.try_get_u8().map_err(parse)?;
+        let shape = shape_from_u8(shape_code)
+            .ok_or_else(|| err(format!("unknown field shape code {shape_code}")))?;
+        let ncomp = r.try_get_u32().map_err(parse)?;
+        fields.push(FieldDesc { name, shape, ncomp });
+    }
+    if nparts == 0 {
+        return Err(err("zero parts".into()));
+    }
+    if elem_dim as usize > 3 {
+        return Err(err(format!("bad element dimension {elem_dim}")));
+    }
+    Ok(Manifest {
+        nparts,
+        elem_dim,
+        nranks_at_write,
+        owned_counts,
+        has_ghosts,
+        fields,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn part_header_roundtrip() {
+        let sections = vec![
+            (Section::Entities, Bytes::from(vec![1u8, 2, 3])),
+            (Section::Remotes, Bytes::from(vec![4u8; 10])),
+        ];
+        let file = encode_part_file(7, 3, 42, &sections);
+        let h = parse_part_header(7, &file).expect("parse");
+        assert_eq!(h.part, 7);
+        assert_eq!(h.elem_dim, 3);
+        assert_eq!(h.gid_counter, 42);
+        assert_eq!(h.sections.len(), 2);
+        let e = find_section(&h, Section::Entities).expect("entities entry");
+        assert_eq!(section_payload(7, &file, &e).expect("payload"), &[1, 2, 3]);
+        let r = find_section(&h, Section::Remotes).expect("remotes entry");
+        assert_eq!(section_payload(7, &file, &r).expect("payload"), &[4u8; 10]);
+    }
+
+    #[test]
+    fn flipped_header_byte_is_detected() {
+        let mut file = encode_part_file(1, 2, 0, &[(Section::Entities, Bytes::from(vec![9u8]))]);
+        file[13] ^= 0x10; // inside elem_dim, covered by the header CRC
+        assert!(matches!(
+            parse_part_header(1, &file),
+            Err(IoError::Header { part: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn flipped_payload_byte_is_bad_checksum() {
+        let mut file = encode_part_file(2, 2, 0, &[(Section::Tags, Bytes::from(vec![5u8; 20]))]);
+        let n = file.len();
+        file[n - 1] ^= 0xFF;
+        let h = parse_part_header(2, &file).expect("header still fine");
+        let e = find_section(&h, Section::Tags).expect("entry");
+        assert!(matches!(
+            section_payload(2, &file, &e),
+            Err(IoError::BadChecksum {
+                part: 2,
+                section: Section::Tags
+            })
+        ));
+    }
+
+    #[test]
+    fn truncated_payload_is_reported() {
+        let file = encode_part_file(3, 2, 0, &[(Section::Fields, Bytes::from(vec![5u8; 20]))]);
+        let cut = &file[..file.len() - 6];
+        let h = parse_part_header(3, cut).expect("header intact");
+        let e = find_section(&h, Section::Fields).expect("entry");
+        assert!(matches!(
+            section_payload(3, cut, &e),
+            Err(IoError::Truncated {
+                part: 3,
+                section: Section::Fields,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = Manifest {
+            nparts: 8,
+            elem_dim: 3,
+            nranks_at_write: 4,
+            owned_counts: [100, 300, 350, 150],
+            has_ghosts: true,
+            fields: vec![
+                FieldDesc {
+                    name: "velocity".into(),
+                    shape: FieldShape::Linear,
+                    ncomp: 3,
+                },
+                FieldDesc {
+                    name: "pressure".into(),
+                    shape: FieldShape::Constant,
+                    ncomp: 1,
+                },
+            ],
+        };
+        let bytes = encode_manifest(&m);
+        let back = parse_manifest(Path::new("manifest.pmb"), &bytes).expect("parse");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn manifest_corruption_detected() {
+        let m = Manifest {
+            nparts: 2,
+            elem_dim: 2,
+            nranks_at_write: 2,
+            owned_counts: [10, 20, 11, 0],
+            has_ghosts: false,
+            fields: vec![],
+        };
+        let mut bytes = encode_manifest(&m);
+        bytes[14] ^= 1;
+        assert!(matches!(
+            parse_manifest(Path::new("m"), &bytes),
+            Err(IoError::Manifest { .. })
+        ));
+    }
+}

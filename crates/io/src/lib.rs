@@ -1,0 +1,43 @@
+//! # pumi-io: partitioned mesh checkpoint/restart
+//!
+//! A versioned binary format (`.pmb`) and parallel writer/reader for
+//! distributed meshes, following the PUMI philosophy that the file
+//! partition *is* the mesh partition: each part serializes to its own
+//! file, and a small manifest (written by rank 0) records the global
+//! shape of the checkpoint.
+//!
+//! ```text
+//! checkpoint-dir/
+//!   manifest.pmb       nparts, elem_dim, owned counts, field descriptors
+//!   part_00000.pmb     entities | remotes | tags | fields   (+ CRC-32s)
+//!   part_00001.pmb
+//!   ...
+//! ```
+//!
+//! The reader restores an N-part checkpoint onto **any** M ranks:
+//! remote-copy links are rebuilt from global ids with one phased
+//! exchange, and when N ≠ M the mesh is redistributed through the
+//! migration path (merging part blocks when N > M, splitting with the
+//! local graph partitioner when N < M). Corruption anywhere — a flipped
+//! bit, a truncated file, a damaged header — surfaces as a typed
+//! [`IoError`] naming the part and section, never a panic.
+//!
+//! Write and read are collective; `io.write` / `io.read` /
+//! `io.redistribute` spans and byte counters thread through `pumi-obs`.
+
+pub mod crc;
+pub mod error;
+pub mod format;
+pub mod hash;
+pub mod read;
+pub mod write;
+
+/// Tag-name prefix for internal staging tags (field values ride migration
+/// as tags during an N→M restore). Never written to disk.
+pub(crate) const FIELD_TAG_PREFIX: &str = "__io:f:";
+
+pub use error::{IoError, Section};
+pub use format::{FieldDesc, Manifest, FORMAT_VERSION, MANIFEST_FILE};
+pub use hash::struct_hash;
+pub use read::{read_checkpoint, read_checkpoint_with, ReadOpts, ReadStats, Restored};
+pub use write::{write_checkpoint, WriteStats};

@@ -1,0 +1,314 @@
+//! Parallel checkpoint writer.
+//!
+//! Each rank serializes its local parts — entities, partition-model
+//! residence data, ghost provenance, tags, and fields — into one `.pmb`
+//! file per part; rank 0 then writes the manifest. The call is collective
+//! and fallible: local write failures are agreed across ranks (one
+//! allreduce) so every rank returns an `Err` together instead of leaving
+//! peers blocked in the manifest reduction.
+
+use crate::error::{IoError, Section};
+use crate::format::{
+    encode_manifest, encode_part_file, part_file_path, FieldDesc, Manifest, MANIFEST_FILE,
+};
+use crate::FIELD_TAG_PREFIX;
+use bytes::Bytes;
+use pumi_core::DistMesh;
+use pumi_field::{DistField, Field};
+use pumi_pcu::{Comm, MsgWriter};
+use pumi_util::tag::TagKind;
+use pumi_util::{Dim, MeshEnt};
+use std::path::Path;
+
+/// Statistics from a completed checkpoint write.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WriteStats {
+    /// Bytes this rank wrote (part files only).
+    pub bytes_local: u64,
+    /// Bytes written across the world, including the manifest.
+    pub bytes_global: u64,
+    /// Part files this rank wrote.
+    pub parts_written: usize,
+}
+
+fn encode_entities(part: &pumi_core::Part) -> Bytes {
+    let mut w = MsgWriter::new();
+    let elem_dim = part.mesh.elem_dim();
+    for d in 0..=elem_dim {
+        let dim = Dim::from_usize(d);
+        w.put_u32(part.mesh.count(dim) as u32);
+        for e in part.mesh.iter(dim) {
+            w.put_u64(part.gid_of(e));
+            w.put_u8(part.mesh.topo(e).to_u8());
+            w.put_u32(part.mesh.class_of(e).0);
+            match part.ghost_source(e) {
+                Some((src, _)) => {
+                    w.put_u8(1);
+                    w.put_u32(src);
+                }
+                None => w.put_u8(0),
+            }
+            if d == 0 {
+                let x = part.mesh.coords(e);
+                w.put_f64(x[0]);
+                w.put_f64(x[1]);
+                w.put_f64(x[2]);
+            } else {
+                let vgids: Vec<u64> = part
+                    .mesh
+                    .verts_of(e)
+                    .iter()
+                    .map(|&v| part.gid_of(MeshEnt::vertex(v)))
+                    .collect();
+                w.put_u64_slice(&vgids);
+            }
+        }
+    }
+    w.finish()
+}
+
+fn encode_remotes(part: &pumi_core::Part) -> Bytes {
+    let mut w = MsgWriter::new();
+    let shared = part.shared_entities();
+    w.put_u32(shared.len() as u32);
+    for (e, _) in shared {
+        w.put_u8(e.dim().as_usize() as u8);
+        w.put_u64(part.gid_of(e));
+        w.put_u32_slice(&part.residence(e));
+    }
+    w.finish()
+}
+
+fn encode_tags(part: &pumi_core::Part) -> Bytes {
+    let tm = part.mesh.tags();
+    let elem_dim = part.mesh.elem_dim();
+    // Collect rows first: the declared count can exceed the live-entity
+    // rows, and internal "__io:" staging tags must not persist.
+    let mut per_tag = Vec::new();
+    for tid in tm.tags() {
+        if tm.name(tid).starts_with(FIELD_TAG_PREFIX) || tm.count(tid) == 0 {
+            continue;
+        }
+        let mut rows = Vec::new();
+        for d in 0..=elem_dim {
+            let dim = Dim::from_usize(d);
+            for e in part.mesh.iter(dim) {
+                if let Some(data) = tm.get(tid, e) {
+                    rows.push((d as u8, part.gid_of(e), data));
+                }
+            }
+        }
+        if !rows.is_empty() {
+            per_tag.push((tid, rows));
+        }
+    }
+    let mut w = MsgWriter::new();
+    w.put_u32(per_tag.len() as u32);
+    let mut buf = Vec::new();
+    for (tid, rows) in per_tag {
+        w.put_bytes(tm.name(tid).as_bytes());
+        w.put_u8(match tm.kind(tid) {
+            TagKind::Int => 0,
+            TagKind::Double => 1,
+            TagKind::Bytes => 2,
+        });
+        w.put_u32(tm.len_of(tid) as u32);
+        w.put_u32(rows.len() as u32);
+        for (d, gid, data) in rows {
+            w.put_u8(d);
+            w.put_u64(gid);
+            buf.clear();
+            data.encode(&mut buf);
+            w.put_bytes(&buf);
+        }
+    }
+    w.finish()
+}
+
+fn encode_fields(part: &pumi_core::Part, fields: &[&Field]) -> Bytes {
+    let elem_dim = part.mesh.elem_dim();
+    let mut w = MsgWriter::new();
+    w.put_u32(fields.len() as u32);
+    for f in fields {
+        w.put_bytes(f.name.as_bytes());
+        w.put_u8(crate::format::shape_to_u8(f.shape));
+        w.put_u32(f.ncomp as u32);
+        let mut rows = Vec::new();
+        for d in f.shape.node_dims(elem_dim) {
+            for e in part.mesh.iter(d) {
+                if let Some(v) = f.get(e) {
+                    rows.push((d.as_usize() as u8, part.gid_of(e), v));
+                }
+            }
+        }
+        w.put_u32(rows.len() as u32);
+        for (d, gid, v) in rows {
+            w.put_u8(d);
+            w.put_u64(gid);
+            w.put_f64_slice(v);
+        }
+    }
+    w.finish()
+}
+
+/// Serialize one part (plus its slice of each field) to `.pmb` file bytes.
+pub fn encode_part(part: &pumi_core::Part, fields: &[&Field]) -> Vec<u8> {
+    let sections = vec![
+        (Section::Entities, encode_entities(part)),
+        (Section::Remotes, encode_remotes(part)),
+        (Section::Tags, encode_tags(part)),
+        (Section::Fields, encode_fields(part, fields)),
+    ];
+    encode_part_file(
+        part.id,
+        part.mesh.elem_dim() as u32,
+        part.gid_counter(),
+        &sections,
+    )
+}
+
+/// Write a checkpoint of `dm` (and the given fields, each aligned with
+/// `dm.parts`) into directory `dir`. Collective; every rank must call with
+/// the same `dir` and field list. Returns per-rank statistics.
+///
+/// On failure every rank returns an error: ranks with a local failure get
+/// the specific [`IoError`], the rest get [`IoError::PeerFailed`].
+pub fn write_checkpoint(
+    comm: &Comm,
+    dm: &DistMesh,
+    fields: &[&DistField],
+    dir: &Path,
+) -> Result<WriteStats, IoError> {
+    let _span = pumi_obs::span!("io.write");
+    for df in fields {
+        assert_eq!(df.len(), dm.parts.len(), "field not aligned with dm.parts");
+    }
+    let mut local_err: Option<IoError> = None;
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        local_err = Some(IoError::Io {
+            path: dir.to_path_buf(),
+            source: e,
+        });
+    }
+    let mut bytes_local = 0u64;
+    let mut parts_written = 0usize;
+    if local_err.is_none() {
+        for (slot, part) in dm.parts.iter().enumerate() {
+            let pfields: Vec<&Field> = fields.iter().map(|df| &df[slot]).collect();
+            let data = encode_part(part, &pfields);
+            let path = part_file_path(dir, part.id);
+            match std::fs::write(&path, &data) {
+                Ok(()) => {
+                    bytes_local += data.len() as u64;
+                    parts_written += 1;
+                }
+                Err(e) => {
+                    local_err = Some(IoError::Io { path, source: e });
+                    break;
+                }
+            }
+        }
+    }
+    pumi_obs::metrics::counter_add("io.write.bytes", bytes_local);
+
+    // Agree on part-file failures before any further collective.
+    let failures = comm.allreduce_sum_u64(local_err.is_some() as u64);
+    if failures > 0 {
+        return Err(local_err.unwrap_or(IoError::PeerFailed { failures }));
+    }
+
+    // Manifest inputs: global owned counts, ghost presence, field
+    // descriptors (identical on every rank by the SPMD contract).
+    let mut owned = [0u64; 4];
+    for p in &dm.parts {
+        for (d, o) in owned.iter_mut().enumerate() {
+            let dim = Dim::from_usize(d);
+            *o += p
+                .mesh
+                .iter(dim)
+                .filter(|&e| !p.is_ghost(e) && p.is_owned(e))
+                .count() as u64;
+        }
+    }
+    let owned_counts: Vec<u64> = comm.allreduce_sum_u64_vec(&owned);
+    let any_ghosts = comm.allreduce_max_u64(dm.parts.iter().any(|p| p.num_ghosts() > 0) as u64) > 0;
+    let elem_dim = dm.parts.first().map(|p| p.mesh.elem_dim()).unwrap_or(2);
+    let elem_dim = comm.allreduce_max_u64(elem_dim as u64) as u32;
+
+    // Gather field descriptors to rank 0: a rank may host zero parts, so
+    // rank 0 takes the first non-empty descriptor list it receives.
+    let mut dw = MsgWriter::new();
+    let local_descs: Vec<FieldDesc> = fields
+        .iter()
+        .filter_map(|df| df.first())
+        .map(|f| FieldDesc {
+            name: f.name.clone(),
+            shape: f.shape,
+            ncomp: f.ncomp as u32,
+        })
+        .collect();
+    dw.put_u32(local_descs.len() as u32);
+    for d in &local_descs {
+        dw.put_bytes(d.name.as_bytes());
+        dw.put_u8(crate::format::shape_to_u8(d.shape));
+        dw.put_u32(d.ncomp);
+    }
+    let gathered = comm.gather_bytes(0, dw.finish());
+
+    let mut manifest_err: Option<IoError> = None;
+    let mut manifest_bytes = 0u64;
+    if comm.rank() == 0 {
+        let mut descs = local_descs;
+        if descs.is_empty() {
+            for blob in gathered.unwrap_or_default() {
+                let mut r = pumi_pcu::MsgReader::from_vec(blob.to_vec());
+                let n = r.try_get_u32().unwrap_or(0);
+                if n == 0 {
+                    continue;
+                }
+                for _ in 0..n {
+                    let (name, code, ncomp) =
+                        match (r.try_get_bytes(), r.try_get_u8(), r.try_get_u32()) {
+                            (Ok(n), Ok(c), Ok(k)) => (n, c, k),
+                            _ => break,
+                        };
+                    if let (Ok(name), Some(shape)) =
+                        (String::from_utf8(name), crate::format::shape_from_u8(code))
+                    {
+                        descs.push(FieldDesc { name, shape, ncomp });
+                    }
+                }
+                break;
+            }
+        }
+        let manifest = Manifest {
+            nparts: dm.map.nparts() as u32,
+            elem_dim,
+            nranks_at_write: comm.nranks() as u32,
+            owned_counts: [
+                owned_counts[0],
+                owned_counts[1],
+                owned_counts[2],
+                owned_counts[3],
+            ],
+            has_ghosts: any_ghosts,
+            fields: descs,
+        };
+        let data = encode_manifest(&manifest);
+        let path = dir.join(MANIFEST_FILE);
+        match std::fs::write(&path, &data) {
+            Ok(()) => manifest_bytes = data.len() as u64,
+            Err(e) => manifest_err = Some(IoError::Io { path, source: e }),
+        }
+    }
+    let failures = comm.allreduce_sum_u64(manifest_err.is_some() as u64);
+    if failures > 0 {
+        return Err(manifest_err.unwrap_or(IoError::PeerFailed { failures }));
+    }
+    let bytes_global = comm.allreduce_sum_u64(bytes_local + manifest_bytes);
+    Ok(WriteStats {
+        bytes_local,
+        bytes_global,
+        parts_written,
+    })
+}

@@ -1,0 +1,164 @@
+//! Corruption drills: every damaged checkpoint must surface as a typed
+//! [`IoError`] naming the damaged part (and section where applicable) —
+//! never a panic, and never a deadlock (peers exit with `PeerFailed`).
+
+use pumi_core::{distribute, PartMap};
+use pumi_io::format::{find_section, parse_part_header, part_file_path};
+use pumi_io::{read_checkpoint, write_checkpoint, IoError, Section};
+use pumi_meshgen::tri_rect;
+use pumi_partition::partition_mesh;
+use pumi_pcu::execute;
+use std::path::PathBuf;
+
+fn write_small(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pumi_io_fault_{}_{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let serial = tri_rect(8, 6, 1.0, 1.0);
+    execute(2, |c| {
+        let labels = partition_mesh(&serial, 2);
+        let dm = distribute(c, PartMap::contiguous(2, 2), &serial, &labels);
+        write_checkpoint(c, &dm, &[], &dir).expect("write");
+    });
+    dir
+}
+
+/// Read the checkpoint on 2 ranks; every rank must get an `Err`.
+fn read_errors(dir: &std::path::Path) -> Vec<IoError> {
+    execute(2, |c| {
+        read_checkpoint(c, dir)
+            .map(|_| ())
+            .expect_err("corrupt checkpoint must not restore")
+    })
+}
+
+#[test]
+fn flipped_payload_byte_names_part_and_section() {
+    let dir = write_small("flip");
+    // Corrupt the middle of part 1's entities payload.
+    let path = part_file_path(&dir, 1);
+    let mut data = std::fs::read(&path).expect("read part file");
+    let header = parse_part_header(1, &data).expect("intact header");
+    let entry = find_section(&header, Section::Entities).expect("entities section");
+    data[(entry.offset + entry.len / 2) as usize] ^= 0x40;
+    std::fs::write(&path, &data).expect("write corrupted file");
+
+    let errs = read_errors(&dir);
+    assert!(
+        errs.iter().any(|e| matches!(
+            e,
+            IoError::BadChecksum {
+                part: 1,
+                section: Section::Entities
+            }
+        )),
+        "expected BadChecksum(part 1, entities), got: {errs:?}"
+    );
+    // The message identifies the damaged file for the operator.
+    let msg = errs
+        .iter()
+        .find(|e| matches!(e, IoError::BadChecksum { .. }))
+        .expect("typed checksum error")
+        .to_string();
+    assert!(msg.contains("part 1") && msg.contains("entities"), "{msg}");
+    // The other rank exits collectively instead of deadlocking.
+    assert!(
+        errs.iter().any(|e| matches!(e, IoError::PeerFailed { .. })),
+        "peer should report PeerFailed, got: {errs:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn truncated_part_file_is_typed() {
+    let dir = write_small("trunc");
+    let path = part_file_path(&dir, 0);
+    let data = std::fs::read(&path).expect("read part file");
+    std::fs::write(&path, &data[..data.len() - 9]).expect("truncate");
+
+    let errs = read_errors(&dir);
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, IoError::Truncated { part: 0, .. })),
+        "expected Truncated(part 0), got: {errs:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damaged_header_is_typed() {
+    let dir = write_small("header");
+    let path = part_file_path(&dir, 1);
+    let mut data = std::fs::read(&path).expect("read part file");
+    data[0] = b'X'; // break the magic
+    std::fs::write(&path, &data).expect("write");
+
+    let errs = read_errors(&dir);
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, IoError::Header { part: 1, .. })),
+        "expected Header(part 1), got: {errs:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn flipped_header_field_is_typed() {
+    let dir = write_small("hcrc");
+    let path = part_file_path(&dir, 0);
+    let mut data = std::fs::read(&path).expect("read part file");
+    data[16] ^= 0x01; // gid counter, covered by the header CRC
+    std::fs::write(&path, &data).expect("write");
+
+    let errs = read_errors(&dir);
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, IoError::Header { part: 0, .. })),
+        "expected Header(part 0), got: {errs:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_part_file_is_typed() {
+    let dir = write_small("missing");
+    std::fs::remove_file(part_file_path(&dir, 1)).expect("remove part file");
+    let errs = read_errors(&dir);
+    assert!(
+        errs.iter().any(|e| matches!(e, IoError::Io { .. })),
+        "expected Io for the missing file, got: {errs:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn missing_manifest_fails_on_every_rank() {
+    let dir = write_small("manifest");
+    std::fs::remove_file(dir.join(pumi_io::MANIFEST_FILE)).expect("remove manifest");
+    let errs = read_errors(&dir);
+    assert_eq!(errs.len(), 2);
+    for e in &errs {
+        assert!(
+            matches!(e, IoError::Manifest { .. }),
+            "every rank reports Manifest, got: {e:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_manifest_body_fails_cleanly() {
+    let dir = write_small("mbody");
+    let path = dir.join(pumi_io::MANIFEST_FILE);
+    let mut data = std::fs::read(&path).expect("read manifest");
+    let n = data.len();
+    data[n - 6] ^= 0x80; // inside the body, breaks the body CRC
+    std::fs::write(&path, &data).expect("write");
+    let errs = read_errors(&dir);
+    for e in &errs {
+        assert!(
+            matches!(e, IoError::Manifest { .. }),
+            "expected Manifest, got: {e:?}"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

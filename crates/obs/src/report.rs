@@ -85,6 +85,19 @@ impl Report {
         f.write_all(self.to_json().render().as_bytes())?;
         Ok(path)
     }
+
+    /// [`Report::write`], degraded to a stderr warning on failure. A bench
+    /// run's measurements matter more than its report file: an unwritable
+    /// results directory must never abort the run.
+    pub fn write_or_warn(&self) -> Option<PathBuf> {
+        match self.write() {
+            Ok(path) => Some(path),
+            Err(e) => {
+                eprintln!("warning: could not write report '{}': {e}", self.name);
+                None
+            }
+        }
+    }
 }
 
 /// Render thread-local span aggregates (from [`crate::span::take`]).
@@ -129,12 +142,37 @@ mod tests {
     #[test]
     fn writes_to_disk() {
         let dir = std::env::temp_dir().join("pumi-obs-report-test");
-        let dir = dir.to_str().unwrap();
-        let path = Report::new("t").write_under(dir).unwrap();
-        let body = std::fs::read_to_string(&path).unwrap();
+        let Some(dir) = dir.to_str() else {
+            panic!("temp dir is not UTF-8: {dir:?}");
+        };
+        let path = match Report::new("t").write_under(dir) {
+            Ok(p) => p,
+            Err(e) => panic!("write_under({dir}) failed: {e}"),
+        };
+        let body = match std::fs::read_to_string(&path) {
+            Ok(b) => b,
+            Err(e) => panic!("report at {} unreadable: {e}", path.display()),
+        };
         assert!(body.starts_with('{'));
         assert!(body.ends_with("}\n"));
-        std::fs::remove_file(path).unwrap();
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn unwritable_destination_degrades_to_warning() {
+        // A file where the directory should be → create_dir_all fails.
+        let blocker = std::env::temp_dir().join("pumi-obs-report-blocker");
+        std::fs::write(&blocker, b"not a directory").expect("set up blocker file");
+        let dest = blocker.join("sub");
+        let r = Report::new("degrade");
+        assert!(r
+            .write_under(dest.to_str().expect("utf-8 temp path"))
+            .is_err());
+        // write_or_warn on the same failure must swallow it.
+        std::env::set_var("PUMI_RESULTS_DIR", dest.to_str().expect("utf-8 temp path"));
+        assert_eq!(r.write_or_warn(), None);
+        std::env::remove_var("PUMI_RESULTS_DIR");
+        let _ = std::fs::remove_file(blocker);
     }
 
     #[test]
