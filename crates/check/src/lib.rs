@@ -1,0 +1,699 @@
+//! pumi-check — the distributed invariant checker.
+//!
+//! Every §II algorithm (migration, ghosting, ParMA, checkpoint/restart)
+//! maintains a web of cross-part links: remote-copy lists, residence sets,
+//! ownership, ghost records, global ids. A bug in any phased exchange shows
+//! up as a *silently* broken link that only bites many calls later.
+//! [`check_dist`] verifies the full link structure collectively, via the
+//! same phased exchanges the algorithms themselves use:
+//!
+//! * **remote-copy symmetry** — if part A lists `(B, i)` for an entity,
+//!   part B's entity at `i` is live, carries the same global id, and lists
+//!   A back with A's index,
+//! * **single ownership** — every copy of a shared entity computes the same
+//!   owner, and residence sets agree on all copies,
+//! * **residence/ghost agreement** — ghost copies stay out of residence
+//!   sets; holder-side ghost records and owner-side `ghosted_to` records
+//!   mirror each other exactly,
+//! * **global-id uniqueness** — no two distinct owned entities of one
+//!   dimension share a gid anywhere in the world (verified by hashing gids
+//!   to a home part),
+//! * **field-copy coherence** — [`check_field_sync`] verifies that after
+//!   `sync_owned_to_copies` every copy is bit-identical to its owner.
+//!
+//! Violations come back as typed [`CheckError`]s naming part, dimension and
+//! gid — the checker never asserts or panics on a broken mesh, so test
+//! harnesses and the chaos scheduler can observe failures precisely.
+//! [`check_dist`] is collective: the violation count is all-reduced, so
+//! every rank returns `Err` together even when the broken link is remote.
+
+use pumi_core::part::NO_GID;
+use pumi_core::{DistMesh, Part, PartExchange};
+use pumi_field::DistField;
+use pumi_pcu::{Comm, MsgError, MsgReader};
+use pumi_util::{Dim, FxHashMap, GlobalId, MeshEnt, PartId};
+
+/// Which invariant families [`check_dist`] verifies. All on by default.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CheckOpts {
+    /// Remote-copy symmetry and index validity.
+    pub symmetry: bool,
+    /// Owner agreement and residence-set equality across copies.
+    pub ownership: bool,
+    /// Holder/owner ghost record agreement.
+    pub ghosts: bool,
+    /// World-wide global-id uniqueness per dimension.
+    pub gids: bool,
+}
+
+impl Default for CheckOpts {
+    fn default() -> Self {
+        CheckOpts::all()
+    }
+}
+
+impl CheckOpts {
+    /// Every check enabled.
+    pub fn all() -> CheckOpts {
+        CheckOpts {
+            symmetry: true,
+            ownership: true,
+            ghosts: true,
+            gids: true,
+        }
+    }
+
+    /// Toggle the symmetry checks.
+    pub fn symmetry(mut self, on: bool) -> Self {
+        self.symmetry = on;
+        self
+    }
+
+    /// Toggle the ownership checks.
+    pub fn ownership(mut self, on: bool) -> Self {
+        self.ownership = on;
+        self
+    }
+
+    /// Toggle the ghost-record checks.
+    pub fn ghosts(mut self, on: bool) -> Self {
+        self.ghosts = on;
+        self
+    }
+
+    /// Toggle the gid-uniqueness check.
+    pub fn gids(mut self, on: bool) -> Self {
+        self.gids = on;
+        self
+    }
+}
+
+/// One broken invariant, naming the part, dimension and gid involved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckError {
+    /// `peer` lists this part as holding a copy, but this part does not
+    /// list `peer` back (or lists a different index).
+    AsymmetricRemote {
+        /// Part that detected the violation (the accused holder).
+        part: PartId,
+        /// Part whose remote-copy list points here.
+        peer: PartId,
+        /// Entity dimension.
+        dim: u8,
+        /// Global id of the entity.
+        gid: GlobalId,
+    },
+    /// A remote-copy link points at a dead local slot or an entity with a
+    /// different gid.
+    BadRemoteIndex {
+        /// Part holding the bad target slot.
+        part: PartId,
+        /// Part whose link is broken.
+        peer: PartId,
+        /// Entity dimension.
+        dim: u8,
+        /// Gid the peer expected at that slot.
+        gid: GlobalId,
+        /// Local index the peer pointed at.
+        index: u32,
+    },
+    /// Two copies of one entity disagree about the owner.
+    OwnerDisagreement {
+        /// Part that detected the violation.
+        part: PartId,
+        /// The peer copy.
+        peer: PartId,
+        /// Entity dimension.
+        dim: u8,
+        /// Global id.
+        gid: GlobalId,
+        /// Owner computed here.
+        ours: PartId,
+        /// Owner computed by the peer.
+        theirs: PartId,
+    },
+    /// Two copies of one entity disagree about the residence set.
+    ResidenceMismatch {
+        /// Part that detected the violation.
+        part: PartId,
+        /// The peer copy.
+        peer: PartId,
+        /// Entity dimension.
+        dim: u8,
+        /// Global id.
+        gid: GlobalId,
+    },
+    /// Two distinct owned entities of the same dimension share a gid.
+    DuplicateGid {
+        /// Entity dimension.
+        dim: u8,
+        /// The duplicated global id.
+        gid: GlobalId,
+        /// Parts claiming ownership (sorted).
+        parts: Vec<PartId>,
+    },
+    /// A holder has a ghost copy its owner does not acknowledge in
+    /// `ghosted_to`.
+    GhostUnacknowledged {
+        /// The owner part that is missing the record.
+        part: PartId,
+        /// The holder of the unacknowledged ghost.
+        holder: PartId,
+        /// Entity dimension.
+        dim: u8,
+        /// Global id.
+        gid: GlobalId,
+    },
+    /// A ghost link (either direction) points at a dead slot, a different
+    /// gid, or a non-ghost entity.
+    GhostLinkBroken {
+        /// Part that detected the broken link.
+        part: PartId,
+        /// The other end of the link.
+        peer: PartId,
+        /// Entity dimension.
+        dim: u8,
+        /// Global id.
+        gid: GlobalId,
+    },
+    /// A copy's field value differs from its owner's after a sync.
+    FieldCopyMismatch {
+        /// The copy-holding part.
+        part: PartId,
+        /// The owner part.
+        owner: PartId,
+        /// Entity dimension.
+        dim: u8,
+        /// Global id.
+        gid: GlobalId,
+    },
+    /// A purely local structure is broken (missing gid, stale gid index,
+    /// self-referential remote list, shared element, ghost in residence).
+    LocalCorrupt {
+        /// The part with the broken structure.
+        part: PartId,
+        /// Entity dimension.
+        dim: u8,
+        /// Global id (or [`NO_GID`] when that is the problem).
+        gid: GlobalId,
+        /// What is wrong.
+        what: &'static str,
+    },
+}
+
+impl std::fmt::Display for CheckError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use CheckError::*;
+        match self {
+            AsymmetricRemote { part, peer, dim, gid } => write!(
+                f,
+                "part {part}: part {peer} lists us for dim {dim} gid {gid}, but we do not list it back"
+            ),
+            BadRemoteIndex { part, peer, dim, gid, index } => write!(
+                f,
+                "part {part}: remote link from part {peer} (dim {dim}, gid {gid}) points at bad local index {index}"
+            ),
+            OwnerDisagreement { part, peer, dim, gid, ours, theirs } => write!(
+                f,
+                "part {part}: owner disagreement with part {peer} on dim {dim} gid {gid}: {ours} here vs {theirs} there"
+            ),
+            ResidenceMismatch { part, peer, dim, gid } => write!(
+                f,
+                "part {part}: residence set differs from part {peer}'s on dim {dim} gid {gid}"
+            ),
+            DuplicateGid { dim, gid, parts } => write!(
+                f,
+                "dim {dim} gid {gid} owned by multiple parts: {parts:?}"
+            ),
+            GhostUnacknowledged { part, holder, dim, gid } => write!(
+                f,
+                "part {part}: ghost copy on part {holder} of dim {dim} gid {gid} is not in ghosted_to"
+            ),
+            GhostLinkBroken { part, peer, dim, gid } => write!(
+                f,
+                "part {part}: ghost link with part {peer} broken for dim {dim} gid {gid}"
+            ),
+            FieldCopyMismatch { part, owner, dim, gid } => write!(
+                f,
+                "part {part}: field copy of dim {dim} gid {gid} differs from owner part {owner}"
+            ),
+            LocalCorrupt { part, dim, gid, what } => {
+                write!(f, "part {part}: {what} (dim {dim}, gid {gid})")
+            }
+        }
+    }
+}
+
+/// What a passing [`check_dist`] examined, summed over the world.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CheckStats {
+    /// Live non-ghost entities examined.
+    pub entities: u64,
+    /// Cross-part links verified (remote copies + ghost records).
+    pub links: u64,
+}
+
+/// The collective failure report: this rank's local violations plus the
+/// world-wide count (every rank fails together, even when all broken links
+/// are remote).
+#[derive(Debug, Clone)]
+pub struct CheckFailure {
+    /// Violations detected on this rank (possibly empty).
+    pub errors: Vec<CheckError>,
+    /// Total violations across all ranks.
+    pub world_violations: u64,
+}
+
+impl std::fmt::Display for CheckFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} invariant violation(s) world-wide, {} on this rank:",
+            self.world_violations,
+            self.errors.len()
+        )?;
+        for e in self.errors.iter().take(16) {
+            writeln!(f, "  {e}")?;
+        }
+        if self.errors.len() > 16 {
+            writeln!(f, "  ... and {} more", self.errors.len() - 16)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for CheckFailure {}
+
+fn dim8(e: MeshEnt) -> u8 {
+    e.dim().as_usize() as u8
+}
+
+/// Purely local structure checks: gid presence, gid-index coherence,
+/// self-free remote lists, unshared elements, ghosts outside residence.
+fn check_local(part: &Part, elem_dim: usize, errs: &mut Vec<CheckError>, stats: &mut CheckStats) {
+    for d in Dim::ALL {
+        for e in part.mesh.iter(d) {
+            stats.entities += 1;
+            let gid = part.gid_of(e);
+            if gid == NO_GID {
+                errs.push(CheckError::LocalCorrupt {
+                    part: part.id,
+                    dim: dim8(e),
+                    gid: NO_GID,
+                    what: "entity without gid",
+                });
+                continue;
+            }
+            if part.find_gid(d, gid) != Some(e) {
+                errs.push(CheckError::LocalCorrupt {
+                    part: part.id,
+                    dim: dim8(e),
+                    gid,
+                    what: "gid index does not resolve back to entity",
+                });
+            }
+            if part.remotes_of(e).iter().any(|&(q, _)| q == part.id) {
+                errs.push(CheckError::LocalCorrupt {
+                    part: part.id,
+                    dim: dim8(e),
+                    gid,
+                    what: "remote-copy list contains this part",
+                });
+            }
+            if d.as_usize() == elem_dim && part.is_shared(e) {
+                errs.push(CheckError::LocalCorrupt {
+                    part: part.id,
+                    dim: dim8(e),
+                    gid,
+                    what: "element is shared (elements may only be ghosted)",
+                });
+            }
+            if part.is_ghost(e) && part.is_shared(e) {
+                errs.push(CheckError::LocalCorrupt {
+                    part: part.id,
+                    dim: dim8(e),
+                    gid,
+                    what: "ghost copy has remote copies (ghosts stay out of residence)",
+                });
+            }
+        }
+    }
+}
+
+/// Remote-copy symmetry / ownership / residence agreement: each part sends,
+/// for every shared non-ghost entity and every listed remote `(q, ridx)`,
+/// its own gid/index/owner/residence; `q` verifies everything against the
+/// entity at `ridx`.
+fn check_symmetry(
+    comm: &Comm,
+    dm: &DistMesh,
+    opts: CheckOpts,
+    errs: &mut Vec<CheckError>,
+    stats: &mut CheckStats,
+) {
+    let mut ex = PartExchange::new(comm, &dm.map);
+    for part in &dm.parts {
+        for (e, remotes) in part.shared_entities() {
+            if part.is_ghost(e) {
+                continue;
+            }
+            let res = part.residence(e);
+            for &(q, ridx) in remotes {
+                let w = ex.to(part.id, q);
+                w.put_u8(dim8(e));
+                w.put_u64(part.gid_of(e));
+                w.put_u32(ridx); // where I think q holds its copy
+                w.put_u32(e.index()); // where q should point back to
+                w.put_u32(part.owner(e));
+                w.put_u32_slice(&res);
+            }
+        }
+    }
+    let mut frames = ex.finish();
+    frames.sort_by_key(|&(from, to, _)| (to, from));
+    for (from, to, mut r) in frames {
+        let part = dm.part(to);
+        let mut run = |r: &mut MsgReader| -> Result<(), MsgError> {
+            while !r.is_done() {
+                let db = r.try_get_u8()?;
+                let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
+                let gid = r.try_get_u64()?;
+                let my_idx = r.try_get_u32()?;
+                let their_idx = r.try_get_u32()?;
+                let owner = r.try_get_u32()?;
+                let res: Vec<PartId> = r.try_get_u32_slice()?;
+                stats.links += 1;
+                let e = MeshEnt::new(d, my_idx);
+                if !part.mesh.is_live(e) || part.gid_of(e) != gid {
+                    errs.push(CheckError::BadRemoteIndex {
+                        part: part.id,
+                        peer: from,
+                        dim: db,
+                        gid,
+                        index: my_idx,
+                    });
+                    continue;
+                }
+                if !part
+                    .remotes_of(e)
+                    .iter()
+                    .any(|&(q, i)| q == from && i == their_idx)
+                {
+                    errs.push(CheckError::AsymmetricRemote {
+                        part: part.id,
+                        peer: from,
+                        dim: db,
+                        gid,
+                    });
+                }
+                if opts.ownership {
+                    if part.owner(e) != owner {
+                        errs.push(CheckError::OwnerDisagreement {
+                            part: part.id,
+                            peer: from,
+                            dim: db,
+                            gid,
+                            ours: part.owner(e),
+                            theirs: owner,
+                        });
+                    }
+                    if part.residence(e) != res {
+                        errs.push(CheckError::ResidenceMismatch {
+                            part: part.id,
+                            peer: from,
+                            dim: db,
+                            gid,
+                        });
+                    }
+                }
+            }
+            Ok(())
+        };
+        run(&mut r).unwrap_or_else(|e| panic!("corrupt check frame {from}->{to}: {e}"));
+    }
+}
+
+/// Ghost agreement, both directions: holders announce each ghost to its
+/// source (which must list the holder in `ghosted_to`), and owners announce
+/// each `ghosted_to` record to its holder (which must hold a matching ghost
+/// sourced here).
+fn check_ghosts(comm: &Comm, dm: &DistMesh, errs: &mut Vec<CheckError>, stats: &mut CheckStats) {
+    let mut ex = PartExchange::new(comm, &dm.map);
+    for part in &dm.parts {
+        // holder -> owner: (0, dim, gid, owner_idx, my_idx)
+        for g in part.ghost_entities() {
+            let (src, src_idx) = part.ghost_source(g).expect("listed ghost has a source");
+            let w = ex.to(part.id, src);
+            w.put_u8(0);
+            w.put_u8(dim8(g));
+            w.put_u64(part.gid_of(g));
+            w.put_u32(src_idx);
+            w.put_u32(g.index());
+        }
+        // owner -> holder: (1, dim, gid, holder_idx)
+        for (e, holders) in part.ghost_entities_owner_side() {
+            for (q, their_idx) in holders {
+                let w = ex.to(part.id, q);
+                w.put_u8(1);
+                w.put_u8(dim8(e));
+                w.put_u64(part.gid_of(e));
+                w.put_u32(their_idx);
+            }
+        }
+    }
+    let mut frames = ex.finish();
+    frames.sort_by_key(|&(from, to, _)| (to, from));
+    for (from, to, mut r) in frames {
+        let part = dm.part(to);
+        let mut run = |r: &mut MsgReader| -> Result<(), MsgError> {
+            while !r.is_done() {
+                let tag = r.try_get_u8()?;
+                let db = r.try_get_u8()?;
+                Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
+                let gid = r.try_get_u64()?;
+                stats.links += 1;
+                match tag {
+                    0 => {
+                        // A holder claims a ghost of our entity at my_idx.
+                        let my_idx = r.try_get_u32()?;
+                        let holder_idx = r.try_get_u32()?;
+                        let e = MeshEnt::new(Dim::from_usize(db as usize), my_idx);
+                        if !part.mesh.is_live(e) || part.gid_of(e) != gid {
+                            errs.push(CheckError::GhostLinkBroken {
+                                part: part.id,
+                                peer: from,
+                                dim: db,
+                                gid,
+                            });
+                        } else if !part
+                            .ghosted_to(e)
+                            .iter()
+                            .any(|&(q, i)| q == from && i == holder_idx)
+                        {
+                            errs.push(CheckError::GhostUnacknowledged {
+                                part: part.id,
+                                holder: from,
+                                dim: db,
+                                gid,
+                            });
+                        }
+                    }
+                    1 => {
+                        // An owner claims we hold a ghost at their_idx.
+                        let my_idx = r.try_get_u32()?;
+                        let e = MeshEnt::new(Dim::from_usize(db as usize), my_idx);
+                        let ok = part.mesh.is_live(e)
+                            && part.gid_of(e) == gid
+                            && part.ghost_source(e).map(|(q, _)| q) == Some(from);
+                        if !ok {
+                            errs.push(CheckError::GhostLinkBroken {
+                                part: part.id,
+                                peer: from,
+                                dim: db,
+                                gid,
+                            });
+                        }
+                    }
+                    b => return Err(MsgError::bad_enum("ghost check record", b)),
+                }
+            }
+            Ok(())
+        };
+        run(&mut r).unwrap_or_else(|e| panic!("corrupt ghost check frame {from}->{to}: {e}"));
+    }
+}
+
+/// Global-id uniqueness: every owned non-ghost entity's `(dim, gid)` is
+/// hashed to a home part (`gid % nparts`); the home sees every ownership
+/// claim and reports any `(dim, gid)` claimed by more than one part.
+fn check_gid_uniqueness(comm: &Comm, dm: &DistMesh, errs: &mut Vec<CheckError>) {
+    let nparts = dm.map.nparts() as u64;
+    let mut ex = PartExchange::new(comm, &dm.map);
+    for part in &dm.parts {
+        for d in Dim::ALL {
+            for e in part.mesh.iter(d) {
+                if part.is_ghost(e) || !part.is_owned(e) {
+                    continue;
+                }
+                let gid = part.gid_of(e);
+                let home = (gid % nparts) as PartId;
+                let w = ex.to(part.id, home);
+                w.put_u8(dim8(e));
+                w.put_u64(gid);
+                w.put_u32(part.id);
+            }
+        }
+    }
+    // (dim, gid) -> sorted owner claims; local slot -> claims map.
+    let mut claims: FxHashMap<PartId, FxHashMap<(u8, GlobalId), Vec<PartId>>> =
+        FxHashMap::default();
+    for (from, to, mut r) in ex.finish() {
+        let mut run = |r: &mut MsgReader| -> Result<(), MsgError> {
+            while !r.is_done() {
+                let db = r.try_get_u8()?;
+                Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
+                let gid = r.try_get_u64()?;
+                let claimer = r.try_get_u32()?;
+                claims
+                    .entry(to)
+                    .or_default()
+                    .entry((db, gid))
+                    .or_default()
+                    .push(claimer);
+            }
+            Ok(())
+        };
+        run(&mut r).unwrap_or_else(|e| panic!("corrupt gid check frame {from}->{to}: {e}"));
+    }
+    let mut dups: Vec<CheckError> = Vec::new();
+    for by_key in claims.into_values() {
+        for ((dim, gid), mut parts) in by_key {
+            if parts.len() > 1 {
+                parts.sort_unstable();
+                dups.push(CheckError::DuplicateGid { dim, gid, parts });
+            }
+        }
+    }
+    // Canonical report order regardless of hash-map iteration.
+    dups.sort_by_key(|e| match e {
+        CheckError::DuplicateGid { dim, gid, .. } => (*dim, *gid),
+        _ => unreachable!(),
+    });
+    errs.extend(dups);
+}
+
+/// Run every enabled invariant check over the distributed mesh.
+/// Collective: all ranks must call; the violation count is all-reduced so
+/// all ranks return `Ok`/`Err` together.
+pub fn check_dist(comm: &Comm, dm: &DistMesh, opts: CheckOpts) -> Result<CheckStats, CheckFailure> {
+    let _span = pumi_obs::span!("check");
+    pumi_obs::metrics::counter_add("check.calls", 1);
+    let elem_dim = dm.parts.first().map(|p| p.mesh.elem_dim()).unwrap_or(2);
+    let mut errs = Vec::new();
+    let mut stats = CheckStats::default();
+
+    for part in &dm.parts {
+        check_local(part, elem_dim, &mut errs, &mut stats);
+    }
+    if opts.symmetry || opts.ownership {
+        check_symmetry(comm, dm, opts, &mut errs, &mut stats);
+    }
+    if opts.ghosts {
+        check_ghosts(comm, dm, &mut errs, &mut stats);
+    }
+    if opts.gids {
+        check_gid_uniqueness(comm, dm, &mut errs);
+    }
+
+    let world = comm.allreduce_sum_u64(errs.len() as u64);
+    if world > 0 {
+        pumi_obs::metrics::counter_add("check.violations", world);
+        return Err(CheckFailure {
+            errors: errs,
+            world_violations: world,
+        });
+    }
+    Ok(CheckStats {
+        entities: comm.allreduce_sum_u64(stats.entities),
+        links: comm.allreduce_sum_u64(stats.links),
+    })
+}
+
+/// Verify field-copy coherence: every shared node's value on every copy is
+/// bit-identical to the owner's (the post-condition of
+/// `sync_owned_to_copies`). Collective; returns the world-wide number of
+/// values compared.
+pub fn check_field_sync(
+    comm: &Comm,
+    dm: &DistMesh,
+    fields: &DistField,
+) -> Result<u64, CheckFailure> {
+    let _span = pumi_obs::span!("check.field");
+    assert_eq!(fields.len(), dm.parts.len());
+    let node_dims: Vec<Dim> = fields
+        .first()
+        .map(|f| f.shape.node_dims(dm.parts[0].mesh.elem_dim()))
+        .unwrap_or_default();
+    let mut ex = PartExchange::new(comm, &dm.map);
+    for (slot, part) in dm.parts.iter().enumerate() {
+        for (e, remotes) in part.shared_entities() {
+            if !node_dims.contains(&e.dim()) || !part.is_owned(e) {
+                continue;
+            }
+            let Some(v) = fields[slot].get(e) else {
+                continue;
+            };
+            for &(q, ridx) in remotes {
+                let w = ex.to(part.id, q);
+                w.put_u8(dim8(e));
+                w.put_u64(part.gid_of(e));
+                w.put_u32(ridx);
+                w.put_f64_slice(v);
+            }
+        }
+    }
+    let mut errs = Vec::new();
+    let mut compared = 0u64;
+    let mut frames = ex.finish();
+    frames.sort_by_key(|&(from, to, _)| (to, from));
+    for (from, to, mut r) in frames {
+        let slot = dm.map.slot_of(to);
+        let part = &dm.parts[slot];
+        let mut run = |r: &mut MsgReader| -> Result<(), MsgError> {
+            while !r.is_done() {
+                let db = r.try_get_u8()?;
+                let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
+                let gid = r.try_get_u64()?;
+                let idx = r.try_get_u32()?;
+                let want = r.try_get_f64_slice()?;
+                compared += 1;
+                let e = MeshEnt::new(d, idx);
+                let same = fields[slot].get(e).is_some_and(|have| {
+                    have.len() == want.len()
+                        && have
+                            .iter()
+                            .zip(&want)
+                            .all(|(a, b)| a.to_bits() == b.to_bits())
+                });
+                if !same {
+                    errs.push(CheckError::FieldCopyMismatch {
+                        part: part.id,
+                        owner: from,
+                        dim: db,
+                        gid,
+                    });
+                }
+            }
+            Ok(())
+        };
+        run(&mut r).unwrap_or_else(|e| panic!("corrupt field check frame {from}->{to}: {e}"));
+    }
+    let world = comm.allreduce_sum_u64(errs.len() as u64);
+    if world > 0 {
+        return Err(CheckFailure {
+            errors: errs,
+            world_violations: world,
+        });
+    }
+    Ok(comm.allreduce_sum_u64(compared))
+}

@@ -1,0 +1,171 @@
+//! pumi-check behaviour: clean meshes pass, every class of corruption is
+//! detected collectively, and option gates skip exactly their family.
+
+use pumi_check::{check_dist, check_field_sync, CheckError, CheckOpts};
+use pumi_core::ghost::ghost_layers;
+use pumi_core::{distribute, migrate, DistMesh, MigrationPlan, Part, PartMap};
+use pumi_field::{dist_field, sync_owned_to_copies, Field, FieldShape};
+use pumi_geom::GeomEnt;
+use pumi_meshgen::tri_rect;
+use pumi_pcu::{execute, Comm};
+use pumi_util::{Dim, FxHashMap, PartId};
+
+fn two_part_mesh(c: &Comm) -> DistMesh {
+    let serial = tri_rect(4, 4, 1.0, 1.0);
+    let d = serial.elem_dim_t();
+    let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+    for e in serial.iter(d) {
+        elem_part[e.idx()] = if serial.centroid(e)[0] < 0.5 { 0 } else { 1 };
+    }
+    distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part)
+}
+
+#[test]
+fn clean_distribution_passes() {
+    execute(2, |c| {
+        let dm = two_part_mesh(c);
+        let stats = check_dist(c, &dm, CheckOpts::all()).expect("clean mesh");
+        assert!(stats.entities > 0);
+        assert!(stats.links > 0, "no cross-part links verified");
+    });
+}
+
+#[test]
+fn passes_after_migrate_and_ghosting() {
+    execute(2, |c| {
+        let mut dm = two_part_mesh(c);
+        let mut plans: FxHashMap<PartId, MigrationPlan> = FxHashMap::default();
+        if c.rank() == 0 {
+            let part = dm.part(0);
+            let mut plan = MigrationPlan::new();
+            for e in part.mesh.elems() {
+                let x = part.mesh.centroid(e);
+                if x[0] + x[1] > 0.7 {
+                    plan.send(e, 1);
+                }
+            }
+            plans.insert(0, plan);
+        }
+        migrate(c, &mut dm, &plans);
+        check_dist(c, &dm, CheckOpts::all()).expect("post-migrate mesh");
+
+        ghost_layers(c, &mut dm, Dim::Vertex, 1);
+        check_dist(c, &dm, CheckOpts::all()).expect("post-ghost mesh");
+    });
+}
+
+/// Corrupting a remote-copy list fails the check on *every* rank (the count
+/// is all-reduced), with a typed error naming the entity on the rank that
+/// observes the dangling link.
+#[test]
+fn corrupted_remote_fails_everywhere() {
+    execute(2, |c| {
+        let mut dm = two_part_mesh(c);
+        if c.rank() == 0 {
+            let part = dm.part_mut(0);
+            let victim = part.shared_entities()[0].0;
+            part.set_remotes(victim, vec![(1, 999_999)]);
+        }
+        let err = check_dist(c, &dm, CheckOpts::all()).expect_err("corruption undetected");
+        assert!(err.world_violations > 0);
+        if c.rank() == 1 {
+            assert!(
+                err.errors.iter().any(|e| matches!(
+                    e,
+                    CheckError::BadRemoteIndex { .. } | CheckError::AsymmetricRemote { .. }
+                )),
+                "rank 1 saw: {err}"
+            );
+        }
+    });
+}
+
+/// Two parts each owning a distinct vertex with the same gid: only the
+/// gid-uniqueness family catches this, via home-part hashing.
+#[test]
+fn duplicate_gid_detected_and_gateable() {
+    execute(2, |c| {
+        let mut part = Part::new(c.rank() as PartId, 2);
+        part.add_vertex([c.rank() as f64, 0.0, 0.0], GeomEnt(0), 7);
+        let dm = DistMesh {
+            map: PartMap::contiguous(2, 2),
+            parts: vec![part],
+        };
+        let err = check_dist(c, &dm, CheckOpts::all()).expect_err("duplicate gid undetected");
+        assert_eq!(err.world_violations, 1);
+        let home_rank = (7u64 % 2) as usize; // gid 7 hashes home to part 1
+        if c.rank() == home_rank {
+            assert!(
+                err.errors.iter().any(|e| matches!(
+                    e,
+                    CheckError::DuplicateGid { dim: 0, gid: 7, parts } if parts == &vec![0, 1]
+                )),
+                "home rank saw: {err}"
+            );
+        }
+        // With the gid family gated off, the same mesh passes.
+        check_dist(c, &dm, CheckOpts::all().gids(false)).expect("gated check still failed");
+    });
+}
+
+/// Owner-side ghost records and holder-side ghosts must mirror each other;
+/// dropping a holder's ghost record breaks the mirror: the source still lists
+/// the copy, so its probe finds a live entity with no matching ghost source.
+#[test]
+fn broken_ghost_record_detected() {
+    execute(2, |c| {
+        let mut dm = two_part_mesh(c);
+        ghost_layers(c, &mut dm, Dim::Vertex, 1);
+        check_dist(c, &dm, CheckOpts::all()).expect("clean ghosts");
+        let part = &mut dm.parts[0];
+        let victim = part.ghost_entities()[0];
+        part.remove_ghost_record(victim);
+        let err = check_dist(c, &dm, CheckOpts::all()).expect_err("dropped record undetected");
+        assert!(err.world_violations > 0);
+        assert!(
+            err.errors
+                .iter()
+                .any(|e| matches!(e, CheckError::GhostLinkBroken { .. })),
+            "rank {} saw: {err}",
+            c.rank()
+        );
+        // Gating the ghost family skips the broken mirror; the de-ghosted copy
+        // now also claims ownership of its gid, so gate that family too.
+        check_dist(c, &dm, CheckOpts::all().ghosts(false).gids(false))
+            .expect("gated ghosts still failed");
+    });
+}
+
+#[test]
+fn field_sync_coherence() {
+    execute(2, |c| {
+        let dm = two_part_mesh(c);
+        let template = Field::new("u", FieldShape::Linear, 1);
+        let mut fields = dist_field(&dm, &template);
+        for (slot, part) in dm.parts.iter().enumerate() {
+            for v in part.mesh.iter(Dim::Vertex) {
+                fields[slot].set_scalar(v, part.gid_of(v) as f64);
+            }
+        }
+        sync_owned_to_copies(c, &dm, &mut fields);
+        let compared = check_field_sync(c, &dm, &fields).expect("synced field coherent");
+        assert!(compared > 0);
+
+        // Perturb one non-owned copy (part 1's — the min-part rule makes
+        // part 0 own the whole boundary): the coherence check must fail.
+        if c.rank() == 1 {
+            let part = &dm.parts[0];
+            let (e, _) = part
+                .shared_entities()
+                .into_iter()
+                .find(|&(e, _)| e.dim() == Dim::Vertex && !part.is_owned(e))
+                .expect("no non-owned shared vertex found");
+            fields[0].set_scalar(e, -1.0);
+        }
+        let err = check_field_sync(c, &dm, &fields).expect_err("stale copy undetected");
+        assert!(err
+            .errors
+            .iter()
+            .all(|e| matches!(e, CheckError::FieldCopyMismatch { .. })));
+    });
+}

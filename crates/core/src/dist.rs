@@ -10,8 +10,8 @@
 
 use crate::part::{Part, NO_GID};
 use pumi_mesh::Mesh;
-use pumi_pcu::phased::Exchange;
-use pumi_pcu::{Comm, MsgReader, MsgWriter};
+use pumi_pcu::phased::{Exchange, ExchangeOpts};
+use pumi_pcu::{ChaosRng, Comm, MsgReader, MsgWriter, SchedMode};
 use pumi_util::{Dim, FxHashMap, MeshEnt, PartId};
 
 /// Assignment of parts to ranks.
@@ -149,15 +149,22 @@ pub struct PartExchange<'c, 'm> {
     comm: &'c Comm,
     map: &'m PartMap,
     bufs: FxHashMap<(PartId, PartId), MsgWriter>,
+    opts: ExchangeOpts,
 }
 
 impl<'c, 'm> PartExchange<'c, 'm> {
     /// Begin an exchange. All ranks must participate.
     pub fn new(comm: &'c Comm, map: &'m PartMap) -> Self {
+        PartExchange::with_opts(comm, map, ExchangeOpts::default())
+    }
+
+    /// Begin an exchange with explicit routing/scheduling options.
+    pub fn with_opts(comm: &'c Comm, map: &'m PartMap, opts: ExchangeOpts) -> Self {
         PartExchange {
             comm,
             map,
             bufs: FxHashMap::default(),
+            opts,
         }
     }
 
@@ -169,10 +176,24 @@ impl<'c, 'm> PartExchange<'c, 'm> {
             .or_insert_with(MsgWriter::pooled)
     }
 
-    /// Send everything; returns `(from_part, to_part, reader)` triples
-    /// sorted by (to, from) — deterministic processing order.
+    /// Send everything; returns `(from_part, to_part, reader)` triples.
+    /// Under the deterministic scheduler they come sorted by (to, from);
+    /// under chaos they come in a seeded permutation, so algorithms written
+    /// against this API must not depend on processing order.
     pub fn finish(self) -> Vec<(PartId, PartId, MsgReader)> {
-        let mut ex = Exchange::new(self.comm);
+        // The part-level permutation needs its own generator: the inner
+        // rank-level shuffle is undone by the canonical (to, from) sort
+        // below, which would otherwise hide order-dependence bugs in
+        // part-addressed algorithms.
+        let chaos = match self.opts.sched.unwrap_or_else(|| self.comm.sched()) {
+            SchedMode::Chaos(seed) => Some(ChaosRng::for_phase(
+                seed ^ 0x9A87_F00D,
+                self.comm.exchanges_completed(),
+                self.comm.rank(),
+            )),
+            SchedMode::Deterministic => None,
+        };
+        let mut ex = Exchange::with_opts(self.comm, self.opts);
         // Deterministic packing order.
         let mut items: Vec<((PartId, PartId), MsgWriter)> = self.bufs.into_iter().collect();
         items.sort_by_key(|&(k, _)| k);
@@ -207,6 +228,9 @@ impl<'c, 'm> PartExchange<'c, 'm> {
             }
         }
         result.sort_by_key(|&(f, t, _)| (t, f));
+        if let Some(mut rng) = chaos {
+            rng.shuffle(&mut result);
+        }
         result
     }
 }
@@ -380,7 +404,13 @@ mod tests {
     fn part_exchange_routes_by_part() {
         execute(2, |c| {
             let map = PartMap::contiguous(4, 2); // rank0: parts 0,1; rank1: 2,3
-            let mut ex = PartExchange::new(c, &map);
+                                                 // Pinned deterministic: the sortedness assertion below is about
+                                                 // the deterministic scheduler's contract.
+            let mut ex = PartExchange::with_opts(
+                c,
+                &map,
+                ExchangeOpts::default().with_sched(SchedMode::Deterministic),
+            );
             // Each local part sends its id+100 to every other part.
             for &from in map.parts_on(c.rank()) {
                 for to in 0..4u32 {
@@ -400,6 +430,42 @@ mod tests {
                 prev = (to, from);
             }
         });
+    }
+
+    /// Under chaos scheduling the part exchange delivers the same
+    /// (from, to, payload) set as the deterministic scheduler, in a seeded
+    /// permutation that actually differs from sorted order for some seed.
+    #[test]
+    fn part_exchange_chaos_same_set_any_order() {
+        use pumi_pcu::execute_chaos;
+        let mut permuted = false;
+        for seed in 1..=4u64 {
+            let rows = execute_chaos(2, seed, |c| {
+                let map = PartMap::contiguous(4, 2);
+                let mut ex = PartExchange::new(c, &map);
+                for &from in map.parts_on(c.rank()) {
+                    for to in 0..4u32 {
+                        if to != from {
+                            ex.to(from, to).put_u32(from + 100);
+                        }
+                    }
+                }
+                ex.finish()
+                    .into_iter()
+                    .map(|(from, to, mut r)| (from, to, r.get_u32()))
+                    .collect::<Vec<_>>()
+            });
+            for got in &rows {
+                assert_eq!(got.len(), 6);
+                let mut sorted = got.clone();
+                sorted.sort_by_key(|&(f, t, _)| (t, f));
+                permuted |= *got != sorted;
+                for &(from, _, v) in &sorted {
+                    assert_eq!(v, from + 100);
+                }
+            }
+        }
+        assert!(permuted, "chaos never permuted part-frame order");
     }
 
     /// Distribute a 4x4 triangle mesh to 4 parts on 2 ranks and check the

@@ -32,8 +32,10 @@ fn unpack_ghost_entities(
     ack: &mut Vec<Ack>,
 ) -> Result<(), MsgError> {
     while !r.is_done() {
-        let d = Dim::from_usize(r.try_get_u8()? as usize);
-        let topo = Topology::from_u8(r.try_get_u8()?);
+        let db = r.try_get_u8()?;
+        let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
+        let tb = r.try_get_u8()?;
+        let topo = Topology::try_from_u8(tb).ok_or(MsgError::bad_enum("topology", tb))?;
         let gid = r.try_get_u64()?;
         let class = GeomEnt(r.try_get_u32()?);
         let src_idx = r.try_get_u32()?;
@@ -48,14 +50,15 @@ fn unpack_ghost_entities(
             match part.find_gid(d, gid) {
                 Some(e) => (e, false),
                 None => {
-                    let verts: Vec<u32> = vgids
-                        .iter()
-                        .map(|&g| {
-                            part.find_gid(Dim::Vertex, g)
-                                .expect("ghost closure vertex missing")
-                                .index()
-                        })
-                        .collect();
+                    let mut verts = Vec::with_capacity(vgids.len());
+                    for &g in &vgids {
+                        let v = part.find_gid(Dim::Vertex, g).ok_or(MsgError::missing(
+                            "ghost closure vertex",
+                            0,
+                            g,
+                        ))?;
+                        verts.push(v.index());
+                    }
                     (part.add_entity(topo, &verts, class, gid), true)
                 }
             }
@@ -75,7 +78,8 @@ fn unpack_ghost_entities(
 /// Unpack ghost acknowledgements: owners record which parts hold copies.
 fn unpack_ghost_acks(r: &mut MsgReader, part: &mut Part, from: PartId) -> Result<(), MsgError> {
     while !r.is_done() {
-        let d = Dim::from_usize(r.try_get_u8()? as usize);
+        let db = r.try_get_u8()?;
+        let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
         let my_idx = r.try_get_u32()?;
         let their_idx = r.try_get_u32()?;
         part.add_ghosted_to(MeshEnt::new(d, my_idx), (from, their_idx));
@@ -86,7 +90,8 @@ fn unpack_ghost_acks(r: &mut MsgReader, part: &mut Part, from: PartId) -> Result
 /// Unpack `(dim, idx, tags...)` frames pushed by [`sync_ghost_tags`].
 fn unpack_tag_frames(r: &mut MsgReader, part: &mut Part) -> Result<(), MsgError> {
     while !r.is_done() {
-        let d = Dim::from_usize(r.try_get_u8()? as usize);
+        let db = r.try_get_u8()?;
+        let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
         let idx = r.try_get_u32()?;
         unpack_tags(part, MeshEnt::new(d, idx), r)?;
     }
@@ -210,7 +215,12 @@ pub fn ghost_layers(comm: &Comm, dm: &mut DistMesh, bridge: Dim, nlayers: usize)
         // 3. Receive: create missing entities as ghosts; reply with local
         //    indices so owners can track ghost holders.
         let mut replies: Vec<(PartId, PartId, Vec<Ack>)> = Vec::new();
-        for (from, to, mut r) in ex.finish() {
+        // Canonical unpack order: ghost creation order (and thus local
+        // indices, and which sender a doubly-ghosted entity records as its
+        // source) must not depend on the chaos scheduler's arrival order.
+        let mut frames = ex.finish();
+        frames.sort_by_key(|&(from, to, _)| (to, from));
+        for (from, to, mut r) in frames {
             let slot = dm.map.slot_of(to);
             let mut ack: Vec<Ack> = Vec::new();
             unpack_ghost_entities(
@@ -237,7 +247,9 @@ pub fn ghost_layers(comm: &Comm, dm: &mut DistMesh, bridge: Dim, nlayers: usize)
                 w.put_u32(my_idx);
             }
         }
-        for (from, to, mut r) in ex.finish() {
+        let mut frames = ex.finish();
+        frames.sort_by_key(|&(from, to, _)| (to, from));
+        for (from, to, mut r) in frames {
             let slot = dm.map.slot_of(to);
             unpack_ghost_acks(&mut r, &mut dm.parts[slot], from)
                 .unwrap_or_else(|e| panic!("corrupt ghost ack frame {from}->{to}: {e}"));
@@ -295,7 +307,10 @@ pub fn sync_ghost_tags(comm: &Comm, dm: &mut DistMesh) {
             }
         }
     }
-    for (from, to, mut r) in ex.finish() {
+    // Sorted so first-declaration tag-id assignment stays canonical.
+    let mut frames = ex.finish();
+    frames.sort_by_key(|&(from, to, _)| (to, from));
+    for (from, to, mut r) in frames {
         let slot = dm.map.slot_of(to);
         unpack_tag_frames(&mut r, &mut dm.parts[slot])
             .unwrap_or_else(|e| panic!("corrupt ghost tag frame {from}->{to}: {e}"));

@@ -12,8 +12,13 @@
 //!    residence set.
 //! 2. **Entities** — each moved element's closure is packed bottom-up
 //!    (vertices first) with global ids, classification, coordinates, the
-//!    new residence set, and tag data; receivers create exactly the
-//!    entities they lack (matched by global id).
+//!    new residence set, and tag data. Shared entities are sent only by
+//!    their *owner* (which knows the full new residence set from phase 1),
+//!    so no destination receives duplicate copies — but a frame is then no
+//!    longer self-contained: an edge from one peer may reference a vertex
+//!    carried only by another peer's frame. Receivers therefore decode
+//!    **all** incoming frames first, then create entities dimension-by-
+//!    dimension (two-pass unpack), matching by global id.
 //! 3. **Stitch** — every part holding a shared entity announces its local
 //!    index to the other residence parts; remote-copy lists are rebuilt and
 //!    ownership (minimum-part rule) follows.
@@ -87,25 +92,60 @@ pub(crate) fn pack_tags(part: &Part, e: MeshEnt, w: &mut MsgWriter) {
     }
 }
 
-pub(crate) fn unpack_tags(part: &mut Part, e: MeshEnt, r: &mut MsgReader) -> Result<(), MsgError> {
+/// One decoded tag attachment, not yet applied to any entity.
+#[derive(Debug)]
+pub(crate) struct TagRecord {
+    /// Tag name bytes (validated UTF-8 at decode time).
+    name: bytes::Bytes,
+    kind: TagKind,
+    len: usize,
+    data: TagData,
+}
+
+/// Decode the tag block that follows an entity record. Every malformed
+/// input — non-UTF-8 name, unknown kind byte, undecodable value — surfaces
+/// as a typed [`MsgError`] instead of a panic.
+pub(crate) fn decode_tags(r: &mut MsgReader) -> Result<Vec<TagRecord>, MsgError> {
     let n = r.try_get_u32()?;
+    let mut out = Vec::with_capacity(n as usize);
     for _ in 0..n {
         // Zero-copy sub-slices of the incoming message: tag names and
         // payloads are borrowed, not copied into fresh Vecs.
-        let name_bytes = r.try_get_bytes_shared()?;
-        let name = std::str::from_utf8(&name_bytes).expect("tag name utf8");
+        let name = r.try_get_bytes_shared()?;
+        if std::str::from_utf8(&name).is_err() {
+            return Err(MsgError::corrupt("tag name (not UTF-8)"));
+        }
         let kind = match r.try_get_u8()? {
             0 => TagKind::Int,
             1 => TagKind::Double,
-            _ => TagKind::Bytes,
+            2 => TagKind::Bytes,
+            b => return Err(MsgError::bad_enum("tag kind", b)),
         };
         let len = r.try_get_u32()? as usize;
         let buf = r.try_get_bytes_shared()?;
         let mut pos = 0;
-        let data = TagData::decode(&buf, &mut pos).expect("tag data");
-        let tid = part.mesh.tags_mut().declare(name, kind, len);
-        part.mesh.tags_mut().set(tid, e, data);
+        let data = TagData::decode(&buf, &mut pos).ok_or(MsgError::corrupt("tag value"))?;
+        out.push(TagRecord {
+            name,
+            kind,
+            len,
+            data,
+        });
     }
+    Ok(out)
+}
+
+pub(crate) fn apply_tags(part: &mut Part, e: MeshEnt, tags: Vec<TagRecord>) {
+    for t in tags {
+        let name = std::str::from_utf8(&t.name).expect("validated at decode");
+        let tid = part.mesh.tags_mut().declare(name, t.kind, t.len);
+        part.mesh.tags_mut().set(tid, e, t.data);
+    }
+}
+
+pub(crate) fn unpack_tags(part: &mut Part, e: MeshEnt, r: &mut MsgReader) -> Result<(), MsgError> {
+    let tags = decode_tags(r)?;
+    apply_tags(part, e, tags);
     Ok(())
 }
 
@@ -118,7 +158,8 @@ fn unpack_residence(
     res: &mut FxHashMap<MeshEnt, Vec<PartId>>,
 ) -> Result<(), MsgError> {
     while !r.is_done() {
-        let d = Dim::from_usize(r.try_get_u8()? as usize);
+        let db = r.try_get_u8()?;
+        let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
         let gid = r.try_get_u64()?;
         let parts = r.try_get_u32_slice()?;
         if let Some(e) = part.find_gid(d, gid) {
@@ -131,46 +172,86 @@ fn unpack_residence(
     Ok(())
 }
 
-/// Unpack one phase-2 entity frame: create the entities this part lacks
-/// (bottom-up order is the sender's contract) and record their residence.
-fn unpack_entities(
-    r: &mut MsgReader,
-    parts: &mut [Part],
-    slot: usize,
-    res_out: &mut FxHashMap<MeshEnt, Vec<PartId>>,
-) -> Result<(), MsgError> {
+/// One decoded phase-2 entity record, not yet applied to any part.
+#[derive(Debug)]
+struct EntRecord {
+    dim: Dim,
+    topo: Topology,
+    gid: GlobalId,
+    class: GeomEnt,
+    res: Vec<PartId>,
+    /// Vertex records only; zeroed for higher dimensions.
+    coords: [f64; 3],
+    /// Higher-dimension records only: global ids of the defining vertices.
+    vgids: Vec<GlobalId>,
+    tags: Vec<TagRecord>,
+}
+
+/// Decode one phase-2 entity frame without touching any part. Corrupt
+/// dimension/topology bytes surface as [`MsgError::BadEnum`].
+fn decode_entity_frame(r: &mut MsgReader) -> Result<Vec<EntRecord>, MsgError> {
+    let mut out = Vec::new();
     while !r.is_done() {
-        let d = Dim::from_usize(r.try_get_u8()? as usize);
-        let topo = Topology::from_u8(r.try_get_u8()?);
+        let db = r.try_get_u8()?;
+        let dim = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
+        let tb = r.try_get_u8()?;
+        let topo = Topology::try_from_u8(tb).ok_or(MsgError::bad_enum("topology", tb))?;
         let gid = r.try_get_u64()?;
         let class = GeomEnt(r.try_get_u32()?);
         let res: Vec<PartId> = r.try_get_u32_slice()?;
-        let part = &mut parts[slot];
-        let e = if d == Dim::Vertex {
+        let (coords, vgids) = if dim == Dim::Vertex {
             let x = [r.try_get_f64()?, r.try_get_f64()?, r.try_get_f64()?];
-            match part.find_gid(d, gid) {
-                Some(e) => e,
-                None => part.add_vertex(x, class, gid),
-            }
+            (x, Vec::new())
         } else {
-            let vgids = r.try_get_u64_slice()?;
-            match part.find_gid(d, gid) {
-                Some(e) => e,
-                None => {
-                    let verts: Vec<u32> = vgids
-                        .iter()
-                        .map(|&g| {
-                            part.find_gid(Dim::Vertex, g)
-                                .expect("closure vertex not yet created")
-                                .index()
-                        })
-                        .collect();
-                    part.add_entity(topo, &verts, class, gid)
+            ([0.0; 3], r.try_get_u64_slice()?)
+        };
+        let tags = decode_tags(r)?;
+        out.push(EntRecord {
+            dim,
+            topo,
+            gid,
+            class,
+            res,
+            coords,
+            vgids,
+            tags,
+        });
+    }
+    Ok(out)
+}
+
+/// Second pass of the phase-2 unpack: create the entities this part lacks
+/// and record their residence. `records` holds the concatenation of *all*
+/// frames addressed to this part; a stable sort by dimension guarantees
+/// every closure vertex exists before any higher-dimension record that
+/// references it, no matter which peer's frame carried the vertex. Within
+/// a dimension the (frame, position) order is preserved, so creation order
+/// — and thus local indices — stays canonical under the chaos scheduler.
+fn apply_entity_records(
+    part: &mut Part,
+    mut records: Vec<EntRecord>,
+    res_out: &mut FxHashMap<MeshEnt, Vec<PartId>>,
+) -> Result<(), MsgError> {
+    records.sort_by_key(|rec| rec.dim.as_usize());
+    for rec in records {
+        let e = match part.find_gid(rec.dim, rec.gid) {
+            Some(e) => e,
+            None if rec.dim == Dim::Vertex => part.add_vertex(rec.coords, rec.class, rec.gid),
+            None => {
+                let mut verts = Vec::with_capacity(rec.vgids.len());
+                for &g in &rec.vgids {
+                    let v = part.find_gid(Dim::Vertex, g).ok_or(MsgError::missing(
+                        "closure vertex",
+                        0,
+                        g,
+                    ))?;
+                    verts.push(v.index());
                 }
+                part.add_entity(rec.topo, &verts, rec.class, rec.gid)
             }
         };
-        unpack_tags(&mut parts[slot], e, r)?;
-        res_out.insert(e, res);
+        apply_tags(part, e, rec.tags);
+        res_out.insert(e, rec.res);
     }
     Ok(())
 }
@@ -183,12 +264,13 @@ fn unpack_stitch(
     out: &mut FxHashMap<MeshEnt, Vec<(PartId, u32)>>,
 ) -> Result<(), MsgError> {
     while !r.is_done() {
-        let d = Dim::from_usize(r.try_get_u8()? as usize);
+        let db = r.try_get_u8()?;
+        let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
         let gid = r.try_get_u64()?;
         let ridx = r.try_get_u32()?;
         let e = part
             .find_gid(d, gid)
-            .expect("stitch for entity this part does not hold");
+            .ok_or(MsgError::missing("stitch target", db, gid))?;
         out.entry(e).or_default().push((from, ridx));
     }
     Ok(())
@@ -295,8 +377,31 @@ pub fn migrate(
             }
             elements_moved += 1;
             for sub in part.mesh.closure(elem) {
+                if part.is_shared(sub) && !part.is_owned(sub) {
+                    continue; // its owner packs it (below), avoiding duplicates
+                }
                 if sent_to.insert((to, sub)) {
                     send_sets.entry(to).or_default()[sub.dim().as_usize()].push(sub);
+                }
+            }
+        }
+        // Owner delegation: a shared entity is packed only by its owner,
+        // which learned the full new residence set in phase 1 — including
+        // destinations fed by *other* parts' moved elements. Send one copy
+        // to each new residence part that does not already hold one.
+        // Sorted by (dim, gid): frame bytes must not depend on hash-map
+        // iteration order, which differs across chaos schedules.
+        let mut owned_shared: Vec<(MeshEnt, &[PartId])> = new_res[slot]
+            .iter()
+            .filter(|&(&e, _)| part.is_shared(e) && part.is_owned(e))
+            .map(|(&e, res)| (e, res.as_slice()))
+            .collect();
+        owned_shared.sort_by_key(|&(e, _)| (e.dim().as_usize(), part.gid_of(e)));
+        for (e, res) in owned_shared {
+            for &q in res {
+                let holds = q == part.id || part.remotes_of(e).iter().any(|&(p, _)| p == q);
+                if !holds && sent_to.insert((q, e)) {
+                    send_sets.entry(q).or_default()[e.dim().as_usize()].push(e);
                 }
             }
         }
@@ -332,12 +437,23 @@ pub fn migrate(
             }
         }
     }
-    // Receive: create missing entities; remember their residence sets.
-    let received = ex.finish();
-    for (from, to, mut r) in received {
+    // Receive in two passes: decode *all* frames first — a closure vertex
+    // may arrive only in another peer's frame under owner delegation — then
+    // create missing entities bottom-up and record their residence sets.
+    let mut frames: Vec<Vec<(PartId, Vec<EntRecord>)>> = (0..nlocal).map(|_| Vec::new()).collect();
+    for (from, to, mut r) in ex.finish() {
         let slot = dm.map.slot_of(to);
-        unpack_entities(&mut r, &mut dm.parts, slot, &mut new_res[slot])
+        let recs = decode_entity_frame(&mut r)
             .unwrap_or_else(|e| panic!("corrupt entity frame {from}->{to}: {e}"));
+        frames[slot].push((from, recs));
+    }
+    for (slot, mut fs) in frames.into_iter().enumerate() {
+        // Canonical application order regardless of arrival permutation.
+        fs.sort_by_key(|&(from, _)| from);
+        let records: Vec<EntRecord> = fs.into_iter().flat_map(|(_, recs)| recs).collect();
+        let pid = dm.parts[slot].id;
+        apply_entity_records(&mut dm.parts[slot], records, &mut new_res[slot])
+            .unwrap_or_else(|e| panic!("incoherent entity frames for part {pid}: {e}"));
     }
     drop(phase2);
 
@@ -347,13 +463,15 @@ pub fn migrate(
     let phase3 = pumi_obs::span!("migrate.stitch");
     let mut ex = PartExchange::new(comm, &dm.map);
     for (slot, part) in dm.parts.iter().enumerate() {
-        for (&e, res) in &new_res[slot] {
-            if !res.contains(&part.id) {
-                continue; // leaving this part
-            }
-            if res.len() < 2 {
-                continue;
-            }
+        // Sorted by (dim, gid): frame bytes must not depend on hash-map
+        // iteration order, which phase 2's arrivals perturb under chaos.
+        let mut staying: Vec<(MeshEnt, &[PartId])> = new_res[slot]
+            .iter()
+            .filter(|&(_, res)| res.contains(&part.id) && res.len() >= 2)
+            .map(|(&e, res)| (e, res.as_slice()))
+            .collect();
+        staying.sort_by_key(|&(e, _)| (e.dim().as_usize(), part.gid_of(e)));
+        for (e, res) in staying {
             for &q in res {
                 if q != part.id {
                     let w = ex.to(part.id, q);
@@ -602,6 +720,164 @@ mod tests {
                 p.mesh.assert_valid();
             }
         });
+    }
+
+    /// Append one phase-2 vertex record to a frame under construction.
+    fn vertex_rec(w: &mut MsgWriter, gid: u64, x: f64) {
+        w.put_u8(0); // dimension
+        w.put_u8(Topology::Vertex.to_u8());
+        w.put_u64(gid);
+        w.put_u32(0); // classification
+        w.put_u32_slice(&[0]); // residence: the receiving part
+        w.put_f64(x);
+        w.put_f64(0.0);
+        w.put_f64(0.0);
+        w.put_u32(0); // no tags
+    }
+
+    /// Append one phase-2 edge record referencing vertices by gid.
+    fn edge_rec(w: &mut MsgWriter, gid: u64, vgids: &[u64]) {
+        w.put_u8(1);
+        w.put_u8(Topology::Edge.to_u8());
+        w.put_u64(gid);
+        w.put_u32(0);
+        w.put_u32_slice(&[0]);
+        w.put_u64_slice(vgids);
+        w.put_u32(0);
+    }
+
+    /// Under owner delegation a frame is not self-contained: the edge from
+    /// part 5 references vertex gid 2, which travels only in the frame from
+    /// the *higher-ranked* part 9. The old one-pass unpack processed the
+    /// part-5 frame first and panicked ("closure vertex not yet created");
+    /// the two-pass unpack must create all vertices before any edge.
+    #[test]
+    fn cross_frame_closure_vertex_resolves() {
+        let mut low = MsgWriter::new();
+        vertex_rec(&mut low, 1, 0.0);
+        edge_rec(&mut low, 100, &[1, 2]);
+        let mut high = MsgWriter::new();
+        vertex_rec(&mut high, 2, 1.0);
+
+        let mut frames = vec![
+            (
+                5 as PartId,
+                decode_entity_frame(&mut MsgReader::new(low.finish())).unwrap(),
+            ),
+            (
+                9,
+                decode_entity_frame(&mut MsgReader::new(high.finish())).unwrap(),
+            ),
+        ];
+        frames.sort_by_key(|&(from, _)| from); // part 5's frame applies first
+        let records: Vec<EntRecord> = frames.into_iter().flat_map(|(_, r)| r).collect();
+
+        let mut part = Part::new(0, 2);
+        let mut res = FxHashMap::default();
+        apply_entity_records(&mut part, records, &mut res).expect("two-pass unpack");
+        let e = part.find_gid(Dim::Edge, 100).expect("edge created");
+        let mut got: Vec<u64> = part
+            .mesh
+            .verts_of(e)
+            .iter()
+            .map(|&v| part.gid_of(MeshEnt::vertex(v)))
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+    }
+
+    /// A closure vertex genuinely absent from every frame is a typed
+    /// [`MsgError::Missing`] naming the gid, not a panic.
+    #[test]
+    fn missing_closure_vertex_is_typed_error() {
+        let mut w = MsgWriter::new();
+        edge_rec(&mut w, 100, &[7, 77]);
+        let recs = decode_entity_frame(&mut MsgReader::new(w.finish())).unwrap();
+        let mut part = Part::new(0, 2);
+        let err = apply_entity_records(&mut part, recs, &mut FxHashMap::default()).unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains("closure vertex") && msg.contains("gid 7)"),
+            "{msg}"
+        );
+    }
+
+    /// Flipped dimension/topology bytes decode to [`MsgError::BadEnum`].
+    #[test]
+    fn corrupt_enum_bytes_are_typed_errors() {
+        let mut w = MsgWriter::new();
+        w.put_u8(9); // no such dimension
+        let err = decode_entity_frame(&mut MsgReader::new(w.finish())).unwrap_err();
+        assert!(err.to_string().contains("dimension code 0x09"), "{err}");
+
+        let mut w = MsgWriter::new();
+        w.put_u8(1);
+        w.put_u8(0xFE); // no such topology
+        let err = decode_entity_frame(&mut MsgReader::new(w.finish())).unwrap_err();
+        assert!(err.to_string().contains("topology code 0xfe"), "{err}");
+    }
+
+    /// The same migration under two chaos seeds (and the default schedule)
+    /// yields bitwise-identical partitions: gids, remote-copy lists, and
+    /// local indices all match.
+    #[test]
+    fn migrate_identical_across_chaos_seeds() {
+        type Fingerprint = Vec<(u8, u64, Vec<(PartId, u32)>)>;
+        let run = |seed: Option<u64>| -> Vec<Fingerprint> {
+            let body = |c: &Comm| -> Fingerprint {
+                let serial = tri_rect(4, 4, 1.0, 1.0);
+                let d = serial.elem_dim_t();
+                let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+                for e in serial.iter(d) {
+                    elem_part[e.idx()] = if serial.centroid(e)[1] < 0.5 { 0 } else { 1 };
+                }
+                let map = PartMap::contiguous(2, 2);
+                let mut dm = distribute(c, map, &serial, &elem_part);
+                let mut plans: FxHashMap<PartId, MigrationPlan> = FxHashMap::default();
+                if c.rank() == 0 {
+                    let part = dm.part(0);
+                    let mut plan = MigrationPlan::new();
+                    for e in part.mesh.elems() {
+                        let touches = part
+                            .mesh
+                            .closure(e)
+                            .iter()
+                            .any(|&s| s.dim() != d && part.is_shared(s));
+                        if touches {
+                            plan.send(e, 1);
+                        }
+                    }
+                    plans.insert(0, plan);
+                }
+                migrate(c, &mut dm, &plans);
+                let mut fp = Fingerprint::new();
+                for part in &dm.parts {
+                    for dd in Dim::ALL {
+                        let mut rows: Fingerprint = part
+                            .mesh
+                            .iter(dd)
+                            .map(|e| {
+                                (
+                                    dd.as_usize() as u8,
+                                    part.gid_of(e),
+                                    part.remotes_of(e).to_vec(),
+                                )
+                            })
+                            .collect();
+                        rows.sort();
+                        fp.extend(rows);
+                    }
+                }
+                fp
+            };
+            match seed {
+                None => execute(2, body),
+                Some(s) => pumi_pcu::execute_chaos(2, s, body),
+            }
+        };
+        let base = run(None);
+        assert_eq!(base, run(Some(1)));
+        assert_eq!(base, run(Some(7)));
     }
 
     /// Tags travel with migrated entities.

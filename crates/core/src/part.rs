@@ -231,11 +231,12 @@ impl Part {
         self.ghosts.get(&e).copied()
     }
 
-    /// Owner side: record that `to` holds a ghost copy of `e`.
+    /// Owner side: record that `to` holds a ghost copy of `e`. The holder
+    /// list stays sorted so its order is independent of ack arrival order.
     pub fn add_ghosted_to(&mut self, e: MeshEnt, to: (PartId, u32)) {
         let v = self.ghosted_to.entry(e).or_default();
-        if !v.contains(&to) {
-            v.push(to);
+        if let Err(at) = v.binary_search(&to) {
+            v.insert(at, to);
         }
     }
 

@@ -18,7 +18,8 @@ fn unpack_node_values(
     mut apply: impl FnMut(MeshEnt, Vec<f64>),
 ) -> Result<(), MsgError> {
     while !r.is_done() {
-        let d = Dim::from_usize(r.try_get_u8()? as usize);
+        let db = r.try_get_u8()?;
+        let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
         let idx = r.try_get_u32()?;
         let v = r.try_get_f64_slice()?;
         apply(MeshEnt::new(d, idx), v);
@@ -97,7 +98,11 @@ pub fn accumulate(comm: &Comm, dm: &DistMesh, fields: &mut DistField) {
             w.put_f64_slice(v);
         }
     }
-    for (from, to, mut r) in ex.finish() {
+    // Sum in canonical (to, from) order: floating-point addition is not
+    // associative, so the result must not depend on chaos arrival order.
+    let mut frames = ex.finish();
+    frames.sort_by_key(|&(from, to, _)| (to, from));
+    for (from, to, mut r) in frames {
         let slot = dm.map.slot_of(to);
         unpack_node_values(&mut r, |e, v| {
             let mut cur = fields[slot]

@@ -39,11 +39,18 @@ use std::path::Path;
 pub struct ReadOpts {
     /// Run `pumi_core::verify` on the restored mesh (default `true`).
     pub verify: bool,
+    /// Also run the typed `pumi_check::check_dist` invariant checker on the
+    /// restored mesh (default `false`); violations surface as
+    /// [`IoError::Verify`].
+    pub check: bool,
 }
 
 impl Default for ReadOpts {
     fn default() -> Self {
-        ReadOpts { verify: true }
+        ReadOpts {
+            verify: true,
+            check: false,
+        }
     }
 }
 
@@ -113,14 +120,9 @@ fn decode_entities(
             } else {
                 None
             };
-            if topo_code > 7 {
-                return Err(IoError::Decode {
-                    part: fpart,
-                    section: sec,
-                    detail: format!("bad topology code {topo_code}"),
-                });
-            }
-            let topo = Topology::from_u8(topo_code);
+            let topo = Topology::try_from_u8(topo_code)
+                .ok_or(MsgError::bad_enum("topology", topo_code))
+                .map_err(&e)?;
             if topo.dim().as_usize() != d {
                 return Err(IoError::Decode {
                     part: fpart,
@@ -179,18 +181,14 @@ fn decode_remotes(
     let n = r.try_get_u32().map_err(&e)?;
     let mut rows = Vec::with_capacity(n as usize);
     for _ in 0..n {
-        let d = r.try_get_u8().map_err(&e)? as usize;
-        if d > 3 {
-            return Err(IoError::Decode {
-                part: fpart,
-                section: Section::Remotes,
-                detail: format!("bad dimension {d}"),
-            });
-        }
+        let db = r.try_get_u8().map_err(&e)?;
+        let d = Dim::try_from_u8(db)
+            .ok_or(MsgError::bad_enum("dimension", db))
+            .map_err(&e)?;
         let gid = r.try_get_u64().map_err(&e)?;
         let res = r.try_get_u32_slice().map_err(&e)?;
         let res: Vec<PartId> = res.into_iter().map(remap).collect();
-        rows.push((Dim::from_usize(d), gid, res));
+        rows.push((d, gid, res));
     }
     Ok(rows)
 }
@@ -216,35 +214,25 @@ fn decode_tags(
             0 => TagKind::Int,
             1 => TagKind::Double,
             2 => TagKind::Bytes,
-            k => {
-                return Err(IoError::Decode {
-                    part: fpart,
-                    section: sec,
-                    detail: format!("bad tag kind {k}"),
-                })
-            }
+            k => return Err(e(MsgError::bad_enum("tag kind", k))),
         };
         let len = r.try_get_u32().map_err(&e)? as usize;
         let nrows = r.try_get_u32().map_err(&e)?;
         let tid = part.mesh.tags_mut().declare(&name, kind, len);
         for _ in 0..nrows {
-            let d = r.try_get_u8().map_err(&e)? as usize;
+            let db = r.try_get_u8().map_err(&e)?;
+            let d = Dim::try_from_u8(db)
+                .ok_or(MsgError::bad_enum("dimension", db))
+                .map_err(&e)?;
             let gid = r.try_get_u64().map_err(&e)?;
             let buf = r.try_get_bytes().map_err(&e)?;
-            if d > 3 {
-                return Err(IoError::Decode {
-                    part: fpart,
-                    section: sec,
-                    detail: format!("bad dimension {d}"),
-                });
-            }
             let mut pos = 0;
             let data = TagData::decode(&buf, &mut pos).ok_or_else(|| IoError::Decode {
                 part: fpart,
                 section: sec,
                 detail: format!("undecodable value for tag '{name}'"),
             })?;
-            match part.find_gid(Dim::from_usize(d), gid) {
+            match part.find_gid(d, gid) {
                 Some(ent) => part.mesh.tags_mut().set(tid, ent, data),
                 // Ghost entities are dropped on N≠M restores; their rows
                 // are skipped with them.
@@ -290,17 +278,13 @@ fn decode_fields(
             ncomp,
         );
         for _ in 0..nrows {
-            let d = r.try_get_u8().map_err(&e)? as usize;
+            let db = r.try_get_u8().map_err(&e)?;
+            let d = Dim::try_from_u8(db)
+                .ok_or(MsgError::bad_enum("dimension", db))
+                .map_err(&e)?;
             let gid = r.try_get_u64().map_err(&e)?;
             let vals = r.try_get_f64_slice().map_err(&e)?;
-            if d > 3 {
-                return Err(IoError::Decode {
-                    part: fpart,
-                    section: sec,
-                    detail: format!("bad dimension {d}"),
-                });
-            }
-            match part.find_gid(Dim::from_usize(d), gid) {
+            match part.find_gid(d, gid) {
                 Some(ent) => part.mesh.tags_mut().set(tid, ent, TagData::Dbls(vals)),
                 None if skip_ghosts => {}
                 None => {
@@ -523,14 +507,18 @@ pub fn read_checkpoint_with(comm: &Comm, dir: &Path, opts: ReadOpts) -> Result<R
     }
     let mut incoming: FxHashMap<PartId, FxHashMap<MeshEnt, Vec<(PartId, u32)>>> =
         FxHashMap::default();
-    for (from, to, mut r) in ex.finish() {
+    // Remote-copy lists must not depend on frame arrival order.
+    let mut frames = ex.finish();
+    frames.sort_by_key(|&(from, to, _)| (to, from));
+    for (from, to, mut r) in frames {
         let slot = incoming.entry(to).or_default();
         while !r.is_done() {
             let row = || -> Result<(Dim, GlobalId, u32), MsgError> {
-                let d = r.try_get_u8()? as usize;
+                let db = r.try_get_u8()?;
+                let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
                 let gid = r.try_get_u64()?;
                 let idx = r.try_get_u32()?;
-                Ok((Dim::from_usize(d.min(3)), gid, idx))
+                Ok((d, gid, idx))
             }();
             let Ok((d, gid, ridx)) = row else { break };
             if let Some(local) = dm.part(to).find_gid(d, gid) {
@@ -558,13 +546,16 @@ pub fn read_checkpoint_with(comm: &Comm, dir: &Path, opts: ReadOpts) -> Result<R
         }
         // (owner part → holder part, dim, holder idx, owner idx)
         let mut replies: Vec<(PartId, PartId, u8, u32, u32)> = Vec::new();
-        for (from, to, mut r) in ex.finish() {
+        let mut frames = ex.finish();
+        frames.sort_by_key(|&(from, to, _)| (to, from));
+        for (from, to, mut r) in frames {
             while !r.is_done() {
                 let row = || -> Result<(Dim, GlobalId, u32), MsgError> {
-                    let d = r.try_get_u8()? as usize;
+                    let db = r.try_get_u8()?;
+                    let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
                     let gid = r.try_get_u64()?;
                     let idx = r.try_get_u32()?;
-                    Ok((Dim::from_usize(d.min(3)), gid, idx))
+                    Ok((d, gid, idx))
                 }();
                 let Ok((d, gid, holder_idx)) = row else { break };
                 let part = dm.part_mut(to);
@@ -581,15 +572,19 @@ pub fn read_checkpoint_with(comm: &Comm, dir: &Path, opts: ReadOpts) -> Result<R
             w.put_u32(holder_idx);
             w.put_u32(owner_idx);
         }
-        for (from, to, mut r) in ex.finish() {
+        let mut frames = ex.finish();
+        frames.sort_by_key(|&(from, to, _)| (to, from));
+        for (from, to, mut r) in frames {
             while !r.is_done() {
-                let row = || -> Result<(u8, u32, u32), MsgError> {
-                    Ok((r.try_get_u8()?, r.try_get_u32()?, r.try_get_u32()?))
+                let row = || -> Result<(Dim, u32, u32), MsgError> {
+                    let db = r.try_get_u8()?;
+                    let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
+                    Ok((d, r.try_get_u32()?, r.try_get_u32()?))
                 }();
                 let Ok((d, holder_idx, owner_idx)) = row else {
                     break;
                 };
-                let e = MeshEnt::new(Dim::from_usize((d as usize).min(3)), holder_idx);
+                let e = MeshEnt::new(d, holder_idx);
                 dm.part_mut(to).set_ghost(e, (from, owner_idx));
             }
         }
@@ -676,6 +671,13 @@ pub fn read_checkpoint_with(comm: &Comm, dir: &Path, opts: ReadOpts) -> Result<R
         let total = comm.allreduce_sum_u64(errs.len() as u64);
         if total > 0 {
             return Err(IoError::Verify { errors: errs });
+        }
+    }
+    if opts.check {
+        if let Err(fail) = pumi_check::check_dist(comm, &dm, pumi_check::CheckOpts::all()) {
+            return Err(IoError::Verify {
+                errors: fail.errors.iter().map(|e| e.to_string()).collect(),
+            });
         }
     }
 

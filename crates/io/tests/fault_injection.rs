@@ -68,6 +68,58 @@ fn flipped_payload_byte_names_part_and_section() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// A byte that survives the CRC but decodes to an out-of-range enum (here a
+/// topology code) must surface as a typed `Decode` error, not a panic: the
+/// section checksum is repaired after the flip so only the enum guard can
+/// catch it.
+#[test]
+fn flipped_enum_byte_is_typed_decode_error() {
+    let dir = write_small("enum");
+    let path = part_file_path(&dir, 1);
+    let mut data = std::fs::read(&path).expect("read part file");
+    let header = parse_part_header(1, &data).expect("intact header");
+    let i = header
+        .sections
+        .iter()
+        .position(|e| e.section == Section::Entities)
+        .expect("entities section");
+    let entry = header.sections[i];
+    // First vertex record: [n u32][gid u64][topo u8]... — flip the topology
+    // code to an undefined value.
+    let topo_at = entry.offset as usize + 12;
+    data[topo_at] = 0xFF;
+    // Re-seal both checksums so the corruption reaches the decoder.
+    let payload_crc = pumi_io::crc::crc32(&data[entry.offset as usize..][..entry.len as usize]);
+    let table_at = 28 + 21 * i + 17; // crc32 field of table row i
+    data[table_at..table_at + 4].copy_from_slice(&payload_crc.to_le_bytes());
+    let table_end = 28 + 21 * header.sections.len();
+    let hcrc = pumi_io::crc::crc32(&data[..table_end]);
+    data[table_end..table_end + 4].copy_from_slice(&hcrc.to_le_bytes());
+    std::fs::write(&path, &data).expect("write corrupted file");
+
+    let errs = read_errors(&dir);
+    let detail = errs
+        .iter()
+        .find_map(|e| match e {
+            IoError::Decode {
+                part: 1,
+                section: Section::Entities,
+                detail,
+            } => Some(detail.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("expected Decode(part 1, entities), got: {errs:?}"));
+    assert!(
+        detail.contains("topology"),
+        "detail names the enum: {detail}"
+    );
+    assert!(
+        errs.iter().any(|e| matches!(e, IoError::PeerFailed { .. })),
+        "peer should report PeerFailed, got: {errs:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn truncated_part_file_is_typed() {
     let dir = write_small("trunc");

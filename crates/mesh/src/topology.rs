@@ -118,17 +118,23 @@ impl Topology {
     /// # Panics
     /// Panics on an unknown code (corrupted message).
     pub fn from_u8(x: u8) -> Topology {
+        Topology::try_from_u8(x).unwrap_or_else(|| panic!("unknown topology code {x}"))
+    }
+
+    /// Decode from a byte, rejecting unknown codes. Deserialization layers
+    /// use this so a corrupt frame surfaces as a typed error, not a panic.
+    pub fn try_from_u8(x: u8) -> Option<Topology> {
         use Topology::*;
         match x {
-            0 => Vertex,
-            1 => Edge,
-            2 => Triangle,
-            3 => Quad,
-            4 => Tet,
-            5 => Hex,
-            6 => Prism,
-            7 => Pyramid,
-            _ => panic!("unknown topology code {x}"),
+            0 => Some(Vertex),
+            1 => Some(Edge),
+            2 => Some(Triangle),
+            3 => Some(Quad),
+            4 => Some(Tet),
+            5 => Some(Hex),
+            6 => Some(Prism),
+            7 => Some(Pyramid),
+            _ => None,
         }
     }
 }
@@ -152,7 +158,10 @@ mod tests {
     fn codes_roundtrip() {
         for t in ALL {
             assert_eq!(Topology::from_u8(t.to_u8()), t);
+            assert_eq!(Topology::try_from_u8(t.to_u8()), Some(t));
         }
+        assert_eq!(Topology::try_from_u8(8), None);
+        assert_eq!(Topology::try_from_u8(0xFF), None);
     }
 
     #[test]

@@ -69,6 +69,23 @@ pub struct TrafficRow {
     pub totals: LinkTotals,
 }
 
+/// One row of drained frame digests: an order-free fingerprint of the
+/// logical frames a phase received over one link class. Two runs that
+/// deliver the same frames — in any order — produce identical rows; a run
+/// that drops, duplicates, or corrupts a frame does not. The determinism
+/// suite compares these across chaos seeds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DigestRow {
+    /// Span path of the receiver (`""` outside any span).
+    pub phase: String,
+    /// Link classification of the frame's origin → receiver link.
+    pub link: Link,
+    /// Logical frames folded into the digest.
+    pub frames: u64,
+    /// Commutative fold (wrapping sum) of the per-frame hashes.
+    pub digest: u64,
+}
+
 /// Value distribution summary (count/sum/min/max).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HistStat {
@@ -118,6 +135,16 @@ struct Registry {
     hists: BTreeMap<String, HistStat>,
     /// phase path -> per-link totals.
     traffic: BTreeMap<String, [LinkTotals; 3]>,
+    /// phase path -> per-link (frame count, digest fold).
+    digests: BTreeMap<String, [(u64, u64); 3]>,
+}
+
+/// Whether metric recording is compiled in. Callers with per-record setup
+/// cost (e.g. hashing a payload before [`record_frame_digest`]) can skip the
+/// work entirely when this is `false`.
+#[inline]
+pub fn enabled() -> bool {
+    cfg!(feature = "enabled")
 }
 
 thread_local! {
@@ -179,6 +206,28 @@ pub fn record_traffic(link: Link, bytes: u64) {
                 let cell = &mut cells[link.index()];
                 cell.msgs += 1;
                 cell.bytes += bytes;
+            });
+        });
+    }
+}
+
+/// Fold one received logical frame's `hash` into the calling thread's
+/// digest row for `(current span path, link)`. The fold is a wrapping sum,
+/// so it is independent of delivery order — which is exactly what lets two
+/// runs under different chaos schedules be compared. Called by the
+/// runtime's exchange collection path.
+pub fn record_frame_digest(link: Link, hash: u64) {
+    if cfg!(feature = "enabled") {
+        crate::span::with_path(|path| {
+            REG.with(|r| {
+                let mut r = r.borrow_mut();
+                if !r.digests.contains_key(path) {
+                    r.digests.insert(path.to_string(), Default::default());
+                }
+                let cells = r.digests.get_mut(path).expect("just inserted");
+                let cell = &mut cells[link.index()];
+                cell.0 += 1;
+                cell.1 = cell.1.wrapping_add(hash);
             });
         });
     }
@@ -249,6 +298,33 @@ pub fn take_traffic() -> Vec<TrafficRow> {
     }
 }
 
+/// Drain this thread's per-phase frame digests, sorted by phase path then
+/// link. Rows with zero frames are omitted.
+pub fn take_digests() -> Vec<DigestRow> {
+    if cfg!(feature = "enabled") {
+        REG.with(|r| {
+            let digests = std::mem::take(&mut r.borrow_mut().digests);
+            let mut rows = Vec::new();
+            for (phase, cells) in digests {
+                for link in Link::ALL {
+                    let (frames, digest) = cells[link.index()];
+                    if frames > 0 {
+                        rows.push(DigestRow {
+                            phase: phase.clone(),
+                            link,
+                            frames,
+                            digest,
+                        });
+                    }
+                }
+            }
+            rows
+        })
+    } else {
+        Vec::new()
+    }
+}
+
 #[cfg(test)]
 #[cfg(feature = "enabled")]
 mod tests {
@@ -295,5 +371,29 @@ mod tests {
         assert_eq!(rows[2].link, Link::OffNode);
         assert_eq!(rows[2].totals, LinkTotals { msgs: 2, bytes: 20 });
         let _ = crate::span::take();
+    }
+
+    #[test]
+    fn frame_digests_fold_order_free() {
+        let _ = take_digests();
+        let fold = |hashes: &[u64]| {
+            let _g = crate::span!("phase-d");
+            for &h in hashes {
+                record_frame_digest(Link::OnNode, h);
+            }
+            let rows = take_digests();
+            let _ = crate::span::take();
+            rows
+        };
+        let a = fold(&[3, 11, 7]);
+        let b = fold(&[7, 3, 11]);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a[0].phase, "phase-d");
+        assert_eq!(a[0].frames, 3);
+        assert_eq!(a[0].digest, 21);
+        // A dropped frame changes both count and digest.
+        let c = fold(&[3, 11]);
+        assert_ne!(a[0].digest, c[0].digest);
     }
 }

@@ -11,6 +11,7 @@ use crate::balance::EntityLoads;
 use crate::candidates::{candidates, schedule};
 use crate::priority::Priority;
 use crate::select::{HarmGuard, SelectRequest, Selector};
+use pumi_check::CheckOpts;
 use pumi_core::{migrate, DistMesh, MigrationPlan};
 use pumi_pcu::Comm;
 use pumi_util::stats::Timer;
@@ -36,6 +37,9 @@ pub struct ImproveOpts {
     /// relaxed ones (ablatable: without them, selection takes arbitrary
     /// boundary elements and roughens part boundaries).
     pub strict_selection: bool,
+    /// Run `pumi_check::check_dist` after every migration (collective;
+    /// panics on the first violated invariant, naming the entity).
+    pub check: Option<CheckOpts>,
 }
 
 impl Default for ImproveOpts {
@@ -47,6 +51,7 @@ impl Default for ImproveOpts {
             handshake: true,
             peak_caps: true,
             strict_selection: true,
+            check: None,
         }
     }
 }
@@ -92,6 +97,12 @@ impl ImproveOpts {
     /// Toggle the strict Fig 9 selection passes.
     pub fn strict_selection(mut self, on: bool) -> Self {
         self.strict_selection = on;
+        self
+    }
+
+    /// Verify distributed invariants after every migration.
+    pub fn check(mut self, opts: CheckOpts) -> Self {
+        self.check = Some(opts);
         self
     }
 }
@@ -260,7 +271,12 @@ pub fn improve(
             }
             let mut granted_track: FxHashMap<PartId, [f64; 4]> = FxHashMap::default();
             let mut replies = pumi_core::PartExchange::new(comm, &dm.map);
-            for (from, to, mut r) in ex.finish() {
+            // Grants must be evaluated in ascending source order regardless
+            // of frame arrival order, or the admitted set depends on the
+            // scheduler.
+            let mut grant_frames = ex.finish();
+            grant_frames.sort_by_key(|&(from, to, _)| (to, from));
+            for (from, to, mut r) in grant_frames {
                 let gains = [r.get_f64(), r.get_f64(), r.get_f64(), r.get_f64()];
                 let acc = granted_track.entry(to).or_default();
                 let ok = all_guarded.iter().all(|&g| {
@@ -300,6 +316,11 @@ pub fn improve(
                 break;
             }
             let stats = migrate(comm, dm, &plans);
+            if let Some(co) = opts.check {
+                pumi_check::check_dist(comm, dm, co).unwrap_or_else(|e| {
+                    panic!("parma: invariants violated after {d} iteration {iterations}: {e}")
+                });
+            }
             elements_moved += stats.elements_moved;
             iterations += 1;
             pumi_obs::parma::iter(final_pct, planned, stats.elements_moved);
@@ -357,7 +378,8 @@ mod tests {
             assert!(before > 30.0, "setup not skewed: {before}%");
 
             let pr: Priority = "Face".parse().unwrap();
-            let report = improve(c, &mut dm, &pr, ImproveOpts::default());
+            let opts = ImproveOpts::default().check(CheckOpts::all());
+            let report = improve(c, &mut dm, &pr, opts);
             let after = EntityLoads::gather(c, &dm).imbalance_pct(Dim::Face);
             assert!(
                 after <= 5.5,

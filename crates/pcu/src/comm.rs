@@ -7,6 +7,7 @@
 //! MPI runtime (see DESIGN.md).
 
 use crate::machine::{LinkClass, MachineModel, TrafficCounters, TrafficReport};
+use crate::sched::SchedMode;
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use pumi_util::FxHashMap;
@@ -84,6 +85,13 @@ pub struct Comm {
     /// Monotonic collective sequence number; identical across ranks because
     /// collectives are called in SPMD order.
     pub(crate) coll_seq: Cell<u32>,
+    /// Monotonic count of completed phased exchanges. Unlike `coll_seq` it
+    /// advances exactly once per exchange regardless of routing (direct
+    /// consumes one tag per phase, two-level three), so chaos permutations
+    /// seeded from it are routing-invariant.
+    pub(crate) exchange_seq: Cell<u32>,
+    /// Frame-delivery scheduling for phased exchanges in this world.
+    sched: SchedMode,
     counters: TrafficCounters,
 }
 
@@ -116,6 +124,22 @@ impl Comm {
     #[inline]
     pub fn link_to(&self, other: usize) -> LinkClass {
         self.machine.link(self.rank, other)
+    }
+
+    /// The frame-delivery scheduling mode of this world (see
+    /// [`crate::sched::SchedMode`]).
+    #[inline]
+    pub fn sched(&self) -> SchedMode {
+        self.sched
+    }
+
+    /// Number of phased exchanges completed on this communicator — the
+    /// phase index layered exchanges feed to
+    /// [`crate::sched::ChaosRng::for_phase`] for their own reproducible
+    /// permutations.
+    #[inline]
+    pub fn exchanges_completed(&self) -> u32 {
+        self.exchange_seq.get()
     }
 
     /// Send `data` to rank `to` with a user `tag`.
@@ -229,9 +253,31 @@ where
     execute_on(MachineModel::flat(nranks), f)
 }
 
+/// Run `f` on every rank of a flat machine under the chaos scheduler with
+/// `seed`, regardless of `PUMI_PCU_SCHED`. The determinism suite uses this to
+/// compare runs under several seeds within one process.
+pub fn execute_chaos<F, R>(nranks: usize, seed: u64, f: F) -> Vec<R>
+where
+    F: Fn(&Comm) -> R + Send + Sync,
+    R: Send,
+{
+    execute_on_sched(MachineModel::flat(nranks), SchedMode::Chaos(seed), f)
+}
+
 /// Run `f` on every rank slot of `machine`: one thread per rank, mapped
-/// node-major (the paper's process→node, thread→core mapping).
+/// node-major (the paper's process→node, thread→core mapping). The scheduler
+/// comes from the `PUMI_PCU_SCHED` environment variable.
 pub fn execute_on<F, R>(machine: MachineModel, f: F) -> Vec<R>
+where
+    F: Fn(&Comm) -> R + Send + Sync,
+    R: Send,
+{
+    execute_on_sched(machine, SchedMode::from_env(), f)
+}
+
+/// [`execute_on`] with an explicit scheduling mode (overrides the
+/// environment).
+pub fn execute_on_sched<F, R>(machine: MachineModel, sched: SchedMode, f: F) -> Vec<R>
 where
     F: Fn(&Comm) -> R + Send + Sync,
     R: Send,
@@ -251,6 +297,8 @@ where
             receiver,
             mailbox: RefCell::new(Mailbox::default()),
             coll_seq: Cell::new(0),
+            exchange_seq: Cell::new(0),
+            sched,
             counters: counters.clone(),
         })
         .collect();

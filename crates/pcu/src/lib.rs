@@ -21,10 +21,15 @@
 //!   with fallible `try_get_*` reads (returning [`MsgError`]) for
 //!   deserialization layers and panicking `get_*` wrappers for short frames,
 //! * [`obs`] — cross-rank reduction of `pumi-obs` span timings and
-//!   per-phase traffic to rank 0 (the world view benches report).
+//!   per-phase traffic to rank 0 (the world view benches report),
+//! * [`sched`] — the seeded chaos scheduler (`PUMI_PCU_SCHED=chaos:<seed>`)
+//!   that shuffles frame delivery order in phased exchanges to flush out
+//!   order-dependence bugs while staying reproducible per seed.
 //!
-//! Determinism: given the same inputs, all collectives reduce in rank order,
-//! so distributed results are bitwise reproducible across runs.
+//! Determinism: given the same inputs, all collectives reduce in rank order
+//! and exchanges deliver frames in a canonical order (or a seeded
+//! permutation of it), so distributed results are bitwise reproducible
+//! across runs — and must agree across chaos seeds.
 
 pub mod collectives;
 pub mod comm;
@@ -32,8 +37,10 @@ pub mod machine;
 pub mod msg;
 pub mod obs;
 pub mod phased;
+pub mod sched;
 
-pub use comm::{execute, execute_on, Comm};
+pub use comm::{execute, execute_chaos, execute_on, execute_on_sched, Comm};
 pub use machine::{LinkClass, MachineModel, TrafficReport};
 pub use msg::{MsgError, MsgReader, MsgWriter};
 pub use phased::{Exchange, ExchangeOpts, Received, RouteMode};
+pub use sched::{ChaosRng, SchedMode};

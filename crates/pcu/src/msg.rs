@@ -83,23 +83,79 @@ mod pool {
     }
 }
 
-/// A message deserialization failure: the reader ran past the end of the
-/// buffer, i.e. writer and reader disagreed on the frame layout.
+/// A message deserialization failure: writer and reader disagreed on the
+/// frame layout, or the frame's content does not decode. Carried upward by
+/// `try_get_*`-style deserialization code and turned into one panic (or a
+/// typed domain error) with frame context at the collective boundary.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct MsgError {
-    /// Bytes the failing read needed.
-    pub needed: usize,
-    /// Bytes that were left in the buffer.
-    pub available: usize,
+pub enum MsgError {
+    /// The reader ran past the end of the buffer.
+    Underrun {
+        /// Bytes the failing read needed.
+        needed: usize,
+        /// Bytes that were left in the buffer.
+        available: usize,
+    },
+    /// A byte decoded to no known value of an enumeration (dimension,
+    /// topology, tag kind, ...).
+    BadEnum {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending byte.
+        value: u8,
+    },
+    /// A frame referenced an entity the receiving part does not hold.
+    Missing {
+        /// What was being looked up.
+        what: &'static str,
+        /// Entity dimension (`0..=3`).
+        dim: u8,
+        /// The global id that failed to resolve.
+        gid: u64,
+    },
+    /// A nested payload passed framing but its content does not decode.
+    Corrupt {
+        /// What was being decoded.
+        what: &'static str,
+    },
+}
+
+impl MsgError {
+    /// An [`MsgError::Underrun`].
+    pub fn underrun(needed: usize, available: usize) -> MsgError {
+        MsgError::Underrun { needed, available }
+    }
+
+    /// An [`MsgError::BadEnum`].
+    pub fn bad_enum(what: &'static str, value: u8) -> MsgError {
+        MsgError::BadEnum { what, value }
+    }
+
+    /// An [`MsgError::Missing`].
+    pub fn missing(what: &'static str, dim: u8, gid: u64) -> MsgError {
+        MsgError::Missing { what, dim, gid }
+    }
+
+    /// An [`MsgError::Corrupt`].
+    pub fn corrupt(what: &'static str) -> MsgError {
+        MsgError::Corrupt { what }
+    }
 }
 
 impl std::fmt::Display for MsgError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "message underrun: need {} bytes, have {}",
-            self.needed, self.available
-        )
+        match self {
+            MsgError::Underrun { needed, available } => {
+                write!(f, "message underrun: need {needed} bytes, have {available}")
+            }
+            MsgError::BadEnum { what, value } => {
+                write!(f, "bad {what} code {value:#04x}")
+            }
+            MsgError::Missing { what, dim, gid } => {
+                write!(f, "{what} not held by this part (dim {dim}, gid {gid})")
+            }
+            MsgError::Corrupt { what } => write!(f, "undecodable {what}"),
+        }
     }
 }
 
@@ -255,10 +311,7 @@ impl MsgReader {
         if self.buf.remaining() >= n {
             Ok(())
         } else {
-            Err(MsgError {
-                needed: n,
-                available: self.buf.remaining(),
-            })
+            Err(MsgError::underrun(n, self.buf.remaining()))
         }
     }
 
@@ -456,18 +509,23 @@ mod tests {
     #[test]
     fn try_get_reports_needed_and_available() {
         let mut r = MsgReader::from_vec(vec![1, 2]);
-        assert_eq!(
-            r.try_get_u32(),
-            Err(MsgError {
-                needed: 4,
-                available: 2
-            })
-        );
+        assert_eq!(r.try_get_u32(), Err(MsgError::underrun(4, 2)));
         // The failed read consumed nothing; smaller reads still work.
         assert_eq!(r.try_get_u8(), Ok(1));
         assert_eq!(r.remaining(), 1);
         let e = r.try_get_f64().unwrap_err();
         assert_eq!(e.to_string(), "message underrun: need 8 bytes, have 1");
+    }
+
+    #[test]
+    fn content_error_variants_display_context() {
+        let e = MsgError::bad_enum("topology", 0xFE);
+        assert_eq!(e.to_string(), "bad topology code 0xfe");
+        let e = MsgError::missing("closure vertex", 0, 41);
+        assert!(e.to_string().contains("closure vertex"), "{e}");
+        assert!(e.to_string().contains("gid 41"), "{e}");
+        let e = MsgError::corrupt("tag value");
+        assert_eq!(e.to_string(), "undecodable tag value");
     }
 
     #[test]
@@ -477,8 +535,7 @@ mod tests {
         w.put_u32(1000);
         let mut r = MsgReader::new(w.finish());
         let e = r.try_get_u64_slice().unwrap_err();
-        assert_eq!(e.needed, 8000);
-        assert_eq!(e.available, 0);
+        assert_eq!(e, MsgError::underrun(8000, 0));
 
         // Same for a byte vector.
         let mut w = MsgWriter::new();
@@ -486,13 +543,7 @@ mod tests {
         w.put_u8(1);
         let mut r = MsgReader::new(w.finish());
         let e = r.try_get_bytes().unwrap_err();
-        assert_eq!(
-            e,
-            MsgError {
-                needed: 10,
-                available: 1
-            }
-        );
+        assert_eq!(e, MsgError::underrun(10, 1));
     }
 
     #[test]
@@ -506,13 +557,7 @@ mod tests {
         assert_eq!(r.try_get_f64_slice(), Ok(vec![1.0, 2.0]));
         assert_eq!(r.try_get_bytes(), Ok(b"xy".to_vec()));
         assert!(r.is_done());
-        assert_eq!(
-            r.try_get_u8(),
-            Err(MsgError {
-                needed: 1,
-                available: 0
-            })
-        );
+        assert_eq!(r.try_get_u8(), Err(MsgError::underrun(1, 0)));
     }
 
     #[test]
@@ -535,10 +580,7 @@ mod tests {
         let mut r = MsgReader::new(w.finish());
         assert_eq!(
             r.try_get_bytes_shared().unwrap_err(),
-            MsgError {
-                needed: 10,
-                available: 1
-            }
+            MsgError::underrun(10, 1)
         );
     }
 

@@ -34,6 +34,7 @@
 use crate::comm::Comm;
 use crate::machine::LinkClass;
 use crate::msg::{put_relay_frame, take_relay_frame, MsgReader, MsgWriter};
+use crate::sched::{ChaosRng, SchedMode};
 use bytes::Bytes;
 use pumi_obs::metrics::Link;
 use pumi_util::FxHashMap;
@@ -68,19 +69,24 @@ impl RouteMode {
     }
 }
 
-/// Per-exchange knobs. [`Default`] honours `PUMI_PCU_ROUTE`, so whole runs
-/// can be A/B-ed between routing strategies without code changes.
+/// Per-exchange knobs. [`Default`] honours `PUMI_PCU_ROUTE` and the world's
+/// scheduler, so whole runs can be A/B-ed between routing strategies and
+/// chaos seeds without code changes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExchangeOpts {
     /// Off-node routing strategy. Must be SPMD-uniform: all ranks of one
     /// exchange phase must use the same mode.
     pub route: RouteMode,
+    /// Frame-delivery scheduling override; `None` inherits the world's mode
+    /// (set by `PUMI_PCU_SCHED` or `execute_chaos`). Must be SPMD-uniform.
+    pub sched: Option<SchedMode>,
 }
 
 impl Default for ExchangeOpts {
     fn default() -> ExchangeOpts {
         ExchangeOpts {
             route: RouteMode::from_env(),
+            sched: None,
         }
     }
 }
@@ -90,6 +96,7 @@ impl ExchangeOpts {
     pub fn direct() -> ExchangeOpts {
         ExchangeOpts {
             route: RouteMode::Direct,
+            ..ExchangeOpts::default()
         }
     }
 
@@ -97,7 +104,16 @@ impl ExchangeOpts {
     pub fn two_level() -> ExchangeOpts {
         ExchangeOpts {
             route: RouteMode::TwoLevel,
+            ..ExchangeOpts::default()
         }
+    }
+
+    /// Override the scheduling mode for this exchange. Tests that assert on
+    /// delivery *order* pin `SchedMode::Deterministic` here so they stay
+    /// meaningful when the whole suite runs under a chaos seed.
+    pub fn with_sched(mut self, sched: SchedMode) -> ExchangeOpts {
+        self.sched = Some(sched);
+        self
     }
 }
 
@@ -141,7 +157,9 @@ impl<'c> Exchange<'c> {
     }
 
     /// Send all packed buffers and collect this rank's incoming buffers as a
-    /// [`Received`], sorted by source rank (deterministic iteration order).
+    /// [`Received`]. Under the deterministic scheduler the buffers come out
+    /// sorted by source rank; under [`SchedMode::Chaos`] they come out in a
+    /// seeded permutation (consumers must not depend on order).
     pub fn finish(self) -> Received {
         let _span = pumi_obs::span!("pcu.exchange");
         let comm = self.comm;
@@ -149,23 +167,76 @@ impl<'c> Exchange<'c> {
         // downgrade is machine-derived, hence still SPMD-uniform.
         let two_level = self.opts.route == RouteMode::TwoLevel && comm.machine().nodes > 1;
 
-        // Deterministic send order (the buffer map iterates in hash order).
+        // Two independent generators per chaos phase: `wire` perturbs
+        // in-flight orderings (send order, relay bundle processing) and its
+        // draw count depends on the route; `merge` permutes only the final
+        // merged list, so the delivered permutation is a pure function of
+        // (seed, phase, rank) and routing equivalence still holds.
+        let phase = comm.exchange_seq.get();
+        comm.exchange_seq.set(phase.wrapping_add(1));
+        let (mut wire, mut merge) = match self.opts.sched.unwrap_or_else(|| comm.sched()) {
+            SchedMode::Chaos(seed) => (
+                Some(ChaosRng::for_phase(seed, phase, comm.rank())),
+                Some(ChaosRng::for_phase(seed ^ 0xC0A1_E5CE, phase, comm.rank())),
+            ),
+            SchedMode::Deterministic => (None, None),
+        };
+
+        // Canonical send order first (the buffer map iterates in hash
+        // order), then a seeded shuffle of it under chaos.
         let mut bufs: Vec<(usize, MsgWriter)> = self.bufs.into_iter().collect();
         bufs.sort_unstable_by_key(|&(dest, _)| dest);
+        if let Some(rng) = wire.as_mut() {
+            rng.shuffle(&mut bufs);
+        }
 
         let (mut msgs, total_bytes) = if two_level {
-            finish_two_level(comm, bufs)
+            finish_two_level(comm, bufs, wire.as_mut())
         } else {
-            finish_direct(comm, bufs)
+            finish_direct(comm, bufs, wire.as_mut())
         };
+        // Sorted merge: transport arrival order is timing-dependent, so the
+        // canonical order is by source (at most one buffer per source).
         msgs.sort_by_key(|(from, _)| *from);
+        if let Some(rng) = merge.as_mut() {
+            rng.shuffle(&mut msgs);
+        }
         Received { msgs, total_bytes }
     }
 }
 
+/// Fold one received logical frame into the obs digest sink: an FNV-1a hash
+/// of (origin rank, payload bytes), attributed to the origin→receiver link
+/// class. Routing-invariant — relayed frames hash identically to direct
+/// ones — so digest rows can be compared across routes and chaos seeds.
+fn digest_frame(comm: &Comm, from: usize, data: &[u8]) {
+    if !pumi_obs::metrics::enabled() {
+        return;
+    }
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in (from as u64)
+        .to_le_bytes()
+        .iter()
+        .chain(data.iter())
+        .copied()
+    {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    let link = if from == comm.rank() {
+        Link::SelfLoop
+    } else {
+        comm.link_to(from).to_obs()
+    };
+    pumi_obs::metrics::record_frame_digest(link, h);
+}
+
 /// Direct routing: send each buffer to its destination, then run the
 /// termination consensus and collect arrivals.
-fn finish_direct(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, MsgReader)>, u64) {
+fn finish_direct(
+    comm: &Comm,
+    bufs: Vec<(usize, MsgWriter)>,
+    mut chaos: Option<&mut ChaosRng>,
+) -> (Vec<(usize, MsgReader)>, u64) {
     let tag = comm.next_coll_tag();
     let mut local: Option<MsgReader> = None;
     for (dest, w) in bufs {
@@ -175,9 +246,14 @@ fn finish_direct(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, Msg
             // Local delivery bypasses the wire; meter it as a self-loop so
             // per-phase traffic still accounts for the pack volume.
             pumi_obs::metrics::record_traffic(Link::SelfLoop, w.len() as u64);
-            local = Some(MsgReader::new(w.finish()));
+            let data = w.finish();
+            digest_frame(comm, comm.rank(), &data);
+            local = Some(MsgReader::new(data));
         } else {
             comm.send_raw(dest, tag, w.finish());
+        }
+        if let Some(rng) = chaos.as_mut() {
+            rng.maybe_yield();
         }
     }
     // Termination consensus: channel sends enqueue synchronously, and a
@@ -191,6 +267,7 @@ fn finish_direct(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, Msg
     let mut msgs: Vec<(usize, MsgReader)> = Vec::new();
     for (from, data) in comm.take_tag(tag) {
         total_bytes += data.len() as u64;
+        digest_frame(comm, from, &data);
         msgs.push((from, MsgReader::new(data)));
     }
     if let Some(r) = local {
@@ -204,7 +281,11 @@ fn finish_direct(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, Msg
 /// relay frames through node leaders (see DESIGN.md "Two-level message
 /// routing"). Three fences — node, world, node — make each relay hop's
 /// traffic quiescent before it is consumed.
-fn finish_two_level(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, MsgReader)>, u64) {
+fn finish_two_level(
+    comm: &Comm,
+    bufs: Vec<(usize, MsgWriter)>,
+    mut chaos: Option<&mut ChaosRng>,
+) -> (Vec<(usize, MsgReader)>, u64) {
     let tag_data = comm.next_coll_tag();
     let tag_up = comm.next_coll_tag();
     let tag_super = comm.next_coll_tag();
@@ -222,10 +303,15 @@ fn finish_two_level(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, 
             w.recycle();
             continue;
         }
+        if let Some(rng) = chaos.as_mut() {
+            rng.maybe_yield();
+        }
         match comm.link_to(dest) {
             LinkClass::SelfLoop => {
                 pumi_obs::metrics::record_traffic(Link::SelfLoop, w.len() as u64);
-                local = Some(MsgReader::new(w.finish()));
+                let data = w.finish();
+                digest_frame(comm, me, &data);
+                local = Some(MsgReader::new(data));
             }
             // Shared-memory links are exactly what aggregation is meant to
             // spare: on-node buffers go direct.
@@ -254,7 +340,14 @@ fn finish_two_level(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, 
     comm.node_barrier();
     if is_leader {
         comm.drain_wire();
-        for (_, bundle) in comm.take_tag(tag_up) {
+        // Under chaos, process uplink bundles in a shuffled order; the
+        // staged list is re-sorted below, so super-message bytes stay
+        // canonical regardless.
+        let mut bundles: Vec<(usize, Bytes)> = comm.take_tag(tag_up).into_iter().collect();
+        if let Some(rng) = chaos.as_mut() {
+            rng.shuffle(&mut bundles);
+        }
+        for (_, bundle) in bundles {
             let mut r = MsgReader::new(bundle);
             while !r.is_done() {
                 let (dest, origin, payload) = take_relay_frame(&mut r)
@@ -279,9 +372,17 @@ fn finish_two_level(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, 
             }
         }
         drop(staged);
+        // Chaos interleaving: supers leave in shuffled order (the frames
+        // inside each are already canonically ordered).
+        if let Some(rng) = chaos.as_mut() {
+            rng.shuffle(&mut supers);
+        }
         let _relay = pumi_obs::span!(pumi_obs::metrics::RELAY_SPAN);
         for (node, w) in supers {
             comm.send_raw(machine.leader_of(node), tag_super, w.finish());
+            if let Some(rng) = chaos.as_mut() {
+                rng.maybe_yield();
+            }
         }
     }
     // Fence 2 (world): all super-messages have reached their destination
@@ -292,13 +393,18 @@ fn finish_two_level(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, 
     let mut msgs: Vec<(usize, MsgReader)> = Vec::new();
     if is_leader {
         comm.drain_wire();
-        for (_, bundle) in comm.take_tag(tag_super) {
+        let mut bundles: Vec<(usize, Bytes)> = comm.take_tag(tag_super).into_iter().collect();
+        if let Some(rng) = chaos.as_mut() {
+            rng.shuffle(&mut bundles);
+        }
+        for (_, bundle) in bundles {
             let mut r = MsgReader::new(bundle);
             while !r.is_done() {
                 let (dest, origin, payload) = take_relay_frame(&mut r)
                     .unwrap_or_else(|e| panic!("corrupt relay super-frame: {e}"));
                 if dest as usize == me {
                     total_bytes += payload.len() as u64;
+                    digest_frame(comm, origin as usize, &payload);
                     msgs.push((origin as usize, MsgReader::new(payload)));
                 } else {
                     // Re-deliver on-node with the envelope showing the true
@@ -316,6 +422,7 @@ fn finish_two_level(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, 
     comm.drain_wire();
     for (from, data) in comm.take_tag(tag_data) {
         total_bytes += data.len() as u64;
+        digest_frame(comm, from, &data);
         msgs.push((from, MsgReader::new(data)));
     }
     if let Some(r) = local {
@@ -326,13 +433,15 @@ fn finish_two_level(comm: &Comm, bufs: Vec<(usize, MsgWriter)>) -> (Vec<(usize, 
 }
 
 /// The incoming side of a completed exchange: one [`MsgReader`] per source
-/// rank that sent to us, sorted by source (iteration is deterministic).
+/// rank that sent to us. Under the deterministic scheduler the buffers are
+/// sorted by source; under [`SchedMode::Chaos`] they are a seeded
+/// permutation of the same set — consumers must not rely on order.
 ///
 /// Iterate it like the `Vec` it replaces — `for (from, mut r) in received` —
 /// or address a specific source with [`Received::from`].
 #[derive(Debug, Default)]
 pub struct Received {
-    /// `(source rank, reader)`, sorted by source; at most one per source.
+    /// `(source rank, reader)`; at most one per source.
     msgs: Vec<(usize, MsgReader)>,
     total_bytes: u64,
 }
@@ -353,33 +462,35 @@ impl Received {
         self.total_bytes
     }
 
-    /// The source ranks that sent to us, ascending.
+    /// The source ranks that sent to us, in delivery order (ascending under
+    /// the deterministic scheduler).
     pub fn sources(&self) -> impl Iterator<Item = usize> + '_ {
         self.msgs.iter().map(|(from, _)| *from)
     }
 
-    /// The buffer sent by `rank`, if any.
+    /// The buffer sent by `rank`, if any. Linear scan: delivery order is a
+    /// permutation under the chaos scheduler, and source counts are small.
     pub fn from(&self, rank: usize) -> Option<&MsgReader> {
         self.msgs
-            .binary_search_by_key(&rank, |(from, _)| *from)
-            .ok()
+            .iter()
+            .position(|&(from, _)| from == rank)
             .map(|i| &self.msgs[i].1)
     }
 
     /// The buffer sent by `rank`, mutably (readers consume as they read).
     pub fn from_mut(&mut self, rank: usize) -> Option<&mut MsgReader> {
         self.msgs
-            .binary_search_by_key(&rank, |(from, _)| *from)
-            .ok()
+            .iter()
+            .position(|&(from, _)| from == rank)
             .map(|i| &mut self.msgs[i].1)
     }
 
-    /// Iterate `(source, reader)` pairs in source order.
+    /// Iterate `(source, reader)` pairs in delivery order.
     pub fn iter(&self) -> std::slice::Iter<'_, (usize, MsgReader)> {
         self.msgs.iter()
     }
 
-    /// Iterate `(source, reader)` pairs mutably, in source order.
+    /// Iterate `(source, reader)` pairs mutably, in delivery order.
     pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, (usize, MsgReader)> {
         self.msgs.iter_mut()
     }
@@ -507,7 +618,12 @@ mod tests {
     fn fan_in_sorted_by_source() {
         let n = 8;
         execute(n, |c| {
-            let mut ex = Exchange::new(c);
+            // Pinned deterministic: this test asserts on delivery *order*,
+            // which a chaos environment would legitimately permute.
+            let mut ex = Exchange::with_opts(
+                c,
+                ExchangeOpts::default().with_sched(SchedMode::Deterministic),
+            );
             if c.rank() != 0 {
                 ex.to(0).put_u32(c.rank() as u32 * 2);
             }
@@ -625,6 +741,81 @@ mod tests {
                 }
             });
         }
+    }
+
+    /// Chaos delivers the same multiset of (source, payload) as the
+    /// deterministic scheduler, for both routing modes — only the order may
+    /// differ — and the same seed reproduces the same order exactly.
+    #[test]
+    fn chaos_preserves_payloads_and_reproduces_per_seed() {
+        use crate::comm::execute_on_sched;
+        use crate::machine::MachineModel;
+        let m = MachineModel::new(3, 2);
+        let run = |sched: SchedMode, route: ExchangeOpts| {
+            execute_on_sched(m, sched, move |c| {
+                let n = c.nranks();
+                let mut per_phase = Vec::new();
+                for phase in 0..3u32 {
+                    let mut ex = Exchange::with_opts(c, route);
+                    for k in [0usize, 1, 2, 4] {
+                        let dest = (c.rank() + k + phase as usize) % n;
+                        let w = ex.to(dest);
+                        w.put_u32(phase * 1000 + (c.rank() * 10 + dest) as u32);
+                        w.put_bytes(&vec![dest as u8; k + 1]);
+                    }
+                    let flat: Vec<(usize, u32, Vec<u8>)> = ex
+                        .finish()
+                        .into_iter()
+                        .map(|(from, mut r)| (from, r.get_u32(), r.get_bytes()))
+                        .collect();
+                    per_phase.push(flat);
+                }
+                per_phase
+            })
+        };
+        let base = run(SchedMode::Deterministic, ExchangeOpts::direct());
+        for route in [ExchangeOpts::direct(), ExchangeOpts::two_level()] {
+            for seed in [1u64, 7] {
+                let chaotic = run(SchedMode::Chaos(seed), route);
+                // Same seed, same route: bitwise-identical order.
+                assert_eq!(chaotic, run(SchedMode::Chaos(seed), route));
+                // Versus deterministic: same multiset per rank per phase.
+                for (rank, phases) in chaotic.iter().enumerate() {
+                    for (phase, flat) in phases.iter().enumerate() {
+                        let mut got = flat.clone();
+                        let mut want = base[rank][phase].clone();
+                        got.sort();
+                        want.sort();
+                        assert_eq!(got, want, "rank {rank} phase {phase} seed {seed}");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The chaos permutation actually perturbs order (otherwise the suite
+    /// tests nothing): across a fan-in of 8 sources and several seeds, at
+    /// least one delivery must differ from sorted order.
+    #[test]
+    fn chaos_actually_permutes() {
+        use crate::comm::execute_chaos;
+        let n = 8;
+        let mut saw_unsorted = false;
+        for seed in 1..=4u64 {
+            let orders = execute_chaos(n, seed, |c| {
+                let mut ex = Exchange::new(c);
+                if c.rank() != 0 {
+                    ex.to(0).put_u32(c.rank() as u32);
+                }
+                ex.finish().sources().collect::<Vec<_>>()
+            });
+            let sources = &orders[0];
+            let mut sorted = sources.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (1..n).collect::<Vec<_>>());
+            saw_unsorted |= *sources != sorted;
+        }
+        assert!(saw_unsorted, "chaos never permuted a fan-in of 7 sources");
     }
 
     #[test]

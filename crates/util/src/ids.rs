@@ -41,6 +41,21 @@ impl Dim {
         }
     }
 
+    /// Convert a decoded byte to a `Dim`, rejecting unknown codes.
+    ///
+    /// Deserialization layers use this instead of [`Dim::from_usize`] so a
+    /// corrupt frame surfaces as a typed error instead of a panic.
+    #[inline]
+    pub fn try_from_u8(d: u8) -> Option<Dim> {
+        match d {
+            0 => Some(Dim::Vertex),
+            1 => Some(Dim::Edge),
+            2 => Some(Dim::Face),
+            3 => Some(Dim::Region),
+            _ => None,
+        }
+    }
+
     /// The dimension as a `usize` index.
     #[inline]
     pub fn as_usize(self) -> usize {
@@ -228,7 +243,10 @@ mod tests {
         assert_eq!(Dim::Vertex.down(), None);
         for d in Dim::ALL {
             assert_eq!(Dim::from_usize(d.as_usize()), d);
+            assert_eq!(Dim::try_from_u8(d.as_usize() as u8), Some(d));
         }
+        assert_eq!(Dim::try_from_u8(4), None);
+        assert_eq!(Dim::try_from_u8(0xFF), None);
     }
 
     #[test]
