@@ -63,6 +63,36 @@ pub fn try_collapse(
     gone: u32,
     min_quality: f64,
 ) -> bool {
+    let (mut deleted, mut created) = (Vec::new(), Vec::new());
+    try_collapse_collect(
+        mesh,
+        edge,
+        kept,
+        gone,
+        min_quality,
+        &mut deleted,
+        &mut created,
+    )
+}
+
+/// [`try_collapse`] variant that records every deleted and created handle.
+///
+/// The distributed driver needs this to keep `Part` bookkeeping coherent:
+/// handles in `deleted` must have their gid/remote records forgotten
+/// *before* new gids are assigned (created entities may reuse the freed
+/// slots), and handles in `created` (plus their closure) are the ones that
+/// need fresh gids. Handles in `deleted` may already be re-occupied by the
+/// time this returns — they identify *slots* whose old bookkeeping is
+/// stale, not live entities.
+pub(crate) fn try_collapse_collect(
+    mesh: &mut Mesh,
+    edge: MeshEnt,
+    kept: u32,
+    gone: u32,
+    min_quality: f64,
+    deleted: &mut Vec<MeshEnt>,
+    created: &mut Vec<MeshEnt>,
+) -> bool {
     let elem_dim = mesh.elem_dim();
     let d_elem = mesh.elem_dim_t();
     let vg = MeshEnt::vertex(gone);
@@ -139,6 +169,7 @@ pub fn try_collapse(
     }
     for &e in &cavity {
         mesh.delete(e);
+        deleted.push(e);
     }
     for d in (0..elem_dim).rev() {
         let mut doomed: Vec<MeshEnt> = closure
@@ -155,6 +186,7 @@ pub fn try_collapse(
                 continue;
             }
             mesh.delete(s);
+            deleted.push(s);
         }
     }
     debug_assert!(!mesh.is_live(vg), "gone vertex survived cavity deletion");
@@ -163,6 +195,7 @@ pub fn try_collapse(
         for (tid, data) in ne.tags {
             mesh.tags_mut().set(tid, child, data);
         }
+        created.push(child);
     }
     true
 }
@@ -170,6 +203,18 @@ pub fn try_collapse(
 /// Collapse every edge shorter than the size field allows, in `passes`
 /// sweeps. Prefers welding the vertex with the higher-dimension (more
 /// interior) classification, which keeps boundary geometry intact.
+///
+/// # Examples
+///
+/// ```
+/// use pumi_adapt::{coarsen, CoarsenOpts, SizeField};
+///
+/// let mut mesh = pumi_meshgen::tri_rect(4, 4, 1.0, 1.0);
+/// let before = mesh.num_elems();
+/// let stats = coarsen(&mut mesh, &SizeField::uniform(0.8), CoarsenOpts::default());
+/// assert!(stats.collapses > 0);
+/// assert!(mesh.num_elems() < before);
+/// ```
 pub fn coarsen(mesh: &mut Mesh, size: &SizeField, opts: CoarsenOpts) -> CoarsenStats {
     let mut stats = CoarsenStats::default();
     for _ in 0..opts.passes {

@@ -8,9 +8,14 @@
 //! * [`coarsen()`] — safety-checked edge-collapse coarsening,
 //! * [`quality`] — mean-ratio element quality,
 //! * [`snap`] — geometry projection for new/welded boundary vertices,
-//! * [`predict`] — predictive post-adaptation load estimation (§III-B).
+//! * [`predict`] — predictive post-adaptation load estimation (§III-B),
+//! * [`dist`] — distributed adaptation on a [`pumi_core::DistMesh`] with
+//!   boundary-consistent splits ([`adapt_dist`]).
+
+#![warn(missing_docs)]
 
 pub mod coarsen;
+pub mod dist;
 pub mod predict;
 pub mod quality;
 pub mod refine;
@@ -18,6 +23,7 @@ pub mod sizefield;
 pub mod snap;
 
 pub use coarsen::{coarsen, CoarsenOpts, CoarsenStats};
+pub use dist::{adapt_dist, adapt_dist_with_field, AdaptOpts, AdaptStats};
 pub use predict::{element_weight, predicted_loads, predicted_total};
 pub use quality::{mean_ratio, measure, quality_stats};
 pub use refine::{refine, split_edge, RefineOpts, RefineStats};

@@ -7,13 +7,26 @@
 //! target size)^dim`; balancing these *weights* instead of the current
 //! element counts prevents the Fig 13 blow-up.
 
+use crate::coarsen::CoarsenOpts;
 use crate::sizefield::SizeField;
 use pumi_mesh::Mesh;
 use pumi_util::{Dim, MeshEnt, PartId};
 
-/// Estimated number of elements `e` becomes after adapting to `size`:
-/// `max(1, (L/h)^dim)` with `L` the mean edge length of the element and `h`
-/// the size-field value at its centroid.
+/// Estimated number of elements `e` becomes after adapting to `size`, with
+/// `L` the mean edge length of the element and `h` the size-field value at
+/// its centroid:
+///
+/// - `L/h ≥ 1` — refinement territory: the element splits into roughly
+///   `(L/h)^dim` children.
+/// - `L/h` below the collapse band (the default
+///   [`CoarsenOpts::collapse_ratio`]) — coarsening territory: the element
+///   merges with neighbors, surviving only as the fraction `(L/h)^dim` of
+///   an element.
+/// - In between — the keep band: the element stays as it is, weight 1.
+///
+/// Earlier revisions clamped the weight at 1.0, silently ignoring the
+/// coarsening branch: parts full of collapse-marked elements were predicted
+/// at full load even though adaptation was about to shrink them.
 pub fn element_weight(mesh: &Mesh, e: MeshEnt, size: &SizeField) -> f64 {
     let c = mesh.centroid(e);
     let h = size.at(c);
@@ -26,10 +39,28 @@ pub fn element_weight(mesh: &Mesh, e: MeshEnt, size: &SizeField) -> f64 {
         mean_len += ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt();
     }
     mean_len /= edges.len() as f64;
-    (mean_len / h).powi(mesh.elem_dim() as i32).max(1.0)
+    let ratio = mean_len / h;
+    let collapse_band = CoarsenOpts::default().collapse_ratio;
+    if ratio >= 1.0 || ratio < collapse_band {
+        ratio.powi(mesh.elem_dim() as i32)
+    } else {
+        1.0
+    }
 }
 
 /// Total predicted element count.
+///
+/// # Examples
+///
+/// ```
+/// use pumi_adapt::{predicted_total, SizeField};
+///
+/// let m = pumi_meshgen::tri_rect(2, 2, 1.0, 1.0);
+/// // Halving the target size roughly quadruples the predicted 2D count.
+/// let w1 = predicted_total(&m, &SizeField::uniform(0.5));
+/// let w2 = predicted_total(&m, &SizeField::uniform(0.25));
+/// assert!(w2 > 3.0 * w1);
+/// ```
 pub fn predicted_total(mesh: &Mesh, size: &SizeField) -> f64 {
     mesh.elems().map(|e| element_weight(mesh, e, size)).sum()
 }
@@ -64,6 +95,32 @@ mod tests {
         for e in m.elems() {
             let w = element_weight(&m, e, &size);
             assert!((1.0..2.5).contains(&w), "weight {w}");
+        }
+    }
+
+    #[test]
+    fn coarsening_demand_counts_fractional_elements() {
+        // Lattice spacing 0.125 with target h = 1.0: every element is deep
+        // in collapse territory (ratio ≈ 0.14 « 0.5), so the prediction
+        // must be far below the current count — the old `.max(1.0)` clamp
+        // reported full load here.
+        let m = tri_rect(8, 8, 1.0, 1.0);
+        let size = SizeField::uniform(1.0);
+        for e in m.elems() {
+            let w = element_weight(&m, e, &size);
+            assert!(w < 0.1, "collapse-marked element predicted at {w}");
+        }
+        let total = predicted_total(&m, &size);
+        assert!(
+            total < 0.1 * m.num_elems() as f64,
+            "coarsening prediction {total} not below current {}",
+            m.num_elems()
+        );
+        // Keep band: ratio between the collapse band and 1 stays at unit
+        // weight (no half-elements from the gap where nothing collapses).
+        let keep = SizeField::uniform(0.2); // ratio ≈ 0.7
+        for e in m.elems() {
+            assert_eq!(element_weight(&m, e, &keep), 1.0);
         }
     }
 

@@ -48,15 +48,40 @@ pub struct RefineStats {
     pub elements_after: usize,
 }
 
-struct HeapItem {
-    len: f64,
-    edge: MeshEnt,
-    verts: [u32; 2],
+pub(crate) struct HeapItem {
+    pub(crate) len: f64,
+    pub(crate) key: [u64; 6],
+    pub(crate) edge: MeshEnt,
+    pub(crate) verts: [u32; 2],
+}
+
+impl HeapItem {
+    /// Build a heap item for `edge`. The tie-break key is derived from the
+    /// endpoint *coordinates* (bit patterns, lexicographically sorted), not
+    /// from entity handles — so two parts holding copies of the same
+    /// geometric edge, or a serial mesh and a distributed one, order equal-
+    /// length edges identically. That canonical order is what makes
+    /// distributed refinement reproduce the serial bisection mesh bit for
+    /// bit (see `dist.rs`).
+    pub(crate) fn new(mesh: &Mesh, edge: MeshEnt, len: f64) -> Self {
+        let verts = mesh.verts_of(edge);
+        let a = mesh.coords(MeshEnt::vertex(verts[0]));
+        let b = mesh.coords(MeshEnt::vertex(verts[1]));
+        let ka = [a[0].to_bits(), a[1].to_bits(), a[2].to_bits()];
+        let kb = [b[0].to_bits(), b[1].to_bits(), b[2].to_bits()];
+        let (lo, hi) = if ka <= kb { (ka, kb) } else { (kb, ka) };
+        HeapItem {
+            len,
+            key: [lo[0], lo[1], lo[2], hi[0], hi[1], hi[2]],
+            edge,
+            verts: [verts[0], verts[1]],
+        }
+    }
 }
 
 impl PartialEq for HeapItem {
     fn eq(&self, other: &Self) -> bool {
-        self.len == other.len && self.edge == other.edge
+        self.len == other.len && self.key == other.key
     }
 }
 impl Eq for HeapItem {}
@@ -67,20 +92,22 @@ impl PartialOrd for HeapItem {
 }
 impl Ord for HeapItem {
     fn cmp(&self, other: &Self) -> Ordering {
+        // Longest first; ties broken by the content key (smaller key pops
+        // first out of the max-heap).
         self.len
             .partial_cmp(&other.len)
             .unwrap_or(Ordering::Equal)
-            .then(self.edge.cmp(&other.edge))
+            .then_with(|| other.key.cmp(&self.key))
     }
 }
 
-fn edge_length(mesh: &Mesh, verts: &[u32]) -> f64 {
+pub(crate) fn edge_length(mesh: &Mesh, verts: &[u32]) -> f64 {
     let a = mesh.coords(MeshEnt::vertex(verts[0]));
     let b = mesh.coords(MeshEnt::vertex(verts[1]));
     ((a[0] - b[0]).powi(2) + (a[1] - b[1]).powi(2) + (a[2] - b[2]).powi(2)).sqrt()
 }
 
-fn midpoint(mesh: &Mesh, verts: &[u32]) -> [f64; 3] {
+pub(crate) fn midpoint(mesh: &Mesh, verts: &[u32]) -> [f64; 3] {
     let a = mesh.coords(MeshEnt::vertex(verts[0]));
     let b = mesh.coords(MeshEnt::vertex(verts[1]));
     [
@@ -199,8 +226,34 @@ pub fn split_edge(mesh: &mut Mesh, edge: MeshEnt, model: Option<&Model>) -> Mesh
     m
 }
 
+/// Length of `verts` if the edge is oversized w.r.t. `size` (the split
+/// predicate). Purely geometric, so every copy of a shared edge evaluates
+/// it identically — the basis for communication-free consistent marking in
+/// distributed refinement.
+pub(crate) fn oversized_len(
+    mesh: &Mesh,
+    verts: &[u32],
+    size: &SizeField,
+    split_ratio: f64,
+) -> Option<f64> {
+    let len = edge_length(mesh, verts);
+    let h = size.at(midpoint(mesh, verts));
+    (len > split_ratio * h).then_some(len)
+}
+
 /// Refine until every edge satisfies the size field (or the split cap is
 /// hit). Returns statistics.
+///
+/// # Examples
+///
+/// ```
+/// use pumi_adapt::{refine, RefineOpts, SizeField};
+///
+/// let mut mesh = pumi_meshgen::tri_rect(2, 2, 1.0, 1.0);
+/// let stats = refine(&mut mesh, &SizeField::uniform(0.2), None, RefineOpts::default());
+/// assert!(stats.splits > 0);
+/// assert_eq!(stats.elements_after, mesh.num_elems());
+/// ```
 pub fn refine(
     mesh: &mut Mesh,
     size: &SizeField,
@@ -208,19 +261,9 @@ pub fn refine(
     opts: RefineOpts,
 ) -> RefineStats {
     let mut heap: BinaryHeap<HeapItem> = BinaryHeap::new();
-    let oversized = |mesh: &Mesh, verts: &[u32]| -> Option<f64> {
-        let len = edge_length(mesh, verts);
-        let h = size.at(midpoint(mesh, verts));
-        (len > opts.split_ratio * h).then_some(len)
-    };
     for e in mesh.snapshot(Dim::Edge) {
-        let verts = mesh.verts_of(e);
-        if let Some(len) = oversized(mesh, verts) {
-            heap.push(HeapItem {
-                len,
-                edge: e,
-                verts: [verts[0], verts[1]],
-            });
+        if let Some(len) = oversized_len(mesh, mesh.verts_of(e), size, opts.split_ratio) {
+            heap.push(HeapItem::new(mesh, e, len));
         }
     }
     let mut splits = 0usize;
@@ -236,20 +279,15 @@ pub fn refine(
         if [verts[0], verts[1]] != item.verts && [verts[1], verts[0]] != item.verts {
             continue;
         }
-        if oversized(mesh, verts).is_none() {
+        if oversized_len(mesh, verts, size, opts.split_ratio).is_none() {
             continue;
         }
         let m = split_edge(mesh, item.edge, model);
         splits += 1;
         // New candidates: every edge at the new vertex.
         for e in mesh.adjacent(m, Dim::Edge) {
-            let verts = mesh.verts_of(e);
-            if let Some(len) = oversized(mesh, verts) {
-                heap.push(HeapItem {
-                    len,
-                    edge: e,
-                    verts: [verts[0], verts[1]],
-                });
+            if let Some(len) = oversized_len(mesh, mesh.verts_of(e), size, opts.split_ratio) {
+                heap.push(HeapItem::new(mesh, e, len));
             }
         }
     }

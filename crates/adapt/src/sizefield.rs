@@ -9,6 +9,17 @@
 use std::sync::Arc;
 
 /// A target-edge-length field over the domain.
+///
+/// # Examples
+///
+/// ```
+/// use pumi_adapt::SizeField;
+///
+/// // Fine (0.05) within 0.1 of the plane x = 0.5, coarse (0.4) away from it.
+/// let s = SizeField::shock(|p| p[0] - 0.5, 0.05, 0.4, 0.1);
+/// assert_eq!(s.at([0.5, 0.0, 0.0]), 0.05);
+/// assert!(s.at([0.0, 0.0, 0.0]) > 0.2);
+/// ```
 #[derive(Clone)]
 pub struct SizeField {
     f: Arc<dyn Fn([f64; 3]) -> f64 + Send + Sync>,

@@ -1,0 +1,140 @@
+//! Partition invariance of distributed adaptation.
+//!
+//! `adapt_dist`'s content-derived global ids promise that adapting a mesh
+//! is *independent of how it is partitioned*: the 1-part result and the
+//! 4-rank result are entity-for-entity identical — same gids, same
+//! coordinates, same classification — so `pumi_io::struct_hash` must
+//! match exactly. The serial `refine()` driver is the third witness:
+//! split and element counts, total area, and the element-quality
+//! histogram must agree with both distributed runs. The 4-rank arm runs
+//! under the seeded chaos scheduler, so message reordering cannot change
+//! the result either.
+
+use proptest::prelude::*;
+use pumi_adapt::dist::{adapt_dist, AdaptOpts};
+use pumi_adapt::{mean_ratio, refine, RefineOpts, SizeField};
+use pumi_check::CheckOpts;
+use pumi_core::{distribute, DistMesh, PartMap};
+use pumi_meshgen::tri_rect;
+use pumi_pcu::{execute, execute_chaos, Comm};
+use pumi_util::PartId;
+
+const N: usize = 8;
+const QBINS: usize = 20;
+
+fn shock_size(c0: f64) -> SizeField {
+    SizeField::shock(move |p| p[0] + 0.4 * p[1] - c0, 0.06, 0.3, 0.05)
+}
+
+/// Mean-ratio histogram of all local elements, allreduced to a global one.
+fn quality_histogram(comm: &Comm, dm: &DistMesh) -> Vec<u64> {
+    let mut bins = vec![0u64; QBINS];
+    for p in &dm.parts {
+        for e in p.mesh.elems() {
+            if p.is_ghost(e) {
+                continue;
+            }
+            let q = mean_ratio(&p.mesh, e).clamp(0.0, 1.0);
+            let b = ((q * QBINS as f64) as usize).min(QBINS - 1);
+            bins[b] += 1;
+        }
+    }
+    comm.allreduce_sum_u64_vec(&bins)
+}
+
+struct ArmResult {
+    hash: u64,
+    splits: u64,
+    elements: u64,
+    hist: Vec<u64>,
+}
+
+/// Adapt the standard mesh on `nparts` parts over `nranks` ranks and
+/// reduce it to comparable facts.
+fn run_arm(nranks: usize, nparts: usize, chaos_seed: Option<u64>, c0: f64) -> ArmResult {
+    let body = move |c: &Comm| {
+        let serial = tri_rect(N, N, 1.0, 1.0);
+        let d = serial.elem_dim_t();
+        let mut labels = vec![0 as PartId; serial.index_space(d)];
+        if nparts > 1 {
+            for e in serial.iter(d) {
+                let x = serial.centroid(e);
+                let px = u32::from(x[0] >= 0.5);
+                let py = u32::from(x[1] >= 0.5);
+                labels[e.idx()] = (py * 2 + px) as PartId;
+            }
+        }
+        let mut dm = distribute(c, PartMap::contiguous(nparts, nranks), &serial, &labels);
+        let stats = adapt_dist(
+            c,
+            &mut dm,
+            &shock_size(c0),
+            AdaptOpts::new().check(CheckOpts::all()),
+        );
+        let hash = pumi_io::struct_hash(c, &dm);
+        let hist = quality_histogram(c, &dm);
+        (c.rank() == 0).then_some(ArmResult {
+            hash,
+            splits: stats.splits,
+            elements: stats.elements_after,
+            hist,
+        })
+    };
+    let out = match chaos_seed {
+        Some(seed) => execute_chaos(nranks, seed, body),
+        None => execute(nranks, body),
+    };
+    out.into_iter().flatten().next().unwrap()
+}
+
+/// Plain serial `refine()` reduced to the same facts (no gids — the
+/// serial hash witness is the 1-part `adapt_dist` arm).
+fn run_serial(c0: f64) -> (u64, u64, Vec<u64>) {
+    let mut m = tri_rect(N, N, 1.0, 1.0);
+    let stats = refine(&mut m, &shock_size(c0), None, RefineOpts::default());
+    let mut bins = vec![0u64; QBINS];
+    for e in m.elems() {
+        let q = mean_ratio(&m, e).clamp(0.0, 1.0);
+        bins[((q * QBINS as f64) as usize).min(QBINS - 1)] += 1;
+    }
+    (stats.splits as u64, stats.elements_after as u64, bins)
+}
+
+fn check_invariance(c0: f64, seed: u64) {
+    let one = run_arm(1, 1, None, c0);
+    let four = run_arm(4, 4, Some(seed), c0);
+    let (s_splits, s_elements, s_hist) = run_serial(c0);
+
+    assert_eq!(
+        one.hash, four.hash,
+        "struct_hash differs between 1-part and 4-rank adaptation (seed {seed}, c0 {c0})"
+    );
+    for (arm, r) in [("1-part", &one), ("4-rank", &four)] {
+        assert_eq!(r.splits, s_splits, "{arm} split count != serial refine()");
+        assert_eq!(r.elements, s_elements, "{arm} element count != serial");
+        assert_eq!(r.hist, s_hist, "{arm} quality histogram != serial");
+    }
+}
+
+/// The fixed seeds the invariant must hold under (regression anchors).
+#[test]
+fn serial_vs_dist_chaos_seed_1() {
+    check_invariance(0.5, 1);
+}
+
+#[test]
+fn serial_vs_dist_chaos_seed_7() {
+    check_invariance(0.5, 7);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// The invariance holds wherever the shock sits — including fronts
+    /// crossing one, two, or all four part boundaries.
+    #[test]
+    fn serial_vs_dist_any_shock_position(c0 in 0.2f64..1.1) {
+        check_invariance(c0, 1);
+        check_invariance(c0, 7);
+    }
+}

@@ -1,0 +1,322 @@
+//! The parallel adaptive loop (§I, §III-B, Fig. 13's remedy): repeated
+//! rounds of predict → balance → adapt on a distributed mesh, with a
+//! moving shock front driving both refinement (ahead of the front) and
+//! coarsening (behind it).
+//!
+//! Each round:
+//! 1. estimate every element's post-adaptation load with
+//!    `pumi_adapt::predict::element_weight` against this round's size
+//!    field, stamped as a `parma:weight` element tag,
+//! 2. run ParMA's diffusive improvement on those *predicted* weights
+//!    (`parma::improve_weighted`) — balancing the mesh that is *about to
+//!    exist* rather than the one that does,
+//! 3. adapt in parallel with `pumi_adapt::adapt_dist` (boundary-consistent
+//!    refinement + interior coarsening, invariants checked every round),
+//! 4. measure the *actual* element imbalance the adaptation produced.
+//!
+//! A frozen-partition control runs the same adaptation rounds with no
+//! balancing — the Fig. 13 blow-up the predictive loop is meant to
+//! prevent. The per-round trajectory (predicted, balanced, actual) lands
+//! in `results/adaptive_loop.json`.
+//!
+//! Usage: `adaptive_loop [--n N] [--parts N] [--ranks N] [--rounds N] [--tol F]`
+
+use parma::{improve_weighted, EntityLoads, ImproveOpts, Priority};
+use pumi_adapt::dist::{adapt_dist, AdaptOpts};
+use pumi_adapt::{element_weight, CoarsenOpts, SizeField};
+use pumi_bench::report::{f, print_table, table_to_json, write_report, Table};
+use pumi_bench::workloads::distribute_labels;
+use pumi_check::CheckOpts;
+use pumi_core::DistMesh;
+use pumi_meshgen::tri_rect;
+use pumi_obs::adapt::{AdaptTrace, RoundRow};
+use pumi_obs::json::Json;
+use pumi_obs::report::Report;
+use pumi_partition::partition_mesh;
+use pumi_pcu::Comm;
+use pumi_util::stats::Timer;
+use pumi_util::tag::TagKind;
+use pumi_util::Dim;
+
+const WEIGHT_TAG: &str = "parma:weight";
+
+struct Config {
+    n: usize,
+    nparts: usize,
+    nranks: usize,
+    rounds: usize,
+    tol: f64,
+}
+
+fn parse_args() -> Config {
+    let mut cfg = Config {
+        n: 32,
+        nparts: 8,
+        nranks: 4,
+        rounds: 4,
+        tol: 0.05,
+    };
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i + 1 < args.len() {
+        let v = &args[i + 1];
+        match args[i].as_str() {
+            "--n" => cfg.n = v.parse().expect("--n"),
+            "--parts" => cfg.nparts = v.parse().expect("--parts"),
+            "--ranks" => cfg.nranks = v.parse().expect("--ranks"),
+            "--rounds" => cfg.rounds = v.parse().expect("--rounds"),
+            "--tol" => cfg.tol = v.parse().expect("--tol"),
+            other => panic!("unknown flag {other}"),
+        }
+        i += 2;
+    }
+    cfg
+}
+
+/// The round's size field: an oblique shock front that sweeps across the
+/// unit square, demanding fine resolution in a band around it and coarse
+/// everywhere else — so elements refined in round `r` become coarsening
+/// targets in round `r + 1`.
+fn round_size(round: usize) -> SizeField {
+    let c = 0.25 + 0.18 * round as f64;
+    SizeField::shock(move |p| p[0] + 0.4 * p[1] - c, 0.008, 0.12, 0.03)
+}
+
+/// Stamp every element of every local part with its predicted
+/// post-adaptation weight for `size`.
+fn stamp_weights(dm: &mut DistMesh, size: &SizeField) {
+    for part in dm.parts.iter_mut() {
+        let d_elem = part.mesh.elem_dim_t();
+        let weights: Vec<_> = part
+            .mesh
+            .iter(d_elem)
+            .map(|e| (e, element_weight(&part.mesh, e, size)))
+            .collect();
+        let tid = part.mesh.tags_mut().declare(WEIGHT_TAG, TagKind::Double, 1);
+        for (e, w) in weights {
+            part.mesh.tags_mut().set_dbl(tid, e, w);
+        }
+    }
+}
+
+fn elem_imbalance_pct(comm: &Comm, dm: &DistMesh, d: Dim) -> f64 {
+    EntityLoads::gather(comm, dm).imbalance_pct(d)
+}
+
+fn main() {
+    let cfg = parse_args();
+    let serial = tri_rect(cfg.n, cfg.n, 1.0, 1.0);
+    let elem_d = serial.elem_dim_t();
+    eprintln!(
+        "adaptive_loop: {} tris, {} parts on {} ranks, {} rounds",
+        serial.num_elems(),
+        cfg.nparts,
+        cfg.nranks,
+        cfg.rounds
+    );
+    let labels = partition_mesh(&serial, cfg.nparts);
+
+    // ---- The predictive loop ----
+    let pri: Priority = "Face".parse().unwrap();
+    let out = pumi_pcu::execute(cfg.nranks, |c| {
+        let mut dm = distribute_labels(c, &serial, &labels, cfg.nparts);
+        let label = format!("moving shock, {} parts on {} ranks", cfg.nparts, cfg.nranks);
+        pumi_obs::adapt::begin(&label);
+        // Rows are also collected locally: the obs recorder is a no-op
+        // under --no-default-features, but the tables and shape checks
+        // below must work either way.
+        let mut local = AdaptTrace {
+            label,
+            ..AdaptTrace::default()
+        };
+        let timer = Timer::start();
+        for round in 0..cfg.rounds {
+            let size = round_size(round);
+            stamp_weights(&mut dm, &size);
+            let before = elem_imbalance_pct(c, &dm, elem_d);
+            let predicted = EntityLoads::gather_weighted(c, &dm, WEIGHT_TAG).imbalance_pct(elem_d);
+            let report = {
+                let _span = pumi_obs::span!("adapt.balance");
+                improve_weighted(
+                    c,
+                    &mut dm,
+                    &pri,
+                    ImproveOpts::new().tol(cfg.tol).max_iters(60),
+                    WEIGHT_TAG,
+                )
+            };
+            let balanced = EntityLoads::gather_weighted(c, &dm, WEIGHT_TAG).imbalance_pct(elem_d);
+            let stats = adapt_dist(
+                c,
+                &mut dm,
+                &size,
+                AdaptOpts::new()
+                    .coarsen(CoarsenOpts::default())
+                    .check(CheckOpts::all()),
+            );
+            let actual = elem_imbalance_pct(c, &dm, elem_d);
+            if c.rank() == 0 {
+                eprintln!(
+                    "round {}: predicted {predicted:.1}% -> balanced {balanced:.1}% -> \
+                     actual {actual:.1}%  ({} splits, {} collapses, {} elements)",
+                    round + 1,
+                    stats.splits,
+                    stats.collapses,
+                    stats.elements_after
+                );
+            }
+            let row = RoundRow {
+                round: round as u32 + 1,
+                before_pct: before,
+                predicted_pct: predicted,
+                balanced_pct: balanced,
+                actual_pct: actual,
+                splits: stats.splits,
+                collapses: stats.collapses,
+                elements_moved: report.elements_moved,
+                elements: stats.elements_after,
+            };
+            local.rounds.push(row);
+            pumi_obs::adapt::round(row);
+        }
+        let seconds = c.allreduce_max_f64(timer.seconds());
+        local.seconds = seconds;
+        pumi_obs::adapt::end(seconds);
+        let obs = pumi_pcu::obs::world_report(c);
+        (c.rank() == 0).then(|| {
+            // Prefer the recorder's trace (exercising the shipped obs
+            // path); fall back to the local copy when obs is compiled out.
+            let trace = pumi_obs::adapt::take().into_iter().next().unwrap_or(local);
+            (trace, obs)
+        })
+    });
+    let (trace, obs) = out.into_iter().flatten().next().unwrap();
+
+    // ---- Frozen-partition control: same rounds, no balancing ----
+    let frozen = pumi_pcu::execute(cfg.nranks, |c| {
+        let mut dm = distribute_labels(c, &serial, &labels, cfg.nparts);
+        let mut actuals = Vec::new();
+        for round in 0..cfg.rounds {
+            let size = round_size(round);
+            adapt_dist(
+                c,
+                &mut dm,
+                &size,
+                AdaptOpts::new().coarsen(CoarsenOpts::default()),
+            );
+            actuals.push(elem_imbalance_pct(c, &dm, elem_d));
+        }
+        (c.rank() == 0).then_some(actuals)
+    });
+    let frozen = frozen.into_iter().flatten().next().unwrap();
+
+    // ---- Per-round table ----
+    let mut t = Table::new(
+        &format!(
+            "Adaptive loop: {} rounds, {} parts (element imbalance %)",
+            cfg.rounds, cfg.nparts
+        ),
+        &[
+            "round",
+            "predicted",
+            "after ParMA",
+            "after adapt",
+            "frozen ctrl",
+            "splits",
+            "collapses",
+            "elements",
+        ],
+    );
+    for (r, ctrl) in trace.rounds.iter().zip(&frozen) {
+        t.row(vec![
+            r.round.to_string(),
+            f(r.predicted_pct, 1),
+            f(r.balanced_pct, 1),
+            f(r.actual_pct, 1),
+            f(*ctrl, 1),
+            r.splits.to_string(),
+            r.collapses.to_string(),
+            r.elements.to_string(),
+        ]);
+    }
+    print_table(&t);
+
+    // Hard invariant at any scale: a ParMA step never makes the predicted
+    // imbalance worse. Strict per-round improvement is *not* an invariant
+    // of the diffusion heuristic — under stagnation (small `--n`/`--parts`
+    // configs put the whole shock band in one part with no admissible
+    // move; see EXPERIMENTS.md) it can move elements among non-peak parts
+    // while max/avg stays pinned by the spike.
+    let worsened: Vec<String> = trace
+        .rounds
+        .iter()
+        .filter(|r| r.balanced_pct > r.predicted_pct + 1e-9)
+        .map(|r| {
+            format!(
+                "round {}: predicted {:.6}% -> balanced {:.6}% with {} elements moved",
+                r.round, r.predicted_pct, r.balanced_pct, r.elements_moved
+            )
+        })
+        .collect();
+    let last = trace.rounds.last().unwrap();
+    println!();
+    println!(
+        "check: ParMA reduced predicted imbalance in {}/{} rounds",
+        trace
+            .rounds
+            .iter()
+            .filter(|r| r.balanced_pct < r.predicted_pct)
+            .count(),
+        trace.rounds.len()
+    );
+    println!(
+        "check: final actual imbalance {:.1}% vs frozen-partition {:.1}%  (paper Fig 13: >400% when frozen)",
+        last.actual_pct,
+        frozen.last().unwrap()
+    );
+    assert!(
+        worsened.is_empty(),
+        "a ParMA step increased the predicted imbalance:\n{}",
+        worsened.join("\n")
+    );
+    // At the documented reproduction scale (the defaults, which generate
+    // the committed results/adaptive_loop.json), the paper's shape claims
+    // are regression-guarded: every ParMA step strictly improves and the
+    // predictive loop ends below the frozen-partition control.
+    let default_cfg = (cfg.n, cfg.nparts, cfg.nranks, cfg.rounds, cfg.tol) == (32, 8, 4, 4, 0.05);
+    if default_cfg {
+        assert!(
+            trace
+                .rounds
+                .iter()
+                .all(|r| r.balanced_pct < r.predicted_pct),
+            "a ParMA step failed to reduce the predicted imbalance at the default scale"
+        );
+        assert!(
+            last.actual_pct < *frozen.last().unwrap(),
+            "predictive loop did not beat the frozen-partition control at the default scale"
+        );
+    }
+
+    // ---- results/adaptive_loop.json ----
+    let mut report = Report::new("adaptive_loop");
+    report.section(
+        "config",
+        Json::obj([
+            ("n", Json::U64(cfg.n as u64)),
+            ("initial_elements", Json::U64(serial.num_elems() as u64)),
+            ("parts", Json::U64(cfg.nparts as u64)),
+            ("ranks", Json::U64(cfg.nranks as u64)),
+            ("rounds", Json::U64(cfg.rounds as u64)),
+            ("tol", Json::F64(cfg.tol)),
+        ]),
+    );
+    report.section("loop", trace.to_json());
+    report.section(
+        "frozen_control",
+        Json::arr(frozen.iter().map(|&pct| Json::F64(pct))),
+    );
+    report.section("obs", obs.unwrap_or(Json::Null));
+    report.section("tables", Json::arr([table_to_json(&t)]));
+    write_report(&report);
+}

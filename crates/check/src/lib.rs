@@ -27,6 +27,8 @@
 //! [`check_dist`] is collective: the violation count is all-reduced, so
 //! every rank returns `Err` together even when the broken link is remote.
 
+#![warn(missing_docs)]
+
 use pumi_core::part::NO_GID;
 use pumi_core::{DistMesh, Part, PartExchange};
 use pumi_field::DistField;
@@ -585,6 +587,26 @@ fn check_gid_uniqueness(comm: &Comm, dm: &DistMesh, errs: &mut Vec<CheckError>) 
 /// Run every enabled invariant check over the distributed mesh.
 /// Collective: all ranks must call; the violation count is all-reduced so
 /// all ranks return `Ok`/`Err` together.
+///
+/// # Examples
+///
+/// ```
+/// use pumi_check::{check_dist, CheckOpts};
+/// use pumi_core::{distribute, PartMap};
+/// use pumi_util::PartId;
+///
+/// pumi_pcu::execute(2, |c| {
+///     let serial = pumi_meshgen::tri_rect(4, 4, 1.0, 1.0);
+///     let d = serial.elem_dim_t();
+///     let mut labels = vec![0 as PartId; serial.index_space(d)];
+///     for e in serial.iter(d) {
+///         labels[e.idx()] = u32::from(serial.centroid(e)[0] >= 0.5) as PartId;
+///     }
+///     let dm = distribute(c, PartMap::contiguous(2, 2), &serial, &labels);
+///     let stats = check_dist(c, &dm, CheckOpts::all()).expect("fresh mesh is valid");
+///     assert!(stats.links > 0);
+/// });
+/// ```
 pub fn check_dist(comm: &Comm, dm: &DistMesh, opts: CheckOpts) -> Result<CheckStats, CheckFailure> {
     let _span = pumi_obs::span!("check");
     pumi_obs::metrics::counter_add("check.calls", 1);

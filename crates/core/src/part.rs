@@ -122,6 +122,40 @@ impl Part {
         }
     }
 
+    /// Record (or re-record) the global id of an existing mesh entity.
+    ///
+    /// Mesh-modification drivers (adaptation) create entities directly on
+    /// [`Part::mesh`] and assign deterministic, content-derived gids
+    /// afterwards; this is their hook into the part's gid bookkeeping.
+    ///
+    /// # Panics
+    /// Debug builds panic when re-recording a *different* gid for a live
+    /// entity — stale bookkeeping must be dropped with [`Part::forget`]
+    /// first.
+    pub fn set_gid(&mut self, e: MeshEnt, gid: GlobalId) {
+        self.record_gid(e, gid);
+    }
+
+    /// Drop all parallel bookkeeping of `e` — gid, gid index entry, remote
+    /// copies, ghost records — without touching the mesh entity itself.
+    ///
+    /// Adaptation deletes entities through mesh-level cavity operators
+    /// ([`Mesh::delete`] inside the split/collapse kernels); the driver
+    /// forgets the doomed handles first so a reused slot can never inherit
+    /// stale gid or remote-copy state. Compare [`Part::delete_entity`],
+    /// which also deletes the mesh entity.
+    pub fn forget(&mut self, e: MeshEnt) {
+        let d = e.dim().as_usize();
+        let gid = self.gid_of(e);
+        if gid != NO_GID {
+            self.gid_index[d].remove(&gid);
+            self.gids[d][e.idx()] = NO_GID;
+        }
+        self.remotes.remove(&e);
+        self.ghosts.remove(&e);
+        self.ghosted_to.remove(&e);
+    }
+
     /// The global id of a live entity.
     #[inline]
     pub fn gid_of(&self, e: MeshEnt) -> GlobalId {
@@ -192,6 +226,36 @@ impl Part {
     #[inline]
     pub fn is_owned(&self, e: MeshEnt) -> bool {
         self.owner(e) == self.id
+    }
+
+    /// The parts (other than this one) holding copies of `e` — the remote
+    /// half of the residence set, sorted. Empty for interior entities.
+    pub fn copy_parts(&self, e: MeshEnt) -> Vec<PartId> {
+        self.remotes_of(e).iter().map(|&(p, _)| p).collect()
+    }
+
+    /// Whether this part owns the part-boundary entity `e` *and* `e` is
+    /// actually shared — the "owner decides" predicate of collective
+    /// boundary operations (a part only initiates a boundary-entity update
+    /// when this is true; interior entities need no coordination).
+    #[inline]
+    pub fn is_owned_shared(&self, e: MeshEnt) -> bool {
+        self.is_shared(e) && self.is_owned(e)
+    }
+
+    /// Whether the closure of `e` (the entity and all its downward
+    /// adjacencies) touches the part boundary or a ghost copy. Collapse
+    /// safety in distributed adaptation keys on this: a cavity whose
+    /// closure is entirely interior can be modified without any
+    /// communication.
+    pub fn closure_touches_boundary(&self, e: MeshEnt) -> bool {
+        if self.is_shared(e) || self.is_ghost(e) {
+            return true;
+        }
+        self.mesh
+            .closure(e)
+            .into_iter()
+            .any(|s| self.is_shared(s) || self.is_ghost(s))
     }
 
     /// Iterate all shared (part-boundary) entities with their remote lists,
@@ -423,6 +487,38 @@ mod tests {
         p.delete_entity(v);
         assert_eq!(p.find_gid(Dim::Vertex, 5), None);
         assert_eq!(p.mesh.count(Dim::Vertex), 0);
+    }
+
+    #[test]
+    fn forget_then_set_gid_reuses_slot_cleanly() {
+        let mut p = Part::new(0, 2);
+        let v = p.add_vertex([0.; 3], NO_GEOM, 5);
+        p.set_remotes(v, vec![(1, 0)]);
+        p.forget(v);
+        // Bookkeeping is gone, the mesh entity is untouched.
+        assert_eq!(p.gid_of(v), NO_GID);
+        assert_eq!(p.find_gid(Dim::Vertex, 5), None);
+        assert!(!p.is_shared(v));
+        assert!(p.mesh.is_live(v));
+        // The slot can now carry a fresh gid without tripping the
+        // reassignment guard.
+        p.set_gid(v, 99);
+        assert_eq!(p.gid_of(v), 99);
+        assert_eq!(p.find_gid(Dim::Vertex, 99), Some(v));
+    }
+
+    #[test]
+    fn ownership_and_boundary_queries() {
+        let mut p = Part::new(1, 2);
+        let v = p.add_vertex([0.; 3], NO_GEOM, 5);
+        assert!(!p.is_owned_shared(v)); // interior: not shared
+        assert!(!p.closure_touches_boundary(v));
+        p.set_remotes(v, vec![(3, 0)]);
+        assert!(p.is_owned_shared(v)); // shared, owner = min(1, 3) = 1
+        assert_eq!(p.copy_parts(v), vec![3]);
+        p.set_remotes(v, vec![(0, 0)]);
+        assert!(!p.is_owned_shared(v)); // part 0 owns it now
+        assert!(p.closure_touches_boundary(v));
     }
 
     #[test]

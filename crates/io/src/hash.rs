@@ -34,6 +34,30 @@ impl Fnv {
 
 /// A global, partition-invariant hash of the distributed mesh's owned
 /// entities (structure, geometry, and tag values). Collective.
+///
+/// # Examples
+///
+/// The same serial mesh distributed two different ways hashes identically:
+///
+/// ```
+/// use pumi_core::{distribute, PartMap};
+/// use pumi_io::struct_hash;
+/// use pumi_util::PartId;
+///
+/// let run = |split_at: f64| {
+///     pumi_pcu::execute(2, |c| {
+///         let serial = pumi_meshgen::tri_rect(4, 4, 1.0, 1.0);
+///         let d = serial.elem_dim_t();
+///         let mut labels = vec![0 as PartId; serial.index_space(d)];
+///         for e in serial.iter(d) {
+///             labels[e.idx()] = u32::from(serial.centroid(e)[0] >= split_at) as PartId;
+///         }
+///         let dm = distribute(c, PartMap::contiguous(2, 2), &serial, &labels);
+///         struct_hash(c, &dm)
+///     })[0]
+/// };
+/// assert_eq!(run(0.25), run(0.75));
+/// ```
 pub fn struct_hash(comm: &Comm, dm: &DistMesh) -> u64 {
     let mut acc = 0u64;
     let mut buf = Vec::new();

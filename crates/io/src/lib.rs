@@ -25,6 +25,8 @@
 //! Write and read are collective; `io.write` / `io.read` /
 //! `io.redistribute` spans and byte counters thread through `pumi-obs`.
 
+#![warn(missing_docs)]
+
 pub mod crc;
 pub mod error;
 pub mod format;

@@ -1,0 +1,182 @@
+//! Adaptive-loop round recorder.
+//!
+//! The paper's Fig. 13 plots the imbalance trajectory of the parallel
+//! adaptive loop: each round predicts the post-adaptation load, rebalances
+//! on the prediction, adapts, and measures what actually happened. This
+//! module records that trajectory one row per round, mirroring the
+//! [`crate::parma`] recorder's thread-local/rank-0-canonical pattern: the
+//! driver feeds it values that are already world-global, so every rank
+//! records an identical trace and rank 0's copy is the one written to
+//! `results/*.json`.
+
+use crate::json::Json;
+use std::cell::RefCell;
+
+/// One adapt→predict→balance round of the adaptive loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RoundRow {
+    /// Round number (1-based).
+    pub round: u32,
+    /// Element imbalance % before this round's balancing step.
+    pub before_pct: f64,
+    /// *Predicted* (weighted) imbalance % — the load ParMA actually
+    /// balances, from `pumi_adapt::predict`.
+    pub predicted_pct: f64,
+    /// Predicted imbalance % after the ParMA step.
+    pub balanced_pct: f64,
+    /// *Actual* element imbalance % measured after adaptation ran.
+    pub actual_pct: f64,
+    /// Edge splits performed by the adaptation.
+    pub splits: u64,
+    /// Edge collapses performed by the adaptation.
+    pub collapses: u64,
+    /// Elements migrated by the ParMA step.
+    pub elements_moved: u64,
+    /// Global element count after adaptation.
+    pub elements: u64,
+}
+
+/// One full adaptive-loop run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AdaptTrace {
+    /// Caller-supplied label (mesh/size-field being run).
+    pub label: String,
+    /// Rounds in execution order.
+    pub rounds: Vec<RoundRow>,
+    /// Wall-clock seconds for the whole loop (max over ranks).
+    pub seconds: f64,
+}
+
+impl AdaptTrace {
+    /// Render as a JSON object.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("label", Json::str(&self.label)),
+            ("seconds", Json::F64(self.seconds)),
+            (
+                "rounds",
+                Json::arr(self.rounds.iter().map(|r| {
+                    Json::obj([
+                        ("round", Json::U64(r.round as u64)),
+                        ("before_pct", Json::F64(r.before_pct)),
+                        ("predicted_pct", Json::F64(r.predicted_pct)),
+                        ("balanced_pct", Json::F64(r.balanced_pct)),
+                        ("actual_pct", Json::F64(r.actual_pct)),
+                        ("splits", Json::U64(r.splits)),
+                        ("collapses", Json::U64(r.collapses)),
+                        ("elements_moved", Json::U64(r.elements_moved)),
+                        ("elements", Json::U64(r.elements)),
+                    ])
+                })),
+            ),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct RecState {
+    current: Option<AdaptTrace>,
+    done: Vec<AdaptTrace>,
+}
+
+thread_local! {
+    static REC: RefCell<RecState> = RefCell::new(RecState::default());
+}
+
+/// Begin recording an adaptive-loop run. An unfinished previous run is
+/// dropped.
+pub fn begin(label: &str) {
+    if cfg!(feature = "enabled") {
+        REC.with(|r| {
+            r.borrow_mut().current = Some(AdaptTrace {
+                label: label.to_string(),
+                ..AdaptTrace::default()
+            });
+        });
+    }
+}
+
+/// Record one completed round. The row's `round` field is overwritten with
+/// its 1-based position.
+pub fn round(mut row: RoundRow) {
+    if cfg!(feature = "enabled") {
+        REC.with(|r| {
+            if let Some(cur) = r.borrow_mut().current.as_mut() {
+                row.round = cur.rounds.len() as u32 + 1;
+                cur.rounds.push(row);
+            }
+        });
+    }
+}
+
+/// End the run begun by [`begin`], moving it to the completed list.
+pub fn end(seconds: f64) {
+    if cfg!(feature = "enabled") {
+        REC.with(|r| {
+            let mut r = r.borrow_mut();
+            if let Some(mut cur) = r.current.take() {
+                cur.seconds = seconds;
+                r.done.push(cur);
+            }
+        });
+    }
+}
+
+/// Drain this thread's completed traces.
+pub fn take() -> Vec<AdaptTrace> {
+    if cfg!(feature = "enabled") {
+        REC.with(|r| std::mem::take(&mut r.borrow_mut().done))
+    } else {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+#[cfg(feature = "enabled")]
+mod tests {
+    use super::*;
+
+    fn row(before: f64) -> RoundRow {
+        RoundRow {
+            round: 0,
+            before_pct: before,
+            predicted_pct: before + 5.0,
+            balanced_pct: 4.0,
+            actual_pct: 6.0,
+            splits: 100,
+            collapses: 10,
+            elements_moved: 40,
+            elements: 5000,
+        }
+    }
+
+    #[test]
+    fn records_rounds_in_order() {
+        let _ = take();
+        begin("shock");
+        round(row(30.0));
+        round(row(12.0));
+        end(2.5);
+        let traces = take();
+        assert_eq!(traces.len(), 1);
+        let t = &traces[0];
+        assert_eq!(t.label, "shock");
+        assert_eq!(t.rounds.len(), 2);
+        assert_eq!(t.rounds[0].round, 1);
+        assert_eq!(t.rounds[1].round, 2);
+        assert_eq!(t.rounds[1].before_pct, 12.0);
+        assert!(take().is_empty());
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let _ = take();
+        begin("j");
+        round(row(20.0));
+        end(0.1);
+        let j = take()[0].to_json().render();
+        assert!(j.contains("\"label\": \"j\""));
+        assert!(j.contains("\"predicted_pct\": 25"));
+        assert!(j.contains("\"elements\": 5000"));
+    }
+}

@@ -7,13 +7,15 @@
 //! JSON, so every bench binary can emit a `results/*.json` next to its tables.
 //!
 //! Components:
-//! * [`span`] — scoped phase timers (`let _g = span!("migrate.pack");`) that
+//! * [`mod@span`] — scoped phase timers (`let _g = span!("migrate.pack");`) that
 //!   aggregate count + inclusive nanoseconds per slash-joined span path,
 //! * [`metrics`] — a per-thread registry of counters, gauges and histograms,
 //!   plus message-traffic accounting per `(span path, link class)` — the
 //!   per-phase extension of PCU's world-total `TrafficCounters`,
 //! * [`parma`] — the ParMA iteration recorder: imbalance trajectory,
 //!   migration sizes and stop reasons per balancing stage,
+//! * [`adapt`] — the adaptive-loop round recorder: predicted vs balanced vs
+//!   actual imbalance per adapt→predict→balance round (Fig. 13),
 //! * [`json`] — a dependency-free JSON value with a pretty renderer,
 //! * [`report`] — the `results/<name>.json` sink.
 //!
@@ -31,6 +33,7 @@
 //! functions still exist but compile to no-ops and the drain functions
 //! return empty collections, so hook call sites need no `cfg` attributes.
 
+pub mod adapt;
 pub mod json;
 pub mod metrics;
 pub mod parma;

@@ -36,6 +36,39 @@ impl EntityLoads {
         EntityLoads { loads }
     }
 
+    /// Like [`EntityLoads::gather`], but the element-dimension load is the
+    /// *sum of per-element weights* read from the `weight_tag` Real tag
+    /// (missing tag or entry counts as 1.0) instead of the element count.
+    /// Predictive balancing (§III-B) stores `predict::element_weight` in
+    /// this tag so ParMA diffuses the *post-adaptation* load. Lower
+    /// dimensions stay plain counts. Collective.
+    pub fn gather_weighted(comm: &Comm, dm: &DistMesh, weight_tag: &str) -> EntityLoads {
+        let nparts = dm.map.nparts();
+        let mut flat = vec![0f64; 4 * nparts];
+        for p in &dm.parts {
+            let ed = p.mesh.elem_dim_t();
+            let tid = p.mesh.tags().find(weight_tag);
+            for d in Dim::ALL {
+                let col = d.as_usize() * nparts + p.id as usize;
+                if d == ed {
+                    flat[col] = p
+                        .mesh
+                        .elems()
+                        .map(|e| tid.and_then(|t| p.mesh.tags().get_dbl(t, e)).unwrap_or(1.0))
+                        .sum();
+                } else {
+                    flat[col] = p.mesh.count(d) as f64;
+                }
+            }
+        }
+        let flat = comm.allreduce_sum_f64_vec(&flat);
+        let mut loads: [Vec<f64>; 4] = Default::default();
+        for d in 0..4 {
+            loads[d] = flat[d * nparts..(d + 1) * nparts].to_vec();
+        }
+        EntityLoads { loads }
+    }
+
     /// Load vector of one dimension.
     pub fn of(&self, d: Dim) -> &[f64] {
         &self.loads[d.as_usize()]

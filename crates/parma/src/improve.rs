@@ -138,6 +138,38 @@ pub fn improve(
     priority: &Priority,
     opts: ImproveOpts,
 ) -> ImproveReport {
+    improve_inner(comm, dm, priority, opts, None)
+}
+
+/// [`improve`] against *weighted* element loads: the element-dimension load
+/// of a part is the sum of the named per-element Real tag (missing entries
+/// count 1.0) rather than the element count. This is the predictive
+/// balancing entry point of §III-B — store `predict::element_weight` in the
+/// tag and ParMA equalizes the *post-adaptation* load, preventing the
+/// Fig 13 imbalance spike. The tag rides migration, so moved elements keep
+/// their weights. Lower-dimension stages still balance plain counts.
+/// Collective.
+pub fn improve_weighted(
+    comm: &Comm,
+    dm: &mut DistMesh,
+    priority: &Priority,
+    opts: ImproveOpts,
+    weight_tag: &str,
+) -> ImproveReport {
+    improve_inner(comm, dm, priority, opts, Some(weight_tag))
+}
+
+fn improve_inner(
+    comm: &Comm,
+    dm: &mut DistMesh,
+    priority: &Priority,
+    opts: ImproveOpts,
+    weight: Option<&str>,
+) -> ImproveReport {
+    let gather = |comm: &Comm, dm: &DistMesh| match weight {
+        Some(tag) => EntityLoads::gather_weighted(comm, dm, tag),
+        None => EntityLoads::gather(comm, dm),
+    };
     let _span = pumi_obs::span!("parma.improve");
     pumi_obs::parma::begin(&priority.to_string());
     let timer = Timer::start();
@@ -156,7 +188,7 @@ pub fn improve(
         let mut loose_guarded = lesser.clone();
         loose_guarded.retain(|x| !guarded.contains(x));
         let _stage_span = pumi_obs::span::enter(&format!("stage.{d}"));
-        let entry_loads = EntityLoads::gather(comm, dm);
+        let entry_loads = gather(comm, dm);
         let initial_pct = entry_loads.imbalance_pct(d);
         pumi_obs::parma::stage_begin(&d.to_string(), initial_pct);
         let mut stop = pumi_obs::parma::StopReason::MaxIters;
@@ -197,7 +229,7 @@ pub fn improve(
         let mut no_progress = 0usize;
         let mut prev_pct = f64::INFINITY;
         for _ in 0..opts.max_iters {
-            let loads = EntityLoads::gather(comm, dm);
+            let loads = gather(comm, dm);
             final_pct = loads.imbalance_pct(d);
             if loads.imbalance(d) <= 1.0 + opts.tol {
                 stop = pumi_obs::parma::StopReason::Converged;
@@ -229,7 +261,9 @@ pub fn improve(
                 if sched.is_empty() {
                     continue;
                 }
-                let mut sel = Selector::new(part).strict(opts.strict_selection);
+                let mut sel = Selector::new(part)
+                    .strict(opts.strict_selection)
+                    .weighted(weight);
                 let mut guard = HarmGuard::new(all_guarded.clone(), caps, d);
                 let base = |q: PartId, dd: Dim| loads.of(dd)[q as usize];
                 let mut dests: Vec<PartId> = Vec::new();
@@ -332,7 +366,7 @@ pub fn improve(
             }
         }
         // Refresh after the last migration.
-        final_pct = EntityLoads::gather(comm, dm).imbalance_pct(d);
+        final_pct = gather(comm, dm).imbalance_pct(d);
         pumi_obs::parma::stage_end(final_pct, stop);
         types.push(TypeReport {
             dim: d,
@@ -423,6 +457,47 @@ mod tests {
                 after.imbalance_pct(Dim::Face)
             );
             assert_eq!(report.types.len(), 2);
+            pumi_core::verify::assert_dist_valid(c, &dm);
+        });
+    }
+
+    /// Counts are balanced but predicted weights are skewed: the weighted
+    /// entry point must diffuse elements until the *weighted* load levels,
+    /// even though plain `improve` would be a no-op here.
+    #[test]
+    fn weighted_improve_balances_predicted_load() {
+        execute(2, |c| {
+            let serial = tri_rect(10, 4, 10.0, 4.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                elem_part[e.idx()] = if serial.centroid(e)[0] < 5.0 { 0 } else { 1 };
+            }
+            let mut dm = distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part);
+            // Equal counts; part 0's elements carry 3x the predicted weight.
+            for p in &mut dm.parts {
+                let w = if p.id == 0 { 3.0 } else { 1.0 };
+                let tid =
+                    p.mesh
+                        .tags_mut()
+                        .declare("parma:weight", pumi_util::tag::TagKind::Double, 1);
+                for e in p.mesh.snapshot(d) {
+                    p.mesh.tags_mut().set_dbl(tid, e, w);
+                }
+            }
+            let before = EntityLoads::gather_weighted(c, &dm, "parma:weight");
+            assert_eq!(before.imbalance_pct(Dim::Face).round(), 50.0);
+            let pr: Priority = "Face".parse().unwrap();
+            let opts = ImproveOpts::default().tol(0.1).check(CheckOpts::all());
+            let report = improve_weighted(c, &mut dm, &pr, opts, "parma:weight");
+            let after = EntityLoads::gather_weighted(c, &dm, "parma:weight");
+            assert!(
+                after.imbalance_pct(Dim::Face) < before.imbalance_pct(Dim::Face) / 2.0,
+                "weighted imbalance not reduced: {}% -> {}%",
+                before.imbalance_pct(Dim::Face),
+                after.imbalance_pct(Dim::Face)
+            );
+            assert!(report.elements_moved > 0, "no elements moved");
             pumi_core::verify::assert_dist_valid(c, &dm);
         });
     }

@@ -117,6 +117,9 @@ pub struct Selector<'p> {
     selected: FxHashSet<MeshEnt>,
     /// Whether the strict selection passes run before the relaxed ones.
     strict: bool,
+    /// Per-element weight tag: element-dim removals and destination gains
+    /// count this weight instead of 1 (predictive balancing, §III-B).
+    weight: Option<pumi_util::TagId>,
     /// Closure entities already counted toward each destination's gains —
     /// adjacent cavities share closure entities, and double-counting them
     /// makes the harm guard block diffusion prematurely.
@@ -144,6 +147,7 @@ impl<'p> Selector<'p> {
             plan: MigrationPlan::new(),
             selected: FxHashSet::default(),
             strict: true,
+            weight: None,
             counted: FxHashMap::default(),
         }
     }
@@ -152,6 +156,19 @@ impl<'p> Selector<'p> {
     pub fn strict(mut self, strict: bool) -> Self {
         self.strict = strict;
         self
+    }
+
+    /// Weight element-dim accounting by the named Real tag (missing tag or
+    /// entry counts as 1.0).
+    pub fn weighted(mut self, tag: Option<&str>) -> Self {
+        self.weight = tag.and_then(|t| self.part.mesh.tags().find(t));
+        self
+    }
+
+    fn elem_weight(&self, e: MeshEnt) -> f64 {
+        self.weight
+            .and_then(|t| self.part.mesh.tags().get_dbl(t, e))
+            .unwrap_or(1.0)
     }
 
     /// Total elements selected so far.
@@ -229,7 +246,7 @@ impl<'p> Selector<'p> {
                     self.mark_counted(&[e], req.cand);
                     self.selected.insert(e);
                     self.plan.send(e, req.cand);
-                    removed += 1.0;
+                    removed += self.elem_weight(e);
                     if removed >= req.quota {
                         break;
                     }
@@ -337,7 +354,11 @@ impl<'p> Selector<'p> {
                 }
                 let on_cand = self.part.remotes_of(sub).iter().any(|&(q, _)| q == cand);
                 if !on_cand {
-                    gains[sub.dim().as_usize()] += 1.0;
+                    gains[sub.dim().as_usize()] += if sub.dim() == self.elem_dim {
+                        self.elem_weight(sub)
+                    } else {
+                        1.0
+                    };
                 }
             }
         }

@@ -14,7 +14,8 @@
 //! over generated inputs, so this preserves their meaning while keeping the
 //! build dependency-free.
 
-/// Generation strategies ([`Strategy`] and the range/tuple impls).
+/// Generation strategies ([`Strategy`](strategy::Strategy) and the
+/// range/tuple impls).
 pub mod strategy {
     use crate::test_runner::TestRng;
 
