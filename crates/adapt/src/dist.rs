@@ -42,10 +42,10 @@ use crate::coarsen::{try_collapse_collect, CoarsenOpts};
 use crate::refine::{oversized_len, split_edge, HeapItem};
 use crate::sizefield::SizeField;
 use pumi_check::CheckOpts;
-use pumi_core::ghost::{delete_ghosts, ghost_layers};
+use pumi_core::overlap::{clear_overlap, grow_overlap, GhostOpts, Overlap, Reduction};
 use pumi_core::{DistMesh, Part, PartExchange, NO_GID};
 use pumi_field::field::Field;
-use pumi_field::sync::{sync_owned_to_copies, DistField};
+use pumi_field::sync::{sync_fields, DistField};
 use pumi_geom::Model;
 use pumi_pcu::Comm;
 use pumi_util::{Dim, FxHashMap, GlobalId, MeshEnt, PartId};
@@ -65,8 +65,8 @@ pub struct AdaptOpts<'a> {
     /// Run `pumi_check::check_dist` after each phase (collective; panics on
     /// the first violated invariant, naming the entity).
     pub check: Option<CheckOpts>,
-    /// Rebuild `(bridge dimension, n)` ghost layers after adapting.
-    pub reghost: Option<(Dim, usize)>,
+    /// Re-grow a ghost overlap after adapting.
+    pub reghost: Option<GhostOpts>,
 }
 
 impl<'a> AdaptOpts<'a> {
@@ -99,9 +99,9 @@ impl<'a> AdaptOpts<'a> {
         self
     }
 
-    /// Rebuild ghost layers after adapting.
-    pub fn reghost(mut self, bridge: Dim, layers: usize) -> Self {
-        self.reghost = Some((bridge, layers));
+    /// Re-grow a ghost overlap after adapting.
+    pub fn reghost(mut self, opts: GhostOpts) -> Self {
+        self.reghost = Some(opts);
         self
     }
 
@@ -525,7 +525,8 @@ pub fn adapt_dist_with_field(
 ) -> AdaptStats {
     assert_eq!(field.len(), dm.parts.len(), "field not aligned with parts");
     let stats = adapt_inner(comm, dm, size, Some(field), opts);
-    sync_owned_to_copies(comm, dm, field);
+    let ov = Overlap::from_dist(dm);
+    sync_fields(comm, dm, &ov, field, Reduction::Insert);
     stats
 }
 
@@ -539,7 +540,7 @@ fn adapt_inner(
     let _span = pumi_obs::span!("adapt.dist");
     // Ghost copies are not adapted (they are read-only mirrors); strip
     // them and rebuild on request below.
-    delete_ghosts(dm);
+    clear_overlap(dm);
     let split_ratio = opts.effective_split_ratio();
     let mut stats = AdaptStats::default();
 
@@ -588,8 +589,8 @@ fn adapt_inner(
         }
     }
 
-    if let Some((bridge, layers)) = opts.reghost {
-        ghost_layers(comm, dm, bridge, layers);
+    if let Some(gopts) = opts.reghost {
+        grow_overlap(comm, dm, gopts);
         if let Some(c) = opts.check {
             pumi_check::check_dist(comm, dm, c).unwrap_or_else(|e| {
                 panic!("adapt_dist: invariants violated after reghosting: {e}")
@@ -737,11 +738,11 @@ mod tests {
             let serial = tri_rect(4, 4, 1.0, 1.0);
             let labels = quadrant_labels(&serial);
             let mut dm = distribute(c, PartMap::contiguous(4, 2), &serial, &labels);
-            pumi_core::ghost::ghost_layers(c, &mut dm, Dim::Vertex, 1);
+            grow_overlap(c, &mut dm, GhostOpts::new());
             let size = SizeField::uniform(0.2);
             let opts = AdaptOpts::new()
                 .check(pumi_check::CheckOpts::all())
-                .reghost(Dim::Vertex, 1);
+                .reghost(GhostOpts::new());
             adapt_dist(c, &mut dm, &size, opts);
             let ghosts = dm.global_sum(c, |p| p.num_ghosts() as u64);
             assert!(ghosts > 0, "ghost layer not rebuilt");

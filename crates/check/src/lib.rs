@@ -18,8 +18,15 @@
 //! * **global-id uniqueness** — no two distinct owned entities of one
 //!   dimension share a gid anywhere in the world (verified by hashing gids
 //!   to a home part),
-//! * **field-copy coherence** — [`check_field_sync`] verifies that after
-//!   `sync_owned_to_copies` every copy is bit-identical to its owner.
+//! * **overlap closure** — every closure entity of a ghost copy is itself a
+//!   ghost or a part-boundary copy, so the overlap region is downward
+//!   closed and a star-forest sync reaches every dof a ghost element
+//!   touches,
+//! * **share symmetry** — [`check_overlap`] verifies the star-forest itself:
+//!   every leaf's root reference is mirrored by an entry in that root's
+//!   leaf list, and vice versa, in both directions of a phased exchange,
+//! * **field-copy coherence** — [`check_field_sync`] verifies that after an
+//!   `Insert`-mode `Field::sync` every copy is bit-identical to its owner.
 //!
 //! Violations come back as typed [`CheckError`]s naming part, dimension and
 //! gid — the checker never asserts or panics on a broken mesh, so test
@@ -29,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+use pumi_core::overlap::{Overlap, Share};
 use pumi_core::part::NO_GID;
 use pumi_core::{DistMesh, Part, PartExchange};
 use pumi_field::DistField;
@@ -46,6 +54,9 @@ pub struct CheckOpts {
     pub ghosts: bool,
     /// World-wide global-id uniqueness per dimension.
     pub gids: bool,
+    /// Overlap closure-completeness (ghost closures stay inside the
+    /// overlap region).
+    pub overlap: bool,
 }
 
 impl Default for CheckOpts {
@@ -62,6 +73,7 @@ impl CheckOpts {
             ownership: true,
             ghosts: true,
             gids: true,
+            overlap: true,
         }
     }
 
@@ -86,6 +98,12 @@ impl CheckOpts {
     /// Toggle the gid-uniqueness check.
     pub fn gids(mut self, on: bool) -> Self {
         self.gids = on;
+        self
+    }
+
+    /// Toggle the overlap closure-completeness check.
+    pub fn overlap(mut self, on: bool) -> Self {
+        self.overlap = on;
         self
     }
 }
@@ -178,6 +196,35 @@ pub enum CheckError {
         /// Global id.
         gid: GlobalId,
     },
+    /// A ghost copy's closure contains an entity that is neither a ghost
+    /// nor a part-boundary copy: the overlap region is not downward closed,
+    /// so an overlap sync would skip a dof this ghost element touches.
+    OverlapClosureBroken {
+        /// Part holding the broken ghost.
+        part: PartId,
+        /// Dimension of the ghost entity.
+        dim: u8,
+        /// Global id of the ghost entity.
+        gid: GlobalId,
+        /// Dimension of the offending closure entity.
+        sub_dim: u8,
+        /// Global id of the offending closure entity.
+        sub_gid: GlobalId,
+    },
+    /// A star-forest share link is not mirrored by the other end: a leaf's
+    /// root reference has no matching entry in the root's leaf list (or a
+    /// root's leaf entry points at a slot that is dead, renamed, or not a
+    /// leaf of this root).
+    ShareAsymmetric {
+        /// Part that detected the violation.
+        part: PartId,
+        /// The other end of the unmirrored link.
+        peer: PartId,
+        /// Entity dimension.
+        dim: u8,
+        /// Global id.
+        gid: GlobalId,
+    },
     /// A copy's field value differs from its owner's after a sync.
     FieldCopyMismatch {
         /// The copy-holding part.
@@ -234,6 +281,14 @@ impl std::fmt::Display for CheckError {
             GhostLinkBroken { part, peer, dim, gid } => write!(
                 f,
                 "part {part}: ghost link with part {peer} broken for dim {dim} gid {gid}"
+            ),
+            OverlapClosureBroken { part, dim, gid, sub_dim, sub_gid } => write!(
+                f,
+                "part {part}: ghost dim {dim} gid {gid} has closure entity dim {sub_dim} gid {sub_gid} that is neither ghost nor shared"
+            ),
+            ShareAsymmetric { part, peer, dim, gid } => write!(
+                f,
+                "part {part}: star-forest share with part {peer} on dim {dim} gid {gid} is not mirrored"
             ),
             FieldCopyMismatch { part, owner, dim, gid } => write!(
                 f,
@@ -336,6 +391,32 @@ fn check_local(part: &Part, elem_dim: usize, errs: &mut Vec<CheckError>, stats: 
                     dim: dim8(e),
                     gid,
                     what: "ghost copy has remote copies (ghosts stay out of residence)",
+                });
+            }
+        }
+    }
+}
+
+/// Overlap closure-completeness, purely local: a ghost element arrives with
+/// its full closure, and every closure entity either becomes a ghost itself
+/// or dedups against an existing copy — which, because the sender also holds
+/// a real copy, must be part-boundary shared. So on a healthy mesh every
+/// closure entity of every ghost is a ghost or a shared copy; anything else
+/// means a sync through the overlap would miss a dof the ghost touches.
+fn check_overlap_closure(part: &Part, errs: &mut Vec<CheckError>, stats: &mut CheckStats) {
+    for g in part.ghost_entities() {
+        for sub in part.mesh.closure(g) {
+            if sub == g {
+                continue;
+            }
+            stats.links += 1;
+            if !part.is_ghost(sub) && !part.is_shared(sub) {
+                errs.push(CheckError::OverlapClosureBroken {
+                    part: part.id,
+                    dim: dim8(g),
+                    gid: part.gid_of(g),
+                    sub_dim: dim8(sub),
+                    sub_gid: part.gid_of(sub),
                 });
             }
         }
@@ -616,6 +697,9 @@ pub fn check_dist(comm: &Comm, dm: &DistMesh, opts: CheckOpts) -> Result<CheckSt
 
     for part in &dm.parts {
         check_local(part, elem_dim, &mut errs, &mut stats);
+        if opts.overlap {
+            check_overlap_closure(part, &mut errs, &mut stats);
+        }
     }
     if opts.symmetry || opts.ownership {
         check_symmetry(comm, dm, opts, &mut errs, &mut stats);
@@ -641,9 +725,132 @@ pub fn check_dist(comm: &Comm, dm: &DistMesh, opts: CheckOpts) -> Result<CheckSt
     })
 }
 
+/// Verify star-forest share symmetry for an [`Overlap`]: every leaf
+/// announces its root reference to the root part (which must list the leaf
+/// back, at the right index, with the right ghost flag), and every root
+/// announces each leaf entry to the leaf part (which must hold a matching
+/// leaf record pointing here). Collective; returns the world-wide number of
+/// share links verified.
+///
+/// The overlap must describe `dm` (same local part slots); call
+/// [`Overlap::rebuild_shares`] after mutating share records through the raw
+/// [`Part`] API.
+///
+/// # Examples
+///
+/// ```
+/// use pumi_check::check_overlap;
+/// use pumi_core::overlap::{grow_overlap, GhostOpts};
+/// use pumi_core::{distribute, PartMap};
+/// use pumi_util::PartId;
+///
+/// pumi_pcu::execute(2, |c| {
+///     let serial = pumi_meshgen::tri_rect(4, 4, 1.0, 1.0);
+///     let d = serial.elem_dim_t();
+///     let mut labels = vec![0 as PartId; serial.index_space(d)];
+///     for e in serial.iter(d) {
+///         labels[e.idx()] = u32::from(serial.centroid(e)[0] >= 0.5) as PartId;
+///     }
+///     let mut dm = distribute(c, PartMap::contiguous(2, 2), &serial, &labels);
+///     let ov = grow_overlap(c, &mut dm, GhostOpts::new());
+///     let links = check_overlap(c, &dm, &ov).expect("grown overlap is symmetric");
+///     assert!(links > 0);
+/// });
+/// ```
+pub fn check_overlap(comm: &Comm, dm: &DistMesh, ov: &Overlap) -> Result<u64, CheckFailure> {
+    let _span = pumi_obs::span!("check.overlap");
+    assert_eq!(ov.num_slots(), dm.parts.len(), "overlap/mesh slot mismatch");
+    let mut ex = PartExchange::new(comm, &dm.map);
+    for (slot, part) in dm.parts.iter().enumerate() {
+        debug_assert_eq!(ov.part_id(slot), part.id);
+        // leaf -> root: (0, dim, gid, root_idx, my_idx, ghost)
+        for (e, root) in ov.leaves_sorted(slot) {
+            let w = ex.to(part.id, root.part);
+            w.put_u8(0);
+            w.put_u8(dim8(e));
+            w.put_u64(part.gid_of(e));
+            w.put_u32(root.index);
+            w.put_u32(e.index());
+            w.put_u8(root.ghost as u8);
+        }
+        // root -> leaf: (1, dim, gid, leaf_idx, my_idx, ghost)
+        for (e, shares) in ov.roots_sorted(slot) {
+            for s in shares {
+                let w = ex.to(part.id, s.part);
+                w.put_u8(1);
+                w.put_u8(dim8(e));
+                w.put_u64(part.gid_of(e));
+                w.put_u32(s.index);
+                w.put_u32(e.index());
+                w.put_u8(s.ghost as u8);
+            }
+        }
+    }
+    let mut errs = Vec::new();
+    let mut links = 0u64;
+    let mut frames = ex.finish();
+    frames.sort_by_key(|&(from, to, _)| (to, from));
+    for (from, to, mut r) in frames {
+        let slot = dm.map.slot_of(to);
+        let part = &dm.parts[slot];
+        let mut run = |r: &mut MsgReader| -> Result<(), MsgError> {
+            while !r.is_done() {
+                let tag = r.try_get_u8()?;
+                let db = r.try_get_u8()?;
+                let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
+                let gid = r.try_get_u64()?;
+                let my_idx = r.try_get_u32()?;
+                let their_idx = r.try_get_u32()?;
+                let ghost = r.try_get_u8()? != 0;
+                links += 1;
+                let e = MeshEnt::new(d, my_idx);
+                let live = part.mesh.is_live(e) && part.gid_of(e) == gid;
+                let mirrored = live
+                    && match tag {
+                        // A leaf claims we are its root: our leaf list for
+                        // `e` must name it at its index with its ghost flag.
+                        0 => ov
+                            .root_shares(slot, e)
+                            .iter()
+                            .any(|s| s.part == from && s.index == their_idx && s.ghost == ghost),
+                        // A root claims we hold a leaf of its entity.
+                        1 => {
+                            ov.leaf_root(slot, e)
+                                == Some(Share {
+                                    part: from,
+                                    index: their_idx,
+                                    ghost,
+                                })
+                        }
+                        b => return Err(MsgError::bad_enum("share check record", b)),
+                    };
+                if !mirrored {
+                    errs.push(CheckError::ShareAsymmetric {
+                        part: part.id,
+                        peer: from,
+                        dim: db,
+                        gid,
+                    });
+                }
+            }
+            Ok(())
+        };
+        run(&mut r).unwrap_or_else(|e| panic!("corrupt share check frame {from}->{to}: {e}"));
+    }
+    let world = comm.allreduce_sum_u64(errs.len() as u64);
+    if world > 0 {
+        pumi_obs::metrics::counter_add("check.violations", world);
+        return Err(CheckFailure {
+            errors: errs,
+            world_violations: world,
+        });
+    }
+    Ok(comm.allreduce_sum_u64(links))
+}
+
 /// Verify field-copy coherence: every shared node's value on every copy is
-/// bit-identical to the owner's (the post-condition of
-/// `sync_owned_to_copies`). Collective; returns the world-wide number of
+/// bit-identical to the owner's (the post-condition of an `Insert`-mode
+/// `Field::sync`). Collective; returns the world-wide number of
 /// values compared.
 pub fn check_field_sync(
     comm: &Comm,

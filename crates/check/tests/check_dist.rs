@@ -1,10 +1,10 @@
 //! pumi-check behaviour: clean meshes pass, every class of corruption is
 //! detected collectively, and option gates skip exactly their family.
 
-use pumi_check::{check_dist, check_field_sync, CheckError, CheckOpts};
-use pumi_core::ghost::ghost_layers;
+use pumi_check::{check_dist, check_field_sync, check_overlap, CheckError, CheckOpts};
+use pumi_core::overlap::{grow_overlap, GhostOpts, Overlap, Reduction};
 use pumi_core::{distribute, migrate, DistMesh, MigrationPlan, Part, PartMap};
-use pumi_field::{dist_field, sync_owned_to_copies, Field, FieldShape};
+use pumi_field::{dist_field, Field, FieldShape, FieldSync};
 use pumi_geom::GeomEnt;
 use pumi_meshgen::tri_rect;
 use pumi_pcu::{execute, Comm};
@@ -49,7 +49,7 @@ fn passes_after_migrate_and_ghosting() {
         migrate(c, &mut dm, &plans);
         check_dist(c, &dm, CheckOpts::all()).expect("post-migrate mesh");
 
-        ghost_layers(c, &mut dm, Dim::Vertex, 1);
+        grow_overlap(c, &mut dm, GhostOpts::new());
         check_dist(c, &dm, CheckOpts::all()).expect("post-ghost mesh");
     });
 }
@@ -115,7 +115,7 @@ fn duplicate_gid_detected_and_gateable() {
 fn broken_ghost_record_detected() {
     execute(2, |c| {
         let mut dm = two_part_mesh(c);
-        ghost_layers(c, &mut dm, Dim::Vertex, 1);
+        grow_overlap(c, &mut dm, GhostOpts::new());
         check_dist(c, &dm, CheckOpts::all()).expect("clean ghosts");
         let part = &mut dm.parts[0];
         let victim = part.ghost_entities()[0];
@@ -130,9 +130,105 @@ fn broken_ghost_record_detected() {
             c.rank()
         );
         // Gating the ghost family skips the broken mirror; the de-ghosted copy
-        // now also claims ownership of its gid, so gate that family too.
-        check_dist(c, &dm, CheckOpts::all().ghosts(false).gids(false))
-            .expect("gated ghosts still failed");
+        // now also claims ownership of its gid and sticks out of the ghost
+        // closures it bounds, so gate those families too.
+        check_dist(
+            c,
+            &dm,
+            CheckOpts::all().ghosts(false).gids(false).overlap(false),
+        )
+        .expect("gated ghosts still failed");
+    });
+}
+
+/// De-ghosting a closure vertex of a ghost element leaves the element's
+/// closure sticking out of the overlap region: the vertex is now a real,
+/// unshared copy no sync will ever reach. The overlap family flags it.
+#[test]
+fn broken_overlap_closure_detected() {
+    execute(2, |c| {
+        let mut dm = two_part_mesh(c);
+        grow_overlap(c, &mut dm, GhostOpts::new());
+        check_dist(c, &dm, CheckOpts::all()).expect("clean overlap");
+        let part = &mut dm.parts[0];
+        let elem_dim = part.mesh.elem_dim();
+        let victim = part
+            .ghost_entities()
+            .into_iter()
+            .filter(|g| g.dim().as_usize() == elem_dim)
+            .flat_map(|g| part.mesh.closure(g))
+            .find(|&s| s.dim() == Dim::Vertex && part.is_ghost(s))
+            .expect("ghost element with a ghost closure vertex");
+        part.remove_ghost_record(victim);
+        let err = check_dist(c, &dm, CheckOpts::all()).expect_err("broken closure undetected");
+        assert!(err.world_violations > 0);
+        if c.rank() == 0 {
+            assert!(
+                err.errors
+                    .iter()
+                    .any(|e| matches!(e, CheckError::OverlapClosureBroken { sub_dim: 0, .. })),
+                "rank 0 saw: {err}"
+            );
+        }
+        // Gating the overlap family (plus the ghost/gid families the same
+        // corruption trips) skips the check.
+        check_dist(
+            c,
+            &dm,
+            CheckOpts::all().overlap(false).ghosts(false).gids(false),
+        )
+        .expect("gated overlap still failed");
+    });
+}
+
+/// A remote link rewritten to a bogus index makes the star forest
+/// asymmetric: the root's leaf entry points at a dead slot, and the real
+/// leaf's announcement no longer matches the root's list. Both sides of
+/// `check_overlap` report it.
+#[test]
+fn asymmetric_shares_detected() {
+    execute(2, |c| {
+        let mut dm = two_part_mesh(c);
+        let ov = Overlap::from_dist(&dm);
+        let links = check_overlap(c, &dm, &ov).expect("fresh overlap symmetric");
+        assert!(links > 0, "no share links verified");
+
+        if c.rank() == 0 {
+            let part = dm.part_mut(0);
+            let victim = part
+                .shared_entities()
+                .into_iter()
+                .find(|&(e, _)| e.dim() == Dim::Vertex && part.is_owned(e))
+                .expect("owned shared vertex")
+                .0;
+            part.set_remotes(victim, vec![(1, 999_999)]);
+        }
+        let ov = Overlap::from_dist(&dm);
+        let err = check_overlap(c, &dm, &ov).expect_err("asymmetric share undetected");
+        assert!(err.world_violations > 0);
+        if c.rank() == 1 {
+            assert!(
+                err.errors
+                    .iter()
+                    .any(|e| matches!(e, CheckError::ShareAsymmetric { .. })),
+                "rank 1 saw: {err}"
+            );
+        }
+    });
+}
+
+/// `check_overlap` stays green across the operations that rebuild the
+/// forest: growth to depth 2 and a share rebuild after it.
+#[test]
+fn check_overlap_passes_after_growth() {
+    execute(2, |c| {
+        let mut dm = two_part_mesh(c);
+        let mut ov = Overlap::from_dist(&dm);
+        check_overlap(c, &dm, &ov).expect("boundary-only forest");
+        ov.grow(c, &mut dm, 2);
+        let links = check_overlap(c, &dm, &ov).expect("depth-2 forest");
+        assert!(links > 0);
+        check_dist(c, &dm, CheckOpts::all()).expect("depth-2 invariants");
     });
 }
 
@@ -147,7 +243,8 @@ fn field_sync_coherence() {
                 fields[slot].set_scalar(v, part.gid_of(v) as f64);
             }
         }
-        sync_owned_to_copies(c, &dm, &mut fields);
+        let ov = Overlap::from_dist(&dm);
+        fields.sync(c, &dm, &ov, Reduction::Insert);
         let compared = check_field_sync(c, &dm, &fields).expect("synced field coherent");
         assert!(compared > 0);
 

@@ -1,320 +1,56 @@
-//! Ghosting (§II-C).
+//! Ghosting (§II-C) — deprecated shims.
 //!
 //! "Ghosting: a procedure to localize off-part mesh entities to avoid
 //! off-node communications for computations. A ghost is a read-only,
 //! duplicated, off-part internal entity copy including tag data."
 //!
-//! [`ghost_layers`] copies `nlayers` of elements adjacent (through a bridge
-//! dimension) to each part boundary onto the neighbouring parts. Ghost
-//! copies do not join residence sets or ownership; owners remember who holds
-//! ghosts of their entities so [`sync_ghost_tags`] can push updated tag data
-//! (the read-only contract: data flows owner → ghost only).
+//! The bespoke entry points that used to live here are now thin wrappers
+//! over the star-forest overlap subsystem ([`crate::overlap`]), kept for
+//! one release so existing callers migrate mechanically:
+//!
+//! | old | new |
+//! |---|---|
+//! | `ghost_layers(c, dm, bridge, n)` | [`grow_overlap`]`(c, dm, GhostOpts::new().bridge(bridge).layers(n))` |
+//! | `delete_ghosts(dm)` | [`clear_overlap`]`(dm)` |
+//! | `sync_ghost_tags(c, dm)` | [`Overlap::bcast_tags`]`(c, dm, Scope::Ghosts)` |
+//!
+//! [`grow_overlap`]: crate::overlap::grow_overlap
+//! [`clear_overlap`]: crate::overlap::clear_overlap
+//! [`Overlap::bcast_tags`]: crate::overlap::Overlap::bcast_tags
 
-use crate::dist::{DistMesh, PartExchange};
-use crate::migrate::{pack_tags, unpack_tags};
+use crate::dist::DistMesh;
+use crate::overlap::{self, Scope};
 use crate::part::Part;
-use pumi_geom::GeomEnt;
-use pumi_mesh::Topology;
-use pumi_pcu::{Comm, MsgError, MsgReader};
-use pumi_util::{Dim, FxHashMap, FxHashSet, MeshEnt, PartId};
-
-/// Ghost-creation acknowledgement: (dim, owner idx, holder idx).
-type Ack = (u8, u32, u32);
-
-/// Unpack one buffer of ghost-entity frames into `part`, creating missing
-/// entities as ghost copies and collecting acks for the owner.
-fn unpack_ghost_entities(
-    r: &mut MsgReader,
-    part: &mut Part,
-    from: PartId,
-    elem_dim: usize,
-    total: &mut u64,
-    ack: &mut Vec<Ack>,
-) -> Result<(), MsgError> {
-    while !r.is_done() {
-        let db = r.try_get_u8()?;
-        let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
-        let tb = r.try_get_u8()?;
-        let topo = Topology::try_from_u8(tb).ok_or(MsgError::bad_enum("topology", tb))?;
-        let gid = r.try_get_u64()?;
-        let class = GeomEnt(r.try_get_u32()?);
-        let src_idx = r.try_get_u32()?;
-        let (e, fresh) = if d == Dim::Vertex {
-            let x = [r.try_get_f64()?, r.try_get_f64()?, r.try_get_f64()?];
-            match part.find_gid(d, gid) {
-                Some(e) => (e, false),
-                None => (part.add_vertex(x, class, gid), true),
-            }
-        } else {
-            let vgids = r.try_get_u64_slice()?;
-            match part.find_gid(d, gid) {
-                Some(e) => (e, false),
-                None => {
-                    let mut verts = Vec::with_capacity(vgids.len());
-                    for &g in &vgids {
-                        let v = part.find_gid(Dim::Vertex, g).ok_or(MsgError::missing(
-                            "ghost closure vertex",
-                            0,
-                            g,
-                        ))?;
-                        verts.push(v.index());
-                    }
-                    (part.add_entity(topo, &verts, class, gid), true)
-                }
-            }
-        };
-        if fresh {
-            part.set_ghost(e, (from, src_idx));
-            ack.push((d.as_usize() as u8, src_idx, e.index()));
-            if d == Dim::from_usize(elem_dim) {
-                *total += 1;
-            }
-        }
-        unpack_tags(part, e, r)?;
-    }
-    Ok(())
-}
-
-/// Unpack ghost acknowledgements: owners record which parts hold copies.
-fn unpack_ghost_acks(r: &mut MsgReader, part: &mut Part, from: PartId) -> Result<(), MsgError> {
-    while !r.is_done() {
-        let db = r.try_get_u8()?;
-        let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
-        let my_idx = r.try_get_u32()?;
-        let their_idx = r.try_get_u32()?;
-        part.add_ghosted_to(MeshEnt::new(d, my_idx), (from, their_idx));
-    }
-    Ok(())
-}
-
-/// Unpack `(dim, idx, tags...)` frames pushed by [`sync_ghost_tags`].
-fn unpack_tag_frames(r: &mut MsgReader, part: &mut Part) -> Result<(), MsgError> {
-    while !r.is_done() {
-        let db = r.try_get_u8()?;
-        let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
-        let idx = r.try_get_u32()?;
-        unpack_tags(part, MeshEnt::new(d, idx), r)?;
-    }
-    Ok(())
-}
+use pumi_pcu::Comm;
+use pumi_util::{Dim, MeshEnt, PartId};
 
 /// Create `nlayers` of ghost elements around every part boundary, bridged
-/// through `bridge` (e.g. `Dim::Vertex` ghosts everything sharing a boundary
-/// vertex — the widest stencil; `Dim::Face` in 3D gives face-neighbour
-/// stencils). Collective. Returns the total number of ghost element copies
-/// created world-wide.
+/// through `bridge`. Collective. Returns the total number of ghost element
+/// copies created world-wide.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `overlap::grow_overlap` with `GhostOpts`, which also returns the share map"
+)]
 pub fn ghost_layers(comm: &Comm, dm: &mut DistMesh, bridge: Dim, nlayers: usize) -> u64 {
-    let _span = pumi_obs::span!("ghost");
-    pumi_obs::metrics::counter_add("ghost.calls", 1);
-    let elem_dim = dm.parts.first().map(|p| p.mesh.elem_dim()).unwrap_or(2);
-    let d_elem = Dim::from_usize(elem_dim);
-    assert!(
-        bridge.as_usize() < elem_dim,
-        "bridge must be below elements"
-    );
-    let nlocal = dm.parts.len();
-
-    // sent[slot][q] = elements already copied to part q (as handles).
-    let mut sent: Vec<FxHashMap<PartId, FxHashSet<MeshEnt>>> = vec![FxHashMap::default(); nlocal];
-    // Sender-side frontier: the elements shipped to q in the previous layer.
-    // Deeper layers grow outward from these on the owning part (as in PUMI,
-    // each layer comes from the part that owns the boundary neighbourhood).
-    let mut frontier: Vec<FxHashMap<PartId, Vec<MeshEnt>>> = vec![FxHashMap::default(); nlocal];
-    let mut total = 0u64;
-
-    for layer in 0..nlayers {
-        // 1. Determine which elements to send where.
-        let mut to_send: Vec<FxHashMap<PartId, Vec<MeshEnt>>> = vec![FxHashMap::default(); nlocal];
-        for (slot, part) in dm.parts.iter().enumerate() {
-            if layer == 0 {
-                // Seed: elements touching a boundary entity of the bridge
-                // dimension, destined to the parts sharing that entity.
-                for (e, remotes) in part.shared_entities() {
-                    if e.dim() != bridge {
-                        continue;
-                    }
-                    let elems = part.mesh.adjacent(e, d_elem);
-                    for &(q, _) in remotes {
-                        for &el in &elems {
-                            if part.is_ghost(el) {
-                                continue;
-                            }
-                            if sent[slot].entry(q).or_default().insert(el) {
-                                to_send[slot].entry(q).or_default().push(el);
-                            }
-                        }
-                    }
-                }
-            } else {
-                // Grow: our elements bridge-adjacent to what we already
-                // shipped to q.
-                for (&q, seeds) in &frontier[slot] {
-                    for &g in seeds {
-                        for el in part.mesh.neighbors_via(g, bridge) {
-                            if part.is_ghost(el) {
-                                continue;
-                            }
-                            if sent[slot].entry(q).or_default().insert(el) {
-                                to_send[slot].entry(q).or_default().push(el);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-        // The next layer grows from what each part ships now.
-        for slot in 0..nlocal {
-            frontier[slot] = to_send[slot].iter().map(|(&q, v)| (q, v.clone())).collect();
-        }
-
-        // 2. Pack closures (bottom-up) and send.
-        let mut ex = PartExchange::new(comm, &dm.map);
-        for (slot, part) in dm.parts.iter().enumerate() {
-            let mut dests: Vec<(&PartId, &Vec<MeshEnt>)> = to_send[slot].iter().collect();
-            dests.sort_by_key(|&(q, _)| *q);
-            for (&q, elems) in dests {
-                let mut packed: FxHashSet<MeshEnt> = FxHashSet::default();
-                let mut by_dim: [Vec<MeshEnt>; 4] = Default::default();
-                let mut elems = elems.clone();
-                elems.sort_unstable();
-                for &el in &elems {
-                    for sub in part.mesh.closure(el) {
-                        if packed.insert(sub) {
-                            by_dim[sub.dim().as_usize()].push(sub);
-                        }
-                    }
-                }
-                let w = ex.to(part.id, q);
-                for (d, by) in by_dim.iter().enumerate().take(elem_dim + 1) {
-                    for &e in by {
-                        w.put_u8(d as u8);
-                        w.put_u8(part.mesh.topo(e).to_u8());
-                        w.put_u64(part.gid_of(e));
-                        w.put_u32(part.mesh.class_of(e).0);
-                        w.put_u32(e.index()); // owner-side index
-                        if d == 0 {
-                            let x = part.mesh.coords(e);
-                            w.put_f64(x[0]);
-                            w.put_f64(x[1]);
-                            w.put_f64(x[2]);
-                        } else {
-                            let vgids: Vec<u64> = part
-                                .mesh
-                                .verts_of(e)
-                                .iter()
-                                .map(|&v| part.gid_of(MeshEnt::vertex(v)))
-                                .collect();
-                            w.put_u64_slice(&vgids);
-                        }
-                        pack_tags(part, e, w);
-                    }
-                }
-            }
-        }
-
-        // 3. Receive: create missing entities as ghosts; reply with local
-        //    indices so owners can track ghost holders.
-        let mut replies: Vec<(PartId, PartId, Vec<Ack>)> = Vec::new();
-        // Canonical unpack order: ghost creation order (and thus local
-        // indices, and which sender a doubly-ghosted entity records as its
-        // source) must not depend on the chaos scheduler's arrival order.
-        let mut frames = ex.finish();
-        frames.sort_by_key(|&(from, to, _)| (to, from));
-        for (from, to, mut r) in frames {
-            let slot = dm.map.slot_of(to);
-            let mut ack: Vec<Ack> = Vec::new();
-            unpack_ghost_entities(
-                &mut r,
-                &mut dm.parts[slot],
-                from,
-                elem_dim,
-                &mut total,
-                &mut ack,
-            )
-            .unwrap_or_else(|e| panic!("corrupt ghost frame {from}->{to}: {e}"));
-            if !ack.is_empty() {
-                replies.push((to, from, ack));
-            }
-        }
-
-        // 4. Acknowledge: owners record ghost holders.
-        let mut ex = PartExchange::new(comm, &dm.map);
-        for (me, owner, ack) in replies {
-            let w = ex.to(me, owner);
-            for (d, src_idx, my_idx) in ack {
-                w.put_u8(d);
-                w.put_u32(src_idx);
-                w.put_u32(my_idx);
-            }
-        }
-        let mut frames = ex.finish();
-        frames.sort_by_key(|&(from, to, _)| (to, from));
-        for (from, to, mut r) in frames {
-            let slot = dm.map.slot_of(to);
-            unpack_ghost_acks(&mut r, &mut dm.parts[slot], from)
-                .unwrap_or_else(|e| panic!("corrupt ghost ack frame {from}->{to}: {e}"));
-        }
-    }
-    comm.allreduce_sum_u64(total)
+    let mut ov = overlap::Overlap::from_dist(dm).with_bridge(bridge);
+    ov.grow(comm, dm, nlayers)
 }
 
-/// Delete every ghost copy on every part. Collective only in the trivial
-/// sense (no communication needed — owner-side `ghosted_to` records are
-/// cleared locally too).
+/// Delete every ghost copy on every part.
+#[deprecated(since = "0.2.0", note = "use `overlap::clear_overlap`")]
 pub fn delete_ghosts(dm: &mut DistMesh) {
-    let _span = pumi_obs::span!("ghost.delete");
-    for part in &mut dm.parts {
-        let ghosts = part.ghost_entities();
-        // Top-down: elements, then faces, edges, vertices with no remaining
-        // upward adjacency.
-        for d in (0..=3usize).rev() {
-            for &g in &ghosts {
-                if g.dim().as_usize() != d || !part.mesh.is_live(g) {
-                    continue;
-                }
-                if d < 3 && part.mesh.up_count(g) > 0 {
-                    // Still bounds a live (possibly non-ghost) entity: keep.
-                    // This happens when a ghost's closure entity is shared
-                    // with a real boundary entity — those were never fresh,
-                    // so they are not in `ghosts`; a live up here means a
-                    // non-ghost element references it, which contradicts
-                    // ghost creation. Defensive skip.
-                    continue;
-                }
-                part.delete_entity(g);
-            }
-        }
-        part.clear_ghost_records();
-    }
+    overlap::clear_overlap(dm);
 }
 
 /// Push tag data of ghosted entities from owners to their ghost copies
-/// (read-only contract: ghosts never push back). Syncs every tag present on
-/// each ghosted entity. Collective.
+/// (read-only contract: ghosts never push back). Collective.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `overlap::Overlap::bcast_tags` with `Scope::Ghosts`"
+)]
 pub fn sync_ghost_tags(comm: &Comm, dm: &mut DistMesh) {
-    let _span = pumi_obs::span!("ghost.sync_tags");
-    let mut ex = PartExchange::new(comm, &dm.map);
-    for part in &dm.parts {
-        let mut items: Vec<(MeshEnt, Vec<(PartId, u32)>)> =
-            part.ghost_entities_owner_side().into_iter().collect();
-        items.sort_by_key(|(e, _)| *e);
-        for (e, holders) in items {
-            for (q, their_idx) in holders {
-                let w = ex.to(part.id, q);
-                w.put_u8(e.dim().as_usize() as u8);
-                w.put_u32(their_idx);
-                pack_tags(part, e, w);
-            }
-        }
-    }
-    // Sorted so first-declaration tag-id assignment stays canonical.
-    let mut frames = ex.finish();
-    frames.sort_by_key(|&(from, to, _)| (to, from));
-    for (from, to, mut r) in frames {
-        let slot = dm.map.slot_of(to);
-        unpack_tag_frames(&mut r, &mut dm.parts[slot])
-            .unwrap_or_else(|e| panic!("corrupt ghost tag frame {from}->{to}: {e}"));
-    }
+    let ov = overlap::Overlap::from_dist(dm);
+    ov.bcast_tags(comm, dm, Scope::Ghosts);
 }
 
 impl Part {
@@ -337,6 +73,7 @@ impl Part {
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use crate::dist::{distribute, PartMap};

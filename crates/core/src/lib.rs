@@ -14,7 +14,10 @@
 //!   partition classification, neighbour queries (§II-C, Figs 3/4),
 //! * [`migrate()`] — mesh migration (§II-C): move element closures between
 //!   parts, rebuilding residence, remote copies and ownership,
-//! * [`ghost`] — ghosting: read-only off-part copies with tag data (§II-C),
+//! * [`overlap`] — the star-forest of entity shares: arbitrary-depth
+//!   ghost growth, root→leaf `bcast`, leaf→root `reduce` (§II-C),
+//! * [`ghost`] — deprecated shims over [`overlap`] (the old one-layer
+//!   ghosting API),
 //! * [`numbering`] — parallel-consistent global numbering of owned entities,
 //! * [`twolevel`] — two-level architecture-aware partitioning support:
 //!   on-node vs off-node part boundaries (§II-D, Figs 5/6),
@@ -25,6 +28,7 @@ pub mod dist;
 pub mod ghost;
 pub mod migrate;
 pub mod numbering;
+pub mod overlap;
 pub mod part;
 pub mod ptnmodel;
 pub mod twolevel;
@@ -32,5 +36,8 @@ pub mod verify;
 
 pub use dist::{distribute, DistMesh, PartExchange, PartMap};
 pub use migrate::{migrate, MigrationPlan};
+pub use overlap::{
+    clear_overlap, grow_overlap, migrate_preserving, GhostOpts, Overlap, Reduction, Scope, Share,
+};
 pub use part::{Part, NO_GID};
 pub use ptnmodel::PtnModel;

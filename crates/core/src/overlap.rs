@@ -1,0 +1,1113 @@
+//! Overlap distribution: the star-forest of entity shares (§II-C, and
+//! Knepley/Lange/Gorman's "overlap" generalization).
+//!
+//! A distributed mesh duplicates entities: part-boundary copies (remotes)
+//! and read-only ghost copies. Both are the same thing seen through one
+//! abstraction — a **star forest** of point shares. Each shared entity has
+//! one *root* (the copy on its owning part) and any number of *leaves*
+//! (every other copy, boundary or ghost). [`Overlap`] materializes that
+//! forest so that data movement becomes two composable primitives:
+//!
+//! * [`Overlap::bcast`] — root → leaves (owner pushes authoritative data),
+//! * [`Overlap::reduce`] — leaves → root, combined with a [`Reduction`].
+//!
+//! Overlap *growth* ([`grow_overlap`], [`Overlap::grow`]) copies layers of
+//! elements adjacent (through a bridge dimension) to each part boundary
+//! onto the neighbouring parts, closure-complete and iterable to arbitrary
+//! depth — the paper's one-layer ghosting is exactly the `depth = 1`
+//! special case. Redistribution ([`migrate_preserving`]) re-derives an
+//! equivalent overlap after migration, so consumers can treat "migrate a
+//! ghosted mesh" as one operation.
+//!
+//! Ghost copies keep the read-only contract: data flows root → ghost leaf
+//! only, unless a caller explicitly reduces with [`Scope::All`] over values
+//! it put on leaves itself (the FE-assembly pattern).
+
+use crate::dist::{DistMesh, PartExchange, PartMap};
+use crate::migrate::{migrate, pack_tags, unpack_tags, MigrationPlan, MigrationStats};
+use crate::part::Part;
+use pumi_geom::GeomEnt;
+use pumi_mesh::Topology;
+use pumi_pcu::{Comm, MsgError, MsgReader, MsgWriter};
+use pumi_util::{Dim, FxHashMap, FxHashSet, MeshEnt, PartId};
+
+// ---------------------------------------------------------------------
+// Options and modes
+// ---------------------------------------------------------------------
+
+/// How [`Overlap::reduce`]-style synchronization combines multiple copies
+/// of the same value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Reduction {
+    /// Root overwrites leaves (owner → copy push, no combination).
+    Insert,
+    /// Sum all copies — the FE assembly reduction.
+    Add,
+    /// Keep the componentwise minimum over all copies.
+    Min,
+    /// Keep the componentwise maximum over all copies.
+    Max,
+}
+
+/// Which share links an [`Overlap::bcast`] / [`Overlap::reduce`] traverses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scope {
+    /// Every leaf: part-boundary copies and ghost copies.
+    All,
+    /// Ghost leaves only (e.g. tag pushes under the read-only contract).
+    Ghosts,
+}
+
+/// Options for [`grow_overlap`], builder-style like `ImproveOpts`:
+///
+/// ```
+/// use pumi_core::overlap::GhostOpts;
+/// use pumi_util::Dim;
+/// let opts = GhostOpts::new().bridge(Dim::Vertex).layers(2);
+/// assert_eq!(opts.layers, 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GhostOpts {
+    /// Bridge dimension: an element joins the next layer when it shares a
+    /// `bridge`-dimensional entity with the previous one. `Dim::Vertex`
+    /// gives the widest stencil; `Dim::Face` in 3D gives face-neighbour
+    /// stencils.
+    pub bridge: Dim,
+    /// Number of element layers to copy around every part boundary.
+    pub layers: usize,
+}
+
+impl Default for GhostOpts {
+    fn default() -> Self {
+        GhostOpts {
+            bridge: Dim::Vertex,
+            layers: 1,
+        }
+    }
+}
+
+impl GhostOpts {
+    /// Default options: one layer bridged through vertices.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Set the bridge dimension.
+    pub fn bridge(mut self, d: Dim) -> Self {
+        self.bridge = d;
+        self
+    }
+
+    /// Set the number of layers.
+    pub fn layers(mut self, n: usize) -> Self {
+        self.layers = n;
+        self
+    }
+}
+
+// ---------------------------------------------------------------------
+// The star forest
+// ---------------------------------------------------------------------
+
+/// One end of a share link: the copy of an entity living on `part` at
+/// local index `index`. In a root's leaf list this names a leaf copy; in a
+/// leaf's record it names the root copy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Share {
+    /// Part holding the copy.
+    pub part: PartId,
+    /// Entity index local to `part` (same dimension as the entity).
+    pub index: u32,
+    /// Whether the *leaf* side of this link is a ghost copy (false for
+    /// part-boundary remotes).
+    pub ghost: bool,
+}
+
+/// The star-forest share map of a [`DistMesh`]: for every local part slot,
+/// which entities are roots (with their leaf lists) and which are leaves
+/// (with their root reference).
+///
+/// Built locally from part bookkeeping by [`Overlap::from_dist`] — remotes
+/// and ghost records already encode the forest; no communication needed.
+/// [`Overlap::grow`] deepens the ghost region and refreshes the maps.
+#[derive(Debug, Clone)]
+pub struct Overlap {
+    bridge: Dim,
+    depth: usize,
+    /// Local part ids, aligned with `DistMesh::parts`.
+    part_ids: Vec<PartId>,
+    /// Per slot: root entity → its leaf copies, boundary and ghost.
+    roots: Vec<FxHashMap<MeshEnt, Vec<Share>>>,
+    /// Per slot: leaf entity → its root copy.
+    leaves: Vec<FxHashMap<MeshEnt, Share>>,
+    /// Per slot: elements already shipped to each neighbour part, so
+    /// repeated [`Overlap::grow`] calls never re-send (grow(1) twice ≡
+    /// grow(2)).
+    sent: Vec<FxHashMap<PartId, FxHashSet<MeshEnt>>>,
+    /// Per slot: the elements shipped to each neighbour in the most recent
+    /// layer — the seeds the next layer grows outward from.
+    frontier: Vec<FxHashMap<PartId, Vec<MeshEnt>>>,
+}
+
+impl Overlap {
+    /// Build the share map of `dm` from its part bookkeeping (remote-copy
+    /// lists and ghost records). Purely local. The bridge dimension
+    /// defaults to `Dim::Vertex`; override with [`Overlap::with_bridge`]
+    /// before growing.
+    pub fn from_dist(dm: &DistMesh) -> Overlap {
+        let nlocal = dm.parts.len();
+        let mut ov = Overlap {
+            bridge: Dim::Vertex,
+            depth: 0,
+            part_ids: dm.parts.iter().map(|p| p.id).collect(),
+            roots: vec![FxHashMap::default(); nlocal],
+            leaves: vec![FxHashMap::default(); nlocal],
+            sent: vec![FxHashMap::default(); nlocal],
+            frontier: vec![FxHashMap::default(); nlocal],
+        };
+        ov.rebuild_shares(dm);
+        ov
+    }
+
+    /// Set the bridge dimension used by subsequent [`Overlap::grow`] calls.
+    pub fn with_bridge(mut self, bridge: Dim) -> Self {
+        self.bridge = bridge;
+        self
+    }
+
+    /// The bridge dimension growth uses.
+    pub fn bridge(&self) -> Dim {
+        self.bridge
+    }
+
+    /// Number of layers grown through this handle (0 for a freshly built
+    /// share map, even if `dm` already carried ghosts from elsewhere).
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of local part slots (aligned with `DistMesh::parts`).
+    pub fn num_slots(&self) -> usize {
+        self.part_ids.len()
+    }
+
+    /// The part id of local slot `slot`.
+    pub fn part_id(&self, slot: usize) -> PartId {
+        self.part_ids[slot]
+    }
+
+    /// Number of root entities on slot `slot`.
+    pub fn num_roots(&self, slot: usize) -> usize {
+        self.roots[slot].len()
+    }
+
+    /// Number of leaf entities on slot `slot`.
+    pub fn num_leaves(&self, slot: usize) -> usize {
+        self.leaves[slot].len()
+    }
+
+    /// The leaf copies of root `e` on slot `slot` (empty if not a root).
+    pub fn root_shares(&self, slot: usize, e: MeshEnt) -> &[Share] {
+        self.roots[slot]
+            .get(&e)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// The root copy of leaf `e` on slot `slot`, if `e` is a leaf there.
+    pub fn leaf_root(&self, slot: usize, e: MeshEnt) -> Option<Share> {
+        self.leaves[slot].get(&e).copied()
+    }
+
+    /// All roots of slot `slot` with their leaf lists, sorted by handle.
+    pub fn roots_sorted(&self, slot: usize) -> Vec<(MeshEnt, &[Share])> {
+        let mut v: Vec<(MeshEnt, &[Share])> = self.roots[slot]
+            .iter()
+            .map(|(&e, s)| (e, s.as_slice()))
+            .collect();
+        v.sort_by_key(|&(e, _)| e);
+        v
+    }
+
+    /// All leaves of slot `slot` with their root references, sorted by
+    /// handle.
+    pub fn leaves_sorted(&self, slot: usize) -> Vec<(MeshEnt, Share)> {
+        let mut v: Vec<(MeshEnt, Share)> =
+            self.leaves[slot].iter().map(|(&e, &s)| (e, s)).collect();
+        v.sort_by_key(|&(e, _)| e);
+        v
+    }
+
+    /// Re-derive roots/leaves from `dm`'s part bookkeeping. Called after
+    /// every [`Overlap::grow`]; call it yourself if you mutate share
+    /// records through the raw [`Part`] API.
+    pub fn rebuild_shares(&mut self, dm: &DistMesh) {
+        for (slot, part) in dm.parts.iter().enumerate() {
+            let roots = &mut self.roots[slot];
+            let leaves = &mut self.leaves[slot];
+            roots.clear();
+            leaves.clear();
+            // Part-boundary copies: the minimum residence part is root.
+            for (e, remotes) in part.shared_entities() {
+                if part.is_owned(e) {
+                    roots.insert(
+                        e,
+                        remotes
+                            .iter()
+                            .map(|&(p, i)| Share {
+                                part: p,
+                                index: i,
+                                ghost: false,
+                            })
+                            .collect(),
+                    );
+                } else {
+                    let owner = part.owner(e);
+                    if let Some(&(p, i)) = remotes.iter().find(|&&(p, _)| p == owner) {
+                        leaves.insert(
+                            e,
+                            Share {
+                                part: p,
+                                index: i,
+                                ghost: false,
+                            },
+                        );
+                    }
+                }
+            }
+            // Ghost copies: the source (always the owner — growth re-roots
+            // holder records) is root, the ghost is a leaf.
+            for (e, holders) in part.ghost_entities_owner_side() {
+                let list = roots.entry(e).or_default();
+                for (p, i) in holders {
+                    list.push(Share {
+                        part: p,
+                        index: i,
+                        ghost: true,
+                    });
+                }
+            }
+            for e in part.ghost_entities() {
+                let (p, i) = part.ghost_source(e).expect("ghost has a source");
+                leaves.insert(
+                    e,
+                    Share {
+                        part: p,
+                        index: i,
+                        ghost: true,
+                    },
+                );
+            }
+            // Canonical leaf order, independent of ack arrival order.
+            for list in roots.values_mut() {
+                list.sort_unstable();
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------
+    // Growth
+    // -----------------------------------------------------------------
+
+    /// Grow the ghost region by `layers` element layers bridged through
+    /// [`Overlap::bridge`], then refresh the share maps. Iterable:
+    /// `grow(1)` twice reaches exactly the entities `grow(2)` does.
+    /// Collective. Returns the world-total number of ghost element copies
+    /// created by this call.
+    pub fn grow(&mut self, comm: &Comm, dm: &mut DistMesh, layers: usize) -> u64 {
+        let _span = pumi_obs::span!("overlap.grow");
+        pumi_obs::metrics::counter_add("overlap.grow.calls", 1);
+        let elem_dim = dm.parts.first().map(|p| p.mesh.elem_dim()).unwrap_or(2);
+        let d_elem = Dim::from_usize(elem_dim);
+        assert!(
+            self.bridge.as_usize() < elem_dim,
+            "bridge must be below elements"
+        );
+        let nlocal = dm.parts.len();
+        let mut total = 0u64;
+
+        for _ in 0..layers {
+            // 1. Determine which elements to send where. The first layer
+            //    seeds from boundary bridge entities; later layers grow
+            //    outward from what each part already shipped.
+            let mut to_send: Vec<FxHashMap<PartId, Vec<MeshEnt>>> =
+                vec![FxHashMap::default(); nlocal];
+            for (slot, part) in dm.parts.iter().enumerate() {
+                if self.depth == 0 && self.frontier[slot].is_empty() {
+                    for (e, remotes) in part.shared_entities() {
+                        if e.dim() != self.bridge {
+                            continue;
+                        }
+                        let elems = part.mesh.adjacent(e, d_elem);
+                        for &(q, _) in remotes {
+                            for &el in &elems {
+                                if part.is_ghost(el) {
+                                    continue;
+                                }
+                                if self.sent[slot].entry(q).or_default().insert(el) {
+                                    to_send[slot].entry(q).or_default().push(el);
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    for (&q, seeds) in &self.frontier[slot] {
+                        for &g in seeds {
+                            for el in part.mesh.neighbors_via(g, self.bridge) {
+                                if part.is_ghost(el) {
+                                    continue;
+                                }
+                                if self.sent[slot].entry(q).or_default().insert(el) {
+                                    to_send[slot].entry(q).or_default().push(el);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            for (frontier, sends) in self.frontier.iter_mut().zip(&to_send) {
+                *frontier = sends.iter().map(|(&q, v)| (q, v.clone())).collect();
+            }
+
+            // 2. Pack closures (bottom-up) and send.
+            let mut ex = PartExchange::new(comm, &dm.map);
+            for (slot, part) in dm.parts.iter().enumerate() {
+                let mut dests: Vec<(&PartId, &Vec<MeshEnt>)> = to_send[slot].iter().collect();
+                dests.sort_by_key(|&(q, _)| *q);
+                for (&q, elems) in dests {
+                    let mut packed: FxHashSet<MeshEnt> = FxHashSet::default();
+                    let mut by_dim: [Vec<MeshEnt>; 4] = Default::default();
+                    let mut elems = elems.clone();
+                    elems.sort_unstable();
+                    for &el in &elems {
+                        for sub in part.mesh.closure(el) {
+                            if packed.insert(sub) {
+                                by_dim[sub.dim().as_usize()].push(sub);
+                            }
+                        }
+                    }
+                    let w = ex.to(part.id, q);
+                    for (d, by) in by_dim.iter().enumerate().take(elem_dim + 1) {
+                        for &e in by {
+                            w.put_u8(d as u8);
+                            w.put_u8(part.mesh.topo(e).to_u8());
+                            w.put_u64(part.gid_of(e));
+                            w.put_u32(part.mesh.class_of(e).0);
+                            w.put_u32(e.index()); // sender-side index
+                            if d == 0 {
+                                let x = part.mesh.coords(e);
+                                w.put_f64(x[0]);
+                                w.put_f64(x[1]);
+                                w.put_f64(x[2]);
+                            } else {
+                                let vgids: Vec<u64> = part
+                                    .mesh
+                                    .verts_of(e)
+                                    .iter()
+                                    .map(|&v| part.gid_of(MeshEnt::vertex(v)))
+                                    .collect();
+                                w.put_u64_slice(&vgids);
+                            }
+                            pack_tags(part, e, w);
+                        }
+                    }
+                }
+            }
+
+            // 3. Receive: create missing entities as ghosts; reply with
+            //    local indices so the sender can route holder records.
+            let mut replies: Vec<(PartId, PartId, Vec<Ack>)> = Vec::new();
+            // Canonical unpack order: ghost creation order (local indices,
+            // and which sender a doubly-shipped entity first arrives from)
+            // must not depend on the chaos scheduler's arrival order.
+            let mut frames = ex.finish();
+            frames.sort_by_key(|&(from, to, _)| (to, from));
+            for (from, to, mut r) in frames {
+                let slot = dm.map.slot_of(to);
+                let mut ack: Vec<Ack> = Vec::new();
+                unpack_ghost_entities(
+                    &mut r,
+                    &mut dm.parts[slot],
+                    from,
+                    elem_dim,
+                    &mut total,
+                    &mut ack,
+                )
+                .unwrap_or_else(|e| panic!("corrupt overlap frame {from}->{to}: {e}"));
+                if !ack.is_empty() {
+                    replies.push((to, from, ack));
+                }
+            }
+
+            // 4. Acknowledge to the sender. If the sender owns the entity
+            //    it records the holder directly; otherwise it re-roots:
+            //    forwards the holder record to the owner and tells the
+            //    holder the canonical root, so ghost links always point at
+            //    owners no matter which part shipped the copy.
+            let mut ex = PartExchange::new(comm, &dm.map);
+            for (me, sender, ack) in replies {
+                let w = ex.to(me, sender);
+                for (d, src_idx, my_idx) in ack {
+                    w.put_u8(d);
+                    w.put_u32(src_idx);
+                    w.put_u32(my_idx);
+                }
+            }
+            let mut frames = ex.finish();
+            frames.sort_by_key(|&(from, to, _)| (to, from));
+            // Re-root records: (sender part, dest part, payload).
+            let mut reroot = PartExchange::new(comm, &dm.map);
+            for (from, to, mut r) in frames {
+                let slot = dm.map.slot_of(to);
+                loop {
+                    let part = &mut dm.parts[slot];
+                    match read_ack(&mut r) {
+                        Ok(None) => break,
+                        Ok(Some((d, my_idx, holder_idx))) => {
+                            let e = MeshEnt::new(d, my_idx);
+                            match root_ref(part, e) {
+                                None => part.record_ghost_holder(e, (from, holder_idx)),
+                                Some((owner, oidx)) => {
+                                    // Tell the owner about its new holder…
+                                    let w = reroot.to(to, owner);
+                                    w.put_u8(0);
+                                    w.put_u8(d.as_usize() as u8);
+                                    w.put_u32(oidx);
+                                    w.put_u32(from);
+                                    w.put_u32(holder_idx);
+                                    // …and the holder about its real root.
+                                    let w = reroot.to(to, from);
+                                    w.put_u8(1);
+                                    w.put_u8(d.as_usize() as u8);
+                                    w.put_u32(holder_idx);
+                                    w.put_u32(owner);
+                                    w.put_u32(oidx);
+                                }
+                            }
+                        }
+                        Err(e) => panic!("corrupt overlap ack frame {from}->{to}: {e}"),
+                    }
+                }
+            }
+            let mut frames = reroot.finish();
+            frames.sort_by_key(|&(from, to, _)| (to, from));
+            for (from, to, mut r) in frames {
+                let slot = dm.map.slot_of(to);
+                unpack_reroot(&mut r, &mut dm.parts[slot])
+                    .unwrap_or_else(|e| panic!("corrupt overlap re-root frame {from}->{to}: {e}"));
+            }
+
+            self.depth += 1;
+        }
+        self.rebuild_shares(dm);
+        comm.allreduce_sum_u64(total)
+    }
+
+    // -----------------------------------------------------------------
+    // Data movement
+    // -----------------------------------------------------------------
+
+    /// Push data root → leaves. For every root entity `e` on local slot
+    /// `s` with `has(data, s, e)` true, `pack` writes one self-contained
+    /// payload per leaf in `scope`; on the receiving side `apply` reads
+    /// exactly that payload for the leaf copy. Collective; applies frames
+    /// in canonical `(to, from)` order so results are deterministic under
+    /// any scheduler.
+    #[allow(clippy::too_many_arguments)]
+    pub fn bcast<D: ?Sized>(
+        &self,
+        comm: &Comm,
+        map: &PartMap,
+        scope: Scope,
+        data: &mut D,
+        has: impl Fn(&D, usize, MeshEnt) -> bool,
+        pack: impl Fn(&D, usize, MeshEnt, &mut MsgWriter),
+        mut apply: impl FnMut(&mut D, usize, MeshEnt, &mut MsgReader) -> Result<(), MsgError>,
+    ) {
+        let _span = pumi_obs::span!("overlap.bcast");
+        let mut ex = PartExchange::new(comm, map);
+        for slot in 0..self.num_slots() {
+            let me = self.part_ids[slot];
+            for (e, shares) in self.roots_sorted(slot) {
+                if !has(data, slot, e) {
+                    continue;
+                }
+                for s in shares {
+                    if scope == Scope::Ghosts && !s.ghost {
+                        continue;
+                    }
+                    let w = ex.to(me, s.part);
+                    w.put_u8(e.dim().as_usize() as u8);
+                    w.put_u32(s.index);
+                    pack(data, slot, e, w);
+                }
+            }
+        }
+        let mut frames = ex.finish();
+        frames.sort_by_key(|&(from, to, _)| (to, from));
+        for (from, to, mut r) in frames {
+            let slot = map.slot_of(to);
+            while !r.is_done() {
+                decode_header(&mut r)
+                    .and_then(|e| apply(data, slot, e, &mut r))
+                    .unwrap_or_else(|e| panic!("corrupt overlap bcast frame {from}->{to}: {e}"));
+            }
+        }
+    }
+
+    /// Pull data leaves → root. The mirror of [`Overlap::bcast`]: every
+    /// leaf in `scope` with `has` true packs one payload addressed to its
+    /// root copy; `apply` combines it there. Frames are applied in
+    /// canonical `(to, from)` order and leaves are packed in sorted entity
+    /// order, so a non-associative combine still yields scheduler-
+    /// independent results. Collective.
+    #[allow(clippy::too_many_arguments)]
+    pub fn reduce<D: ?Sized>(
+        &self,
+        comm: &Comm,
+        map: &PartMap,
+        scope: Scope,
+        data: &mut D,
+        has: impl Fn(&D, usize, MeshEnt) -> bool,
+        pack: impl Fn(&D, usize, MeshEnt, &mut MsgWriter),
+        mut apply: impl FnMut(&mut D, usize, MeshEnt, &mut MsgReader) -> Result<(), MsgError>,
+    ) {
+        let _span = pumi_obs::span!("overlap.reduce");
+        let mut ex = PartExchange::new(comm, map);
+        for slot in 0..self.num_slots() {
+            let me = self.part_ids[slot];
+            for (e, root) in self.leaves_sorted(slot) {
+                if scope == Scope::Ghosts && !root.ghost {
+                    continue;
+                }
+                if !has(data, slot, e) {
+                    continue;
+                }
+                let w = ex.to(me, root.part);
+                w.put_u8(e.dim().as_usize() as u8);
+                w.put_u32(root.index);
+                pack(data, slot, e, w);
+            }
+        }
+        let mut frames = ex.finish();
+        frames.sort_by_key(|&(from, to, _)| (to, from));
+        for (from, to, mut r) in frames {
+            let slot = map.slot_of(to);
+            while !r.is_done() {
+                decode_header(&mut r)
+                    .and_then(|e| apply(data, slot, e, &mut r))
+                    .unwrap_or_else(|e| panic!("corrupt overlap reduce frame {from}->{to}: {e}"));
+            }
+        }
+    }
+
+    /// Push tag data of root entities to their leaf copies in `scope`
+    /// (with [`Scope::Ghosts`] this is the classic read-only ghost-tag
+    /// sync). Syncs every tag present on each root. Collective.
+    pub fn bcast_tags(&self, comm: &Comm, dm: &mut DistMesh, scope: Scope) {
+        let _span = pumi_obs::span!("overlap.bcast_tags");
+        let DistMesh { map, parts } = dm;
+        self.bcast(
+            comm,
+            map,
+            scope,
+            parts.as_mut_slice(),
+            |_, _, _| true,
+            |parts: &[Part], slot, e, w| pack_tags(&parts[slot], e, w),
+            |parts: &mut [Part], slot, e, r| unpack_tags(&mut parts[slot], e, r),
+        );
+    }
+
+    /// Delete every ghost copy and reset this handle's growth state, so
+    /// the next [`Overlap::grow`] starts from the part boundary again.
+    pub fn clear(&mut self, dm: &mut DistMesh) {
+        clear_overlap(dm);
+        for slot in 0..self.num_slots() {
+            self.sent[slot].clear();
+            self.frontier[slot].clear();
+        }
+        self.depth = 0;
+        self.rebuild_shares(dm);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Free functions
+// ---------------------------------------------------------------------
+
+/// Grow a ghost overlap around every part boundary and return its share
+/// map. The one-call form of [`Overlap::from_dist`] + [`Overlap::grow`]:
+///
+/// ```no_run
+/// # use pumi_core::overlap::{grow_overlap, GhostOpts};
+/// # use pumi_util::Dim;
+/// # fn demo(c: &pumi_pcu::Comm, dm: &mut pumi_core::DistMesh) {
+/// let ov = grow_overlap(c, dm, GhostOpts::new().bridge(Dim::Vertex).layers(2));
+/// assert_eq!(ov.depth(), 2);
+/// # }
+/// ```
+///
+/// Collective.
+pub fn grow_overlap(comm: &Comm, dm: &mut DistMesh, opts: GhostOpts) -> Overlap {
+    let mut ov = Overlap::from_dist(dm).with_bridge(opts.bridge);
+    ov.grow(comm, dm, opts.layers);
+    ov
+}
+
+/// Delete every ghost copy on every local part. Locally destructive only —
+/// no communication needed; owner-side holder records are cleared too.
+pub fn clear_overlap(dm: &mut DistMesh) {
+    let _span = pumi_obs::span!("overlap.clear");
+    for part in &mut dm.parts {
+        let ghosts = part.ghost_entities();
+        // Top-down: elements, then faces, edges, vertices with no
+        // remaining upward adjacency.
+        for d in (0..=3usize).rev() {
+            for &g in &ghosts {
+                if g.dim().as_usize() != d || !part.mesh.is_live(g) {
+                    continue;
+                }
+                if d < 3 && part.mesh.up_count(g) > 0 {
+                    // Still bounds a live entity: keep (defensive — ghost
+                    // closures are created bottom-up from fresh entities,
+                    // so a live up here would mean a non-ghost references
+                    // it).
+                    continue;
+                }
+                part.delete_entity(g);
+            }
+        }
+        part.clear_ghost_records();
+    }
+}
+
+/// Migrate with overlap preservation: drop the ghost region (as [`migrate`]
+/// requires), move elements, then re-grow the overlap to the same bridge
+/// and depth on the new distribution. Consumes the stale handle and
+/// returns the re-derived one. Collective.
+pub fn migrate_preserving(
+    comm: &Comm,
+    dm: &mut DistMesh,
+    plans: &FxHashMap<PartId, MigrationPlan>,
+    ov: Overlap,
+) -> (Overlap, MigrationStats) {
+    let _span = pumi_obs::span!("overlap.migrate_preserving");
+    let (bridge, depth) = (ov.bridge(), ov.depth());
+    drop(ov);
+    clear_overlap(dm);
+    let stats = migrate(comm, dm, plans);
+    let mut ov = Overlap::from_dist(dm).with_bridge(bridge);
+    ov.grow(comm, dm, depth);
+    (ov, stats)
+}
+
+// ---------------------------------------------------------------------
+// Wire helpers
+// ---------------------------------------------------------------------
+
+/// Ghost-creation acknowledgement: (dim, sender idx, holder idx).
+type Ack = (u8, u32, u32);
+
+/// Decode one `(dim, index)` record header of a bcast/reduce frame.
+fn decode_header(r: &mut MsgReader) -> Result<MeshEnt, MsgError> {
+    let db = r.try_get_u8()?;
+    let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
+    let idx = r.try_get_u32()?;
+    Ok(MeshEnt::new(d, idx))
+}
+
+/// Read one ack record, or `None` at end of frame.
+fn read_ack(r: &mut MsgReader) -> Result<Option<(Dim, u32, u32)>, MsgError> {
+    if r.is_done() {
+        return Ok(None);
+    }
+    let db = r.try_get_u8()?;
+    let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
+    let my_idx = r.try_get_u32()?;
+    let their_idx = r.try_get_u32()?;
+    Ok(Some((d, my_idx, their_idx)))
+}
+
+/// Where the root copy of `e` lives, from `part`'s perspective: `None` if
+/// `part` owns `e` itself, else the owning part and `e`'s index there.
+fn root_ref(part: &Part, e: MeshEnt) -> Option<(PartId, u32)> {
+    if let Some(src) = part.ghost_source(e) {
+        return Some(src);
+    }
+    let owner = part.owner(e);
+    if owner == part.id {
+        return None;
+    }
+    part.remotes_of(e)
+        .iter()
+        .find(|&&(q, _)| q == owner)
+        .copied()
+}
+
+/// Unpack one buffer of ghost-entity frames into `part`, creating missing
+/// entities as ghost copies and collecting acks for the sender.
+fn unpack_ghost_entities(
+    r: &mut MsgReader,
+    part: &mut Part,
+    from: PartId,
+    elem_dim: usize,
+    total: &mut u64,
+    ack: &mut Vec<Ack>,
+) -> Result<(), MsgError> {
+    while !r.is_done() {
+        let db = r.try_get_u8()?;
+        let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
+        let tb = r.try_get_u8()?;
+        let topo = Topology::try_from_u8(tb).ok_or(MsgError::bad_enum("topology", tb))?;
+        let gid = r.try_get_u64()?;
+        let class = GeomEnt(r.try_get_u32()?);
+        let src_idx = r.try_get_u32()?;
+        let (e, fresh) = if d == Dim::Vertex {
+            let x = [r.try_get_f64()?, r.try_get_f64()?, r.try_get_f64()?];
+            match part.find_gid(d, gid) {
+                Some(e) => (e, false),
+                None => (part.add_vertex(x, class, gid), true),
+            }
+        } else {
+            let vgids = r.try_get_u64_slice()?;
+            match part.find_gid(d, gid) {
+                Some(e) => (e, false),
+                None => {
+                    let mut verts = Vec::with_capacity(vgids.len());
+                    for &g in &vgids {
+                        let v = part.find_gid(Dim::Vertex, g).ok_or(MsgError::missing(
+                            "ghost closure vertex",
+                            0,
+                            g,
+                        ))?;
+                        verts.push(v.index());
+                    }
+                    (part.add_entity(topo, &verts, class, gid), true)
+                }
+            }
+        };
+        if fresh {
+            part.set_ghost(e, (from, src_idx));
+            ack.push((d.as_usize() as u8, src_idx, e.index()));
+            if d == Dim::from_usize(elem_dim) {
+                *total += 1;
+            }
+        }
+        unpack_tags(part, e, r)?;
+    }
+    Ok(())
+}
+
+/// Unpack re-root records: kind 0 installs a holder record at the owner,
+/// kind 1 repoints a holder's ghost link at the owner.
+fn unpack_reroot(r: &mut MsgReader, part: &mut Part) -> Result<(), MsgError> {
+    while !r.is_done() {
+        let kind = r.try_get_u8()?;
+        let db = r.try_get_u8()?;
+        let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
+        let my_idx = r.try_get_u32()?;
+        let other_part = r.try_get_u32()?;
+        let other_idx = r.try_get_u32()?;
+        let e = MeshEnt::new(d, my_idx);
+        match kind {
+            0 => part.record_ghost_holder(e, (other_part, other_idx)),
+            1 => {
+                if part.is_ghost(e) {
+                    part.set_ghost(e, (other_part, other_idx));
+                }
+            }
+            k => return Err(MsgError::bad_enum("re-root kind", k)),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::{distribute, PartMap};
+    use pumi_meshgen::tri_rect;
+    use pumi_pcu::execute;
+    use pumi_util::tag::TagKind;
+
+    fn strip_two_parts(c: &Comm) -> DistMesh {
+        let serial = tri_rect(4, 2, 4.0, 1.0);
+        let d = serial.elem_dim_t();
+        let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+        for e in serial.iter(d) {
+            elem_part[e.idx()] = if serial.centroid(e)[0] < 2.0 { 0 } else { 1 };
+        }
+        distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part)
+    }
+
+    /// 4 parts on 1 rank, quadrant split — every part is locally visible,
+    /// so cross-part invariants can be asserted directly.
+    fn quadrants_one_rank(c: &Comm) -> DistMesh {
+        let serial = tri_rect(6, 6, 2.0, 2.0);
+        let d = serial.elem_dim_t();
+        let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+        for e in serial.iter(d) {
+            let x = serial.centroid(e);
+            elem_part[e.idx()] = (x[0] >= 1.0) as PartId + 2 * ((x[1] >= 1.0) as PartId);
+        }
+        distribute(c, PartMap::contiguous(4, 1), &serial, &elem_part)
+    }
+
+    #[test]
+    fn from_dist_builds_symmetric_shares() {
+        execute(1, |c| {
+            let dm = quadrants_one_rank(c);
+            let ov = Overlap::from_dist(&dm);
+            // Every leaf's root lists that leaf back, with matching index.
+            for slot in 0..ov.num_slots() {
+                let me = ov.part_id(slot);
+                for (e, root) in ov.leaves_sorted(slot) {
+                    let rslot = dm.map.slot_of(root.part);
+                    let back = ov.root_shares(rslot, MeshEnt::new(e.dim(), root.index));
+                    assert!(
+                        back.iter().any(|s| s.part == me && s.index == e.index()),
+                        "no back link for leaf {e:?} on part {me}"
+                    );
+                }
+                // Roots and leaves are disjoint on a part.
+                for (e, _) in ov.roots_sorted(slot) {
+                    assert!(ov.leaf_root(slot, e).is_none());
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn grow_depth1_marks_ghosts() {
+        execute(2, |c| {
+            let mut dm = strip_two_parts(c);
+            let before = dm.part(c.rank() as PartId).mesh.num_elems();
+            let ov = grow_overlap(c, &mut dm, GhostOpts::new());
+            assert_eq!(ov.depth(), 1);
+            let part = dm.part(c.rank() as PartId);
+            assert!(part.mesh.num_elems() > before);
+            let ghost_elems = part.mesh.elems().filter(|&e| part.is_ghost(e)).count();
+            assert_eq!(part.mesh.num_elems() - before, ghost_elems);
+            part.mesh.assert_valid();
+            // The share map saw the ghosts: some ghost leaves exist.
+            let slot = dm.map.slot_of(c.rank() as PartId);
+            assert!(ov.leaves_sorted(slot).iter().any(|&(_, s)| s.ghost));
+        });
+    }
+
+    #[test]
+    fn grow_is_iterable() {
+        execute(2, |c| {
+            let mut dm1 = strip_two_parts(c);
+            let mut ov1 = Overlap::from_dist(&dm1);
+            let a = ov1.grow(c, &mut dm1, 1);
+            let b = ov1.grow(c, &mut dm1, 1);
+            let mut dm2 = strip_two_parts(c);
+            let mut ov2 = Overlap::from_dist(&dm2);
+            let t = ov2.grow(c, &mut dm2, 2);
+            assert_eq!(a + b, t, "grow(1)+grow(1) != grow(2)");
+            assert_eq!(ov1.depth(), ov2.depth());
+            let pid = c.rank() as PartId;
+            assert_eq!(dm1.part(pid).entity_counts(), dm2.part(pid).entity_counts());
+            assert!(b > 0, "second layer added nothing");
+        });
+    }
+
+    #[test]
+    fn clear_restores_counts_and_regrows() {
+        execute(2, |c| {
+            let mut dm = strip_two_parts(c);
+            let pid = c.rank() as PartId;
+            let counts_before = dm.part(pid).entity_counts();
+            let mut ov = grow_overlap(c, &mut dm, GhostOpts::new());
+            assert!(dm.part(pid).num_ghosts() > 0);
+            ov.clear(&mut dm);
+            assert_eq!(ov.depth(), 0);
+            assert_eq!(dm.part(pid).num_ghosts(), 0);
+            assert_eq!(dm.part(pid).entity_counts(), counts_before);
+            dm.part(pid).mesh.assert_valid();
+            // Growth starts over from the boundary after a clear.
+            let total = ov.grow(c, &mut dm, 1);
+            assert!(total > 0);
+            assert!(dm.part(pid).num_ghosts() > 0);
+        });
+    }
+
+    #[test]
+    fn ghost_sources_are_owners() {
+        execute(1, |c| {
+            let mut dm = quadrants_one_rank(c);
+            grow_overlap(c, &mut dm, GhostOpts::new().layers(2));
+            // With 4 parts meeting at the domain centre, parts ship
+            // closures containing entities they do not own; re-rooting
+            // must still leave every ghost pointing at its owner.
+            let mut checked = 0;
+            for part in &dm.parts {
+                for g in part.ghost_entities() {
+                    let (src, sidx) = part.ghost_source(g).unwrap();
+                    let root_part = dm.part(src);
+                    let root = MeshEnt::new(g.dim(), sidx);
+                    assert!(!root_part.is_ghost(root), "ghost rooted at a ghost");
+                    assert!(
+                        root_part.is_owned(root),
+                        "ghost {g:?} on part {} rooted at non-owner {src}",
+                        part.id
+                    );
+                    assert_eq!(root_part.gid_of(root), part.gid_of(g));
+                    assert!(
+                        root_part.ghosted_to(root).contains(&(part.id, g.index())),
+                        "owner {src} missing holder record for part {}",
+                        part.id
+                    );
+                    checked += 1;
+                }
+            }
+            assert!(checked > 0);
+        });
+    }
+
+    #[test]
+    fn bcast_and_reduce_roundtrip() {
+        execute(2, |c| {
+            let mut dm = strip_two_parts(c);
+            let ov = grow_overlap(c, &mut dm, GhostOpts::new());
+            // One value per vertex: gid at roots, 0 elsewhere.
+            let mut vals: Vec<FxHashMap<MeshEnt, u64>> = dm
+                .parts
+                .iter()
+                .map(|p| {
+                    p.mesh
+                        .iter(Dim::Vertex)
+                        .map(|v| {
+                            (
+                                v,
+                                if p.is_owned(v) && !p.is_ghost(v) {
+                                    p.gid_of(v)
+                                } else {
+                                    0
+                                },
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            ov.bcast(
+                c,
+                &dm.map,
+                Scope::All,
+                &mut vals,
+                |_, _, e| e.dim() == Dim::Vertex,
+                |vals, slot, e, w| w.put_u64(vals[slot][&e]),
+                |vals, slot, e, r| {
+                    let v = r.try_get_u64()?;
+                    vals[slot].insert(e, v);
+                    Ok(())
+                },
+            );
+            // Every copy (boundary or ghost) now carries the root's gid.
+            for (slot, part) in dm.parts.iter().enumerate() {
+                for v in part.mesh.iter(Dim::Vertex) {
+                    assert_eq!(vals[slot][&v], part.gid_of(v), "vertex {v:?}");
+                }
+            }
+            // Reduce(Add of ones) counts the copies of each root.
+            let mut ones: Vec<FxHashMap<MeshEnt, u64>> = dm
+                .parts
+                .iter()
+                .map(|p| p.mesh.iter(Dim::Vertex).map(|v| (v, 1u64)).collect())
+                .collect();
+            ov.reduce(
+                c,
+                &dm.map,
+                Scope::All,
+                &mut ones,
+                |_, _, e| e.dim() == Dim::Vertex,
+                |ones, slot, e, w| w.put_u64(ones[slot][&e]),
+                |ones, slot, e, r| {
+                    let v = r.try_get_u64()?;
+                    *ones[slot].get_mut(&e).unwrap() += v;
+                    Ok(())
+                },
+            );
+            let slot = dm.map.slot_of(c.rank() as PartId);
+            let part = &dm.parts[slot];
+            for (e, shares) in ov.roots_sorted(slot) {
+                if e.dim() != Dim::Vertex {
+                    continue;
+                }
+                assert_eq!(
+                    ones[slot][&e],
+                    1 + shares.len() as u64,
+                    "root {e:?} on part {}",
+                    part.id
+                );
+            }
+        });
+    }
+
+    #[test]
+    fn bcast_tags_pushes_owner_values_to_ghosts() {
+        execute(2, |c| {
+            let mut dm = strip_two_parts(c);
+            let pid = c.rank() as PartId;
+            {
+                let part = dm.part_mut(pid);
+                let tid = part.mesh.tags_mut().declare("load", TagKind::Int, 1);
+                for e in part.mesh.snapshot(Dim::Face) {
+                    part.mesh.tags_mut().set_int(tid, e, pid as i64);
+                }
+            }
+            let ov = grow_overlap(c, &mut dm, GhostOpts::new());
+            {
+                let part = dm.part_mut(pid);
+                let tid = part.mesh.tags().find("load").unwrap();
+                for e in part.mesh.snapshot(Dim::Face) {
+                    if !part.is_ghost(e) {
+                        part.mesh.tags_mut().set_int(tid, e, 100 + pid as i64);
+                    }
+                }
+            }
+            ov.bcast_tags(c, &mut dm, Scope::Ghosts);
+            let part = dm.part(pid);
+            let tid = part.mesh.tags().find("load").unwrap();
+            for e in part.mesh.elems() {
+                if part.is_ghost(e) {
+                    assert_eq!(
+                        part.mesh.tags().get_int(tid, e),
+                        Some(100 + (1 - pid as i64))
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn migrate_preserving_rederives_overlap() {
+        execute(2, |c| {
+            let mut dm = strip_two_parts(c);
+            let pid = c.rank() as PartId;
+            let ov = grow_overlap(c, &mut dm, GhostOpts::new().layers(2));
+            let depth_before = ov.depth();
+            // Shift one boundary element across the part line.
+            let mut plans: FxHashMap<PartId, MigrationPlan> = FxHashMap::default();
+            if pid == 0 {
+                let part = dm.part(pid);
+                let mut plan = MigrationPlan::new();
+                if let Some(el) = part
+                    .mesh
+                    .elems()
+                    .find(|&e| !part.is_ghost(e) && part.closure_touches_boundary(e))
+                {
+                    plan.send(el, 1);
+                }
+                plans.insert(pid, plan);
+            }
+            let (ov, stats) = migrate_preserving(c, &mut dm, &plans, ov);
+            assert_eq!(stats.elements_moved, 1);
+            assert_eq!(ov.depth(), depth_before);
+            let part = dm.part(pid);
+            assert!(part.num_ghosts() > 0, "overlap not re-derived");
+            part.mesh.assert_valid();
+        });
+    }
+}

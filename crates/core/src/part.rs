@@ -297,11 +297,18 @@ impl Part {
 
     /// Owner side: record that `to` holds a ghost copy of `e`. The holder
     /// list stays sorted so its order is independent of ack arrival order.
-    pub fn add_ghosted_to(&mut self, e: MeshEnt, to: (PartId, u32)) {
+    /// Idempotent — recording the same holder twice keeps one entry.
+    pub fn record_ghost_holder(&mut self, e: MeshEnt, to: (PartId, u32)) {
         let v = self.ghosted_to.entry(e).or_default();
         if let Err(at) = v.binary_search(&to) {
             v.insert(at, to);
         }
+    }
+
+    /// Owner side: record that `to` holds a ghost copy of `e`.
+    #[deprecated(since = "0.2.0", note = "renamed to `record_ghost_holder`")]
+    pub fn add_ghosted_to(&mut self, e: MeshEnt, to: (PartId, u32)) {
+        self.record_ghost_holder(e, to);
     }
 
     /// Owner side: the parts holding ghost copies of `e`.
@@ -473,8 +480,8 @@ mod tests {
         assert!(p.is_ghost(v));
         assert_eq!(p.ghost_source(v), Some((0, 42)));
         assert_eq!(p.owner(v), 0);
-        p.add_ghosted_to(v, (3, 7));
-        p.add_ghosted_to(v, (3, 7));
+        p.record_ghost_holder(v, (3, 7));
+        p.record_ghost_holder(v, (3, 7));
         assert_eq!(p.ghosted_to(v), &[(3, 7)]);
         assert_eq!(p.num_ghosts(), 1);
     }

@@ -5,8 +5,9 @@
 //!
 //! * [`field`] — fields and node distributions (P1/P2 Lagrange, cell
 //!   constants),
-//! * [`sync`] — owner→copy synchronization and assembly accumulation across
-//!   part boundaries,
+//! * [`sync`] — one-signature synchronization over the star-forest
+//!   overlap: `fields.sync(comm, dm, &overlap, Reduction::Add)` covers
+//!   owner→copy pushes, FE assembly accumulation and ghost halos alike,
 //! * [`transfer`] — mesh-to-mesh solution transfer (point location +
 //!   barycentric interpolation), used after adaptation.
 
@@ -15,5 +16,7 @@ pub mod sync;
 pub mod transfer;
 
 pub use field::{Field, FieldShape};
-pub use sync::{accumulate, dist_field, sync_owned_to_copies, DistField};
+#[allow(deprecated)]
+pub use sync::{accumulate, sync_owned_to_copies};
+pub use sync::{dist_field, sync_fields, DistField, FieldSync};
 pub use transfer::{barycentric, transfer_linear, Locator};

@@ -1,31 +1,26 @@
-//! Field synchronization across part boundaries.
+//! Field synchronization across part boundaries and ghost regions.
 //!
-//! Shared nodes are duplicated on every residence part; after an owner-side
-//! update ([`sync_owned_to_copies`]) or a partial assembly
-//! ([`accumulate`] — each part holds only its elements' contributions, the
-//! sum lives on no single part) the copies must be reconciled. Both are
-//! single phased exchanges, the pattern PUMI uses for all boundary data.
+//! Shared nodes are duplicated on every residence part, and ghost nodes on
+//! every holder part; after an owner-side update or a partial assembly the
+//! copies must be reconciled. All of it is one operation now: pick a
+//! reduction mode and [`sync_fields`] (or the [`FieldSync::sync`] method)
+//! moves the data over the star forest —
+//!
+//! * [`Reduction::Insert`] — root overwrites every copy (owner → copy push),
+//! * [`Reduction::Add`] — copies are summed onto the root, then the sum is
+//!   pushed back to every copy: the FE assembly reduction,
+//! * [`Reduction::Min`] / [`Reduction::Max`] — componentwise extremum over
+//!   all copies, everywhere.
+//!
+//! Values combine at the root in canonical `(to, from)` frame order with
+//! leaves packed in sorted entity order, so floating-point results are
+//! independent of the chaos scheduler's arrival order.
 
 use crate::field::Field;
-use pumi_core::{DistMesh, PartExchange};
-use pumi_pcu::{Comm, MsgError, MsgReader};
+use pumi_core::overlap::{Overlap, Reduction, Scope};
+use pumi_core::DistMesh;
+use pumi_pcu::Comm;
 use pumi_util::{Dim, MeshEnt};
-
-/// Unpack `(dim, idx, values)` frames, applying `apply(field_slot_entity,
-/// values)` — shared by the sync and accumulate receive loops.
-fn unpack_node_values(
-    r: &mut MsgReader,
-    mut apply: impl FnMut(MeshEnt, Vec<f64>),
-) -> Result<(), MsgError> {
-    while !r.is_done() {
-        let db = r.try_get_u8()?;
-        let d = Dim::try_from_u8(db).ok_or(MsgError::bad_enum("dimension", db))?;
-        let idx = r.try_get_u32()?;
-        let v = r.try_get_f64_slice()?;
-        apply(MeshEnt::new(d, idx), v);
-    }
-    Ok(())
-}
 
 /// One field per local part, aligned with `dm.parts`.
 pub type DistField = Vec<Field>;
@@ -35,95 +30,114 @@ pub fn dist_field(dm: &DistMesh, template: &Field) -> DistField {
     dm.parts.iter().map(|_| template.clone()).collect()
 }
 
-/// Push node values of owned shared entities to their remote copies. After
-/// this, all copies agree with the owner.
-pub fn sync_owned_to_copies(comm: &Comm, dm: &DistMesh, fields: &mut DistField) {
+/// Synchronize `fields` over the share map `overlap` with reduction `red`.
+///
+/// With [`Reduction::Insert`] this is a pure root→leaf broadcast. With any
+/// combining mode, leaf values are first reduced onto the root, then the
+/// combined value is broadcast back so every copy (boundary or ghost)
+/// agrees. Entities with no value on a copy simply don't contribute.
+/// Collective.
+pub fn sync_fields(
+    comm: &Comm,
+    dm: &DistMesh,
+    overlap: &Overlap,
+    fields: &mut DistField,
+    red: Reduction,
+) {
     let _span = pumi_obs::span!("field.sync");
     assert_eq!(fields.len(), dm.parts.len());
     let node_dims: Vec<Dim> = fields
         .first()
         .map(|f| f.shape.node_dims(dm.parts[0].mesh.elem_dim()))
         .unwrap_or_default();
-    let mut ex = PartExchange::new(comm, &dm.map);
-    for (slot, part) in dm.parts.iter().enumerate() {
-        for (e, remotes) in part.shared_entities() {
-            if !node_dims.contains(&e.dim()) || !part.is_owned(e) {
-                continue;
-            }
-            let Some(v) = fields[slot].get(e) else {
-                continue;
-            };
-            for &(q, ridx) in remotes {
-                let w = ex.to(part.id, q);
-                w.put_u8(e.dim().as_usize() as u8);
-                w.put_u32(ridx);
-                w.put_f64_slice(v);
-            }
-        }
+    let has = |f: &DistField, slot: usize, e: MeshEnt| {
+        node_dims.contains(&e.dim()) && f[slot].get(e).is_some()
+    };
+    let pack = |f: &DistField, slot: usize, e: MeshEnt, w: &mut pumi_pcu::MsgWriter| {
+        w.put_f64_slice(f[slot].get(e).expect("packed entity has a value"));
+    };
+    if red != Reduction::Insert {
+        overlap.reduce(
+            comm,
+            &dm.map,
+            Scope::All,
+            fields,
+            has,
+            pack,
+            |f, slot, e, r| {
+                let v = r.try_get_f64_slice()?;
+                match f[slot].get(e) {
+                    Some(cur) => {
+                        let mut cur = cur.to_vec();
+                        for (c, x) in cur.iter_mut().zip(&v) {
+                            match red {
+                                Reduction::Add => *c += x,
+                                Reduction::Min => *c = c.min(*x),
+                                Reduction::Max => *c = c.max(*x),
+                                Reduction::Insert => unreachable!(),
+                            }
+                        }
+                        f[slot].set(e, &cur);
+                    }
+                    None => f[slot].set(e, &v),
+                }
+                Ok(())
+            },
+        );
     }
-    for (from, to, mut r) in ex.finish() {
-        let slot = dm.map.slot_of(to);
-        unpack_node_values(&mut r, |e, v| fields[slot].set(e, &v))
-            .unwrap_or_else(|e| panic!("corrupt field sync frame {from}->{to}: {e}"));
+    overlap.bcast(
+        comm,
+        &dm.map,
+        Scope::All,
+        fields,
+        has,
+        pack,
+        |f, slot, e, r| {
+            let v = r.try_get_f64_slice()?;
+            f[slot].set(e, &v);
+            Ok(())
+        },
+    );
+}
+
+/// The one-signature sync entry point on a distributed field:
+/// `fields.sync(comm, dm, &overlap, Reduction::Add)`.
+pub trait FieldSync {
+    /// Synchronize over `overlap` with reduction `red`; see [`sync_fields`].
+    fn sync(&mut self, comm: &Comm, dm: &DistMesh, overlap: &Overlap, red: Reduction);
+}
+
+impl FieldSync for DistField {
+    fn sync(&mut self, comm: &Comm, dm: &DistMesh, overlap: &Overlap, red: Reduction) {
+        sync_fields(comm, dm, overlap, self, red);
     }
 }
 
-/// Sum the contributions of all copies of each shared node onto every copy
-/// (copies → owner → sum → copies). This is the FE assembly reduction: each
-/// part assembles its elements, then shared dofs are accumulated.
+/// Push node values of owned shared entities to their remote copies.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `DistField::sync` with `Reduction::Insert` over an `Overlap`"
+)]
+pub fn sync_owned_to_copies(comm: &Comm, dm: &DistMesh, fields: &mut DistField) {
+    let ov = Overlap::from_dist(dm);
+    sync_fields(comm, dm, &ov, fields, Reduction::Insert);
+}
+
+/// Sum the contributions of all copies of each shared node onto every copy.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `DistField::sync` with `Reduction::Add` over an `Overlap`"
+)]
 pub fn accumulate(comm: &Comm, dm: &DistMesh, fields: &mut DistField) {
-    let _span = pumi_obs::span!("field.accumulate");
-    assert_eq!(fields.len(), dm.parts.len());
-    let node_dims: Vec<Dim> = fields
-        .first()
-        .map(|f| f.shape.node_dims(dm.parts[0].mesh.elem_dim()))
-        .unwrap_or_default();
-    // Copies send to owner.
-    let mut ex = PartExchange::new(comm, &dm.map);
-    for (slot, part) in dm.parts.iter().enumerate() {
-        for (e, remotes) in part.shared_entities() {
-            if !node_dims.contains(&e.dim()) || part.is_owned(e) {
-                continue;
-            }
-            let owner = part.owner(e);
-            let Some(&(_, oidx)) = remotes.iter().find(|&&(q, _)| q == owner) else {
-                continue;
-            };
-            let Some(v) = fields[slot].get(e) else {
-                continue;
-            };
-            let w = ex.to(part.id, owner);
-            w.put_u8(e.dim().as_usize() as u8);
-            w.put_u32(oidx);
-            w.put_f64_slice(v);
-        }
-    }
-    // Sum in canonical (to, from) order: floating-point addition is not
-    // associative, so the result must not depend on chaos arrival order.
-    let mut frames = ex.finish();
-    frames.sort_by_key(|&(from, to, _)| (to, from));
-    for (from, to, mut r) in frames {
-        let slot = dm.map.slot_of(to);
-        unpack_node_values(&mut r, |e, v| {
-            let mut cur = fields[slot]
-                .get(e)
-                .map(|x| x.to_vec())
-                .unwrap_or_else(|| vec![0.0; v.len()]);
-            for (c, x) in cur.iter_mut().zip(&v) {
-                *c += x;
-            }
-            fields[slot].set(e, &cur);
-        })
-        .unwrap_or_else(|e| panic!("corrupt field accumulate frame {from}->{to}: {e}"));
-    }
-    // Owner pushes the sums back.
-    sync_owned_to_copies(comm, dm, fields);
+    let ov = Overlap::from_dist(dm);
+    sync_fields(comm, dm, &ov, fields, Reduction::Add);
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::field::{Field, FieldShape};
+    use pumi_core::overlap::{grow_overlap, GhostOpts};
     use pumi_core::{distribute, PartMap};
     use pumi_meshgen::tri_rect;
     use pumi_pcu::execute;
@@ -140,9 +154,10 @@ mod tests {
     }
 
     #[test]
-    fn sync_propagates_owner_values() {
+    fn insert_propagates_owner_values() {
         execute(2, |c| {
             let dm = two_part_mesh(c);
+            let ov = Overlap::from_dist(&dm);
             let template = Field::new("u", FieldShape::Linear, 1);
             let mut fields = dist_field(&dm, &template);
             // Owners write their part id + 1; copies write -1 (stale).
@@ -156,7 +171,7 @@ mod tests {
                     fields[slot].set_scalar(v, val);
                 }
             }
-            sync_owned_to_copies(c, &dm, &mut fields);
+            fields.sync(c, &dm, &ov, Reduction::Insert);
             for (slot, part) in dm.parts.iter().enumerate() {
                 for v in part.mesh.iter(Dim::Vertex) {
                     let want = part.owner(v) as f64 + 1.0;
@@ -167,13 +182,95 @@ mod tests {
     }
 
     #[test]
-    fn accumulate_sums_copies() {
+    fn add_sums_copies() {
+        execute(2, |c| {
+            let dm = two_part_mesh(c);
+            let ov = Overlap::from_dist(&dm);
+            let template = Field::new("u", FieldShape::Linear, 1);
+            let mut fields = dist_field(&dm, &template);
+            // Everyone writes 1 on every local vertex; after Add-sync, a
+            // vertex's value equals its residence count on every copy.
+            for (slot, part) in dm.parts.iter().enumerate() {
+                for v in part.mesh.iter(Dim::Vertex) {
+                    fields[slot].set_scalar(v, 1.0);
+                }
+            }
+            fields.sync(c, &dm, &ov, Reduction::Add);
+            for (slot, part) in dm.parts.iter().enumerate() {
+                for v in part.mesh.iter(Dim::Vertex) {
+                    let want = part.residence(v).len() as f64;
+                    assert_eq!(fields[slot].get_scalar(v), Some(want), "vertex {v:?}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn min_max_reduce_everywhere() {
+        execute(2, |c| {
+            let dm = two_part_mesh(c);
+            let ov = Overlap::from_dist(&dm);
+            let template = Field::new("u", FieldShape::Linear, 1);
+            let mut fields = dist_field(&dm, &template);
+            // Each copy writes its part id; Min must yield the smallest
+            // residence part, Max the largest, on every copy.
+            for (slot, part) in dm.parts.iter().enumerate() {
+                for v in part.mesh.iter(Dim::Vertex) {
+                    fields[slot].set_scalar(v, part.id as f64);
+                }
+            }
+            let mut maxed = fields.clone();
+            fields.sync(c, &dm, &ov, Reduction::Min);
+            maxed.sync(c, &dm, &ov, Reduction::Max);
+            for (slot, part) in dm.parts.iter().enumerate() {
+                for v in part.mesh.iter(Dim::Vertex) {
+                    let res = part.residence(v);
+                    let lo = *res.first().unwrap() as f64;
+                    let hi = *res.last().unwrap() as f64;
+                    assert_eq!(fields[slot].get_scalar(v), Some(lo), "min at {v:?}");
+                    assert_eq!(maxed[slot].get_scalar(v), Some(hi), "max at {v:?}");
+                }
+            }
+        });
+    }
+
+    #[test]
+    fn sync_reaches_ghost_copies() {
+        execute(2, |c| {
+            let mut dm = two_part_mesh(c);
+            let ov = grow_overlap(c, &mut dm, GhostOpts::new());
+            let template = Field::new("u", FieldShape::Linear, 1);
+            let mut fields = dist_field(&dm, &template);
+            // Values only on owned, non-ghost vertices: their gid.
+            for (slot, part) in dm.parts.iter().enumerate() {
+                for v in part.mesh.iter(Dim::Vertex) {
+                    if part.is_owned(v) && !part.is_ghost(v) {
+                        fields[slot].set_scalar(v, part.gid_of(v) as f64);
+                    }
+                }
+            }
+            fields.sync(c, &dm, &ov, Reduction::Insert);
+            // Every vertex copy — including ghosts — got the root value.
+            for (slot, part) in dm.parts.iter().enumerate() {
+                for v in part.mesh.iter(Dim::Vertex) {
+                    assert_eq!(
+                        fields[slot].get_scalar(v),
+                        Some(part.gid_of(v) as f64),
+                        "vertex {v:?} (ghost: {})",
+                        part.is_ghost(v)
+                    );
+                }
+            }
+        });
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
         execute(2, |c| {
             let dm = two_part_mesh(c);
             let template = Field::new("u", FieldShape::Linear, 1);
             let mut fields = dist_field(&dm, &template);
-            // Everyone writes 1 on every local vertex; after accumulate, a
-            // vertex's value equals its residence count on every copy.
             for (slot, part) in dm.parts.iter().enumerate() {
                 for v in part.mesh.iter(Dim::Vertex) {
                     fields[slot].set_scalar(v, 1.0);
@@ -183,9 +280,10 @@ mod tests {
             for (slot, part) in dm.parts.iter().enumerate() {
                 for v in part.mesh.iter(Dim::Vertex) {
                     let want = part.residence(v).len() as f64;
-                    assert_eq!(fields[slot].get_scalar(v), Some(want), "vertex {v:?}");
+                    assert_eq!(fields[slot].get_scalar(v), Some(want));
                 }
             }
+            sync_owned_to_copies(c, &dm, &mut fields);
         });
     }
 }

@@ -11,8 +11,9 @@
 //!   the block `[p·M/N, (p+1)·M/N)` with the local graph partitioner,
 //!   again through migration.
 //!
-//! Ghost layers are dropped when N ≠ M (re-ghost with
-//! `pumi_core::ghost_layers` after the restore); global-id counters are
+//! Ghost layers are dropped when N ≠ M (re-grow with
+//! `pumi_core::overlap::grow_overlap` after the restore); global-id
+//! counters are
 //! floored at the global maximum so ids minted after a restore never
 //! collide with checkpointed ones. Every entry point is collective and
 //! returns `Err` on *every* rank when any rank fails.
@@ -560,7 +561,7 @@ pub fn read_checkpoint_with(comm: &Comm, dir: &Path, opts: ReadOpts) -> Result<R
                 let Ok((d, gid, holder_idx)) = row else { break };
                 let part = dm.part_mut(to);
                 if let Some(owner_ent) = part.find_gid(d, gid) {
-                    part.add_ghosted_to(owner_ent, (from, holder_idx));
+                    part.record_ghost_holder(owner_ent, (from, holder_idx));
                     replies.push((to, from, d.as_usize() as u8, holder_idx, owner_ent.index()));
                 }
             }

@@ -7,7 +7,7 @@
 //! (entities + tags) must match the written mesh exactly, and field
 //! values must roundtrip bit-for-bit.
 
-use pumi_core::ghost::ghost_layers;
+use pumi_core::overlap::{grow_overlap, GhostOpts};
 use pumi_core::verify::assert_dist_valid;
 use pumi_core::{distribute, DistMesh, PartMap};
 use pumi_field::{DistField, Field, FieldShape};
@@ -107,7 +107,7 @@ fn roundtrip(name: &str, serial: &Mesh, nwrite: usize, ghosts: bool) {
         let mut dm = build_dm(c, serial);
         set_tags(&mut dm);
         if ghosts {
-            ghost_layers(c, &mut dm, Dim::Vertex, 1);
+            grow_overlap(c, &mut dm, GhostOpts::new().bridge(Dim::Vertex).layers(1));
         }
         let fields = make_field(&dm);
         let stats = write_checkpoint(c, &dm, &[&fields], &dir).expect("write_checkpoint");

@@ -16,8 +16,9 @@
 
 use pumi_adapt::measure;
 use pumi_core::numbering::number_owned;
+use pumi_core::overlap::{Overlap, Reduction};
 use pumi_core::{distribute, PartMap};
-use pumi_field::{accumulate, dist_field, Field, FieldShape};
+use pumi_field::{dist_field, Field, FieldShape, FieldSync};
 use pumi_geom::builders::VesselSpec;
 use pumi_meshgen::vessel_tet;
 use pumi_partition::partition_mesh;
@@ -56,7 +57,8 @@ fn main() {
             }
         }
         // Boundary assembly: sum the contributions of all copies.
-        accumulate(c, &dm, &mut fields);
+        let ov = Overlap::from_dist(&dm);
+        fields.sync(c, &dm, &ov, Reduction::Add);
 
         // Check conservation: summing owned dofs gives the domain volume.
         let mut local = 0.0;

@@ -6,11 +6,11 @@
 //!
 //! Run: `cargo run --release --example quickstart`
 
-use pumi_core::ghost::{delete_ghosts, ghost_layers};
 use pumi_core::numbering::number_owned;
+use pumi_core::overlap::{clear_overlap, grow_overlap, GhostOpts, Overlap, Reduction};
 use pumi_core::verify::assert_dist_valid;
 use pumi_core::{distribute, migrate, MigrationPlan, PartMap, PtnModel};
-use pumi_field::{accumulate, dist_field, Field, FieldShape};
+use pumi_field::{dist_field, Field, FieldShape, FieldSync};
 use pumi_meshgen::tet_box;
 use pumi_partition::partition_mesh;
 use pumi_pcu::execute;
@@ -68,10 +68,15 @@ fn main() {
             stats.elements_moved, stats.entities_sent
         ));
 
-        // One ghost layer bridged through vertices (read-only copies).
-        let ghosts = ghost_layers(c, &mut dm, Dim::Vertex, 1);
-        lines.push(format!("created {ghosts} ghost element copies"));
-        delete_ghosts(&mut dm);
+        // One ghost layer bridged through vertices (read-only copies),
+        // grown through the star-forest overlap.
+        let ov = grow_overlap(c, &mut dm, GhostOpts::new().bridge(Dim::Vertex).layers(1));
+        let ghosts = dm.global_sum(c, |p| p.num_ghosts() as u64);
+        lines.push(format!(
+            "grew a depth-{} overlap: {ghosts} ghost entity copies",
+            ov.depth()
+        ));
+        clear_overlap(&mut dm);
 
         // Global vertex numbering + an assembled vertex field.
         let nvtx = number_owned(c, &mut dm, Dim::Vertex, "gvn");
@@ -79,12 +84,13 @@ fn main() {
         let mut fields = dist_field(&dm, &template);
         for (slot, part) in dm.parts.iter().enumerate() {
             for v in part.mesh.iter(Dim::Vertex) {
-                // Each part contributes 1 per local copy; accumulate sums
-                // contributions across part boundaries.
+                // Each part contributes 1 per local copy; the Add-sync
+                // sums contributions across part boundaries.
                 fields[slot].set_scalar(v, 1.0);
             }
         }
-        accumulate(c, &dm, &mut fields);
+        let ov = Overlap::from_dist(&dm);
+        fields.sync(c, &dm, &ov, Reduction::Add);
         lines.push(format!("numbered {nvtx} global vertices"));
         (c.rank() == 0).then_some(lines)
     });

@@ -3,7 +3,8 @@
 #
 # Runs the `pcu_exchange` and `migration` criterion benches with
 # CRITERION_JSON pointing at a scratch file, plus the `checkpoint_restart`
-# experiment binary (whose report lands in results/io_checkpoint.json),
+# and `halo_exchange` experiment binaries (whose reports land in
+# results/io_checkpoint.json and results/halo_exchange.json),
 # then folds every median into BENCH_pcu.json at the repository root:
 #
 #   { "schema": 1, "unix_time": ..., "benches": { "<group>/<id>": {"median_ns": N, "samples": S}, ... } }
@@ -28,11 +29,14 @@ export PUMI_RESULTS_DIR="$PWD/results"
 cargo bench -p pumi-bench --bench pcu_exchange
 cargo bench -p pumi-bench --bench migration
 cargo run --release -p pumi-bench --bin checkpoint_restart
+cargo run --release -p pumi-bench --bin halo_exchange
 
-python3 - "$scratch" "$out" "$PUMI_RESULTS_DIR/io_checkpoint.json" <<'EOF'
+python3 - "$scratch" "$out" \
+    "$PUMI_RESULTS_DIR/io_checkpoint.json" \
+    "$PUMI_RESULTS_DIR/halo_exchange.json" <<'EOF'
 import json, sys, time
 
-lines, out, io_report = sys.argv[1], sys.argv[2], sys.argv[3]
+lines, out, reports = sys.argv[1], sys.argv[2], sys.argv[3:]
 benches = {}
 with open(lines) as f:
     for line in f:
@@ -44,16 +48,17 @@ with open(lines) as f:
             "median_ns": row["median_ns"],
             "samples": row["samples"],
         }
-# The checkpoint/restart binary emits the same row shape under "medians".
-try:
-    with open(io_report) as f:
-        for row in json.load(f).get("medians", []):
-            benches[row["bench"]] = {
-                "median_ns": row["median_ns"],
-                "samples": row["samples"],
-            }
-except (OSError, json.JSONDecodeError) as e:
-    print(f"warning: skipping io_checkpoint medians: {e}", file=sys.stderr)
+# The experiment binaries emit the same row shape under "medians".
+for report in reports:
+    try:
+        with open(report) as f:
+            for row in json.load(f).get("medians", []):
+                benches[row["bench"]] = {
+                    "median_ns": row["median_ns"],
+                    "samples": row["samples"],
+                }
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"warning: skipping medians from {report}: {e}", file=sys.stderr)
 if not benches:
     sys.exit("no bench lines collected — did the benches run?")
 snapshot = {

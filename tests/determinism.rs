@@ -6,9 +6,9 @@
 
 use parma::{improve, ImproveOpts, Priority};
 use pumi_repro::check::{check_dist, CheckOpts};
-use pumi_repro::core::ghost::ghost_layers;
+use pumi_repro::core::overlap::{grow_overlap, GhostOpts, Overlap, Reduction};
 use pumi_repro::core::{distribute, migrate, DistMesh, MigrationPlan, PartMap};
-use pumi_repro::field::{accumulate, dist_field, sync_owned_to_copies, Field, FieldShape};
+use pumi_repro::field::{dist_field, Field, FieldShape, FieldSync};
 use pumi_repro::io::{read_checkpoint_with, struct_hash, write_checkpoint, ReadOpts};
 use pumi_repro::meshgen::tri_rect;
 use pumi_repro::obs::metrics::{take_digests, take_traffic};
@@ -67,7 +67,7 @@ fn scenario(c: &Comm, label: &str) -> RankTrace {
         plans.insert(0, plan);
     }
     migrate(c, &mut dm, &plans);
-    ghost_layers(c, &mut dm, Dim::Vertex, 1);
+    grow_overlap(c, &mut dm, GhostOpts::new().bridge(Dim::Vertex).layers(1));
     check_dist(c, &dm, CheckOpts::all()).expect("stage 1 invariants");
     hashes.push(struct_hash(c, &dm));
 
@@ -80,8 +80,9 @@ fn scenario(c: &Comm, label: &str) -> RankTrace {
             fields[slot].set(v, &[1.0 + g * 0.25, g * 0.5]);
         }
     }
-    accumulate(c, &dm, &mut fields);
-    sync_owned_to_copies(c, &dm, &mut fields);
+    let ov = Overlap::from_dist(&dm);
+    fields.sync(c, &dm, &ov, Reduction::Add);
+    fields.sync(c, &dm, &ov, Reduction::Insert);
     field_bits(&dm, &fields, &mut bits);
 
     // Stage 3: ParMA diffusion on a skewed strip, invariants checked every

@@ -1,11 +1,11 @@
 //! The typed invariant checker passes after every mutating collective in
-//! the stack: distribute, migrate, ghost_layers, parma improve, and a
+//! the stack: distribute, migrate, grow_overlap, parma improve, and a
 //! checkpoint restore. `pumi-check`'s own tests prove the checker *detects*
 //! corruption; this suite proves the operations *preserve* the invariants.
 
 use parma::{improve, ImproveOpts, Priority};
 use pumi_repro::check::{check_dist, CheckOpts};
-use pumi_repro::core::ghost::ghost_layers;
+use pumi_repro::core::overlap::{grow_overlap, GhostOpts};
 use pumi_repro::core::{distribute, migrate, DistMesh, MigrationPlan, PartMap};
 use pumi_repro::io::{read_checkpoint_with, write_checkpoint, ReadOpts};
 use pumi_repro::meshgen::tri_rect;
@@ -43,7 +43,7 @@ fn invariants_hold_through_migrate_and_ghosting() {
         migrate(c, &mut dm, &plans);
         check_dist(c, &dm, CheckOpts::all()).expect("post-migrate");
 
-        ghost_layers(c, &mut dm, Dim::Vertex, 1);
+        grow_overlap(c, &mut dm, GhostOpts::new().bridge(Dim::Vertex).layers(1));
         check_dist(c, &dm, CheckOpts::all()).expect("post-ghost");
     });
 }

@@ -3,7 +3,7 @@
 //! simplices do (§II's "general unstructured mesh representation").
 
 use parma::{improve, EntityLoads, ImproveOpts, Priority};
-use pumi_core::ghost::{delete_ghosts, ghost_layers};
+use pumi_core::overlap::{clear_overlap, grow_overlap, GhostOpts};
 use pumi_core::verify::assert_dist_valid;
 use pumi_core::{distribute, migrate, MigrationPlan, PartMap};
 use pumi_meshgen::{hex_box, quad_rect};
@@ -42,10 +42,11 @@ fn hex_mesh_distributes_migrates_and_ghosts() {
         let total = dm.global_sum(c, |p| p.mesh.num_elems() as u64);
         assert_eq!(total, nregions);
 
-        // Ghost a layer of hexes.
-        let g = ghost_layers(c, &mut dm, Dim::Face, 1);
-        assert!(g > 0);
-        delete_ghosts(&mut dm);
+        // Ghost a layer of hexes through face bridges.
+        let ov = grow_overlap(c, &mut dm, GhostOpts::new().bridge(Dim::Face).layers(1));
+        assert!(ov.depth() == 1);
+        assert!(dm.global_sum(c, |p| p.num_ghosts() as u64) > 0);
+        clear_overlap(&mut dm);
         assert_dist_valid(c, &dm);
     });
 }

@@ -4,11 +4,11 @@
 //! at every stage.
 
 use parma::{improve, EntityLoads, ImproveOpts, Priority};
-use pumi_core::ghost::{delete_ghosts, ghost_layers, sync_ghost_tags};
 use pumi_core::numbering::number_owned;
+use pumi_core::overlap::{clear_overlap, Overlap, Reduction, Scope};
 use pumi_core::verify::assert_dist_valid;
 use pumi_core::{distribute, PartMap};
-use pumi_field::{accumulate, dist_field, Field, FieldShape};
+use pumi_field::{dist_field, Field, FieldShape, FieldSync};
 use pumi_geom::builders::VesselSpec;
 use pumi_meshgen::{jitter, vessel_tet};
 use pumi_partition::{partition_mesh, PartitionQuality};
@@ -81,10 +81,11 @@ fn aaa_pipeline_balances_and_conserves() {
                 part.mesh.tags_mut().set_dbl(tid, e, pid as f64);
             }
         }
-        let nghost = ghost_layers(c, &mut dm, Dim::Vertex, 1);
+        let mut ov = Overlap::from_dist(&dm).with_bridge(Dim::Vertex);
+        let nghost = ov.grow(c, &mut dm, 1);
         assert!(nghost > 0);
-        sync_ghost_tags(c, &mut dm);
-        delete_ghosts(&mut dm);
+        ov.bcast_tags(c, &mut dm, Scope::Ghosts);
+        clear_overlap(&mut dm);
         for p in &dm.parts {
             assert_eq!(p.num_ghosts(), 0);
             p.mesh.assert_valid();
@@ -101,7 +102,8 @@ fn aaa_pipeline_balances_and_conserves() {
                 fields[slot].set_scalar(v, 1.0);
             }
         }
-        accumulate(c, &dm, &mut fields);
+        let ov = Overlap::from_dist(&dm);
+        fields.sync(c, &dm, &ov, Reduction::Add);
         // Sum of owned accumulated values = total copies of every vertex.
         let mut local = 0.0;
         for (slot, part) in dm.parts.iter().enumerate() {
