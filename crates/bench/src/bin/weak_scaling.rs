@@ -47,6 +47,7 @@ fn main() {
         ],
     );
     let mut points: Vec<Json> = Vec::new();
+    let mut medians: Vec<Json> = Vec::new();
     let mut parts = 8usize;
     while parts <= max_parts {
         // Size the vessel so elements ≈ parts * elems_per_part.
@@ -135,6 +136,15 @@ fn main() {
             ("sync_ms", Json::F64(sync)),
             ("obs", obs.unwrap_or(Json::Null)),
         ]));
+        // Same row shape as the criterion benches so bench_snapshot.sh can
+        // fold these into BENCH_pcu.json (single timed run per point).
+        for (stage, ms) in [("migrate", mig), ("parma", par), ("sync", sync)] {
+            medians.push(Json::obj([
+                ("bench", Json::str(format!("weak_scaling/{stage}/{parts}"))),
+                ("median_ns", Json::U64((ms * 1e6) as u64)),
+                ("samples", Json::U64(1)),
+            ]));
+        }
         parts *= 2;
     }
     print_table(&t);
@@ -147,6 +157,7 @@ fn main() {
         ]),
     );
     report.section("points", Json::arr(points));
+    report.section("medians", Json::arr(medians));
     report.section("tables", Json::arr([table_to_json(&t)]));
     write_report(&report);
     println!();

@@ -10,52 +10,31 @@ use crate::msg::{MsgReader, MsgWriter};
 use bytes::Bytes;
 
 impl Comm {
-    /// Block until every rank reaches the barrier (dissemination algorithm,
-    /// O(log N) rounds).
+    /// Block until every rank reaches the barrier.
+    ///
+    /// Shared-memory consensus (a sense-reversing barrier in world state),
+    /// not a message pattern: entering costs one lock, the last arriver
+    /// issues one wakeup burst, and no envelopes or collective tags are
+    /// consumed. Because the simulated transport enqueues sends
+    /// synchronously before the sender can reach the barrier, completion
+    /// still proves every prior send of every rank sits in its
+    /// destination's mailbox — the termination-consensus property the
+    /// phased exchange relies on — while eliminating the O(N log N)
+    /// control envelopes (and their wake chains) the old dissemination
+    /// barrier paid per phase.
     pub fn barrier(&self) {
         let _span = pumi_obs::span!("pcu.barrier");
-        let n = self.nranks();
-        if n == 1 {
-            self.next_coll_tag();
-            return;
-        }
-        let mut k = 1usize;
-        while k < n {
-            // One tag per dissemination round keeps collective tags unique
-            // world-wide (every rank executes the same rounds, so sequence
-            // numbers stay aligned).
-            let tag = self.next_coll_tag();
-            let to = (self.rank() + k) % n;
-            let from = (self.rank() + n - k) % n;
-            self.send_raw(to, tag, Bytes::new());
-            let _ = self.recv_raw(Some(from), tag);
-            k <<= 1;
-        }
+        self.barrier_wait();
     }
 
-    /// Dissemination barrier among the ranks of this rank's node only: all
-    /// rounds travel shared-memory links. Collective across the whole world
-    /// (every rank calls it; the machine is uniform, so every node runs the
-    /// same number of rounds and collective tags stay aligned). Used by the
-    /// two-level exchange to fence intra-node delivery hops.
+    /// Consensus among the ranks of this rank's node only. Collective
+    /// across the whole world (every rank calls it; the machine is uniform
+    /// and no collective tags are consumed, so sequence numbers stay
+    /// aligned). Used by the two-level exchange to fence intra-node
+    /// delivery hops.
     pub(crate) fn node_barrier(&self) {
         let _span = pumi_obs::span!("pcu.node_barrier");
-        let machine = self.machine();
-        let cores = machine.cores_per_node;
-        if cores == 1 {
-            return;
-        }
-        let base = machine.leader_of(machine.node_of(self.rank()));
-        let core = self.rank() - base;
-        let mut k = 1usize;
-        while k < cores {
-            let tag = self.next_coll_tag();
-            let to = base + (core + k) % cores;
-            let from = base + (core + cores - k) % cores;
-            self.send_raw(to, tag, Bytes::new());
-            let _ = self.recv_raw(Some(from), tag);
-            k <<= 1;
-        }
+        self.node_barrier_wait();
     }
 
     /// Gather one buffer from every rank to `root`; returns `Some(bufs)` on

@@ -8,8 +8,10 @@
 //! exercises true pack/route/unpack code paths.
 //!
 //! Components:
-//! * [`comm`] — the world executor ([`comm::execute`]) and per-rank
-//!   [`comm::Comm`] handle with point-to-point send/recv,
+//! * [`comm`] — the world executor ([`comm::execute`], with
+//!   [`comm::WorldOpts`]/`PUMI_PCU_WORKERS` multiplexing R ranks onto W
+//!   worker permits for wide worlds) and per-rank [`comm::Comm`] handle
+//!   with point-to-point send/recv over sharded lock-free mailboxes,
 //! * [`collectives`] — barrier, reductions, gathers, all-to-all,
 //! * [`phased`] — PCU-style phased neighbour exchange (pack per destination,
 //!   send, iterate received buffers) with selectable off-node routing
@@ -37,9 +39,12 @@ pub mod machine;
 pub mod msg;
 pub mod obs;
 pub mod phased;
+mod runtime;
 pub mod sched;
 
-pub use comm::{execute, execute_chaos, execute_on, execute_on_sched, Comm};
+pub use comm::{
+    execute, execute_chaos, execute_on, execute_on_sched, execute_opts, Comm, WorldOpts,
+};
 pub use machine::{LinkClass, MachineModel, TrafficReport};
 pub use msg::{MsgError, MsgReader, MsgWriter};
 pub use phased::{Exchange, ExchangeOpts, Received, RouteMode};

@@ -255,9 +255,9 @@ mod tests {
         assert_eq!(find(Link::OffNode).msgs, 8);
         assert_eq!(find(Link::OffNode).bytes, 64);
         assert_eq!(find(Link::SelfLoop).msgs, 4);
-        // The termination-detection barrier is traffic too, but lands
-        // under its own nested span path.
-        assert!(traffic.iter().any(|t| t.phase.contains("pcu.barrier")));
+        // The termination-detection barrier is shared-memory consensus —
+        // it must contribute no traffic rows of its own.
+        assert!(traffic.iter().all(|t| !t.phase.contains("pcu.barrier")));
     }
 
     /// Under two-level routing the exchange-path rows stay identical to

@@ -4,10 +4,13 @@
 //!
 //! A phase has three steps: pack data per destination rank, send everything,
 //! then iterate over received buffers. Termination is sparse: the simulated
-//! transport enqueues sends synchronously, so one dissemination barrier after
-//! the sends proves every buffer of the phase has reached its destination's
-//! queue — the exchange costs O(messages + log N), with no dense
-//! per-destination count reduction.
+//! transport enqueues sends synchronously, so one shared-memory consensus
+//! barrier after the sends proves every buffer of the phase has reached its
+//! destination's mailbox — the exchange costs O(messages) plus one barrier,
+//! with no dense per-destination count reduction and no control envelopes
+//! at all. Each destination receives at most one framed buffer per phase
+//! (the per-destination writer), so a phase costs at most one mailbox
+//! wakeup per link.
 //!
 //! Off-node routing is selectable per exchange ([`ExchangeOpts`]):
 //! [`RouteMode::Direct`] sends every buffer straight to its destination;
@@ -205,23 +208,30 @@ impl<'c> Exchange<'c> {
     }
 }
 
-/// Fold one received logical frame into the obs digest sink: an FNV-1a hash
-/// of (origin rank, payload bytes), attributed to the origin→receiver link
-/// class. Routing-invariant — relayed frames hash identically to direct
-/// ones — so digest rows can be compared across routes and chaos seeds.
+/// Fold one received logical frame into the obs digest sink: an FNV-style
+/// hash of (origin rank, payload bytes), attributed to the origin→receiver
+/// link class. Routing-invariant — relayed frames hash identically to
+/// direct ones — so digest rows can be compared across routes and chaos
+/// seeds. The fold consumes 8-byte words per multiply (with the length
+/// mixed in to disambiguate tail padding): a pure function of the same
+/// inputs as byte-at-a-time FNV-1a, at an eighth of the dependent-multiply
+/// chain — fingerprinting is on every frame of every exchange, so it must
+/// not dominate the phase.
 fn digest_frame(comm: &Comm, from: usize, data: &[u8]) {
     if !pumi_obs::metrics::enabled() {
         return;
     }
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for b in (from as u64)
-        .to_le_bytes()
-        .iter()
-        .chain(data.iter())
-        .copied()
-    {
-        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+    const PRIME: u64 = 0x0000_0100_0000_01B3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64 ^ (from as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    let mut chunks = data.chunks_exact(8);
+    for c in &mut chunks {
+        h = (h ^ u64::from_le_bytes(c.try_into().unwrap())).wrapping_mul(PRIME);
     }
+    let mut tail = (data.len() as u64) << 56;
+    for (i, &b) in chunks.remainder().iter().enumerate() {
+        tail |= (b as u64) << (8 * i);
+    }
+    h = (h ^ tail).wrapping_mul(PRIME);
     let link = if from == comm.rank() {
         Link::SelfLoop
     } else {
@@ -256,11 +266,11 @@ fn finish_direct(
             rng.maybe_yield();
         }
     }
-    // Termination consensus: channel sends enqueue synchronously, and a
-    // dissemination barrier completes on a rank only once every rank has
-    // entered it — so by then every buffer of this phase sits in its
-    // destination's channel or mailbox. One O(log N) barrier replaces a
-    // dense per-destination count reduction.
+    // Termination consensus: mailbox pushes enqueue synchronously, and the
+    // barrier completes on a rank only once every rank has entered it — so
+    // by then every buffer of this phase sits in its destination's mailbox
+    // or stash. One shared-memory barrier replaces a dense per-destination
+    // count reduction, and carries no control envelopes of its own.
     comm.barrier();
     comm.drain_wire();
     let mut total_bytes = 0u64;
@@ -397,6 +407,11 @@ fn finish_two_level(
         if let Some(rng) = chaos.as_mut() {
             rng.shuffle(&mut bundles);
         }
+        // Re-delivered sub-buffers are pushed quietly and each destination
+        // is woken once after all bundles are unpacked: one wakeup per
+        // on-node link for the whole phase, however many origins relayed
+        // through this leader.
+        let mut pending_notify: Vec<usize> = Vec::new();
         for (_, bundle) in bundles {
             let mut r = MsgReader::new(bundle);
             while !r.is_done() {
@@ -411,9 +426,15 @@ fn finish_two_level(
                     // origin; the payload is a zero-copy slice of the
                     // super-message.
                     let _relay = pumi_obs::span!(pumi_obs::metrics::RELAY_SPAN);
-                    comm.forward_raw(origin as usize, dest as usize, tag_data, payload);
+                    comm.forward_raw_quiet(origin as usize, dest as usize, tag_data, payload);
+                    if !pending_notify.contains(&(dest as usize)) {
+                        pending_notify.push(dest as usize);
+                    }
                 }
             }
+        }
+        for dest in pending_notify {
+            comm.notify(dest);
         }
     }
     // Fence 3 (on-node): forwarded sub-buffers have reached their final

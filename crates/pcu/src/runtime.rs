@@ -1,0 +1,427 @@
+//! World-shared runtime primitives: sharded lock-free mailboxes, shared-
+//! memory consensus barriers, and the cooperative rank executor.
+//!
+//! This is the machinery that lets one process host a 1024-rank world
+//! cheaply (DESIGN.md "Scaling the simulated world"). Three ideas:
+//!
+//! * **Sharded mailboxes.** Every rank owns one [`Mailbox`]: an array of
+//!   per-source-class [`Shard`]s, each a lock-free Treiber stack of
+//!   envelope nodes. A send is one `compare_exchange` push; the owning
+//!   rank drains whole shards with a single `swap` per shard and restores
+//!   FIFO order by reversing. No channel allocation per link, no lock on
+//!   the send path.
+//! * **Elided, token-based wakeups.** A sender pays for a wakeup only when
+//!   the receiver is actually parked (a `SeqCst` flag handshake makes the
+//!   check race-free), and the wakeup itself is a sticky
+//!   `thread::unpark` token — no mutex for the sleeper to re-acquire, no
+//!   lost-wakeup window, and callers that deliver several envelopes to
+//!   one destination push them all quietly and notify once, so a phase's
+//!   worth of frames costs at most one wake per link, not one per
+//!   envelope.
+//! * **Cooperative executor.** With `R` ranks multiplexed onto `W` worker
+//!   permits ([`Scheduler`]), at most `W` rank threads are runnable at any
+//!   instant; a rank releases its permit whenever it parks (mailbox wait,
+//!   barrier wait) and re-acquires it on wake. Blocked ranks therefore
+//!   cost a parked OS thread, not a scheduled one, and a 1024-rank world
+//!   no longer thrashes the kernel scheduler of a laptop-sized host.
+//!
+//! Every blocking loop observes the world's poison flag so that a panic on
+//! one rank wakes and fails the others instead of deadlocking the world.
+
+use crate::comm::Envelope;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, OnceLock};
+use std::thread::Thread;
+
+/// Shards per mailbox: sources stripe onto shards modulo this, bounding
+/// memory at high rank counts while still spreading producer CAS
+/// contention.
+const MAX_SHARDS: usize = 32;
+
+/// How many `yield_now` rounds a blocking primitive cedes the CPU before
+/// paying for a real `park`. When rank threads outnumber cores, one yield
+/// walks the scheduler through every other runnable rank — which usually
+/// produces the event we are waiting for — so the common case costs one
+/// cheap syscall instead of a park/unpark futex pair plus a forced wake on
+/// the notifier's critical path. Bounded, so a genuinely long wait still
+/// parks and frees the core entirely.
+const SPIN_YIELDS: usize = 8;
+
+/// An intrusive envelope node on a shard stack.
+struct Node {
+    env: MaybeUninit<Envelope>,
+    next: *mut Node,
+}
+
+// The boxes are the point: pooled nodes round-trip through
+// `Box::into_raw` as intrusive stack links, so each must own a stable heap
+// allocation of its own.
+#[allow(clippy::vec_box)]
+mod node_pool {
+    //! Thread-local free list of mailbox nodes. Each rank is pinned to one
+    //! OS thread, so thread-local means per-rank: in steady-state neighbour
+    //! exchange the nodes a rank consumed circulate back into its own
+    //! sends without touching the allocator.
+    use super::Node;
+    use std::cell::RefCell;
+    use std::mem::MaybeUninit;
+    use std::ptr;
+
+    const MAX_NODES: usize = 64;
+
+    thread_local! {
+        static POOL: RefCell<Vec<Box<Node>>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn take() -> Box<Node> {
+        POOL.with(|p| p.borrow_mut().pop()).unwrap_or_else(|| {
+            Box::new(Node {
+                env: MaybeUninit::uninit(),
+                next: ptr::null_mut(),
+            })
+        })
+    }
+
+    /// `node.env` must already be logically uninitialized (moved out).
+    pub(super) fn put(mut node: Box<Node>) {
+        node.next = ptr::null_mut();
+        POOL.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.len() < MAX_NODES {
+                p.push(node);
+            }
+        });
+    }
+}
+
+/// One lock-free MPSC stack. Producers push with CAS; only the mailbox
+/// owner pops (whole-stack `swap`), so no ABA hazard exists.
+struct Shard {
+    head: AtomicPtr<Node>,
+}
+
+impl Shard {
+    const fn new() -> Shard {
+        Shard {
+            head: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    fn push(&self, env: Envelope) {
+        let mut node = node_pool::take();
+        node.env.write(env);
+        let node = Box::into_raw(node);
+        let mut head = self.head.load(Ordering::Acquire);
+        loop {
+            unsafe { (*node).next = head };
+            // SeqCst success: the push must be globally ordered against the
+            // consumer's sleep-flag store (see Mailbox::park).
+            match self
+                .head
+                .compare_exchange(head, node, Ordering::SeqCst, Ordering::Acquire)
+            {
+                Ok(_) => return,
+                Err(h) => head = h,
+            }
+        }
+    }
+
+    /// Take every queued envelope in arrival (FIFO) order.
+    fn drain(&self, out: &mut impl FnMut(Envelope)) {
+        let mut p = self.head.swap(ptr::null_mut(), Ordering::SeqCst);
+        if p.is_null() {
+            return;
+        }
+        // The stack is newest-first; reverse in place to recover FIFO.
+        let mut prev: *mut Node = ptr::null_mut();
+        while !p.is_null() {
+            let next = unsafe { (*p).next };
+            unsafe { (*p).next = prev };
+            prev = p;
+            p = next;
+        }
+        while !prev.is_null() {
+            let node = unsafe { Box::from_raw(prev) };
+            prev = node.next;
+            let env = unsafe { node.env.assume_init_read() };
+            node_pool::put(node);
+            out(env);
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.head.load(Ordering::SeqCst).is_null()
+    }
+}
+
+impl Drop for Shard {
+    fn drop(&mut self) {
+        let mut p = *self.head.get_mut();
+        while !p.is_null() {
+            let node = unsafe { Box::from_raw(p) };
+            p = node.next;
+            drop(unsafe { node.env.assume_init_read() });
+        }
+    }
+}
+
+/// One rank's incoming side of the simulated network.
+pub(crate) struct Mailbox {
+    shards: Box<[Shard]>,
+    /// Whether the owner is parked — producers skip the wake syscall
+    /// entirely while the owner is running.
+    sleeping: AtomicBool,
+    /// The owning rank's thread, recorded at first park. Wakeups are
+    /// sticky `unpark` tokens: if a producer races ahead of the owner's
+    /// `park`, the token makes that park return immediately, so no wakeup
+    /// can be lost and no mutex/condvar pair is needed.
+    owner: OnceLock<Thread>,
+}
+
+impl Mailbox {
+    pub(crate) fn new(nranks: usize) -> Mailbox {
+        let n = nranks.clamp(1, MAX_SHARDS);
+        Mailbox {
+            shards: (0..n).map(|_| Shard::new()).collect(),
+            sleeping: AtomicBool::new(false),
+            owner: OnceLock::new(),
+        }
+    }
+
+    /// Enqueue without waking the owner. Callers must follow a batch of
+    /// quiet pushes with [`Mailbox::notify`].
+    pub(crate) fn push_quiet(&self, env: Envelope) {
+        let shard = env.from % self.shards.len();
+        self.shards[shard].push(env);
+    }
+
+    /// Wake the owner if (and only if) it is parked.
+    pub(crate) fn notify(&self) {
+        if self.sleeping.load(Ordering::SeqCst) {
+            if let Some(t) = self.owner.get() {
+                t.unpark();
+            }
+        }
+    }
+
+    /// Enqueue and wake: the common single-envelope send.
+    pub(crate) fn push(&self, env: Envelope) {
+        self.push_quiet(env);
+        self.notify();
+    }
+
+    /// Drain every shard (fixed shard order, FIFO within a shard) into
+    /// `out`. Owner-only.
+    pub(crate) fn drain(&self, out: &mut impl FnMut(Envelope)) {
+        for s in self.shards.iter() {
+            s.drain(out);
+        }
+    }
+
+    fn has_mail(&self) -> bool {
+        self.shards.iter().any(|s| !s.is_empty())
+    }
+
+    /// Park the owner until a producer notifies (or the world is
+    /// poisoned). Returns `true` if mail may be available, `false` only on
+    /// poison. Owner-only. The caller re-drains after every wake: wakes
+    /// may be spurious (stale tokens) or already-consumed.
+    pub(crate) fn park(&self, exec: &Scheduler, poisoned: &AtomicBool) -> bool {
+        // Yield-spin first (unless multiplexed: spinning would hold a
+        // worker permit that a runnable rank needs). The producer we are
+        // waiting on is usually just another thread of this process, so
+        // ceding the CPU is both the fastest and the cheapest way to make
+        // it run.
+        if !exec.is_multiplexing() {
+            for _ in 0..SPIN_YIELDS {
+                if self.has_mail() || poisoned.load(Ordering::SeqCst) {
+                    return !poisoned.load(Ordering::SeqCst);
+                }
+                std::thread::yield_now();
+            }
+        }
+        self.owner.get_or_init(std::thread::current);
+        self.sleeping.store(true, Ordering::SeqCst);
+        // Re-check after raising the flag: a producer that pushed before
+        // the flag was visible did not (and will not) notify, so the push
+        // must be caught here. SeqCst on both sides makes one of the two
+        // observations certain; a producer that raced in between leaves a
+        // sticky unpark token that returns the park below immediately.
+        if self.has_mail() || poisoned.load(Ordering::SeqCst) {
+            self.sleeping.store(false, Ordering::SeqCst);
+            return !poisoned.load(Ordering::SeqCst);
+        }
+        // Sleeping costs a parked OS thread only: give the worker permit
+        // back to the executor while blocked.
+        exec.release();
+        std::thread::park();
+        self.sleeping.store(false, Ordering::SeqCst);
+        exec.acquire(poisoned);
+        !poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Wake the owner unconditionally (world poison path).
+    pub(crate) fn force_wake(&self) {
+        if let Some(t) = self.owner.get() {
+            t.unpark();
+        }
+    }
+}
+
+/// A reusable counted barrier over one membership set (the world, or the
+/// ranks of one node). Shared-memory consensus replaces the previous
+/// log₂N-round dissemination barrier of empty messages: arrivals count on
+/// a lock-free atomic, the last arriver bumps the generation and unparks
+/// only the waiters that actually parked, and non-last arrivers yield-spin
+/// on the generation before paying for a park — in the steady cadence of a
+/// phased exchange most members never touch the mutex or a futex at all.
+pub(crate) struct SenseBarrier {
+    members: usize,
+    /// Arrivals in the current generation. Only the last arriver resets
+    /// it, and no member can re-enter until the generation advances, so
+    /// the counter is never incremented concurrently with its reset.
+    arrivals: AtomicUsize,
+    waiters: Mutex<Vec<Thread>>,
+    generation: AtomicU64,
+}
+
+impl SenseBarrier {
+    pub(crate) fn new(members: usize) -> SenseBarrier {
+        SenseBarrier {
+            members,
+            arrivals: AtomicUsize::new(0),
+            waiters: Mutex::new(Vec::new()),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Block until all members arrive. Panics (on every waiter) if the
+    /// world is poisoned while waiting.
+    pub(crate) fn wait(&self, exec: &Scheduler, poisoned: &AtomicBool) {
+        if self.members == 1 {
+            return;
+        }
+        // The generation cannot advance between this load and the arrival
+        // increment below: advancing requires every member to arrive, and
+        // this thread has not yet.
+        let gen = self.generation.load(Ordering::SeqCst);
+        if self.arrivals.fetch_add(1, Ordering::SeqCst) + 1 == self.members {
+            // Reset before release: every member is inside this wait call,
+            // so no increment can race the store until the generation
+            // advances below.
+            self.arrivals.store(0, Ordering::SeqCst);
+            self.generation.store(gen.wrapping_add(1), Ordering::SeqCst);
+            let mut w = self.waiters.lock().unwrap();
+            for t in w.drain(..) {
+                t.unpark();
+            }
+            return;
+        }
+        if !exec.is_multiplexing() {
+            for _ in 0..SPIN_YIELDS {
+                if self.generation.load(Ordering::SeqCst) != gen {
+                    return;
+                }
+                std::thread::yield_now();
+            }
+        }
+        // Slow path: register, then re-check under the lock — the release
+        // sequence bumps the generation *before* taking the lock, so a
+        // registration that observes the old generation here is guaranteed
+        // to be seen (and unparked) by the releaser.
+        let mut w = self.waiters.lock().unwrap();
+        if self.generation.load(Ordering::SeqCst) != gen {
+            return;
+        }
+        w.push(std::thread::current());
+        drop(w);
+        exec.release();
+        while self.generation.load(Ordering::SeqCst) == gen && !poisoned.load(Ordering::SeqCst) {
+            std::thread::park();
+        }
+        exec.acquire(poisoned);
+        if poisoned.load(Ordering::SeqCst) {
+            panic!("peer rank panicked while this rank waited at a barrier");
+        }
+    }
+
+    /// Wake all registered waiters unconditionally (world poison path).
+    pub(crate) fn force_wake(&self) {
+        let mut w = self.waiters.lock().unwrap();
+        for t in w.drain(..) {
+            t.unpark();
+        }
+    }
+}
+
+/// The cooperative rank executor: a counted set of worker permits. A rank
+/// thread must hold a permit to execute; every blocking primitive releases
+/// the permit before parking and re-acquires it after waking, so at most
+/// `cap` rank threads contend for the host's cores regardless of world
+/// size. `cap == 0` disables multiplexing (one permit per rank, no
+/// bookkeeping at all) — the default for small worlds.
+pub(crate) struct Scheduler {
+    cap: usize,
+    state: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    pub(crate) fn new(cap: usize) -> Scheduler {
+        Scheduler {
+            cap,
+            state: Mutex::new(cap),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Whether rank threads are being multiplexed onto a bounded permit
+    /// set. Blocking primitives skip their yield-spin fast path when true:
+    /// spinning would pin a permit that a runnable rank needs.
+    pub(crate) fn is_multiplexing(&self) -> bool {
+        self.cap != 0
+    }
+
+    /// Take a worker permit (blocking). Poison releases all waiters.
+    pub(crate) fn acquire(&self, poisoned: &AtomicBool) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut g = self.state.lock().unwrap();
+        while *g == 0 && !poisoned.load(Ordering::SeqCst) {
+            g = self.cv.wait(g).unwrap();
+        }
+        *g = g.saturating_sub(1);
+    }
+
+    /// Return a worker permit.
+    pub(crate) fn release(&self) {
+        if self.cap == 0 {
+            return;
+        }
+        let mut g = self.state.lock().unwrap();
+        *g += 1;
+        drop(g);
+        self.cv.notify_one();
+    }
+
+    /// Briefly cede this worker permit so other runnable ranks can make
+    /// progress — used by polling paths (`iprobe`) so a spinning rank
+    /// cannot monopolize the last permit of a multiplexed world.
+    pub(crate) fn yield_permit(&self, poisoned: &AtomicBool) {
+        if self.cap == 0 {
+            return;
+        }
+        self.release();
+        std::thread::yield_now();
+        self.acquire(poisoned);
+    }
+
+    /// Wake all permit waiters unconditionally (world poison path).
+    pub(crate) fn force_wake(&self) {
+        let _g = self.state.lock().unwrap();
+        self.cv.notify_all();
+    }
+}

@@ -1,7 +1,7 @@
 //! Performance measurement utilities (§II-D: "run-time and memory usage
 //! counter") and the imbalance statistics ParMA is built around (§III).
 
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -31,10 +31,12 @@ impl Timer {
 }
 
 /// A thread-safe named counter — used by the PCU layer to meter message and
-/// byte traffic per link class (on-node vs off-node).
+/// byte traffic per link class (on-node vs off-node). Lock-free: every rank
+/// of a simulated world bumps these on every send, so a shared mutex here
+/// would serialize the whole transport.
 #[derive(Debug, Clone, Default)]
 pub struct Counter {
-    inner: Arc<Mutex<u64>>,
+    inner: Arc<AtomicU64>,
 }
 
 impl Counter {
@@ -45,17 +47,17 @@ impl Counter {
 
     /// Add `x`.
     pub fn add(&self, x: u64) {
-        *self.inner.lock() += x;
+        self.inner.fetch_add(x, Ordering::Relaxed);
     }
 
     /// Current value.
     pub fn get(&self) -> u64 {
-        *self.inner.lock()
+        self.inner.load(Ordering::Relaxed)
     }
 
     /// Reset to zero, returning the previous value.
     pub fn take(&self) -> u64 {
-        std::mem::take(&mut *self.inner.lock())
+        self.inner.swap(0, Ordering::Relaxed)
     }
 }
 

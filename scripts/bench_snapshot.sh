@@ -2,10 +2,10 @@
 # Snapshot the PCU hot-path benchmarks into a machine-readable baseline.
 #
 # Runs the `pcu_exchange` and `migration` criterion benches with
-# CRITERION_JSON pointing at a scratch file, plus the `checkpoint_restart`
-# and `halo_exchange` experiment binaries (whose reports land in
-# results/io_checkpoint.json and results/halo_exchange.json),
-# then folds every median into BENCH_pcu.json at the repository root:
+# CRITERION_JSON pointing at a scratch file, plus the `checkpoint_restart`,
+# `halo_exchange`, `weak_scaling`, and `pcu_weak_scaling` experiment
+# binaries (whose reports land under results/), then folds every median
+# into BENCH_pcu.json at the repository root:
 #
 #   { "schema": 1, "unix_time": ..., "benches": { "<group>/<id>": {"median_ns": N, "samples": S}, ... } }
 #
@@ -30,10 +30,14 @@ cargo bench -p pumi-bench --bench pcu_exchange
 cargo bench -p pumi-bench --bench migration
 cargo run --release -p pumi-bench --bin checkpoint_restart
 cargo run --release -p pumi-bench --bin halo_exchange
+cargo run --release -p pumi-bench --bin weak_scaling
+cargo run --release -p pumi-bench --bin pcu_weak_scaling
 
 python3 - "$scratch" "$out" \
     "$PUMI_RESULTS_DIR/io_checkpoint.json" \
-    "$PUMI_RESULTS_DIR/halo_exchange.json" <<'EOF'
+    "$PUMI_RESULTS_DIR/halo_exchange.json" \
+    "$PUMI_RESULTS_DIR/weak_scaling.json" \
+    "$PUMI_RESULTS_DIR/pcu_weak_scaling.json" <<'EOF'
 import json, sys, time
 
 lines, out, reports = sys.argv[1], sys.argv[2], sys.argv[3:]

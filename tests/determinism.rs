@@ -13,7 +13,9 @@ use pumi_repro::io::{read_checkpoint_with, struct_hash, write_checkpoint, ReadOp
 use pumi_repro::meshgen::tri_rect;
 use pumi_repro::obs::metrics::{take_digests, take_traffic};
 use pumi_repro::partition::partition_mesh;
-use pumi_repro::pcu::{execute, execute_chaos, Comm};
+use pumi_repro::pcu::{
+    execute, execute_chaos, execute_opts, Comm, MachineModel, SchedMode, WorldOpts,
+};
 use pumi_repro::util::{Dim, FxHashMap, GlobalId, PartId};
 
 /// Everything one rank observed: stage hashes, gid-keyed field bits, and
@@ -171,4 +173,40 @@ fn identical_results_across_chaos_seeds() {
         assert!(!plain[0].digests.is_empty(), "no frame digests recorded");
     }
     assert!(plain[0].hashes.iter().all(|&h| h != 0));
+}
+
+/// The multiplexed executor (fewer worker permits than ranks — the
+/// `PUMI_PCU_WORKERS < nranks` path) must be completely invisible to
+/// results: identical stage hashes, field bits, traffic rows, and frame
+/// digests as the one-thread-per-rank executor, under the deterministic
+/// scheduler and under chaos seeds 1 and 7.
+#[test]
+fn multiplexed_executor_is_invisible_to_determinism() {
+    let machine = MachineModel::flat(2);
+    let plain = execute(2, |c| scenario(c, "plain_mux_ref"));
+    let mux = execute_opts(machine, WorldOpts::default().workers(1), |c| {
+        scenario(c, "mux_det")
+    });
+    for rank in 0..2 {
+        assert_eq!(
+            plain[rank], mux[rank],
+            "rank {rank}: multiplexed executor diverged from per-thread run"
+        );
+    }
+    for seed in [1u64, 7] {
+        let threaded = execute_chaos(2, seed, |c| scenario(c, &format!("mux_ref_{seed}")));
+        let mux = execute_opts(
+            machine,
+            WorldOpts::default()
+                .workers(1)
+                .sched(SchedMode::Chaos(seed)),
+            |c| scenario(c, &format!("mux_chaos_{seed}")),
+        );
+        for rank in 0..2 {
+            assert_eq!(
+                threaded[rank], mux[rank],
+                "rank {rank}: multiplexed chaos:{seed} diverged from per-thread chaos:{seed}"
+            );
+        }
+    }
 }
