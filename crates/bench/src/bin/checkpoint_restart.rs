@@ -7,7 +7,7 @@
 //! (which must agree across every leg).
 //!
 //! Usage: `checkpoint_restart [--n N] [--nx N] [--reps N]`
-//! Emits `results/io_checkpoint.json`.
+//! Emits `results/io_restart.json`.
 
 use pumi_bench::report::{f, print_table, table_to_json, write_report, Table};
 use pumi_core::{distribute, PartMap};
@@ -142,7 +142,7 @@ fn main() {
     }
     print_table(&table);
 
-    let mut report = Report::new("io_checkpoint");
+    let mut report = Report::new("io_restart");
     report.section(
         "config",
         Json::obj([
@@ -157,7 +157,7 @@ fn main() {
         "medians",
         Json::arr(legs.iter().map(|leg| {
             Json::obj([
-                ("bench", Json::str(format!("io_checkpoint/{}", leg.name))),
+                ("bench", Json::str(format!("io_restart/{}", leg.name))),
                 ("median_ns", Json::U64(leg.median_ns)),
                 ("samples", Json::U64(leg.samples)),
             ])

@@ -1,0 +1,331 @@
+//! Checkpoint-service timing: flat v1 vs chunked-compressed v2 `.pmb`
+//! writes, a delta checkpoint after a sparse touch pass, and many
+//! concurrent clients restoring disjoint slices of one checkpoint through
+//! the shared chunk cache of `pumi-serve`.
+//!
+//! The default pass runs at ~10^6 triangles; `--large` adds a ~10^7 pass
+//! (one rep). Each leg reports the median wall time and the bytes the leg
+//! put on disk; the v2 write must beat v1 on bytes or the bin aborts.
+//!
+//! Usage: `checkpoint_service [--parts N] [--reps N] [--clients N] [--large]
+//! [--nx N]` — `--nx` replaces the default ~10^6 pass with a small
+//! `smoke`-labelled mesh (CI uses this to prove the plumbing without the
+//! wall-clock). Emits `results/io_checkpoint.json`.
+
+use pumi_bench::report::{f, print_table, table_to_json, write_report, Table};
+use pumi_core::{distribute, DistMesh, PartMap};
+use pumi_field::{DistField, Field, FieldShape};
+use pumi_io::{write_checkpoint_with, write_delta_checkpoint, WriteOpts};
+use pumi_meshgen::{jitter, tri_rect};
+use pumi_obs::json::Json;
+use pumi_obs::report::Report;
+use pumi_partition::partition_mesh;
+use pumi_pcu::execute;
+use pumi_serve::CheckpointServer;
+use pumi_util::stats::Timer;
+use pumi_util::Dim;
+use std::path::PathBuf;
+
+struct Leg {
+    name: String,
+    median_ns: u64,
+    samples: u64,
+    bytes: u64,
+    detail: String,
+}
+
+struct ScaleBytes {
+    scale: String,
+    elements: u64,
+    v1: u64,
+    v2: u64,
+    delta: u64,
+}
+
+fn median_ns(mut xs: Vec<u64>) -> u64 {
+    xs.sort_unstable();
+    xs[xs.len() / 2]
+}
+
+fn parse_args() -> (usize, usize, usize, bool, Option<usize>) {
+    let (mut parts, mut reps, mut clients, mut large) = (4usize, 3usize, 8usize, false);
+    let mut nx = None;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--large" => {
+                large = true;
+                i += 1;
+            }
+            flag => {
+                let v = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("{flag} needs a value"));
+                match flag {
+                    "--parts" => parts = v.parse().expect("--parts"),
+                    "--reps" => reps = v.parse().expect("--reps"),
+                    "--clients" => clients = v.parse().expect("--clients"),
+                    "--nx" => nx = Some(v.parse().expect("--nx")),
+                    other => panic!("unknown flag {other}"),
+                }
+                i += 2;
+            }
+        }
+    }
+    (parts, reps, clients, large, nx)
+}
+
+fn make_fields(dm: &DistMesh) -> DistField {
+    dm.parts
+        .iter()
+        .map(|part| {
+            let mut fld = Field::new("temp", FieldShape::Linear, 3);
+            for v in part.mesh.iter(Dim::Vertex) {
+                let x = part.mesh.coords(v);
+                fld.set(v, &[x[0] + x[1], x[1] * x[2], x[2] - x[0]]);
+            }
+            fld
+        })
+        .collect()
+}
+
+/// Elementwise max across ranks: the slowest rank's wall time is the leg's.
+fn fold_max(out: Vec<Vec<u64>>) -> Vec<u64> {
+    let mut acc = out[0].clone();
+    for row in &out[1..] {
+        for (a, b) in acc.iter_mut().zip(row) {
+            *a = (*a).max(*b);
+        }
+    }
+    acc
+}
+
+/// One full pass at a given mesh scale; pushes write/delta/serve legs.
+fn run_scale(
+    scale: &str,
+    nx: usize,
+    parts: usize,
+    reps: usize,
+    clients: usize,
+    legs: &mut Vec<Leg>,
+    bytes_rows: &mut Vec<ScaleBytes>,
+) {
+    let mut serial = tri_rect(nx, nx, 1.0, 1.0);
+    jitter(&mut serial, 0.15, 42);
+    let elements = serial.count(Dim::Face) as u64;
+    eprintln!("checkpoint_service[{scale}]: {elements} tris, {parts} parts, {reps} reps");
+    let labels = partition_mesh(&serial, parts);
+    let tag = format!("pumi_io_serve_{}_{scale}", std::process::id());
+    let dir_v1: PathBuf = std::env::temp_dir().join(format!("{tag}_v1"));
+    let dir_v2: PathBuf = std::env::temp_dir().join(format!("{tag}_v2"));
+    let _ = std::fs::remove_dir_all(&dir_v1);
+    let _ = std::fs::remove_dir_all(&dir_v2);
+
+    // One world does all the writing: distribute once, then time each leg.
+    let out = execute(parts, |c| {
+        let mut dm = distribute(c, PartMap::contiguous(parts, parts), &serial, &labels);
+        let mut fields = make_fields(&dm);
+
+        let mut v1_ns = Vec::with_capacity(reps);
+        let mut v1_bytes = 0u64;
+        let opts_v1 = WriteOpts {
+            version: 1,
+            ..WriteOpts::default()
+        };
+        for _ in 0..reps {
+            let t = Timer::start();
+            let stats =
+                write_checkpoint_with(c, &dm, &[&fields], &dir_v1, &opts_v1).expect("v1 write");
+            v1_ns.push((t.seconds() * 1e9) as u64);
+            v1_bytes = stats.bytes_global;
+        }
+
+        let mut v2_ns = Vec::with_capacity(reps);
+        let mut v2_bytes = 0u64;
+        for _ in 0..reps {
+            let t = Timer::start();
+            let stats = write_checkpoint_with(c, &dm, &[&fields], &dir_v2, &WriteOpts::default())
+                .expect("v2 write");
+            v2_ns.push((t.seconds() * 1e9) as u64);
+            v2_bytes = stats.bytes_global;
+        }
+
+        // Sparse touch pass (~1% of vertices) and one delta round on top
+        // of the v2 base — the between-adapt-rounds checkpoint shape.
+        dm.start_dirty_tracking();
+        for (part, fld) in dm.parts.iter_mut().zip(fields.iter_mut()) {
+            let vs: Vec<_> = part.mesh.iter(Dim::Vertex).step_by(97).collect();
+            for v in vs {
+                let mut x = part.mesh.coords(v);
+                x[2] += 0.001;
+                part.mesh.set_coords(v, x);
+                fld.set(v, &[x[0] + x[1], x[1] * x[2], x[2] - x[0]]);
+                part.mark_dirty(v);
+            }
+        }
+        let t = Timer::start();
+        let stats = write_delta_checkpoint(c, &mut dm, &[&fields], &dir_v2).expect("delta write");
+        let delta_ns = (t.seconds() * 1e9) as u64;
+        (
+            v1_ns,
+            v2_ns,
+            vec![delta_ns],
+            stats.bytes_global,
+            v1_bytes,
+            v2_bytes,
+        )
+    });
+    let (_, _, _, delta_bytes, v1_bytes, v2_bytes) = out[0].clone();
+    let v1_ns = fold_max(out.iter().map(|o| o.0.clone()).collect());
+    let v2_ns = fold_max(out.iter().map(|o| o.1.clone()).collect());
+    let delta_ns = fold_max(out.iter().map(|o| o.2.clone()).collect());
+
+    assert!(
+        v2_bytes < v1_bytes,
+        "[{scale}] compressed v2 ({v2_bytes} B) must beat flat v1 ({v1_bytes} B)"
+    );
+
+    legs.push(Leg {
+        name: format!("write_v1@{scale}"),
+        median_ns: median_ns(v1_ns),
+        samples: reps as u64,
+        bytes: v1_bytes,
+        detail: "flat".into(),
+    });
+    legs.push(Leg {
+        name: format!("write_v2@{scale}"),
+        median_ns: median_ns(v2_ns),
+        samples: reps as u64,
+        bytes: v2_bytes,
+        detail: format!("{:.2}x of v1", v2_bytes as f64 / v1_bytes as f64),
+    });
+    legs.push(Leg {
+        name: format!("delta@{scale}"),
+        median_ns: delta_ns[0],
+        samples: 1,
+        bytes: delta_bytes,
+        detail: "~1% touched".into(),
+    });
+    bytes_rows.push(ScaleBytes {
+        scale: scale.to_string(),
+        elements,
+        v1: v1_bytes,
+        v2: v2_bytes,
+        delta: delta_bytes,
+    });
+
+    // Many-reader leg: fresh server each rep (cold cache), `clients`
+    // concurrent PCU clients each restoring a disjoint slice.
+    let mut serve_ns = Vec::with_capacity(reps);
+    let mut detail = String::new();
+    for _ in 0..reps {
+        let server = CheckpointServer::open(&dir_v2).expect("open");
+        let t = Timer::start();
+        let counts = execute(clients, |c| {
+            let slice = server
+                .restore_slice(c.rank(), c.nranks())
+                .expect("slice restore");
+            slice
+                .parts
+                .iter()
+                .map(|p| p.mesh.count(Dim::Face) as u64)
+                .sum::<u64>()
+        });
+        serve_ns.push((t.seconds() * 1e9) as u64);
+        let total: u64 = counts.iter().sum();
+        assert_eq!(total, elements, "slices must tile the mesh");
+        let s = server.stats();
+        detail = format!(
+            "{} hits / {} misses, {} disk B",
+            s.chunk_hits, s.chunk_misses, s.disk_bytes
+        );
+    }
+    legs.push(Leg {
+        name: format!("serve{clients}@{scale}"),
+        median_ns: median_ns(serve_ns),
+        samples: reps as u64,
+        bytes: v2_bytes + delta_bytes,
+        detail,
+    });
+
+    let _ = std::fs::remove_dir_all(&dir_v1);
+    let _ = std::fs::remove_dir_all(&dir_v2);
+}
+
+fn main() {
+    let (parts, reps, clients, large, nx) = parse_args();
+    assert!(clients >= 8, "the many-reader leg wants ≥8 clients");
+    let mut legs: Vec<Leg> = Vec::new();
+    let mut bytes_rows: Vec<ScaleBytes> = Vec::new();
+
+    // 2 * 707^2 ≈ 1.0e6 triangles; 2 * 2236^2 ≈ 1.0e7.
+    match nx {
+        Some(nx) => run_scale(
+            "smoke",
+            nx,
+            parts,
+            reps,
+            clients,
+            &mut legs,
+            &mut bytes_rows,
+        ),
+        None => run_scale("1e6", 707, parts, reps, clients, &mut legs, &mut bytes_rows),
+    }
+    if large {
+        run_scale("1e7", 2236, parts, 1, clients, &mut legs, &mut bytes_rows);
+    }
+
+    let mut table = Table::new(
+        &format!("Checkpoint service, {parts} parts, {clients} clients"),
+        &["leg", "median (ms)", "samples", "bytes", "detail"],
+    );
+    for leg in &legs {
+        table.row(vec![
+            leg.name.clone(),
+            f(leg.median_ns as f64 * 1e-6, 3),
+            leg.samples.to_string(),
+            leg.bytes.to_string(),
+            leg.detail.clone(),
+        ]);
+    }
+    print_table(&table);
+
+    let mut report = Report::new("io_checkpoint");
+    report.section(
+        "config",
+        Json::obj([
+            ("parts", Json::U64(parts as u64)),
+            ("reps", Json::U64(reps as u64)),
+            ("clients", Json::U64(clients as u64)),
+        ]),
+    );
+    report.section(
+        "bytes",
+        Json::arr(bytes_rows.iter().map(|r| {
+            Json::obj([
+                ("scale", Json::str(r.scale.clone())),
+                ("elements", Json::U64(r.elements)),
+                ("v1_bytes", Json::U64(r.v1)),
+                ("v2_bytes", Json::U64(r.v2)),
+                ("delta_bytes", Json::U64(r.delta)),
+                (
+                    "v2_over_v1",
+                    Json::str(format!("{:.3}", r.v2 as f64 / r.v1 as f64)),
+                ),
+            ])
+        })),
+    );
+    report.section(
+        "medians",
+        Json::arr(legs.iter().map(|leg| {
+            Json::obj([
+                ("bench", Json::str(format!("io_checkpoint/{}", leg.name))),
+                ("median_ns", Json::U64(leg.median_ns)),
+                ("samples", Json::U64(leg.samples)),
+            ])
+        })),
+    );
+    report.section("table", table_to_json(&table));
+    write_report(&report);
+}

@@ -126,6 +126,22 @@ impl DistMesh {
         self.parts.iter().map(|p| p.id).collect()
     }
 
+    /// Begin (or restart) dirty tracking on every local part — the
+    /// write-side switch for delta checkpoints. Purely local; call it on
+    /// every rank after a full snapshot.
+    pub fn start_dirty_tracking(&mut self) {
+        for p in &mut self.parts {
+            p.start_dirty_tracking();
+        }
+    }
+
+    /// Stop dirty tracking on every local part and discard the logs.
+    pub fn stop_dirty_tracking(&mut self) {
+        for p in &mut self.parts {
+            p.stop_dirty_tracking();
+        }
+    }
+
     /// Sum a per-part count over all parts of the world.
     pub fn global_sum(&self, comm: &Comm, f: impl Fn(&Part) -> u64) -> u64 {
         let local: u64 = self.parts.iter().map(&f).sum();

@@ -16,8 +16,6 @@
 //!   parts, rebuilding residence, remote copies and ownership,
 //! * [`overlap`] — the star-forest of entity shares: arbitrary-depth
 //!   ghost growth, root→leaf `bcast`, leaf→root `reduce` (§II-C),
-//! * [`ghost`] — deprecated shims over [`overlap`] (the old one-layer
-//!   ghosting API),
 //! * [`numbering`] — parallel-consistent global numbering of owned entities,
 //! * [`twolevel`] — two-level architecture-aware partitioning support:
 //!   on-node vs off-node part boundaries (§II-D, Figs 5/6),
@@ -25,7 +23,6 @@
 //!   consistency, global entity conservation).
 
 pub mod dist;
-pub mod ghost;
 pub mod migrate;
 pub mod numbering;
 pub mod overlap;
@@ -39,5 +36,5 @@ pub use migrate::{migrate, MigrationPlan};
 pub use overlap::{
     clear_overlap, grow_overlap, migrate_preserving, GhostOpts, Overlap, Reduction, Scope, Share,
 };
-pub use part::{Part, NO_GID};
+pub use part::{DirtyLog, Part, NO_GID};
 pub use ptnmodel::PtnModel;

@@ -896,6 +896,22 @@ mod tests {
     }
 
     #[test]
+    fn owner_side_ghost_view_after_grow() {
+        execute(2, |c| {
+            let mut dm = strip_two_parts(c);
+            grow_overlap(c, &mut dm, GhostOpts::new().bridge(Dim::Vertex));
+            let part = dm.part(c.rank() as PartId);
+            let view = part.ghost_entities_owner_side();
+            assert!(!view.is_empty(), "owner-side ghost records missing");
+            assert!(view.windows(2).all(|w| w[0].0 < w[1].0), "view not sorted");
+            for (e, holders) in view {
+                assert_eq!(part.ghosted_to(e), holders.as_slice());
+                assert!(!part.is_ghost(e), "ghost listed as an owner");
+            }
+        });
+    }
+
+    #[test]
     fn grow_is_iterable() {
         execute(2, |c| {
             let mut dm1 = strip_two_parts(c);

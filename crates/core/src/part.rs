@@ -17,6 +17,41 @@ use pumi_util::{Dim, FxHashMap, FxHashSet, GlobalId, MeshEnt, PartId};
 /// Sentinel for "no global id assigned".
 pub const NO_GID: GlobalId = u64::MAX;
 
+/// Per-dimension record of entities touched since tracking began — the
+/// write-side input of delta checkpoints. Keys are global ids (stable
+/// across slot reuse and migration), not local handles.
+///
+/// Structural mutations are captured automatically by the [`Part`] hooks
+/// (gid recording, deletion, ghost-record changes). *Value* mutations that
+/// bypass the part — tag writes and field writes on an unchanged entity —
+/// must be reported with [`Part::mark_dirty`]; `pumi-adapt` does this for
+/// the entities whose fields it re-interpolates.
+#[derive(Debug, Default, Clone)]
+pub struct DirtyLog {
+    /// Gids of entities created or mutated since the log was started,
+    /// per dimension.
+    pub dirty: [FxHashSet<GlobalId>; 4],
+    /// Gids of entities deleted since the log was started, per dimension.
+    pub deleted: [FxHashSet<GlobalId>; 4],
+}
+
+impl DirtyLog {
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.dirty.iter().all(|s| s.is_empty()) && self.deleted.iter().all(|s| s.is_empty())
+    }
+
+    fn touch(&mut self, d: usize, gid: GlobalId) {
+        self.deleted[d].remove(&gid);
+        self.dirty[d].insert(gid);
+    }
+
+    fn erase(&mut self, d: usize, gid: GlobalId) {
+        self.dirty[d].remove(&gid);
+        self.deleted[d].insert(gid);
+    }
+}
+
 /// One part of a distributed mesh.
 pub struct Part {
     /// The part id `P_i`, unique across the whole partition.
@@ -38,6 +73,8 @@ pub struct Part {
     ghosted_to: FxHashMap<MeshEnt, Vec<(PartId, u32)>>,
     /// Counter feeding [`Part::new_gid`].
     gid_counter: u64,
+    /// Mutation log for delta checkpoints; `None` when tracking is off.
+    dirty: Option<DirtyLog>,
 }
 
 impl Part {
@@ -52,6 +89,7 @@ impl Part {
             ghosts: FxHashMap::default(),
             ghosted_to: FxHashMap::default(),
             gid_counter: 0,
+            dirty: None,
         }
     }
 
@@ -77,6 +115,9 @@ impl Part {
         );
         self.gids[d][e.idx()] = gid;
         self.gid_index[d].insert(gid, e.index());
+        if let Some(log) = &mut self.dirty {
+            log.touch(d, gid);
+        }
     }
 
     /// Create a vertex with an explicit global id.
@@ -150,6 +191,9 @@ impl Part {
         if gid != NO_GID {
             self.gid_index[d].remove(&gid);
             self.gids[d][e.idx()] = NO_GID;
+            if let Some(log) = &mut self.dirty {
+                log.erase(d, gid);
+            }
         }
         self.remotes.remove(&e);
         self.ghosts.remove(&e);
@@ -282,6 +326,7 @@ impl Part {
     /// Mark `e` as a ghost copy of `(owner part, owner local index)`.
     pub fn set_ghost(&mut self, e: MeshEnt, src: (PartId, u32)) {
         self.ghosts.insert(e, src);
+        self.mark_dirty(e);
     }
 
     /// Whether `e` is a read-only ghost copy on this part.
@@ -305,15 +350,26 @@ impl Part {
         }
     }
 
-    /// Owner side: record that `to` holds a ghost copy of `e`.
-    #[deprecated(since = "0.2.0", note = "renamed to `record_ghost_holder`")]
-    pub fn add_ghosted_to(&mut self, e: MeshEnt, to: (PartId, u32)) {
-        self.record_ghost_holder(e, to);
-    }
-
     /// Owner side: the parts holding ghost copies of `e`.
     pub fn ghosted_to(&self, e: MeshEnt) -> &[(PartId, u32)] {
         self.ghosted_to.get(&e).map(|v| v.as_slice()).unwrap_or(&[])
+    }
+
+    /// Owner-side view of ghost holders: entity → (holder part, holder-local
+    /// index) list, sorted by entity handle.
+    pub fn ghost_entities_owner_side(&self) -> Vec<(MeshEnt, Vec<(PartId, u32)>)> {
+        let mut v: Vec<(MeshEnt, Vec<(PartId, u32)>)> = Dim::ALL
+            .iter()
+            .flat_map(|&d| {
+                self.mesh
+                    .iter(d)
+                    .filter(|&e| !self.ghosted_to(e).is_empty())
+                    .map(|e| (e, self.ghosted_to(e).to_vec()))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        v.sort_by_key(|(e, _)| *e);
+        v
     }
 
     /// Iterate ghost entities (sorted by handle).
@@ -337,7 +393,9 @@ impl Part {
 
     /// Remove one ghost record.
     pub fn remove_ghost_record(&mut self, e: MeshEnt) {
-        self.ghosts.remove(&e);
+        if self.ghosts.remove(&e).is_some() {
+            self.mark_dirty(e);
+        }
     }
 
     /// Delete a local entity and its bookkeeping (gid index, remotes).
@@ -348,11 +406,62 @@ impl Part {
         if gid != NO_GID {
             self.gid_index[d].remove(&gid);
             self.gids[d][e.idx()] = NO_GID;
+            if let Some(log) = &mut self.dirty {
+                log.erase(d, gid);
+            }
         }
         self.remotes.remove(&e);
         self.ghosts.remove(&e);
         self.ghosted_to.remove(&e);
         self.mesh.delete(e);
+    }
+
+    // ------------------------------------------------------------------
+    // Dirty tracking (delta checkpoints)
+    // ------------------------------------------------------------------
+
+    /// Begin (or restart) recording mutations into a fresh [`DirtyLog`].
+    /// Structural changes are captured automatically; call
+    /// [`Part::mark_dirty`] after mutating tag or field *values* on an
+    /// otherwise-unchanged entity.
+    pub fn start_dirty_tracking(&mut self) {
+        self.dirty = Some(DirtyLog::default());
+    }
+
+    /// Stop recording and discard the log.
+    pub fn stop_dirty_tracking(&mut self) {
+        self.dirty = None;
+    }
+
+    /// Whether mutation recording is on.
+    pub fn is_tracking_dirty(&self) -> bool {
+        self.dirty.is_some()
+    }
+
+    /// The current log, if tracking.
+    pub fn dirty_log(&self) -> Option<&DirtyLog> {
+        self.dirty.as_ref()
+    }
+
+    /// Take the accumulated log and continue tracking into a fresh one —
+    /// the delta writer's snapshot point. Returns `None` if tracking is off.
+    pub fn rotate_dirty_log(&mut self) -> Option<DirtyLog> {
+        self.dirty.replace(DirtyLog::default())
+    }
+
+    /// Record that `e`'s attached values (tags, fields) changed. No-op for
+    /// entities without a gid or when tracking is off.
+    pub fn mark_dirty(&mut self, e: MeshEnt) {
+        if self.dirty.is_none() {
+            return;
+        }
+        let gid = self.gid_of(e);
+        if gid == NO_GID {
+            return;
+        }
+        if let Some(log) = &mut self.dirty {
+            log.touch(e.dim().as_usize(), gid);
+        }
     }
 
     /// The fresh-gid counter feeding [`Part::new_gid`]. Checkpointing

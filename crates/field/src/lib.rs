@@ -16,7 +16,5 @@ pub mod sync;
 pub mod transfer;
 
 pub use field::{Field, FieldShape};
-#[allow(deprecated)]
-pub use sync::{accumulate, sync_owned_to_copies};
 pub use sync::{dist_field, sync_fields, DistField, FieldSync};
 pub use transfer::{barycentric, transfer_linear, Locator};

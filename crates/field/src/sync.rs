@@ -113,26 +113,6 @@ impl FieldSync for DistField {
     }
 }
 
-/// Push node values of owned shared entities to their remote copies.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `DistField::sync` with `Reduction::Insert` over an `Overlap`"
-)]
-pub fn sync_owned_to_copies(comm: &Comm, dm: &DistMesh, fields: &mut DistField) {
-    let ov = Overlap::from_dist(dm);
-    sync_fields(comm, dm, &ov, fields, Reduction::Insert);
-}
-
-/// Sum the contributions of all copies of each shared node onto every copy.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `DistField::sync` with `Reduction::Add` over an `Overlap`"
-)]
-pub fn accumulate(comm: &Comm, dm: &DistMesh, fields: &mut DistField) {
-    let ov = Overlap::from_dist(dm);
-    sync_fields(comm, dm, &ov, fields, Reduction::Add);
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -261,29 +241,6 @@ mod tests {
                     );
                 }
             }
-        });
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_still_work() {
-        execute(2, |c| {
-            let dm = two_part_mesh(c);
-            let template = Field::new("u", FieldShape::Linear, 1);
-            let mut fields = dist_field(&dm, &template);
-            for (slot, part) in dm.parts.iter().enumerate() {
-                for v in part.mesh.iter(Dim::Vertex) {
-                    fields[slot].set_scalar(v, 1.0);
-                }
-            }
-            accumulate(c, &dm, &mut fields);
-            for (slot, part) in dm.parts.iter().enumerate() {
-                for v in part.mesh.iter(Dim::Vertex) {
-                    let want = part.residence(v).len() as f64;
-                    assert_eq!(fields[slot].get_scalar(v), Some(want));
-                }
-            }
-            sync_owned_to_copies(c, &dm, &mut fields);
         });
     }
 }

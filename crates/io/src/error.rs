@@ -21,10 +21,14 @@ pub enum Section {
     Tags,
     /// `pumi-field` fields: descriptors and per-node values.
     Fields,
+    /// Delta checkpoints only: gids of entities deleted since the base
+    /// snapshot, per dimension.
+    Deleted,
 }
 
 impl Section {
-    /// All sections in file order.
+    /// The full-snapshot sections in file order (a delta part file appends
+    /// [`Section::Deleted`] after these).
     pub const ALL: [Section; 4] = [
         Section::Entities,
         Section::Remotes,
@@ -39,6 +43,7 @@ impl Section {
             Section::Remotes => 1,
             Section::Tags => 2,
             Section::Fields => 3,
+            Section::Deleted => 4,
         }
     }
 
@@ -49,6 +54,7 @@ impl Section {
             1 => Some(Section::Remotes),
             2 => Some(Section::Tags),
             3 => Some(Section::Fields),
+            4 => Some(Section::Deleted),
             _ => None,
         }
     }
@@ -60,6 +66,7 @@ impl Section {
             Section::Remotes => "remotes",
             Section::Tags => "tags",
             Section::Fields => "fields",
+            Section::Deleted => "deleted",
         }
     }
 }
@@ -109,6 +116,19 @@ pub enum IoError {
         /// Bytes actually present.
         have: u64,
     },
+    /// A compressed chunk of a `.pmb` v2 section is damaged: truncated,
+    /// payload CRC mismatch, failed decompression, or a decompressed-length
+    /// disagreement with its header. Names part, section, and chunk index.
+    BadChunk {
+        /// The part whose file is damaged.
+        part: PartId,
+        /// The section containing the damaged chunk.
+        section: Section,
+        /// Zero-based chunk index within the section.
+        chunk: u32,
+        /// What went wrong.
+        detail: String,
+    },
     /// A section passed its checksum but does not decode — a writer/reader
     /// disagreement (or a deliberate format attack).
     Decode {
@@ -155,6 +175,16 @@ impl std::fmt::Display for IoError {
             } => write!(
                 f,
                 "part {part}: section '{}' truncated: need {needed} bytes, have {have}",
+                section.name()
+            ),
+            IoError::BadChunk {
+                part,
+                section,
+                chunk,
+                detail,
+            } => write!(
+                f,
+                "part {part}: section '{}' chunk {chunk} damaged: {detail}",
                 section.name()
             ),
             IoError::Decode {

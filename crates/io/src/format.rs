@@ -23,6 +23,32 @@
 //! decoding. Section payloads are [`pumi_pcu::MsgWriter`] streams — the same
 //! encoding migration uses on the wire.
 //!
+//! Version 2 part file (streaming, compressed):
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "PMBP"
+//! 4       4     format version = 2 (u32)
+//! 8       4     part id (u32)
+//! 12      4     element dimension (u32)
+//! 16      8     fresh-gid counter (u64)
+//! 24      4     flags (u32; bit 0 = delta checkpoint)
+//! 28      8     table offset (u64, absolute)
+//! 36      4     table length (u32, includes its CRC)
+//! 40      4     crc32 of bytes [0, 40)
+//! 44      ...   section chunk streams (see `chunk` module)
+//! table   4     section count n (u32)
+//!         29*n  entries: kind u8, offset u64, disk_len u64, raw_len u64,
+//!               nchunks u32
+//!         4     crc32 of the table bytes before it
+//! ```
+//!
+//! The v2 writer streams chunks as encoders produce them, records where
+//! each section landed, appends the table at the end, and seeks back to
+//! rewrite the 44-byte header — so a part's serialized image is never held
+//! in memory. Section *content* encoding is identical to v1; only the
+//! payload container (chunked + LZ4 + per-chunk CRC) differs.
+//!
 //! Manifest file:
 //!
 //! ```text
@@ -44,13 +70,20 @@ use std::path::{Path, PathBuf};
 pub const PART_MAGIC: [u8; 4] = *b"PMBP";
 /// Magic bytes opening the manifest.
 pub const MANIFEST_MAGIC: [u8; 4] = *b"PMBM";
-/// Current format version. Readers reject anything newer.
+/// The original (uncompressed, in-memory) format version.
 pub const FORMAT_VERSION: u32 = 1;
+/// The chunked/compressed streaming format version.
+pub const FORMAT_VERSION_V2: u32 = 2;
 /// The manifest file name inside a checkpoint directory.
 pub const MANIFEST_FILE: &str = "manifest.pmb";
+/// v2 header flag bit: this part file is a *delta* against a base snapshot.
+pub const FLAG_DELTA: u32 = 1;
 
 const HEADER_FIXED: usize = 28;
 const TABLE_ENTRY: usize = 21;
+/// Fixed v2 header length (the trailing 4 bytes are its CRC).
+pub const HEADER_V2_LEN: usize = 44;
+const TABLE_ENTRY_V2: usize = 29;
 
 /// The file name of a part's data inside a checkpoint directory.
 pub fn part_file_name(part: PartId) -> String {
@@ -227,6 +260,229 @@ pub fn find_section(header: &PartHeader, section: Section) -> Option<SectionEntr
         .find(|e| e.section == section)
 }
 
+/// One row of a parsed v2 section table: a chunked, compressed payload.
+#[derive(Debug, Clone, Copy)]
+pub struct SectionEntryV2 {
+    /// Which section this is.
+    pub section: Section,
+    /// Absolute byte offset of the first chunk.
+    pub offset: u64,
+    /// Bytes the chunk stream occupies on disk (headers + payloads).
+    pub disk_len: u64,
+    /// Total decompressed section length.
+    pub raw_len: u64,
+    /// Number of chunks.
+    pub nchunks: u32,
+}
+
+/// A parsed v2 part-file header + table.
+#[derive(Debug)]
+pub struct PartHeaderV2 {
+    /// The part id recorded in the file.
+    pub part: PartId,
+    /// Element dimension of the part's mesh.
+    pub elem_dim: u32,
+    /// The part's fresh-gid counter at write time.
+    pub gid_counter: u64,
+    /// Header flags ([`FLAG_DELTA`]).
+    pub flags: u32,
+    /// The section table, in file order.
+    pub sections: Vec<SectionEntryV2>,
+}
+
+impl PartHeaderV2 {
+    /// Whether this part file is a delta against a base snapshot.
+    pub fn is_delta(&self) -> bool {
+        self.flags & FLAG_DELTA != 0
+    }
+
+    /// Find a section's table entry.
+    pub fn find(&self, section: Section) -> Option<SectionEntryV2> {
+        self.sections.iter().copied().find(|e| e.section == section)
+    }
+}
+
+/// Encode the fixed 44-byte v2 header. The streaming writer calls this
+/// twice: once with zeroed `table_offset`/`table_len` to reserve the bytes,
+/// and again (seeking back) once the table's landing spot is known.
+pub fn encode_header_v2(
+    part: PartId,
+    elem_dim: u32,
+    gid_counter: u64,
+    flags: u32,
+    table_offset: u64,
+    table_len: u32,
+) -> [u8; HEADER_V2_LEN] {
+    let mut h = [0u8; HEADER_V2_LEN];
+    h[0..4].copy_from_slice(&PART_MAGIC);
+    h[4..8].copy_from_slice(&FORMAT_VERSION_V2.to_le_bytes());
+    h[8..12].copy_from_slice(&part.to_le_bytes());
+    h[12..16].copy_from_slice(&elem_dim.to_le_bytes());
+    h[16..24].copy_from_slice(&gid_counter.to_le_bytes());
+    h[24..28].copy_from_slice(&flags.to_le_bytes());
+    h[28..36].copy_from_slice(&table_offset.to_le_bytes());
+    h[36..40].copy_from_slice(&table_len.to_le_bytes());
+    let crc = crc32(&h[..40]);
+    h[40..44].copy_from_slice(&crc.to_le_bytes());
+    h
+}
+
+/// Encode a v2 section table (count, entries, trailing CRC).
+pub fn encode_table_v2(entries: &[SectionEntryV2]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(4 + TABLE_ENTRY_V2 * entries.len() + 4);
+    out.extend_from_slice(&(entries.len() as u32).to_le_bytes());
+    for e in entries {
+        out.push(e.section.to_u8());
+        out.extend_from_slice(&e.offset.to_le_bytes());
+        out.extend_from_slice(&e.disk_len.to_le_bytes());
+        out.extend_from_slice(&e.raw_len.to_le_bytes());
+        out.extend_from_slice(&e.nchunks.to_le_bytes());
+    }
+    let crc = crc32(&out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out
+}
+
+/// The format version a part file claims (checked before full parsing so
+/// the reader can dispatch v1 vs v2).
+pub fn peek_part_version(part: PartId, data: &[u8]) -> Result<u32, IoError> {
+    if data.len() < 8 {
+        return Err(IoError::Header {
+            part,
+            detail: format!("file too short for a header: {} bytes", data.len()),
+        });
+    }
+    if data[0..4] != PART_MAGIC {
+        return Err(IoError::Header {
+            part,
+            detail: "bad magic (not a .pmb part file)".into(),
+        });
+    }
+    Ok(get_u32(data, 4))
+}
+
+/// Parse and checksum-verify a v2 part file's header and section table.
+pub fn parse_part_header_v2(part: PartId, data: &[u8]) -> Result<PartHeaderV2, IoError> {
+    let header_err = |detail: String| IoError::Header { part, detail };
+    if data.len() < HEADER_V2_LEN {
+        return Err(header_err(format!(
+            "file too short for a v2 header: {} bytes",
+            data.len()
+        )));
+    }
+    if data[0..4] != PART_MAGIC {
+        return Err(header_err("bad magic (not a .pmb part file)".into()));
+    }
+    let version = get_u32(data, 4);
+    if version != FORMAT_VERSION_V2 {
+        return Err(header_err(format!(
+            "not a v2 part file (version {version})"
+        )));
+    }
+    let stored = get_u32(data, 40);
+    let actual = crc32(&data[..40]);
+    if stored != actual {
+        return Err(header_err(format!(
+            "header CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let file_part = get_u32(data, 8);
+    if file_part != part {
+        return Err(header_err(format!(
+            "header names part {file_part}, expected {part}"
+        )));
+    }
+    let elem_dim = get_u32(data, 12);
+    let gid_counter = get_u64(data, 16);
+    let flags = get_u32(data, 24);
+    let table_offset = get_u64(data, 28) as usize;
+    let table_len = get_u32(data, 36) as usize;
+    if table_len < 8 || table_offset.checked_add(table_len).is_none() {
+        return Err(header_err(format!("nonsense table length {table_len}")));
+    }
+    if table_offset + table_len > data.len() {
+        return Err(header_err(format!(
+            "section table truncated: table at {table_offset}+{table_len} exceeds {} file bytes",
+            data.len()
+        )));
+    }
+    let table = &data[table_offset..table_offset + table_len];
+    let stored = get_u32(table, table_len - 4);
+    let actual = crc32(&table[..table_len - 4]);
+    if stored != actual {
+        return Err(header_err(format!(
+            "section table CRC mismatch: stored {stored:#010x}, computed {actual:#010x}"
+        )));
+    }
+    let nsections = get_u32(table, 0) as usize;
+    if 4 + TABLE_ENTRY_V2 * nsections + 4 != table_len {
+        return Err(header_err(format!(
+            "section table length disagrees with count: {nsections} sections in {table_len} bytes"
+        )));
+    }
+    let mut sections = Vec::with_capacity(nsections);
+    for i in 0..nsections {
+        let at = 4 + TABLE_ENTRY_V2 * i;
+        let section = Section::from_u8(table[at])
+            .ok_or_else(|| header_err(format!("unknown section code {}", table[at])))?;
+        sections.push(SectionEntryV2 {
+            section,
+            offset: get_u64(table, at + 1),
+            disk_len: get_u64(table, at + 9),
+            raw_len: get_u64(table, at + 17),
+            nchunks: get_u32(table, at + 25),
+        });
+    }
+    Ok(PartHeaderV2 {
+        part,
+        elem_dim,
+        gid_counter,
+        flags,
+        sections,
+    })
+}
+
+/// A part header of either format version.
+#[derive(Debug)]
+pub enum AnyPartHeader {
+    /// Version 1: flat sections with whole-payload CRCs.
+    V1(PartHeader),
+    /// Version 2: chunked, compressed sections.
+    V2(PartHeaderV2),
+}
+
+impl AnyPartHeader {
+    /// Element dimension recorded in the file.
+    pub fn elem_dim(&self) -> u32 {
+        match self {
+            AnyPartHeader::V1(h) => h.elem_dim,
+            AnyPartHeader::V2(h) => h.elem_dim,
+        }
+    }
+
+    /// Fresh-gid counter recorded in the file.
+    pub fn gid_counter(&self) -> u64 {
+        match self {
+            AnyPartHeader::V1(h) => h.gid_counter,
+            AnyPartHeader::V2(h) => h.gid_counter,
+        }
+    }
+}
+
+/// Parse a part file of either version, dispatching on the version field.
+pub fn parse_part_any(part: PartId, data: &[u8]) -> Result<AnyPartHeader, IoError> {
+    match peek_part_version(part, data)? {
+        FORMAT_VERSION => Ok(AnyPartHeader::V1(parse_part_header(part, data)?)),
+        FORMAT_VERSION_V2 => Ok(AnyPartHeader::V2(parse_part_header_v2(part, data)?)),
+        v => Err(IoError::Header {
+            part,
+            detail: format!(
+                "unsupported format version {v} (reader supports {FORMAT_VERSION} and {FORMAT_VERSION_V2})"
+            ),
+        }),
+    }
+}
+
 /// A field's descriptor in the manifest (enough to rebuild the `Field`
 /// template on any rank count).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -261,6 +517,8 @@ pub fn shape_from_u8(x: u8) -> Option<FieldShape> {
 /// The checkpoint manifest written by rank 0.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
+    /// Format version of the checkpoint's part files (1 or 2).
+    pub version: u32,
     /// Number of parts in the checkpoint (= number of part files).
     pub nparts: u32,
     /// Element dimension of the mesh.
@@ -273,6 +531,9 @@ pub struct Manifest {
     pub has_ghosts: bool,
     /// Field descriptors, in write order.
     pub fields: Vec<FieldDesc>,
+    /// Number of delta rounds appended after the base snapshot (v2 only;
+    /// delta `k` lives in `delta_<k:04>/` under the checkpoint directory).
+    pub delta_count: u32,
 }
 
 /// Serialize the manifest to its on-disk bytes.
@@ -291,10 +552,13 @@ pub fn encode_manifest(m: &Manifest) -> Vec<u8> {
         w.put_u8(shape_to_u8(f.shape));
         w.put_u32(f.ncomp);
     }
+    if m.version >= FORMAT_VERSION_V2 {
+        w.put_u32(m.delta_count);
+    }
     let body = w.finish();
     let mut out = Vec::with_capacity(12 + body.len() + 4);
     out.extend_from_slice(&MANIFEST_MAGIC);
-    out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    out.extend_from_slice(&m.version.to_le_bytes());
     out.extend_from_slice(&(body.len() as u32).to_le_bytes());
     out.extend_from_slice(&body);
     out.extend_from_slice(&crc32(&body).to_le_bytes());
@@ -315,7 +579,7 @@ pub fn parse_manifest(path: &Path, data: &[u8]) -> Result<Manifest, IoError> {
         return Err(err("bad magic (not a .pmb manifest)".into()));
     }
     let version = get_u32(data, 4);
-    if version != FORMAT_VERSION {
+    if version != FORMAT_VERSION && version != FORMAT_VERSION_V2 {
         return Err(err(format!("unsupported format version {version}")));
     }
     let body_len = get_u32(data, 8) as usize;
@@ -354,6 +618,11 @@ pub fn parse_manifest(path: &Path, data: &[u8]) -> Result<Manifest, IoError> {
         let ncomp = r.try_get_u32().map_err(parse)?;
         fields.push(FieldDesc { name, shape, ncomp });
     }
+    let delta_count = if version >= FORMAT_VERSION_V2 {
+        r.try_get_u32().map_err(parse)?
+    } else {
+        0
+    };
     if nparts == 0 {
         return Err(err("zero parts".into()));
     }
@@ -361,13 +630,20 @@ pub fn parse_manifest(path: &Path, data: &[u8]) -> Result<Manifest, IoError> {
         return Err(err(format!("bad element dimension {elem_dim}")));
     }
     Ok(Manifest {
+        version,
         nparts,
         elem_dim,
         nranks_at_write,
         owned_counts,
         has_ghosts,
         fields,
+        delta_count,
     })
+}
+
+/// The directory holding delta round `k` (1-based) under a checkpoint dir.
+pub fn delta_dir(dir: &Path, k: u32) -> PathBuf {
+    dir.join(format!("delta_{k:04}"))
 }
 
 #[cfg(test)]
@@ -437,6 +713,7 @@ mod tests {
     #[test]
     fn manifest_roundtrip() {
         let m = Manifest {
+            version: FORMAT_VERSION,
             nparts: 8,
             elem_dim: 3,
             nranks_at_write: 4,
@@ -454,6 +731,7 @@ mod tests {
                     ncomp: 1,
                 },
             ],
+            delta_count: 0,
         };
         let bytes = encode_manifest(&m);
         let back = parse_manifest(Path::new("manifest.pmb"), &bytes).expect("parse");
@@ -461,14 +739,89 @@ mod tests {
     }
 
     #[test]
+    fn manifest_v2_roundtrips_delta_count() {
+        let m = Manifest {
+            version: FORMAT_VERSION_V2,
+            nparts: 4,
+            elem_dim: 2,
+            nranks_at_write: 4,
+            owned_counts: [50, 120, 71, 0],
+            has_ghosts: false,
+            fields: vec![],
+            delta_count: 3,
+        };
+        let bytes = encode_manifest(&m);
+        let back = parse_manifest(Path::new("manifest.pmb"), &bytes).expect("parse");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn v2_header_and_table_roundtrip() {
+        let entries = vec![
+            SectionEntryV2 {
+                section: Section::Entities,
+                offset: HEADER_V2_LEN as u64,
+                disk_len: 500,
+                raw_len: 2000,
+                nchunks: 2,
+            },
+            SectionEntryV2 {
+                section: Section::Deleted,
+                offset: HEADER_V2_LEN as u64 + 500,
+                disk_len: 60,
+                raw_len: 64,
+                nchunks: 1,
+            },
+        ];
+        let table = encode_table_v2(&entries);
+        let body_len: u64 = entries.iter().map(|e| e.disk_len).sum();
+        let table_offset = HEADER_V2_LEN as u64 + body_len;
+        let hdr = encode_header_v2(9, 2, 77, FLAG_DELTA, table_offset, table.len() as u32);
+        let mut file = Vec::new();
+        file.extend_from_slice(&hdr);
+        file.resize(HEADER_V2_LEN + body_len as usize, 0xAB);
+        file.extend_from_slice(&table);
+        let h = parse_part_header_v2(9, &file).expect("parse");
+        assert_eq!(h.part, 9);
+        assert_eq!(h.elem_dim, 2);
+        assert_eq!(h.gid_counter, 77);
+        assert!(h.is_delta());
+        assert_eq!(h.sections.len(), 2);
+        let d = h.find(Section::Deleted).expect("deleted entry");
+        assert_eq!(d.raw_len, 64);
+        assert_eq!(d.nchunks, 1);
+        match parse_part_any(9, &file).expect("any") {
+            AnyPartHeader::V2(h2) => assert_eq!(h2.gid_counter, 77),
+            other => panic!("expected v2, got {other:?}"),
+        }
+        // Damaged header byte → typed Header error before any offset is used.
+        let mut bad = file.clone();
+        bad[30] ^= 0x40;
+        assert!(matches!(
+            parse_part_header_v2(9, &bad),
+            Err(IoError::Header { part: 9, .. })
+        ));
+        // Damaged table byte → typed Header error too.
+        let mut bad = file.clone();
+        let n = bad.len();
+        bad[n - 6] ^= 0x01;
+        assert!(matches!(
+            parse_part_header_v2(9, &bad),
+            Err(IoError::Header { part: 9, .. })
+        ));
+    }
+
+    #[test]
     fn manifest_corruption_detected() {
         let m = Manifest {
+            version: FORMAT_VERSION,
             nparts: 2,
             elem_dim: 2,
             nranks_at_write: 2,
             owned_counts: [10, 20, 11, 0],
             has_ghosts: false,
             fields: vec![],
+            delta_count: 0,
         };
         let mut bytes = encode_manifest(&m);
         bytes[14] ^= 1;

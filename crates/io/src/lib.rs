@@ -27,7 +27,9 @@
 
 #![warn(missing_docs)]
 
+pub mod chunk;
 pub mod crc;
+pub mod delta;
 pub mod error;
 pub mod format;
 pub mod hash;
@@ -38,8 +40,19 @@ pub mod write;
 /// as tags during an N→M restore). Never written to disk.
 pub(crate) const FIELD_TAG_PREFIX: &str = "__io:f:";
 
+/// Name of the staging tag that carries field `name`'s node values during
+/// restore. [`load_standalone_part`] leaves field data under this tag;
+/// `pumi-serve` and the collective reader both recover fields from it.
+pub fn staged_field_tag(name: &str) -> String {
+    format!("{FIELD_TAG_PREFIX}{name}")
+}
+
+pub use delta::{write_delta_checkpoint, write_delta_checkpoint_with, DeltaOpts};
 pub use error::{IoError, Section};
-pub use format::{FieldDesc, Manifest, FORMAT_VERSION, MANIFEST_FILE};
+pub use format::{FieldDesc, Manifest, FORMAT_VERSION, FORMAT_VERSION_V2, MANIFEST_FILE};
 pub use hash::struct_hash;
-pub use read::{read_checkpoint, read_checkpoint_with, ReadOpts, ReadStats, Restored};
-pub use write::{write_checkpoint, WriteStats};
+pub use read::{
+    load_standalone_part, read_checkpoint, read_checkpoint_with, ReadOpts, ReadStats, Restored,
+    SectionSource,
+};
+pub use write::{write_checkpoint, write_checkpoint_with, WriteOpts, WriteStats};

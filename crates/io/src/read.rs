@@ -18,10 +18,11 @@
 //! collide with checkpointed ones. Every entry point is collective and
 //! returns `Err` on *every* rank when any rank fails.
 
+use crate::chunk::section_raw_bytes;
 use crate::error::{IoError, Section};
 use crate::format::{
-    find_section, parse_manifest, parse_part_header, part_file_path, section_payload, Manifest,
-    PartHeader, MANIFEST_FILE,
+    find_section, parse_manifest, parse_part_any, part_file_path, section_payload, AnyPartHeader,
+    Manifest, PartHeader, MANIFEST_FILE,
 };
 use crate::FIELD_TAG_PREFIX;
 use pumi_core::verify::verify_dist;
@@ -88,26 +89,26 @@ fn derr(part: PartId, section: Section) -> impl Fn(MsgError) -> IoError {
 }
 
 /// Per-part data that feeds the post-load stitching exchanges.
-struct LoadedPart {
-    part: Part,
+pub(crate) struct LoadedPart {
+    pub(crate) part: Part,
     /// Part-boundary rows: (dim, gid, residence parts — already remapped).
-    res_rows: Vec<(Dim, GlobalId, Vec<PartId>)>,
+    pub(crate) res_rows: Vec<(Dim, GlobalId, Vec<PartId>)>,
     /// Ghost-holder rows: (local ghost entity, source part).
-    ghost_rows: Vec<(MeshEnt, PartId)>,
-    gid_counter: u64,
-    bytes: u64,
+    pub(crate) ghost_rows: Vec<(MeshEnt, PartId)>,
+    pub(crate) gid_counter: u64,
+    pub(crate) bytes: u64,
 }
 
-fn decode_entities(
+pub(crate) fn decode_entities(
     fpart: PartId,
     part: &mut Part,
-    payload: &[u8],
+    payload: Vec<u8>,
     elem_dim: usize,
     skip_ghosts: bool,
 ) -> Result<Vec<(MeshEnt, PartId)>, IoError> {
     let sec = Section::Entities;
     let e = derr(fpart, sec);
-    let mut r = MsgReader::from_vec(payload.to_vec());
+    let mut r = MsgReader::from_vec(payload);
     let mut ghost_rows = Vec::new();
     for d in 0..=elem_dim {
         let n = r.try_get_u32().map_err(&e)?;
@@ -172,13 +173,13 @@ fn decode_entities(
     Ok(ghost_rows)
 }
 
-fn decode_remotes(
+pub(crate) fn decode_remotes(
     fpart: PartId,
-    payload: &[u8],
-    remap: &impl Fn(PartId) -> PartId,
+    payload: Vec<u8>,
+    remap: &dyn Fn(PartId) -> PartId,
 ) -> Result<Vec<(Dim, GlobalId, Vec<PartId>)>, IoError> {
     let e = derr(fpart, Section::Remotes);
-    let mut r = MsgReader::from_vec(payload.to_vec());
+    let mut r = MsgReader::from_vec(payload);
     let n = r.try_get_u32().map_err(&e)?;
     let mut rows = Vec::with_capacity(n as usize);
     for _ in 0..n {
@@ -194,15 +195,15 @@ fn decode_remotes(
     Ok(rows)
 }
 
-fn decode_tags(
+pub(crate) fn decode_tags(
     fpart: PartId,
     part: &mut Part,
-    payload: &[u8],
+    payload: Vec<u8>,
     skip_ghosts: bool,
 ) -> Result<(), IoError> {
     let sec = Section::Tags;
     let e = derr(fpart, sec);
-    let mut r = MsgReader::from_vec(payload.to_vec());
+    let mut r = MsgReader::from_vec(payload);
     let ntags = r.try_get_u32().map_err(&e)?;
     for _ in 0..ntags {
         let name = r.try_get_bytes().map_err(&e)?;
@@ -251,15 +252,15 @@ fn decode_tags(
     Ok(())
 }
 
-fn decode_fields(
+pub(crate) fn decode_fields(
     fpart: PartId,
     part: &mut Part,
-    payload: &[u8],
+    payload: Vec<u8>,
     skip_ghosts: bool,
 ) -> Result<(), IoError> {
     let sec = Section::Fields;
     let e = derr(fpart, sec);
-    let mut r = MsgReader::from_vec(payload.to_vec());
+    let mut r = MsgReader::from_vec(payload);
     let nfields = r.try_get_u32().map_err(&e)?;
     for _ in 0..nfields {
         let name = r.try_get_bytes().map_err(&e)?;
@@ -312,6 +313,32 @@ fn require_section(
     })
 }
 
+/// Materialize one section's raw (decoded-container) bytes from either
+/// format version: a verified slice copy for v1, chunk-by-chunk
+/// decompression for v2.
+pub(crate) fn section_bytes(
+    fpart: PartId,
+    data: &[u8],
+    header: &AnyPartHeader,
+    section: Section,
+) -> Result<Vec<u8>, IoError> {
+    match header {
+        AnyPartHeader::V1(h) => {
+            let entry = require_section(fpart, h, section)?;
+            Ok(section_payload(fpart, data, &entry)?.to_vec())
+        }
+        AnyPartHeader::V2(h) => {
+            let e = h.find(section).ok_or_else(|| IoError::Header {
+                part: fpart,
+                detail: format!("missing section '{}'", section.name()),
+            })?;
+            section_raw_bytes(
+                fpart, section, data, e.offset, e.disk_len, e.raw_len, e.nchunks,
+            )
+        }
+    }
+}
+
 fn load_part(
     dir: &Path,
     fpart: PartId,
@@ -325,41 +352,98 @@ fn load_part(
         path: path.clone(),
         source: e,
     })?;
-    let header = parse_part_header(fpart, &data)?;
+    let header = parse_part_any(fpart, &data)?;
     let elem_dim = manifest.elem_dim as usize;
-    if header.elem_dim as usize != elem_dim {
+    if header.elem_dim() as usize != elem_dim {
         return Err(IoError::Header {
             part: fpart,
             detail: format!(
                 "element dimension {} disagrees with manifest ({})",
-                header.elem_dim, manifest.elem_dim
+                header.elem_dim(),
+                manifest.elem_dim
             ),
         });
     }
+    if let AnyPartHeader::V2(h) = &header {
+        if h.is_delta() {
+            return Err(IoError::Header {
+                part: fpart,
+                detail: "delta part file where a base snapshot was expected".into(),
+            });
+        }
+    }
     let mut part = Part::new(loaded_id, elem_dim);
-    let entry = require_section(fpart, &header, Section::Entities)?;
-    let payload = section_payload(fpart, &data, &entry)?;
+    let payload = section_bytes(fpart, &data, &header, Section::Entities)?;
     let ghost_rows = decode_entities(fpart, &mut part, payload, elem_dim, skip_ghosts)?;
-    let entry = require_section(fpart, &header, Section::Remotes)?;
-    let payload = section_payload(fpart, &data, &entry)?;
+    let payload = section_bytes(fpart, &data, &header, Section::Remotes)?;
     let res_rows = decode_remotes(fpart, payload, remap)?;
-    let entry = require_section(fpart, &header, Section::Tags)?;
-    let payload = section_payload(fpart, &data, &entry)?;
+    let payload = section_bytes(fpart, &data, &header, Section::Tags)?;
     decode_tags(fpart, &mut part, payload, skip_ghosts)?;
-    let entry = require_section(fpart, &header, Section::Fields)?;
-    let payload = section_payload(fpart, &data, &entry)?;
+    let payload = section_bytes(fpart, &data, &header, Section::Fields)?;
     decode_fields(fpart, &mut part, payload, skip_ghosts)?;
-    Ok(LoadedPart {
+    let mut lp = LoadedPart {
         part,
         res_rows,
         ghost_rows,
-        gid_counter: header.gid_counter,
+        gid_counter: header.gid_counter(),
         bytes: data.len() as u64,
-    })
+    };
+    if manifest.delta_count > 0 {
+        crate::delta::replay_deltas(dir, fpart, manifest, &mut lp, skip_ghosts, remap)?;
+    }
+    Ok(lp)
+}
+
+/// Byte-level access to one checkpoint's part files, abstracted so that a
+/// restore service (`pumi-serve`) can interpose a shared chunk cache
+/// between the files and the decoders. `delta == None` addresses the base
+/// snapshot's part file, `Some(k)` delta round `k`'s file; the returned
+/// bytes are the section's raw (decompressed, CRC-verified) stream.
+pub trait SectionSource {
+    /// Fetch one section of one part file.
+    fn section(
+        &self,
+        fpart: PartId,
+        delta: Option<u32>,
+        section: Section,
+    ) -> Result<Vec<u8>, IoError>;
+}
+
+/// Load one part of a checkpoint standalone: no remote-copy stitching, no
+/// ghost layers (ghost copies are dropped on decode), deltas replayed in
+/// order. Field values stay staged as `__io:f:<name>` double tags, exactly
+/// as they ride migration during a collective restore. This is the restore
+/// primitive behind `pumi-serve`'s slice service; the full collective
+/// restore is [`read_checkpoint`].
+pub fn load_standalone_part(
+    manifest: &Manifest,
+    fpart: PartId,
+    src: &dyn SectionSource,
+) -> Result<Part, IoError> {
+    let elem_dim = manifest.elem_dim as usize;
+    let mut part = Part::new(fpart, elem_dim);
+    let payload = src.section(fpart, None, Section::Entities)?;
+    decode_entities(fpart, &mut part, payload, elem_dim, true)?;
+    let payload = src.section(fpart, None, Section::Tags)?;
+    decode_tags(fpart, &mut part, payload, true)?;
+    let payload = src.section(fpart, None, Section::Fields)?;
+    decode_fields(fpart, &mut part, payload, true)?;
+    let mut ghost_map = FxHashMap::default();
+    for k in 1..=manifest.delta_count {
+        crate::delta::apply_delta_round(
+            fpart,
+            &mut part,
+            elem_dim,
+            true,
+            &mut ghost_map,
+            &mut |s| src.section(fpart, Some(k), s),
+        )?;
+    }
+    Ok(part)
 }
 
 /// Read the manifest on rank 0 and broadcast it.
-fn manifest_bcast(comm: &Comm, dir: &Path) -> Result<Manifest, IoError> {
+pub(crate) fn manifest_bcast(comm: &Comm, dir: &Path) -> Result<Manifest, IoError> {
     let path = dir.join(MANIFEST_FILE);
     let mut w = MsgWriter::new();
     if comm.rank() == 0 {

@@ -6,10 +6,18 @@
 //! and fallible: local write failures are agreed across ranks (one
 //! allreduce) so every rank returns an `Err` together instead of leaving
 //! peers blocked in the manifest reduction.
+//!
+//! Two container versions share one set of section encoders (generic over
+//! [`SectionSink`]): v1 buffers each section in memory and writes a flat
+//! file; v2 (the default) streams LZ4-compressed, CRC'd chunks straight to
+//! disk, so peak memory is one chunk regardless of part size.
 
+use crate::chunk::{ChunkWriter, SectionSink, DEFAULT_CHUNK_LEN};
 use crate::error::{IoError, Section};
 use crate::format::{
-    encode_manifest, encode_part_file, part_file_path, FieldDesc, Manifest, MANIFEST_FILE,
+    encode_header_v2, encode_manifest, encode_part_file, encode_table_v2, part_file_path,
+    FieldDesc, Manifest, SectionEntryV2, FORMAT_VERSION, FORMAT_VERSION_V2, HEADER_V2_LEN,
+    MANIFEST_FILE,
 };
 use crate::FIELD_TAG_PREFIX;
 use bytes::Bytes;
@@ -17,7 +25,8 @@ use pumi_core::DistMesh;
 use pumi_field::{DistField, Field};
 use pumi_pcu::{Comm, MsgWriter};
 use pumi_util::tag::TagKind;
-use pumi_util::{Dim, MeshEnt};
+use pumi_util::{Dim, MeshEnt, PartId};
+use std::io::{BufWriter, Seek, SeekFrom, Write};
 use std::path::Path;
 
 /// Statistics from a completed checkpoint write.
@@ -31,8 +40,26 @@ pub struct WriteStats {
     pub parts_written: usize,
 }
 
-fn encode_entities(part: &pumi_core::Part) -> Bytes {
-    let mut w = MsgWriter::new();
+/// Options for [`write_checkpoint_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct WriteOpts {
+    /// Container version: [`FORMAT_VERSION`] (flat, uncompressed) or
+    /// [`FORMAT_VERSION_V2`] (chunked, compressed, streaming).
+    pub version: u32,
+    /// Raw bytes per chunk for v2 (clamped to ≥ 4 KiB).
+    pub chunk_len: usize,
+}
+
+impl Default for WriteOpts {
+    fn default() -> Self {
+        WriteOpts {
+            version: FORMAT_VERSION_V2,
+            chunk_len: DEFAULT_CHUNK_LEN,
+        }
+    }
+}
+
+fn encode_entities(part: &pumi_core::Part, w: &mut dyn SectionSink) {
     let elem_dim = part.mesh.elem_dim();
     for d in 0..=elem_dim {
         let dim = Dim::from_usize(d);
@@ -64,11 +91,9 @@ fn encode_entities(part: &pumi_core::Part) -> Bytes {
             }
         }
     }
-    w.finish()
 }
 
-fn encode_remotes(part: &pumi_core::Part) -> Bytes {
-    let mut w = MsgWriter::new();
+fn encode_remotes(part: &pumi_core::Part, w: &mut dyn SectionSink) {
     let shared = part.shared_entities();
     w.put_u32(shared.len() as u32);
     for (e, _) in shared {
@@ -76,10 +101,9 @@ fn encode_remotes(part: &pumi_core::Part) -> Bytes {
         w.put_u64(part.gid_of(e));
         w.put_u32_slice(&part.residence(e));
     }
-    w.finish()
 }
 
-fn encode_tags(part: &pumi_core::Part) -> Bytes {
+fn encode_tags(part: &pumi_core::Part, w: &mut dyn SectionSink) {
     let tm = part.mesh.tags();
     let elem_dim = part.mesh.elem_dim();
     // Collect rows first: the declared count can exceed the live-entity
@@ -102,7 +126,6 @@ fn encode_tags(part: &pumi_core::Part) -> Bytes {
             per_tag.push((tid, rows));
         }
     }
-    let mut w = MsgWriter::new();
     w.put_u32(per_tag.len() as u32);
     let mut buf = Vec::new();
     for (tid, rows) in per_tag {
@@ -122,12 +145,10 @@ fn encode_tags(part: &pumi_core::Part) -> Bytes {
             w.put_bytes(&buf);
         }
     }
-    w.finish()
 }
 
-fn encode_fields(part: &pumi_core::Part, fields: &[&Field]) -> Bytes {
+fn encode_fields(part: &pumi_core::Part, fields: &[&Field], w: &mut dyn SectionSink) {
     let elem_dim = part.mesh.elem_dim();
-    let mut w = MsgWriter::new();
     w.put_u32(fields.len() as u32);
     for f in fields {
         w.put_bytes(f.name.as_bytes());
@@ -148,16 +169,34 @@ fn encode_fields(part: &pumi_core::Part, fields: &[&Field]) -> Bytes {
             w.put_f64_slice(v);
         }
     }
+}
+
+fn finish_section_bytes(f: impl FnOnce(&mut dyn SectionSink)) -> Bytes {
+    let mut w = MsgWriter::new();
+    f(&mut w);
     w.finish()
 }
 
-/// Serialize one part (plus its slice of each field) to `.pmb` file bytes.
+/// Serialize one part (plus its slice of each field) to v1 `.pmb` file
+/// bytes (flat sections, whole image in memory).
 pub fn encode_part(part: &pumi_core::Part, fields: &[&Field]) -> Vec<u8> {
     let sections = vec![
-        (Section::Entities, encode_entities(part)),
-        (Section::Remotes, encode_remotes(part)),
-        (Section::Tags, encode_tags(part)),
-        (Section::Fields, encode_fields(part, fields)),
+        (
+            Section::Entities,
+            finish_section_bytes(|w| encode_entities(part, w)),
+        ),
+        (
+            Section::Remotes,
+            finish_section_bytes(|w| encode_remotes(part, w)),
+        ),
+        (
+            Section::Tags,
+            finish_section_bytes(|w| encode_tags(part, w)),
+        ),
+        (
+            Section::Fields,
+            finish_section_bytes(|w| encode_fields(part, fields, w)),
+        ),
     ];
     encode_part_file(
         part.id,
@@ -165,6 +204,82 @@ pub fn encode_part(part: &pumi_core::Part, fields: &[&Field]) -> Vec<u8> {
         part.gid_counter(),
         &sections,
     )
+}
+
+/// A section's identity plus the encoder that produces its content.
+pub(crate) type SectionEnc<'a> = (Section, Box<dyn Fn(&mut dyn SectionSink) + 'a>);
+
+/// Stream a v2 part file to `path`: placeholder header, chunked sections
+/// (each encoder runs once, its output compressed and flushed chunk by
+/// chunk), the table, then a seek-back header rewrite with the table's
+/// landing spot. Returns total file bytes.
+pub(crate) fn write_part_file_v2(
+    path: &Path,
+    part_id: PartId,
+    elem_dim: u32,
+    gid_counter: u64,
+    flags: u32,
+    chunk_len: usize,
+    sections: &[SectionEnc<'_>],
+) -> Result<u64, IoError> {
+    let io_err = |source: std::io::Error| IoError::Io {
+        path: path.to_path_buf(),
+        source,
+    };
+    let file = std::fs::File::create(path).map_err(io_err)?;
+    let mut out = BufWriter::new(file);
+    out.write_all(&[0u8; HEADER_V2_LEN]).map_err(io_err)?;
+    let mut offset = HEADER_V2_LEN as u64;
+    let mut entries = Vec::with_capacity(sections.len());
+    for (section, enc) in sections {
+        let mut cw = ChunkWriter::new(&mut out, chunk_len);
+        enc(&mut cw);
+        let st = cw.finish_section().map_err(io_err)?;
+        entries.push(SectionEntryV2 {
+            section: *section,
+            offset,
+            disk_len: st.disk_len,
+            raw_len: st.raw_len,
+            nchunks: st.nchunks,
+        });
+        offset += st.disk_len;
+    }
+    let table = encode_table_v2(&entries);
+    out.write_all(&table).map_err(io_err)?;
+    let hdr = encode_header_v2(
+        part_id,
+        elem_dim,
+        gid_counter,
+        flags,
+        offset,
+        table.len() as u32,
+    );
+    out.seek(SeekFrom::Start(0)).map_err(io_err)?;
+    out.write_all(&hdr).map_err(io_err)?;
+    out.flush().map_err(io_err)?;
+    Ok(offset + table.len() as u64)
+}
+
+/// The four full-snapshot sections of one part, as v2 encoders.
+fn full_sections<'a>(part: &'a pumi_core::Part, pfields: &'a [&'a Field]) -> Vec<SectionEnc<'a>> {
+    vec![
+        (
+            Section::Entities,
+            Box::new(move |w: &mut dyn SectionSink| encode_entities(part, w)),
+        ),
+        (
+            Section::Remotes,
+            Box::new(move |w: &mut dyn SectionSink| encode_remotes(part, w)),
+        ),
+        (
+            Section::Tags,
+            Box::new(move |w: &mut dyn SectionSink| encode_tags(part, w)),
+        ),
+        (
+            Section::Fields,
+            Box::new(move |w: &mut dyn SectionSink| encode_fields(part, pfields, w)),
+        ),
+    ]
 }
 
 /// Write a checkpoint of `dm` (and the given fields, each aligned with
@@ -200,7 +315,24 @@ pub fn write_checkpoint(
     fields: &[&DistField],
     dir: &Path,
 ) -> Result<WriteStats, IoError> {
+    write_checkpoint_with(comm, dm, fields, dir, &WriteOpts::default())
+}
+
+/// [`write_checkpoint`] with explicit container options (format version,
+/// chunk size). `opts` must agree across ranks.
+pub fn write_checkpoint_with(
+    comm: &Comm,
+    dm: &DistMesh,
+    fields: &[&DistField],
+    dir: &Path,
+    opts: &WriteOpts,
+) -> Result<WriteStats, IoError> {
     let _span = pumi_obs::span!("io.write");
+    assert!(
+        opts.version == FORMAT_VERSION || opts.version == FORMAT_VERSION_V2,
+        "unknown .pmb version {}",
+        opts.version
+    );
     for df in fields {
         assert_eq!(df.len(), dm.parts.len(), "field not aligned with dm.parts");
     }
@@ -216,15 +348,31 @@ pub fn write_checkpoint(
     if local_err.is_none() {
         for (slot, part) in dm.parts.iter().enumerate() {
             let pfields: Vec<&Field> = fields.iter().map(|df| &df[slot]).collect();
-            let data = encode_part(part, &pfields);
             let path = part_file_path(dir, part.id);
-            match std::fs::write(&path, &data) {
-                Ok(()) => {
-                    bytes_local += data.len() as u64;
+            let wrote = if opts.version == FORMAT_VERSION {
+                let data = encode_part(part, &pfields);
+                std::fs::write(&path, &data)
+                    .map(|()| data.len() as u64)
+                    .map_err(|e| IoError::Io { path, source: e })
+            } else {
+                let sections = full_sections(part, &pfields);
+                write_part_file_v2(
+                    &path,
+                    part.id,
+                    part.mesh.elem_dim() as u32,
+                    part.gid_counter(),
+                    0,
+                    opts.chunk_len,
+                    &sections,
+                )
+            };
+            match wrote {
+                Ok(n) => {
+                    bytes_local += n;
                     parts_written += 1;
                 }
                 Err(e) => {
-                    local_err = Some(IoError::Io { path, source: e });
+                    local_err = Some(e);
                     break;
                 }
             }
@@ -303,6 +451,7 @@ pub fn write_checkpoint(
             }
         }
         let manifest = Manifest {
+            version: opts.version,
             nparts: dm.map.nparts() as u32,
             elem_dim,
             nranks_at_write: comm.nranks() as u32,
@@ -314,6 +463,7 @@ pub fn write_checkpoint(
             ],
             has_ghosts: any_ghosts,
             fields: descs,
+            delta_count: 0,
         };
         let data = encode_manifest(&manifest);
         let path = dir.join(MANIFEST_FILE);

@@ -3,23 +3,40 @@
 //! never a panic, and never a deadlock (peers exit with `PeerFailed`).
 
 use pumi_core::{distribute, PartMap};
-use pumi_io::format::{find_section, parse_part_header, part_file_path};
-use pumi_io::{read_checkpoint, write_checkpoint, IoError, Section};
+use pumi_io::format::{find_section, parse_part_header, parse_part_header_v2, part_file_path};
+use pumi_io::{read_checkpoint, write_checkpoint_with, IoError, Section, WriteOpts};
 use pumi_meshgen::tri_rect;
 use pumi_partition::partition_mesh;
 use pumi_pcu::execute;
 use std::path::PathBuf;
 
-fn write_small(name: &str) -> PathBuf {
+fn write_small_with(name: &str, opts: WriteOpts) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("pumi_io_fault_{}_{name}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     let serial = tri_rect(8, 6, 1.0, 1.0);
     execute(2, |c| {
         let labels = partition_mesh(&serial, 2);
         let dm = distribute(c, PartMap::contiguous(2, 2), &serial, &labels);
-        write_checkpoint(c, &dm, &[], &dir).expect("write");
+        write_checkpoint_with(c, &dm, &[], &dir, &opts).expect("write");
     });
     dir
+}
+
+/// A v2 (default-format) checkpoint.
+fn write_small(name: &str) -> PathBuf {
+    write_small_with(name, WriteOpts::default())
+}
+
+/// A v1 (flat, uncompressed) checkpoint — the drills below that reseal or
+/// cut v1 byte layouts need it explicitly.
+fn write_small_v1(name: &str) -> PathBuf {
+    write_small_with(
+        name,
+        WriteOpts {
+            version: 1,
+            ..WriteOpts::default()
+        },
+    )
 }
 
 /// Read the checkpoint on 2 ranks; every rank must get an `Err`.
@@ -33,7 +50,7 @@ fn read_errors(dir: &std::path::Path) -> Vec<IoError> {
 
 #[test]
 fn flipped_payload_byte_names_part_and_section() {
-    let dir = write_small("flip");
+    let dir = write_small_v1("flip");
     // Corrupt the middle of part 1's entities payload.
     let path = part_file_path(&dir, 1);
     let mut data = std::fs::read(&path).expect("read part file");
@@ -74,7 +91,7 @@ fn flipped_payload_byte_names_part_and_section() {
 /// catch it.
 #[test]
 fn flipped_enum_byte_is_typed_decode_error() {
-    let dir = write_small("enum");
+    let dir = write_small_v1("enum");
     let path = part_file_path(&dir, 1);
     let mut data = std::fs::read(&path).expect("read part file");
     let header = parse_part_header(1, &data).expect("intact header");
@@ -122,7 +139,7 @@ fn flipped_enum_byte_is_typed_decode_error() {
 
 #[test]
 fn truncated_part_file_is_typed() {
-    let dir = write_small("trunc");
+    let dir = write_small_v1("trunc");
     let path = part_file_path(&dir, 0);
     let data = std::fs::read(&path).expect("read part file");
     std::fs::write(&path, &data[..data.len() - 9]).expect("truncate");
@@ -132,6 +149,139 @@ fn truncated_part_file_is_typed() {
         errs.iter()
             .any(|e| matches!(e, IoError::Truncated { part: 0, .. })),
         "expected Truncated(part 0), got: {errs:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cutting the tail off a v2 part file destroys the end-of-file section
+/// table; the reader must refuse at the header stage, not chase offsets.
+#[test]
+fn truncated_v2_tail_is_typed_header_error() {
+    let dir = write_small("v2trunc");
+    let path = part_file_path(&dir, 0);
+    let data = std::fs::read(&path).expect("read part file");
+    std::fs::write(&path, &data[..data.len() - 9]).expect("truncate");
+
+    let errs = read_errors(&dir);
+    assert!(
+        errs.iter()
+            .any(|e| matches!(e, IoError::Header { part: 0, .. })),
+        "expected Header(part 0) for the lost table, got: {errs:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Locate the first chunk of a section in a v2 part file: returns the
+/// absolute offset of its 12-byte chunk header.
+fn first_chunk_at(data: &[u8], part: u32, section: Section) -> usize {
+    let h = parse_part_header_v2(part, data).expect("intact v2 header");
+    h.find(section).expect("section present").offset as usize
+}
+
+/// Flipping one bit inside a compressed chunk payload must surface as
+/// `BadChunk` naming part, section, and chunk — before the decompressor
+/// ever sees the damage.
+#[test]
+fn flipped_compressed_chunk_payload_is_bad_chunk() {
+    let dir = write_small("v2flip");
+    let path = part_file_path(&dir, 1);
+    let mut data = std::fs::read(&path).expect("read part file");
+    let at = first_chunk_at(&data, 1, Section::Entities);
+    data[at + 12 + 7] ^= 0x20; // inside the stored payload
+    std::fs::write(&path, &data).expect("write corrupted file");
+
+    let errs = read_errors(&dir);
+    let detail = errs
+        .iter()
+        .find_map(|e| match e {
+            IoError::BadChunk {
+                part: 1,
+                section: Section::Entities,
+                chunk: 0,
+                detail,
+            } => Some(detail.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("expected BadChunk(part 1, entities, chunk 0), got: {errs:?}"));
+    assert!(detail.contains("CRC"), "detail names the check: {detail}");
+    let msg = errs
+        .iter()
+        .find(|e| matches!(e, IoError::BadChunk { .. }))
+        .expect("typed chunk error")
+        .to_string();
+    assert!(
+        msg.contains("part 1") && msg.contains("entities") && msg.contains("chunk 0"),
+        "{msg}"
+    );
+    assert!(
+        errs.iter().any(|e| matches!(e, IoError::PeerFailed { .. })),
+        "peer should report PeerFailed, got: {errs:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A damaged decompressed-length header passes the payload CRC (which
+/// deliberately does not cover it) and must be caught by the
+/// decompressed-length comparison instead.
+#[test]
+fn wrong_chunk_raw_len_is_bad_chunk() {
+    let dir = write_small("v2rawlen");
+    let path = part_file_path(&dir, 0);
+    let mut data = std::fs::read(&path).expect("read part file");
+    let at = first_chunk_at(&data, 0, Section::Entities);
+    let raw_len = u32::from_le_bytes(data[at..at + 4].try_into().unwrap());
+    data[at..at + 4].copy_from_slice(&(raw_len - 3).to_le_bytes());
+    std::fs::write(&path, &data).expect("write corrupted file");
+
+    let errs = read_errors(&dir);
+    assert!(
+        errs.iter().any(|e| matches!(
+            e,
+            IoError::BadChunk {
+                part: 0,
+                section: Section::Entities,
+                chunk: 0,
+                ..
+            }
+        )),
+        "expected BadChunk(part 0, entities, chunk 0), got: {errs:?}"
+    );
+    assert!(
+        errs.iter().any(|e| matches!(e, IoError::PeerFailed { .. })),
+        "peer should report PeerFailed, got: {errs:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A chunk whose stored length reaches past its section's disk extent is a
+/// truncated chunk; the reader must stop at the section bound with a typed
+/// error instead of reading into the next section.
+#[test]
+fn truncated_chunk_is_bad_chunk() {
+    let dir = write_small("v2chunktrunc");
+    let path = part_file_path(&dir, 1);
+    let mut data = std::fs::read(&path).expect("read part file");
+    let at = first_chunk_at(&data, 1, Section::Tags);
+    data[at + 4..at + 8].copy_from_slice(&0xFFFF_FF00u32.to_le_bytes()); // comp_len
+    std::fs::write(&path, &data).expect("write corrupted file");
+
+    let errs = read_errors(&dir);
+    let detail = errs
+        .iter()
+        .find_map(|e| match e {
+            IoError::BadChunk {
+                part: 1,
+                section: Section::Tags,
+                chunk: 0,
+                detail,
+            } => Some(detail.clone()),
+            _ => None,
+        })
+        .unwrap_or_else(|| panic!("expected BadChunk(part 1, tags, chunk 0), got: {errs:?}"));
+    assert!(detail.contains("truncated"), "{detail}");
+    assert!(
+        errs.iter().any(|e| matches!(e, IoError::PeerFailed { .. })),
+        "peer should report PeerFailed, got: {errs:?}"
     );
     let _ = std::fs::remove_dir_all(&dir);
 }

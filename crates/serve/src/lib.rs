@@ -1,0 +1,401 @@
+//! # pumi-serve: many-reader checkpoint restore service
+//!
+//! A long-lived simulation writes one checkpoint; many downstream readers
+//! — visualization clients, co-processing analyses, restart probes — each
+//! want a *different slice* of it, often at a different granularity than
+//! the writer's part count. Re-running the collective N→M restore once
+//! per reader decompresses every shared chunk over and over.
+//!
+//! [`CheckpointServer`] amortizes that: it opens a `.pmb` checkpoint once
+//! and serves any number of concurrent [`restore_slice`] calls through a
+//! shared, CRC-verified chunk cache. The first reader to touch a
+//! compressed v2 chunk pays for verification and decompression; everyone
+//! else gets the cached raw bytes. Part files (base and delta rounds) are
+//! read from disk exactly once regardless of reader count.
+//!
+//! Slices follow the same balanced-block arithmetic as the collective
+//! reader: with N checkpoint parts and M slices,
+//!
+//! * **M ≤ N** — slice `s` is the part block `[s·N/M, (s+1)·N/M)`, one
+//!   loaded [`Part`] per file part;
+//! * **M > N** — file part `p` fans out over the slice block
+//!   `[p·M/N, (p+1)·M/N)`: each reader loads `p` (through the shared
+//!   cache, so the load is paid once in decompression terms) and keeps
+//!   only its sub-partition, computed with the local graph partitioner.
+//!
+//! Slices are standalone: ghost copies are dropped, remote-copy links are
+//! not stitched, and field values stay staged under `__io:f:<name>` tags
+//! (see [`pumi_io::staged_field_tag`]). Element sets of distinct slices
+//! are disjoint and their union is the whole mesh.
+//!
+//! Every slice restore runs under a `serve.slice` span; cache traffic is
+//! metered through the `serve.chunk.hit` / `serve.chunk.miss` /
+//! `serve.bytes.disk` / `serve.bytes.raw` counters and the per-server
+//! [`ServeStats`] snapshot.
+//!
+//! [`restore_slice`]: CheckpointServer::restore_slice
+
+#![warn(missing_docs)]
+
+use pumi_core::Part;
+use pumi_io::chunk::{decode_chunk, parse_chunk_header, CHUNK_HEADER_LEN};
+use pumi_io::format::{
+    delta_dir, parse_manifest, parse_part_any, part_file_path, section_payload, AnyPartHeader,
+    Manifest, MANIFEST_FILE,
+};
+use pumi_io::{load_standalone_part, IoError, Section, SectionSource};
+use pumi_partition::partition_mesh;
+use pumi_util::{Dim, FxHashMap, FxHashSet, MeshEnt, PartId};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Cache traffic counters, readable at any time with
+/// [`CheckpointServer::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Section chunks served from the shared cache.
+    pub chunk_hits: u64,
+    /// Section chunks that had to be verified + decompressed.
+    pub chunk_misses: u64,
+    /// Compressed bytes read from disk (each part file counted once).
+    pub disk_bytes: u64,
+    /// Raw (decompressed) section bytes handed to the decoders.
+    pub raw_bytes: u64,
+}
+
+impl std::fmt::Debug for Slice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Slice")
+            .field("parts", &self.parts.len())
+            .field("fparts", &self.fparts)
+            .finish()
+    }
+}
+
+/// One restored slice: a subset of the checkpointed mesh.
+pub struct Slice {
+    /// The slice's parts (one per file part for M ≤ N, exactly one for
+    /// M > N). Field values are staged as `__io:f:<name>` tags.
+    pub parts: Vec<Part>,
+    /// The checkpoint part files this slice drew from.
+    pub fparts: Vec<PartId>,
+}
+
+/// A part file (base snapshot or delta round) held by the server: its
+/// compressed on-disk image and parsed header. The image is kept so chunk
+/// payloads can be re-verified against a byte range without re-reading;
+/// decompressed data lives in the shared chunk cache instead.
+struct PartFile {
+    data: Vec<u8>,
+    header: AnyPartHeader,
+}
+
+/// Chunk cache key: (delta round or 0 for base, file part, section code,
+/// chunk index). v1 sections are cached whole under chunk index 0.
+type ChunkKey = (u32, PartId, u8, u32);
+
+/// A checkpoint opened for concurrent slice restores. `Sync`: share it
+/// across reader threads with `&` or [`Arc`].
+pub struct CheckpointServer {
+    dir: PathBuf,
+    manifest: Manifest,
+    files: Mutex<FxHashMap<(u32, PartId), Arc<PartFile>>>,
+    chunks: Mutex<FxHashMap<ChunkKey, Arc<Vec<u8>>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    disk_bytes: AtomicU64,
+    raw_bytes: AtomicU64,
+}
+
+impl CheckpointServer {
+    /// Open the checkpoint at `dir`. Only the manifest is read here; part
+    /// files load lazily on first touch.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<CheckpointServer, IoError> {
+        let _span = pumi_obs::span!("serve.open");
+        let dir = dir.into();
+        let mpath = dir.join(MANIFEST_FILE);
+        let data = std::fs::read(&mpath).map_err(|e| IoError::Io {
+            path: mpath.clone(),
+            source: e,
+        })?;
+        let manifest = parse_manifest(&mpath, &data)?;
+        Ok(CheckpointServer {
+            dir,
+            manifest,
+            files: Mutex::new(FxHashMap::default()),
+            chunks: Mutex::new(FxHashMap::default()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            disk_bytes: AtomicU64::new(data.len() as u64),
+            raw_bytes: AtomicU64::new(0),
+        })
+    }
+
+    /// The checkpoint's manifest.
+    pub fn manifest(&self) -> &Manifest {
+        &self.manifest
+    }
+
+    /// A snapshot of the cache traffic counters.
+    pub fn stats(&self) -> ServeStats {
+        ServeStats {
+            chunk_hits: self.hits.load(Ordering::Relaxed),
+            chunk_misses: self.misses.load(Ordering::Relaxed),
+            disk_bytes: self.disk_bytes.load(Ordering::Relaxed),
+            raw_bytes: self.raw_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Restore slice `slice` of `nslices` (see the module docs for the
+    /// slice → part arithmetic). Safe to call from many threads at once;
+    /// `slice` must be `< nslices`.
+    pub fn restore_slice(&self, slice: usize, nslices: usize) -> Result<Slice, IoError> {
+        let _span = pumi_obs::span!("serve.slice");
+        assert!(
+            slice < nslices,
+            "slice {slice} out of range (nslices = {nslices})"
+        );
+        let n = self.manifest.nparts as usize;
+        if nslices <= n {
+            let lo = slice * n / nslices;
+            let hi = (slice + 1) * n / nslices;
+            let mut parts = Vec::with_capacity(hi - lo);
+            for p in lo..hi {
+                parts.push(load_standalone_part(&self.manifest, p as PartId, self)?);
+            }
+            Ok(Slice {
+                parts,
+                fparts: (lo as PartId..hi as PartId).collect(),
+            })
+        } else {
+            // Inverse of the fan-out blocks [p·M/N, (p+1)·M/N).
+            let p = ((slice + 1) * n - 1) / nslices;
+            let lo = p * nslices / n;
+            let hi = (p + 1) * nslices / n;
+            assert!(
+                lo <= slice && slice < hi,
+                "slice block arithmetic: slice {slice} outside [{lo}, {hi}) of part {p}"
+            );
+            let full = load_standalone_part(&self.manifest, p as PartId, self)?;
+            let k = hi - lo;
+            let part = if k <= 1 {
+                full
+            } else {
+                let labels = partition_mesh(&full.mesh, k);
+                extract_labeled(&full, &labels, (slice - lo) as PartId)
+            };
+            Ok(Slice {
+                parts: vec![part],
+                fparts: vec![p as PartId],
+            })
+        }
+    }
+
+    /// Fetch (or lazily load) a part file. `delta == 0` is the base
+    /// snapshot; `delta == k` is round `k`'s file under `delta_<k:04>/`.
+    fn part_file(&self, delta: u32, fpart: PartId) -> Result<Arc<PartFile>, IoError> {
+        // The load happens under the map lock: concurrent first-touchers
+        // would otherwise stampede the same file and each pay the disk
+        // read. Serializing the one-time loads keeps "each part file is
+        // read from disk exactly once" an invariant the stats can assert.
+        let mut files = self.files.lock().expect("file map lock");
+        if let Some(pf) = files.get(&(delta, fpart)) {
+            return Ok(Arc::clone(pf));
+        }
+        let fdir = if delta == 0 {
+            self.dir.clone()
+        } else {
+            delta_dir(&self.dir, delta)
+        };
+        let path = part_file_path(&fdir, fpart);
+        let data = std::fs::read(&path).map_err(|e| IoError::Io {
+            path: path.clone(),
+            source: e,
+        })?;
+        let header = parse_part_any(fpart, &data)?;
+        let is_delta = matches!(&header, AnyPartHeader::V2(h) if h.is_delta());
+        if delta == 0 && is_delta {
+            return Err(IoError::Header {
+                part: fpart,
+                detail: "delta part file where a base snapshot was expected".into(),
+            });
+        }
+        if delta > 0 && !is_delta {
+            return Err(IoError::Header {
+                part: fpart,
+                detail: format!("delta round {delta}: not a v2 delta part file"),
+            });
+        }
+        self.disk_bytes
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
+        pumi_obs::metrics::counter_add("serve.bytes.disk", data.len() as u64);
+        let pf = Arc::new(PartFile { data, header });
+        files.insert((delta, fpart), Arc::clone(&pf));
+        Ok(pf)
+    }
+
+    /// One chunk's raw bytes through the shared cache. `decode` runs only
+    /// on a miss (CRC check + decompression).
+    fn cached_chunk(
+        &self,
+        key: ChunkKey,
+        decode: impl FnOnce() -> Result<Vec<u8>, IoError>,
+    ) -> Result<Arc<Vec<u8>>, IoError> {
+        if let Some(raw) = self.chunks.lock().expect("chunk cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            pumi_obs::metrics::counter_add("serve.chunk.hit", 1);
+            return Ok(Arc::clone(raw));
+        }
+        let raw = Arc::new(decode()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        pumi_obs::metrics::counter_add("serve.chunk.miss", 1);
+        let mut chunks = self.chunks.lock().expect("chunk cache lock");
+        Ok(Arc::clone(chunks.entry(key).or_insert_with(|| raw)))
+    }
+}
+
+impl SectionSource for CheckpointServer {
+    fn section(
+        &self,
+        fpart: PartId,
+        delta: Option<u32>,
+        section: Section,
+    ) -> Result<Vec<u8>, IoError> {
+        let round = delta.unwrap_or(0);
+        let pf = self.part_file(round, fpart)?;
+        let missing = || IoError::Header {
+            part: fpart,
+            detail: format!("missing section '{}'", section.name()),
+        };
+        let out = match &pf.header {
+            AnyPartHeader::V1(h) => {
+                // v1 sections are flat; cache each whole under chunk 0.
+                let entry = pumi_io::format::find_section(h, section).ok_or_else(missing)?;
+                let raw = self.cached_chunk((round, fpart, section.to_u8(), 0), || {
+                    Ok(section_payload(fpart, &pf.data, &entry)?.to_vec())
+                })?;
+                raw.as_ref().clone()
+            }
+            AnyPartHeader::V2(h) => {
+                let entry = h.find(section).ok_or_else(missing)?;
+                let end = entry.offset.saturating_add(entry.disk_len);
+                if end > pf.data.len() as u64 {
+                    return Err(IoError::Truncated {
+                        part: fpart,
+                        section,
+                        needed: end,
+                        have: pf.data.len() as u64,
+                    });
+                }
+                let mut out = Vec::with_capacity(entry.raw_len as usize);
+                let mut at = entry.offset as usize;
+                let section_end = end as usize;
+                for idx in 0..entry.nchunks {
+                    let hdr = parse_chunk_header(fpart, section, idx, &pf.data[at..section_end])?;
+                    at += CHUNK_HEADER_LEN;
+                    let plen = hdr.disk_payload_len();
+                    if at + plen > section_end {
+                        return Err(IoError::BadChunk {
+                            part: fpart,
+                            section,
+                            chunk: idx,
+                            detail: format!(
+                                "chunk payload truncated: need {plen} bytes, have {}",
+                                section_end - at
+                            ),
+                        });
+                    }
+                    let raw = self.cached_chunk((round, fpart, section.to_u8(), idx), || {
+                        decode_chunk(fpart, section, idx, &hdr, &pf.data[at..at + plen])
+                    })?;
+                    out.extend_from_slice(&raw);
+                    at += plen;
+                }
+                if out.len() as u64 != entry.raw_len {
+                    return Err(IoError::Decode {
+                        part: fpart,
+                        section,
+                        detail: format!(
+                            "section reassembled to {} bytes, table promised {}",
+                            out.len(),
+                            entry.raw_len
+                        ),
+                    });
+                }
+                out
+            }
+        };
+        self.raw_bytes
+            .fetch_add(out.len() as u64, Ordering::Relaxed);
+        pumi_obs::metrics::counter_add("serve.bytes.raw", out.len() as u64);
+        Ok(out)
+    }
+}
+
+/// Build a standalone sub-part from the elements of `src` labeled `want`.
+/// Vertices referenced by a kept element come along; intermediate entities
+/// come along when all their vertices did (boundary edges/faces shared
+/// with a neighboring slice are duplicated, like part-boundary copies).
+/// Tag rows — including staged `__io:f:` field values — ride with their
+/// entities; global ids are preserved so slices stay globally consistent.
+fn extract_labeled(src: &Part, labels: &[PartId], want: PartId) -> Part {
+    let elem_dim = src.mesh.elem_dim();
+    let d_elem = Dim::from_usize(elem_dim);
+    let mut out = Part::new(src.id, elem_dim);
+    let mut vwant: FxHashSet<u32> = FxHashSet::default();
+    for e in src.mesh.iter(d_elem) {
+        if labels[e.idx()] == want {
+            vwant.extend(src.mesh.verts_of(e).iter().copied());
+        }
+    }
+    // Old local index → new local index (vertices), old → new handles (all
+    // dimensions, for the tag pass).
+    let mut vmap: FxHashMap<u32, u32> = FxHashMap::default();
+    let mut emap: Vec<(MeshEnt, MeshEnt)> = Vec::new();
+    for v in src.mesh.iter(Dim::Vertex) {
+        if !vwant.contains(&v.index()) {
+            continue;
+        }
+        let nv = out.add_vertex(src.mesh.coords(v), src.mesh.class_of(v), src.gid_of(v));
+        vmap.insert(v.index(), nv.index());
+        emap.push((v, nv));
+    }
+    for d in 1..=elem_dim {
+        let dim = Dim::from_usize(d);
+        for e in src.mesh.iter(dim) {
+            let keep = if d == elem_dim {
+                labels[e.idx()] == want
+            } else {
+                src.mesh.verts_of(e).iter().all(|v| vmap.contains_key(v))
+            };
+            if !keep {
+                continue;
+            }
+            let verts: Vec<u32> = src.mesh.verts_of(e).iter().map(|v| vmap[v]).collect();
+            let ne = out.add_entity(
+                src.mesh.topo(e),
+                &verts,
+                src.mesh.class_of(e),
+                src.gid_of(e),
+            );
+            emap.push((e, ne));
+        }
+    }
+    let tm = src.mesh.tags();
+    for tid in tm.tags() {
+        if tm.count(tid) == 0 {
+            continue;
+        }
+        let ntid = out
+            .mesh
+            .tags_mut()
+            .declare(tm.name(tid), tm.kind(tid), tm.len_of(tid));
+        for &(old, new) in &emap {
+            if let Some(data) = tm.get(tid, old) {
+                out.mesh.tags_mut().set(ntid, new, data.clone());
+            }
+        }
+    }
+    out
+}

@@ -3,9 +3,10 @@
 #
 # Runs the `pcu_exchange` and `migration` criterion benches with
 # CRITERION_JSON pointing at a scratch file, plus the `checkpoint_restart`,
-# `halo_exchange`, `weak_scaling`, and `pcu_weak_scaling` experiment
-# binaries (whose reports land under results/), then folds every median
-# into BENCH_pcu.json at the repository root:
+# `checkpoint_service`, `halo_exchange`, `weak_scaling`, and
+# `pcu_weak_scaling` experiment binaries (whose reports land under
+# results/), then folds every median into BENCH_pcu.json at the
+# repository root:
 #
 #   { "schema": 1, "unix_time": ..., "benches": { "<group>/<id>": {"median_ns": N, "samples": S}, ... } }
 #
@@ -29,11 +30,15 @@ export PUMI_RESULTS_DIR="$PWD/results"
 cargo bench -p pumi-bench --bench pcu_exchange
 cargo bench -p pumi-bench --bench migration
 cargo run --release -p pumi-bench --bin checkpoint_restart
+# --large adds the 10^7-element pass (~10 extra minutes): the scale the
+# streaming v2 writer exists for, and the rows EXPERIMENTS.md quotes.
+cargo run --release -p pumi-bench --bin checkpoint_service -- --large
 cargo run --release -p pumi-bench --bin halo_exchange
 cargo run --release -p pumi-bench --bin weak_scaling
 cargo run --release -p pumi-bench --bin pcu_weak_scaling
 
 python3 - "$scratch" "$out" \
+    "$PUMI_RESULTS_DIR/io_restart.json" \
     "$PUMI_RESULTS_DIR/io_checkpoint.json" \
     "$PUMI_RESULTS_DIR/halo_exchange.json" \
     "$PUMI_RESULTS_DIR/weak_scaling.json" \

@@ -16,6 +16,7 @@ pub use pumi_meshgen as meshgen;
 pub use pumi_obs as obs;
 pub use pumi_partition as partition;
 pub use pumi_pcu as pcu;
+pub use pumi_serve as serve;
 pub use pumi_util as util;
 
 /// Commonly used items across the whole stack.

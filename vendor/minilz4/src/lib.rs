@@ -1,0 +1,281 @@
+//! Minimal pure-Rust LZ4 *block* compressor/decompressor.
+//!
+//! Implements the standard LZ4 block format (token byte with 4-bit
+//! literal/match length nibbles, LSIC length extension bytes, 2-byte
+//! little-endian match offsets, minimum match of 4) with a greedy
+//! hash-table matcher. Compressed blocks carry no self-describing length:
+//! the caller must record the decompressed size out of band and pass it to
+//! [`decompress`], which is exactly how `.pmb` v2 chunk headers use it.
+//!
+//! The implementation favours clarity and bounds-checked safety over
+//! ratio/speed heroics: no unsafe, no external dependencies. It honours the
+//! spec's end-of-block restrictions (the last 5 bytes are always literals;
+//! a match never covers them), so blocks interoperate with reference LZ4
+//! block decoders.
+
+/// Errors from [`decompress`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Lz4Error {
+    /// The compressed stream ended mid-sequence.
+    Truncated,
+    /// A match offset points before the start of the output.
+    BadOffset,
+    /// The stream decodes to more than the promised output length.
+    OutputOverflow,
+    /// The stream decoded cleanly but to fewer bytes than promised.
+    OutputUnderflow {
+        /// Bytes the caller promised.
+        expected: usize,
+        /// Bytes actually produced.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for Lz4Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Lz4Error::Truncated => write!(f, "compressed stream truncated mid-sequence"),
+            Lz4Error::BadOffset => write!(f, "match offset points before output start"),
+            Lz4Error::OutputOverflow => write!(f, "stream exceeds promised output length"),
+            Lz4Error::OutputUnderflow { expected, got } => {
+                write!(f, "stream produced {got} bytes, {expected} promised")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Lz4Error {}
+
+const MIN_MATCH: usize = 4;
+/// Spec: the last five bytes of a block are always literals.
+const LAST_LITERALS: usize = 5;
+/// Spec: a match must not start within the last 12 bytes.
+const MFLIMIT: usize = 12;
+const MAX_OFFSET: usize = 65535;
+const HASH_BITS: u32 = 14;
+
+#[inline]
+fn hash4(v: u32) -> usize {
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+#[inline]
+fn read_u32(src: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes([src[i], src[i + 1], src[i + 2], src[i + 3]])
+}
+
+fn put_length(out: &mut Vec<u8>, mut n: usize) {
+    while n >= 255 {
+        out.push(255);
+        n -= 255;
+    }
+    out.push(n as u8);
+}
+
+fn emit_sequence(out: &mut Vec<u8>, literals: &[u8], offset: usize, match_len: usize) {
+    let lit_nibble = literals.len().min(15);
+    let match_nibble = if match_len > 0 {
+        (match_len - MIN_MATCH).min(15)
+    } else {
+        0
+    };
+    out.push(((lit_nibble as u8) << 4) | match_nibble as u8);
+    if literals.len() >= 15 {
+        put_length(out, literals.len() - 15);
+    }
+    out.extend_from_slice(literals);
+    if match_len > 0 {
+        out.extend_from_slice(&(offset as u16).to_le_bytes());
+        if match_len - MIN_MATCH >= 15 {
+            put_length(out, match_len - MIN_MATCH - 15);
+        }
+    }
+}
+
+/// Compress `src` into a fresh LZ4 block. Always succeeds; incompressible
+/// input grows by at most `src.len()/255 + 16` bytes (callers that care
+/// should fall back to storing raw when the result is not smaller).
+pub fn compress(src: &[u8]) -> Vec<u8> {
+    let n = src.len();
+    let mut out = Vec::with_capacity(n / 2 + 16);
+    if n < MFLIMIT + 1 {
+        emit_sequence(&mut out, src, 0, 0);
+        return out;
+    }
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let match_limit = n - LAST_LITERALS;
+    let scan_limit = n - MFLIMIT;
+    let mut anchor = 0usize;
+    let mut i = 0usize;
+    while i <= scan_limit {
+        let h = hash4(read_u32(src, i));
+        let cand = table[h];
+        table[h] = i;
+        if cand == usize::MAX || i - cand > MAX_OFFSET || read_u32(src, cand) != read_u32(src, i) {
+            i += 1;
+            continue;
+        }
+        // Extend the match forward (never into the tail literals).
+        let mut len = MIN_MATCH;
+        while i + len < match_limit && src[cand + len] == src[i + len] {
+            len += 1;
+        }
+        emit_sequence(&mut out, &src[anchor..i], i - cand, len);
+        i += len;
+        anchor = i;
+    }
+    emit_sequence(&mut out, &src[anchor..], 0, 0);
+    out
+}
+
+fn get_length(src: &[u8], pos: &mut usize, start: usize) -> Result<usize, Lz4Error> {
+    let mut n = start;
+    if start == 15 {
+        loop {
+            let b = *src.get(*pos).ok_or(Lz4Error::Truncated)?;
+            *pos += 1;
+            n += b as usize;
+            if b != 255 {
+                break;
+            }
+        }
+    }
+    Ok(n)
+}
+
+/// Decompress an LZ4 block that is promised to expand to exactly
+/// `expected_len` bytes. Any malformed input — truncation, an offset
+/// reaching before the output, or a length disagreement — yields a typed
+/// [`Lz4Error`]; out-of-bounds access is impossible.
+pub fn decompress(src: &[u8], expected_len: usize) -> Result<Vec<u8>, Lz4Error> {
+    let mut out: Vec<u8> = Vec::with_capacity(expected_len);
+    let mut pos = 0usize;
+    loop {
+        let token = match src.get(pos) {
+            Some(&t) => t,
+            None if pos == src.len() && !out.is_empty() => break,
+            None => return Err(Lz4Error::Truncated),
+        };
+        pos += 1;
+        let lit_len = get_length(src, &mut pos, (token >> 4) as usize)?;
+        let lit_end = pos.checked_add(lit_len).ok_or(Lz4Error::Truncated)?;
+        if lit_end > src.len() {
+            return Err(Lz4Error::Truncated);
+        }
+        if out.len() + lit_len > expected_len {
+            return Err(Lz4Error::OutputOverflow);
+        }
+        out.extend_from_slice(&src[pos..lit_end]);
+        pos = lit_end;
+        if pos == src.len() {
+            break; // final sequence carries literals only
+        }
+        if pos + 2 > src.len() {
+            return Err(Lz4Error::Truncated);
+        }
+        let offset = u16::from_le_bytes([src[pos], src[pos + 1]]) as usize;
+        pos += 2;
+        if offset == 0 || offset > out.len() {
+            return Err(Lz4Error::BadOffset);
+        }
+        let match_len = MIN_MATCH + get_length(src, &mut pos, (token & 0x0F) as usize)?;
+        if out.len() + match_len > expected_len {
+            return Err(Lz4Error::OutputOverflow);
+        }
+        let from = out.len() - offset;
+        // Overlapping copies are the point (run-length encoding); copy
+        // byte-wise from the already-produced output.
+        for k in 0..match_len {
+            let b = out[from + k];
+            out.push(b);
+        }
+    }
+    if out.len() != expected_len {
+        return Err(Lz4Error::OutputUnderflow {
+            expected: expected_len,
+            got: out.len(),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let c = compress(data);
+        let d = decompress(&c, data.len()).expect("decompress");
+        assert_eq!(d, data, "roundtrip mismatch for {} bytes", data.len());
+    }
+
+    #[test]
+    fn roundtrips() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"hello world");
+        roundtrip(&[0u8; 100_000]);
+        roundtrip(&(0..255u8).cycle().take(70_000).collect::<Vec<_>>());
+        // Compressible structured data: repeated 21-byte records.
+        let rec: Vec<u8> = (0..21u8).collect();
+        let data: Vec<u8> = rec.iter().cycle().take(50_000).copied().collect();
+        roundtrip(&data);
+        // Pseudo-random (incompressible) payload.
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let rand: Vec<u8> = (0..40_000)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x as u8
+            })
+            .collect();
+        roundtrip(&rand);
+    }
+
+    #[test]
+    fn compresses_redundancy() {
+        let data = vec![7u8; 1 << 20];
+        let c = compress(&data);
+        assert!(c.len() < data.len() / 100, "ratio too poor: {}", c.len());
+    }
+
+    #[test]
+    fn truncated_stream_is_typed() {
+        let c = compress(&[5u8; 4096]);
+        for cut in [1, c.len() / 2, c.len() - 1] {
+            let e = decompress(&c[..cut], 4096).expect_err("must fail");
+            assert!(
+                matches!(
+                    e,
+                    Lz4Error::Truncated
+                        | Lz4Error::OutputUnderflow { .. }
+                        | Lz4Error::BadOffset
+                        | Lz4Error::OutputOverflow
+                ),
+                "unexpected {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_expected_len_is_typed() {
+        let data = b"the quick brown fox jumps over the lazy dog".repeat(50);
+        let c = compress(&data);
+        assert!(matches!(
+            decompress(&c, data.len() - 1),
+            Err(Lz4Error::OutputOverflow)
+        ));
+        assert!(matches!(
+            decompress(&c, data.len() + 1),
+            Err(Lz4Error::OutputUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_offset_is_typed() {
+        // Token: 1 literal then a match; offset 9 with only 1 byte produced.
+        let stream = [0x10u8, b'x', 9, 0, 0];
+        assert!(matches!(decompress(&stream, 20), Err(Lz4Error::BadOffset)));
+    }
+}
