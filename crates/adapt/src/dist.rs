@@ -39,6 +39,7 @@
 //! entry and rebuilds them on request (`AdaptOpts::reghost`).
 
 use crate::coarsen::{try_collapse_collect, CoarsenOpts};
+use crate::predict::{classify, element_weight, Branch, Calibration, BRANCH_TAG, WEIGHT_TAG};
 use crate::refine::{oversized_len, split_edge, HeapItem};
 use crate::sizefield::SizeField;
 use pumi_check::CheckOpts;
@@ -48,6 +49,7 @@ use pumi_field::field::Field;
 use pumi_field::sync::{sync_fields, DistField};
 use pumi_geom::Model;
 use pumi_pcu::Comm;
+use pumi_util::tag::TagKind;
 use pumi_util::{Dim, FxHashMap, GlobalId, MeshEnt, PartId};
 use std::collections::BinaryHeap;
 
@@ -129,6 +131,62 @@ pub struct AdaptStats {
     pub vetoed_collapses: u64,
     /// Elements in the distributed mesh afterwards.
     pub elements_after: u64,
+}
+
+/// Stamp every element of every local part with its *calibrated* predicted
+/// post-adaptation weight for `size` (the [`WEIGHT_TAG`] Real tag ParMA's
+/// weighted improve balances) and its prediction [`Branch`] (the
+/// [`BRANCH_TAG`] Int tag). Both tags ride migration, so after ParMA has
+/// diffused the speculative partition, [`gather_branch_loads`] can still
+/// attribute each part's predicted load to the branch that produced it.
+/// Local; call before the balance step of each round.
+pub fn stamp_weights(dm: &mut DistMesh, size: &SizeField, cal: &Calibration) {
+    for part in dm.parts.iter_mut() {
+        let d_elem = part.mesh.elem_dim_t();
+        let rows: Vec<(MeshEnt, f64, Branch)> = part
+            .mesh
+            .iter(d_elem)
+            .map(|e| {
+                let b = classify(&part.mesh, e, size);
+                (e, element_weight(&part.mesh, e, size) * cal.factor(b), b)
+            })
+            .collect();
+        let tags = part.mesh.tags_mut();
+        let wtid = tags.declare(WEIGHT_TAG, TagKind::Double, 1);
+        let btid = tags.declare(BRANCH_TAG, TagKind::Int, 1);
+        for (e, w, b) in rows {
+            tags.set_dbl(wtid, e, w);
+            tags.set_int(btid, e, b as i64);
+        }
+    }
+}
+
+/// Per-part predicted load split by [`Branch`]: for every part, the sum of
+/// its elements' [`WEIGHT_TAG`] weights grouped by their [`BRANCH_TAG`]
+/// (missing tags count as weight 1 in the keep branch, matching
+/// `EntityLoads::gather_weighted`'s convention). World-global result,
+/// indexed by part id. Collective; run between the balance step and
+/// [`adapt_dist`] so the sums describe the partition adaptation will act
+/// on.
+pub fn gather_branch_loads(comm: &Comm, dm: &DistMesh) -> Vec<[f64; 3]> {
+    let nparts = dm.map.nparts();
+    let mut flat = vec![0f64; 3 * nparts];
+    for p in &dm.parts {
+        let tags = p.mesh.tags();
+        let wtid = tags.find(WEIGHT_TAG);
+        let btid = tags.find(BRANCH_TAG);
+        for e in p.mesh.elems() {
+            let w = wtid.and_then(|t| tags.get_dbl(t, e)).unwrap_or(1.0);
+            let b = btid
+                .and_then(|t| tags.get_int(t, e))
+                .map_or(Branch::Keep, |i| Branch::from_index(i.max(0) as usize));
+            flat[b as usize * nparts + p.id as usize] += w;
+        }
+    }
+    let flat = comm.allreduce_sum_f64_vec(&flat);
+    (0..nparts)
+        .map(|p| [flat[p], flat[nparts + p], flat[2 * nparts + p]])
+        .collect()
 }
 
 /// A deterministic, partition-invariant global id for an entity derived

@@ -8,7 +8,8 @@
 //! * [`coarsen()`] — safety-checked edge-collapse coarsening,
 //! * [`quality`] — mean-ratio element quality,
 //! * [`snap`] — geometry projection for new/welded boundary vertices,
-//! * [`predict`] — predictive post-adaptation load estimation (§III-B),
+//! * [`predict`] — predictive post-adaptation load estimation with
+//!   per-branch empirical calibration (§III-B),
 //! * [`dist`] — distributed adaptation on a [`pumi_core::DistMesh`] with
 //!   boundary-consistent splits ([`adapt_dist`]).
 
@@ -23,8 +24,13 @@ pub mod sizefield;
 pub mod snap;
 
 pub use coarsen::{coarsen, CoarsenOpts, CoarsenStats};
-pub use dist::{adapt_dist, adapt_dist_with_field, AdaptOpts, AdaptStats};
-pub use predict::{element_weight, predicted_loads, predicted_total};
+pub use dist::{
+    adapt_dist, adapt_dist_with_field, gather_branch_loads, stamp_weights, AdaptOpts, AdaptStats,
+};
+pub use predict::{
+    classify, element_weight, predicted_loads, predicted_total, prediction_error_pct, Branch,
+    Calibration, Sample, BRANCH_TAG, WEIGHT_TAG,
+};
 pub use quality::{mean_ratio, measure, quality_stats};
 pub use refine::{refine, split_edge, RefineOpts, RefineStats};
 pub use sizefield::SizeField;

@@ -24,14 +24,28 @@ pub struct RoundRow {
     pub predicted_pct: f64,
     /// Predicted imbalance % after the ParMA step.
     pub balanced_pct: f64,
-    /// *Actual* element imbalance % measured after adaptation ran.
+    /// *Actual* element imbalance % measured after adaptation ran (before
+    /// any touch-up).
     pub actual_pct: f64,
+    /// Element imbalance % at the end of the round, after the post-adapt
+    /// touch-up pass (equal to `actual_pct` when the touch-up was gated
+    /// off).
+    pub final_pct: f64,
+    /// Prediction error of this round:
+    /// `Σ_p |predicted_p − realized_p| / Σ_p realized_p · 100` over parts.
+    pub prediction_error_pct: f64,
+    /// Calibration factors applied to this round's weights, indexed by
+    /// branch: `[refine, keep, collapse]`.
+    pub correction: [f64; 3],
     /// Edge splits performed by the adaptation.
     pub splits: u64,
     /// Edge collapses performed by the adaptation.
     pub collapses: u64,
-    /// Elements migrated by the ParMA step.
+    /// Elements migrated by the speculative (pre-adapt) ParMA step.
     pub elements_moved: u64,
+    /// Elements migrated by the post-adapt touch-up pass (0 when gated
+    /// off).
+    pub touchup_moved: u64,
     /// Global element count after adaptation.
     pub elements: u64,
 }
@@ -62,9 +76,15 @@ impl AdaptTrace {
                         ("predicted_pct", Json::F64(r.predicted_pct)),
                         ("balanced_pct", Json::F64(r.balanced_pct)),
                         ("actual_pct", Json::F64(r.actual_pct)),
+                        ("final_pct", Json::F64(r.final_pct)),
+                        ("prediction_error_pct", Json::F64(r.prediction_error_pct)),
+                        ("corr_refine", Json::F64(r.correction[0])),
+                        ("corr_keep", Json::F64(r.correction[1])),
+                        ("corr_collapse", Json::F64(r.correction[2])),
                         ("splits", Json::U64(r.splits)),
                         ("collapses", Json::U64(r.collapses)),
                         ("elements_moved", Json::U64(r.elements_moved)),
+                        ("touchup_moved", Json::U64(r.touchup_moved)),
                         ("elements", Json::U64(r.elements)),
                     ])
                 })),
@@ -143,9 +163,13 @@ mod tests {
             predicted_pct: before + 5.0,
             balanced_pct: 4.0,
             actual_pct: 6.0,
+            final_pct: 5.0,
+            prediction_error_pct: 12.5,
+            correction: [0.5, 1.0, 2.0],
             splits: 100,
             collapses: 10,
             elements_moved: 40,
+            touchup_moved: 7,
             elements: 5000,
         }
     }
@@ -178,5 +202,8 @@ mod tests {
         assert!(j.contains("\"label\": \"j\""));
         assert!(j.contains("\"predicted_pct\": 25"));
         assert!(j.contains("\"elements\": 5000"));
+        assert!(j.contains("\"prediction_error_pct\": 12.5"));
+        assert!(j.contains("\"corr_collapse\": 2"));
+        assert!(j.contains("\"touchup_moved\": 7"));
     }
 }

@@ -159,6 +159,36 @@ pub fn improve_weighted(
     improve_inner(comm, dm, priority, opts, Some(weight_tag))
 }
 
+/// Threshold-gated [`improve`]: the post-adapt *touch-up* pass of the
+/// speculative balancing flow (§III-B). Speculative pre-adapt rebalancing
+/// migrates cheap coarse elements against the calibrated predicted load;
+/// when the realized partition still lands outside `threshold_pct`
+/// (prediction error, boundary-vetoed collapses), this runs a plain
+/// count-based [`improve`] to mop up — and when the prediction was good,
+/// it is a free no-op. Returns `None` when the measured imbalance of the
+/// highest-priority entity dimension is already at or below the threshold.
+/// Collective; the gate is computed from a world-identical gather, so
+/// every rank takes the same path.
+pub fn improve_above(
+    comm: &Comm,
+    dm: &mut DistMesh,
+    priority: &Priority,
+    opts: ImproveOpts,
+    threshold_pct: f64,
+) -> Option<ImproveReport> {
+    let d = priority
+        .order()
+        .into_iter()
+        .map(|(d, _)| d)
+        .max_by_key(|d| d.as_usize())
+        .expect("empty priority");
+    let pct = EntityLoads::gather(comm, dm).imbalance_pct(d);
+    if pct <= threshold_pct {
+        return None;
+    }
+    Some(improve(comm, dm, priority, opts))
+}
+
 fn improve_inner(
     comm: &Comm,
     dm: &mut DistMesh,
@@ -499,6 +529,36 @@ mod tests {
             );
             assert!(report.elements_moved > 0, "no elements moved");
             pumi_core::verify::assert_dist_valid(c, &dm);
+        });
+    }
+
+    /// The touch-up gate: above the threshold it runs (and balances),
+    /// at/below it is `None` and the mesh is untouched.
+    #[test]
+    fn improve_above_gates_on_threshold() {
+        execute(2, |c| {
+            let serial = tri_rect(10, 4, 10.0, 4.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                elem_part[e.idx()] = if serial.centroid(e)[0] < 7.0 { 0 } else { 1 };
+            }
+            let mut dm = distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part);
+            let before = EntityLoads::gather(c, &dm).imbalance_pct(Dim::Face);
+            assert!(before > 30.0, "setup not skewed: {before}%");
+            let pr: Priority = "Face".parse().unwrap();
+
+            // Threshold above the measured imbalance: free no-op.
+            assert!(improve_above(c, &mut dm, &pr, ImproveOpts::default(), before + 1.0).is_none());
+            let untouched = EntityLoads::gather(c, &dm).imbalance_pct(Dim::Face);
+            assert_eq!(untouched, before, "gated call must not migrate");
+
+            // Threshold below: fires and balances.
+            let rep = improve_above(c, &mut dm, &pr, ImproveOpts::default(), 10.0)
+                .expect("imbalance above threshold must trigger the touch-up");
+            assert!(rep.elements_moved > 0);
+            let after = EntityLoads::gather(c, &dm).imbalance_pct(Dim::Face);
+            assert!(after <= 5.5, "touch-up did not balance: {after}%");
         });
     }
 

@@ -25,7 +25,9 @@ pub mod select;
 pub mod split;
 
 pub use balance::EntityLoads;
-pub use improve::{improve, improve_weighted, ImproveOpts, ImproveReport, TypeReport};
+pub use improve::{
+    improve, improve_above, improve_weighted, ImproveOpts, ImproveReport, TypeReport,
+};
 pub use priority::Priority;
 pub use select::{HarmGuard, SelectRequest, Selector};
 pub use split::{heavy_part_split, SplitOpts, SplitReport};

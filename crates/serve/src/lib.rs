@@ -30,8 +30,12 @@
 //!
 //! Every slice restore runs under a `serve.slice` span; cache traffic is
 //! metered through the `serve.chunk.hit` / `serve.chunk.miss` /
-//! `serve.bytes.disk` / `serve.bytes.raw` counters and the per-server
-//! [`ServeStats`] snapshot.
+//! `serve.chunk.evict` / `serve.bytes.disk` / `serve.bytes.raw` counters
+//! and the per-server [`ServeStats`] snapshot. By default the chunk cache
+//! is unbounded — every decompressed chunk stays resident for the
+//! server's lifetime. Long-lived servers can cap it with
+//! [`ServeOpts::chunk_cache_bytes`] (FIFO eviction; evicted chunks are
+//! simply decoded again on the next touch).
 //!
 //! [`restore_slice`]: CheckpointServer::restore_slice
 
@@ -58,10 +62,41 @@ pub struct ServeStats {
     pub chunk_hits: u64,
     /// Section chunks that had to be verified + decompressed.
     pub chunk_misses: u64,
+    /// Cached chunks evicted to stay under the configured capacity
+    /// ([`ServeOpts::chunk_cache_bytes`]); 0 for an unbounded cache.
+    pub chunk_evictions: u64,
     /// Compressed bytes read from disk (each part file counted once).
     pub disk_bytes: u64,
     /// Raw (decompressed) section bytes handed to the decoders.
     pub raw_bytes: u64,
+}
+
+/// Tuning knobs for [`CheckpointServer::open_with`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeOpts {
+    /// Cap on the total raw (decompressed) bytes held by the shared chunk
+    /// cache. `None` (the default) keeps every chunk for the server's
+    /// lifetime; with a cap, the oldest cached chunks are evicted
+    /// first-in-first-out once an insert pushes the total over. Evicted
+    /// chunks are re-verified and re-decompressed on the next touch, so a
+    /// cap trades decode work for bounded memory — correctness is
+    /// unaffected. The most recent chunk always stays resident, even when
+    /// it alone exceeds the cap.
+    pub chunk_cache_bytes: Option<u64>,
+}
+
+impl ServeOpts {
+    /// Defaults: unbounded cache.
+    pub fn new() -> ServeOpts {
+        ServeOpts::default()
+    }
+
+    /// Cap the chunk cache at `bytes` of raw chunk data.
+    #[must_use]
+    pub fn chunk_cache_bytes(mut self, bytes: u64) -> ServeOpts {
+        self.chunk_cache_bytes = Some(bytes);
+        self
+    }
 }
 
 impl std::fmt::Debug for Slice {
@@ -95,23 +130,60 @@ struct PartFile {
 /// chunk index). v1 sections are cached whole under chunk index 0.
 type ChunkKey = (u32, PartId, u8, u32);
 
+/// The shared raw-chunk cache: a keyed map plus FIFO insertion order for
+/// capacity eviction. Keys appear in `order` exactly once — they are
+/// pushed only on a fresh insert and removed only by eviction.
+#[derive(Default)]
+struct ChunkCache {
+    map: FxHashMap<ChunkKey, Arc<Vec<u8>>>,
+    order: std::collections::VecDeque<ChunkKey>,
+    bytes: u64,
+    cap: Option<u64>,
+}
+
+impl ChunkCache {
+    /// Evict oldest-first until the cache fits its cap again, keeping at
+    /// least the newest entry. Returns the number of chunks evicted.
+    fn evict_over_cap(&mut self) -> u64 {
+        let Some(cap) = self.cap else { return 0 };
+        let mut evicted = 0;
+        while self.bytes > cap && self.order.len() > 1 {
+            let key = self.order.pop_front().expect("non-empty order");
+            let raw = self.map.remove(&key).expect("order/map out of sync");
+            self.bytes -= raw.len() as u64;
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
 /// A checkpoint opened for concurrent slice restores. `Sync`: share it
 /// across reader threads with `&` or [`Arc`].
 pub struct CheckpointServer {
     dir: PathBuf,
     manifest: Manifest,
     files: Mutex<FxHashMap<(u32, PartId), Arc<PartFile>>>,
-    chunks: Mutex<FxHashMap<ChunkKey, Arc<Vec<u8>>>>,
+    chunks: Mutex<ChunkCache>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
     disk_bytes: AtomicU64,
     raw_bytes: AtomicU64,
 }
 
 impl CheckpointServer {
-    /// Open the checkpoint at `dir`. Only the manifest is read here; part
-    /// files load lazily on first touch.
+    /// Open the checkpoint at `dir` with default options (unbounded chunk
+    /// cache). Only the manifest is read here; part files load lazily on
+    /// first touch.
     pub fn open(dir: impl Into<PathBuf>) -> Result<CheckpointServer, IoError> {
+        CheckpointServer::open_with(dir, ServeOpts::default())
+    }
+
+    /// [`open`](CheckpointServer::open) with explicit [`ServeOpts`].
+    pub fn open_with(
+        dir: impl Into<PathBuf>,
+        opts: ServeOpts,
+    ) -> Result<CheckpointServer, IoError> {
         let _span = pumi_obs::span!("serve.open");
         let dir = dir.into();
         let mpath = dir.join(MANIFEST_FILE);
@@ -124,9 +196,13 @@ impl CheckpointServer {
             dir,
             manifest,
             files: Mutex::new(FxHashMap::default()),
-            chunks: Mutex::new(FxHashMap::default()),
+            chunks: Mutex::new(ChunkCache {
+                cap: opts.chunk_cache_bytes,
+                ..ChunkCache::default()
+            }),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
             disk_bytes: AtomicU64::new(data.len() as u64),
             raw_bytes: AtomicU64::new(0),
         })
@@ -142,6 +218,7 @@ impl CheckpointServer {
         ServeStats {
             chunk_hits: self.hits.load(Ordering::Relaxed),
             chunk_misses: self.misses.load(Ordering::Relaxed),
+            chunk_evictions: self.evictions.load(Ordering::Relaxed),
             disk_bytes: self.disk_bytes.load(Ordering::Relaxed),
             raw_bytes: self.raw_bytes.load(Ordering::Relaxed),
         }
@@ -242,16 +319,30 @@ impl CheckpointServer {
         key: ChunkKey,
         decode: impl FnOnce() -> Result<Vec<u8>, IoError>,
     ) -> Result<Arc<Vec<u8>>, IoError> {
-        if let Some(raw) = self.chunks.lock().expect("chunk cache lock").get(&key) {
+        if let Some(raw) = self.chunks.lock().expect("chunk cache lock").map.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             pumi_obs::metrics::counter_add("serve.chunk.hit", 1);
             return Ok(Arc::clone(raw));
         }
+        // Decode outside the lock; concurrent first-touchers of the same
+        // chunk may both decode, but only one copy is kept.
         let raw = Arc::new(decode()?);
         self.misses.fetch_add(1, Ordering::Relaxed);
         pumi_obs::metrics::counter_add("serve.chunk.miss", 1);
         let mut chunks = self.chunks.lock().expect("chunk cache lock");
-        Ok(Arc::clone(chunks.entry(key).or_insert_with(|| raw)))
+        if let Some(existing) = chunks.map.get(&key) {
+            return Ok(Arc::clone(existing));
+        }
+        chunks.map.insert(key, Arc::clone(&raw));
+        chunks.order.push_back(key);
+        chunks.bytes += raw.len() as u64;
+        let evicted = chunks.evict_over_cap();
+        drop(chunks);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            pumi_obs::metrics::counter_add("serve.chunk.evict", evicted);
+        }
+        Ok(raw)
     }
 }
 

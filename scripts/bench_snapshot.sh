@@ -3,10 +3,10 @@
 #
 # Runs the `pcu_exchange` and `migration` criterion benches with
 # CRITERION_JSON pointing at a scratch file, plus the `checkpoint_restart`,
-# `checkpoint_service`, `halo_exchange`, `weak_scaling`, and
-# `pcu_weak_scaling` experiment binaries (whose reports land under
-# results/), then folds every median into BENCH_pcu.json at the
-# repository root:
+# `checkpoint_service`, `halo_exchange`, `weak_scaling`,
+# `pcu_weak_scaling`, and `adaptive_loop` experiment binaries (whose
+# reports land under results/), then folds every median into
+# BENCH_pcu.json at the repository root:
 #
 #   { "schema": 1, "unix_time": ..., "benches": { "<group>/<id>": {"median_ns": N, "samples": S}, ... } }
 #
@@ -36,13 +36,15 @@ cargo run --release -p pumi-bench --bin checkpoint_service -- --large
 cargo run --release -p pumi-bench --bin halo_exchange
 cargo run --release -p pumi-bench --bin weak_scaling
 cargo run --release -p pumi-bench --bin pcu_weak_scaling
+cargo run --release -p pumi-bench --bin adaptive_loop
 
 python3 - "$scratch" "$out" \
     "$PUMI_RESULTS_DIR/io_restart.json" \
     "$PUMI_RESULTS_DIR/io_checkpoint.json" \
     "$PUMI_RESULTS_DIR/halo_exchange.json" \
     "$PUMI_RESULTS_DIR/weak_scaling.json" \
-    "$PUMI_RESULTS_DIR/pcu_weak_scaling.json" <<'EOF'
+    "$PUMI_RESULTS_DIR/pcu_weak_scaling.json" \
+    "$PUMI_RESULTS_DIR/adaptive_loop.json" <<'EOF'
 import json, sys, time
 
 lines, out, reports = sys.argv[1], sys.argv[2], sys.argv[3:]
