@@ -22,42 +22,57 @@
 //!    run a count-based post-adapt touch-up (`parma::improve_above`) —
 //!    gated off entirely once the calibrated predictor is trusted.
 //!
+//! The loop runs **twice** on a hierarchical machine model (`--nodes`
+//! nodes, default 2): a *topology-blind* leg (flat initial partition, no
+//! [`TopologyOpts`]) and — unless `--no-topo` — a *hierarchy-aware* leg
+//! (node-major `partition_mesh_hier` initial labels, distributed
+//! `partition_hier` placement audit, and topology-aware ParMA in every
+//! balancing step). Both legs record the per-round on-/off-node byte
+//! split from the PCU traffic meters; at the default reproduction scale
+//! the topo leg must move fewer off-node bytes per adapt round while
+//! ending within 1 pp of the blind leg's final imbalance.
+//!
 //! A frozen-partition control runs the same adaptation rounds with no
 //! balancing — the Fig. 13 blow-up the predictive loop is meant to
 //! prevent. The per-round trajectory (predicted, balanced, actual,
-//! prediction error, correction factors, migration volume) lands in
-//! `results/adaptive_loop.json`, and the trajectory-shape guarantees are
-//! asserted at the default reproduction scale: prediction error shrinks
-//! monotonically and the migration volume *decreases* after round 1
-//! (the uncalibrated baseline grew 31 → 1295).
+//! prediction error, correction factors, migration volume, traffic
+//! split) lands in `results/adaptive_loop.json`, and the
+//! trajectory-shape guarantees are asserted at the default reproduction
+//! scale: prediction error shrinks monotonically and the migration
+//! volume *decreases* after round 1 (the uncalibrated baseline grew
+//! 31 → 1295).
 //!
 //! Usage: `adaptive_loop [--n N] [--parts N] [--ranks N] [--rounds N]
-//! [--tol F] [--touchup PCT] [--no-calibrate]`
+//! [--tol F] [--touchup PCT] [--no-calibrate] [--nodes N]
+//! [--topo|--no-topo]`
 
-use parma::{improve_above, improve_weighted, EntityLoads, ImproveOpts, Priority};
+use parma::{improve_above, improve_weighted, EntityLoads, ImproveOpts, Priority, TopologyOpts};
 use pumi_adapt::dist::{adapt_dist, gather_branch_loads, stamp_weights, AdaptOpts};
 use pumi_adapt::{prediction_error_pct, Calibration, CoarsenOpts, Sample, WEIGHT_TAG};
 use pumi_bench::report::{f, print_table, table_to_json, write_report, Table};
 use pumi_bench::workloads::distribute_labels;
 use pumi_check::CheckOpts;
 use pumi_core::DistMesh;
+use pumi_mesh::Mesh;
 use pumi_meshgen::tri_rect;
 use pumi_obs::adapt::{AdaptTrace, RoundRow};
 use pumi_obs::json::Json;
 use pumi_obs::report::Report;
-use pumi_partition::partition_mesh;
-use pumi_pcu::Comm;
+use pumi_partition::{partition_hier, partition_mesh, partition_mesh_hier, HierOpts};
+use pumi_pcu::{Comm, MachineModel};
 use pumi_util::stats::{imbalance_pct, Timer};
-use pumi_util::Dim;
+use pumi_util::{Dim, PartId};
 
 struct Config {
     n: usize,
     nparts: usize,
     nranks: usize,
+    nodes: usize,
     rounds: usize,
     tol: f64,
     touchup_pct: f64,
     calibrate: bool,
+    topo: bool,
 }
 
 impl Config {
@@ -66,9 +81,21 @@ impl Config {
     /// trajectory-shape assertions.
     fn is_default_scale(&self) -> bool {
         (self.n, self.nparts, self.nranks, self.rounds) == (32, 8, 4, 4)
+            && self.nodes == 2
             && self.tol == 0.05
             && self.touchup_pct == 10.0
             && self.calibrate
+    }
+
+    /// The simulated machine: `--nodes` nodes × `ranks/nodes` cores.
+    fn machine(&self) -> MachineModel {
+        assert!(
+            self.nodes >= 1 && self.nranks.is_multiple_of(self.nodes),
+            "--ranks {} must be a positive multiple of --nodes {}",
+            self.nranks,
+            self.nodes
+        );
+        MachineModel::new(self.nodes, self.nranks / self.nodes)
     }
 }
 
@@ -77,18 +104,33 @@ fn parse_args() -> Config {
         n: 32,
         nparts: 8,
         nranks: 4,
+        nodes: 2,
         rounds: 4,
         tol: 0.05,
         touchup_pct: 10.0,
         calibrate: true,
+        topo: true,
     };
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
-        if args[i] == "--no-calibrate" {
-            cfg.calibrate = false;
-            i += 1;
-            continue;
+        match args[i].as_str() {
+            "--no-calibrate" => {
+                cfg.calibrate = false;
+                i += 1;
+                continue;
+            }
+            "--topo" => {
+                cfg.topo = true;
+                i += 1;
+                continue;
+            }
+            "--no-topo" => {
+                cfg.topo = false;
+                i += 1;
+                continue;
+            }
+            _ => {}
         }
         assert!(i + 1 < args.len(), "flag {} needs a value", args[i]);
         let v = &args[i + 1];
@@ -96,6 +138,7 @@ fn parse_args() -> Config {
             "--n" => cfg.n = v.parse().expect("--n"),
             "--parts" => cfg.nparts = v.parse().expect("--parts"),
             "--ranks" => cfg.nranks = v.parse().expect("--ranks"),
+            "--nodes" => cfg.nodes = v.parse().expect("--nodes"),
             "--rounds" => cfg.rounds = v.parse().expect("--rounds"),
             "--tol" => cfg.tol = v.parse().expect("--tol"),
             "--touchup" => cfg.touchup_pct = v.parse().expect("--touchup"),
@@ -119,147 +162,220 @@ fn elem_imbalance_pct(comm: &Comm, dm: &DistMesh, d: Dim) -> f64 {
     EntityLoads::gather(comm, dm).imbalance_pct(d)
 }
 
+/// Read the world traffic meters at a quiesced point: the barriers fence
+/// the read so no rank is mid-send while another samples, making the
+/// sample identical on every rank.
+fn traffic_bytes(c: &Comm) -> (u64, u64) {
+    c.barrier();
+    let t = c.traffic();
+    let split = (t.on_node_bytes, t.off_node_bytes);
+    c.barrier();
+    split
+}
+
+/// One full predictive adapt→predict→balance run. With `topo` set, every
+/// ParMA step (speculative and touch-up) runs topology-aware, and the
+/// distributed hierarchical placement is computed once up front as a
+/// placement audit. Returns the trace (and obs report) on rank 0.
+fn predictive_loop(
+    c: &Comm,
+    cfg: &Config,
+    serial: &Mesh,
+    labels: &[PartId],
+    pri: &Priority,
+    topo: Option<TopologyOpts>,
+) -> Option<(AdaptTrace, Option<Json>)> {
+    let elem_d = serial.elem_dim_t();
+    let mut dm = distribute_labels(c, serial, labels, cfg.nparts);
+    let leg = if topo.is_some() {
+        "topology-aware"
+    } else {
+        "topology-blind"
+    };
+    if let Some(t) = &topo {
+        // Distributed placement audit: the part graph's hierarchical
+        // placement, recomputed collectively from boundary-copy weights.
+        let h = partition_hier(c, &dm, &t.machine, HierOpts::default());
+        if c.rank() == 0 {
+            eprintln!(
+                "hier placement: {:.1}% of boundary weight crosses nodes",
+                100.0 * h.off_node_fraction()
+            );
+        }
+    }
+    let opts = |tol: f64| {
+        let o = ImproveOpts::new().tol(tol).max_iters(60);
+        match topo {
+            Some(t) => o.topo(t),
+            None => o,
+        }
+    };
+    let label = format!(
+        "moving shock, {} parts on {} ranks ({leg})",
+        cfg.nparts, cfg.nranks
+    );
+    pumi_obs::adapt::begin(&label);
+    // Rows are also collected locally: the obs recorder is a no-op
+    // under --no-default-features, but the tables and shape checks
+    // below must work either way.
+    let mut local = AdaptTrace {
+        label,
+        ..AdaptTrace::default()
+    };
+    let mut cal = Calibration::new();
+    let timer = Timer::start();
+    let mut base = traffic_bytes(c);
+    for round in 0..cfg.rounds {
+        let size = round_size(round);
+        // 1. Calibrated prediction, stamped as riding tags.
+        stamp_weights(&mut dm, &size, &cal);
+        let correction = cal.factors();
+        let before = elem_imbalance_pct(c, &dm, elem_d);
+        let predicted = EntityLoads::gather_weighted(c, &dm, WEIGHT_TAG).imbalance_pct(elem_d);
+        // 2. Speculative pre-adapt rebalancing on the predicted loads:
+        // the elements migrating here are the *coarse* ones.
+        let report = {
+            let _span = pumi_obs::span!("adapt.balance");
+            improve_weighted(c, &mut dm, pri, opts(cfg.tol), WEIGHT_TAG)
+        };
+        let balanced = EntityLoads::gather_weighted(c, &dm, WEIGHT_TAG).imbalance_pct(elem_d);
+        // Per-part per-branch predicted loads of the partition that
+        // adaptation is about to act on — the calibration evidence.
+        let branch_pred = gather_branch_loads(c, &dm);
+        // 3. Adapt. CheckOpts::all() includes the topology audit: the
+        // part→rank→node placement is re-verified every round.
+        let stats = adapt_dist(
+            c,
+            &mut dm,
+            &size,
+            AdaptOpts::new()
+                .coarsen(CoarsenOpts::default())
+                .check(CheckOpts::all()),
+        );
+        // 4. Prediction vs reality, per part — close the loop.
+        let realized = EntityLoads::gather(c, &dm).of(elem_d).to_vec();
+        let actual = imbalance_pct(&realized);
+        let samples: Vec<Sample> = branch_pred
+            .iter()
+            .zip(&realized)
+            .map(|(&predicted, &realized)| Sample {
+                predicted,
+                realized,
+            })
+            .collect();
+        let prediction_error = prediction_error_pct(&samples);
+        if cfg.calibrate {
+            cal.observe(&samples);
+        }
+        // 5. Touch-up only when reality still missed the target — and
+        // only down to the trust threshold, not the full speculative
+        // tolerance: the calibrated predictor owns fine-grained
+        // balance, the touch-up just caps the damage of a miss.
+        let touchup_moved = improve_above(
+            c,
+            &mut dm,
+            pri,
+            opts(cfg.touchup_pct / 100.0),
+            cfg.touchup_pct,
+        )
+        .map_or(0, |r| r.elements_moved);
+        let final_pct = if touchup_moved > 0 {
+            elem_imbalance_pct(c, &dm, elem_d)
+        } else {
+            actual
+        };
+        let now = traffic_bytes(c);
+        let (on_node_bytes, off_node_bytes) = (now.0 - base.0, now.1 - base.1);
+        base = now;
+        if c.rank() == 0 {
+            eprintln!(
+                "{leg} round {}: predicted {predicted:.1}% -> balanced {balanced:.1}% -> \
+                 actual {actual:.1}% -> final {final_pct:.1}%  (err {prediction_error:.1}%, \
+                 {} + {} moved, {} splits, {} collapses, {} elements, \
+                 {off_node_bytes} B off-node)",
+                round + 1,
+                report.elements_moved,
+                touchup_moved,
+                stats.splits,
+                stats.collapses,
+                stats.elements_after
+            );
+        }
+        let row = RoundRow {
+            round: round as u32 + 1,
+            before_pct: before,
+            predicted_pct: predicted,
+            balanced_pct: balanced,
+            actual_pct: actual,
+            final_pct,
+            prediction_error_pct: prediction_error,
+            correction,
+            splits: stats.splits,
+            collapses: stats.collapses,
+            elements_moved: report.elements_moved,
+            touchup_moved,
+            elements: stats.elements_after,
+            on_node_bytes,
+            off_node_bytes,
+        };
+        local.rounds.push(row);
+        pumi_obs::adapt::round(row);
+    }
+    let seconds = c.allreduce_max_f64(timer.seconds());
+    local.seconds = seconds;
+    pumi_obs::adapt::end(seconds);
+    let obs = pumi_pcu::obs::world_report(c);
+    (c.rank() == 0).then(|| {
+        // Prefer the recorder's trace (exercising the shipped obs
+        // path); fall back to the local copy when obs is compiled out.
+        let trace = pumi_obs::adapt::take().into_iter().next().unwrap_or(local);
+        (trace, obs)
+    })
+}
+
 fn main() {
     let cfg = parse_args();
+    let machine = cfg.machine();
     let serial = tri_rect(cfg.n, cfg.n, 1.0, 1.0);
     let elem_d = serial.elem_dim_t();
     eprintln!(
-        "adaptive_loop: {} tris, {} parts on {} ranks, {} rounds{}",
+        "adaptive_loop: {} tris, {} parts on {} ranks ({} nodes x {} cores), {} rounds{}{}",
         serial.num_elems(),
         cfg.nparts,
         cfg.nranks,
+        machine.nodes,
+        machine.cores_per_node,
         cfg.rounds,
-        if cfg.calibrate { "" } else { " (uncalibrated)" }
+        if cfg.calibrate { "" } else { " (uncalibrated)" },
+        if cfg.topo { "" } else { " (topo leg off)" }
     );
     let labels = partition_mesh(&serial, cfg.nparts);
-
-    // ---- The predictive loop ----
     let pri: Priority = "Face".parse().unwrap();
-    let out = pumi_pcu::execute(cfg.nranks, |c| {
-        let mut dm = distribute_labels(c, &serial, &labels, cfg.nparts);
-        let label = format!("moving shock, {} parts on {} ranks", cfg.nparts, cfg.nranks);
-        pumi_obs::adapt::begin(&label);
-        // Rows are also collected locally: the obs recorder is a no-op
-        // under --no-default-features, but the tables and shape checks
-        // below must work either way.
-        let mut local = AdaptTrace {
-            label,
-            ..AdaptTrace::default()
-        };
-        let mut cal = Calibration::new();
-        let timer = Timer::start();
-        for round in 0..cfg.rounds {
-            let size = round_size(round);
-            // 1. Calibrated prediction, stamped as riding tags.
-            stamp_weights(&mut dm, &size, &cal);
-            let correction = cal.factors();
-            let before = elem_imbalance_pct(c, &dm, elem_d);
-            let predicted = EntityLoads::gather_weighted(c, &dm, WEIGHT_TAG).imbalance_pct(elem_d);
-            // 2. Speculative pre-adapt rebalancing on the predicted loads:
-            // the elements migrating here are the *coarse* ones.
-            let report = {
-                let _span = pumi_obs::span!("adapt.balance");
-                improve_weighted(
-                    c,
-                    &mut dm,
-                    &pri,
-                    ImproveOpts::new().tol(cfg.tol).max_iters(60),
-                    WEIGHT_TAG,
-                )
-            };
-            let balanced = EntityLoads::gather_weighted(c, &dm, WEIGHT_TAG).imbalance_pct(elem_d);
-            // Per-part per-branch predicted loads of the partition that
-            // adaptation is about to act on — the calibration evidence.
-            let branch_pred = gather_branch_loads(c, &dm);
-            // 3. Adapt.
-            let stats = adapt_dist(
-                c,
-                &mut dm,
-                &size,
-                AdaptOpts::new()
-                    .coarsen(CoarsenOpts::default())
-                    .check(CheckOpts::all()),
-            );
-            // 4. Prediction vs reality, per part — close the loop.
-            let realized = EntityLoads::gather(c, &dm).of(elem_d).to_vec();
-            let actual = imbalance_pct(&realized);
-            let samples: Vec<Sample> = branch_pred
-                .iter()
-                .zip(&realized)
-                .map(|(&predicted, &realized)| Sample {
-                    predicted,
-                    realized,
-                })
-                .collect();
-            let prediction_error = prediction_error_pct(&samples);
-            if cfg.calibrate {
-                cal.observe(&samples);
-            }
-            // 5. Touch-up only when reality still missed the target — and
-            // only down to the trust threshold, not the full speculative
-            // tolerance: the calibrated predictor owns fine-grained
-            // balance, the touch-up just caps the damage of a miss.
-            let touchup_moved = improve_above(
-                c,
-                &mut dm,
-                &pri,
-                ImproveOpts::new()
-                    .tol(cfg.touchup_pct / 100.0)
-                    .max_iters(60),
-                cfg.touchup_pct,
-            )
-            .map_or(0, |r| r.elements_moved);
-            let final_pct = if touchup_moved > 0 {
-                elem_imbalance_pct(c, &dm, elem_d)
-            } else {
-                actual
-            };
-            if c.rank() == 0 {
-                eprintln!(
-                    "round {}: predicted {predicted:.1}% -> balanced {balanced:.1}% -> \
-                     actual {actual:.1}% -> final {final_pct:.1}%  (err {prediction_error:.1}%, \
-                     {} + {} moved, {} splits, {} collapses, {} elements)",
-                    round + 1,
-                    report.elements_moved,
-                    touchup_moved,
-                    stats.splits,
-                    stats.collapses,
-                    stats.elements_after
-                );
-            }
-            let row = RoundRow {
-                round: round as u32 + 1,
-                before_pct: before,
-                predicted_pct: predicted,
-                balanced_pct: balanced,
-                actual_pct: actual,
-                final_pct,
-                prediction_error_pct: prediction_error,
-                correction,
-                splits: stats.splits,
-                collapses: stats.collapses,
-                elements_moved: report.elements_moved,
-                touchup_moved,
-                elements: stats.elements_after,
-            };
-            local.rounds.push(row);
-            pumi_obs::adapt::round(row);
-        }
-        let seconds = c.allreduce_max_f64(timer.seconds());
-        local.seconds = seconds;
-        pumi_obs::adapt::end(seconds);
-        let obs = pumi_pcu::obs::world_report(c);
-        (c.rank() == 0).then(|| {
-            // Prefer the recorder's trace (exercising the shipped obs
-            // path); fall back to the local copy when obs is compiled out.
-            let trace = pumi_obs::adapt::take().into_iter().next().unwrap_or(local);
-            (trace, obs)
-        })
+
+    // ---- The predictive loop, topology-blind (the control leg) ----
+    let out = pumi_pcu::execute_on(machine, |c| {
+        predictive_loop(c, &cfg, &serial, &labels, &pri, None)
     });
     let (trace, obs) = out.into_iter().flatten().next().unwrap();
 
+    // ---- The same loop, hierarchy-aware end to end ----
+    let topo_trace: Option<AdaptTrace> = cfg.topo.then(|| {
+        let hier_labels = partition_mesh_hier(&serial, cfg.nparts, &machine, HierOpts::default());
+        let out = pumi_pcu::execute_on(machine, |c| {
+            predictive_loop(
+                c,
+                &cfg,
+                &serial,
+                &hier_labels,
+                &pri,
+                Some(TopologyOpts::new(machine).off_node_penalty(2.0)),
+            )
+        });
+        out.into_iter().flatten().next().unwrap().0
+    });
+
     // ---- Frozen-partition control: same rounds, no balancing ----
-    let frozen = pumi_pcu::execute(cfg.nranks, |c| {
+    let frozen = pumi_pcu::execute_on(machine, |c| {
         let mut dm = distribute_labels(c, &serial, &labels, cfg.nparts);
         let mut actuals = Vec::new();
         for round in 0..cfg.rounds {
@@ -276,7 +392,7 @@ fn main() {
     });
     let frozen = frozen.into_iter().flatten().next().unwrap();
 
-    // ---- Per-round table ----
+    // ---- Per-round table (blind leg) ----
     let mut t = Table::new(
         &format!(
             "Adaptive loop: {} rounds, {} parts (element imbalance %)",
@@ -311,15 +427,43 @@ fn main() {
     }
     print_table(&t);
 
-    // Hard invariant at any scale: a ParMA step never makes the predicted
-    // imbalance worse. Strict per-round improvement is *not* an invariant
-    // of the diffusion heuristic — under stagnation (small `--n`/`--parts`
-    // configs put the whole shock band in one part with no admissible
-    // move; see EXPERIMENTS.md) it can move elements among non-peak parts
-    // while max/avg stays pinned by the spike.
+    // ---- Topology A/B table ----
+    let mut ab = Table::new(
+        &format!(
+            "Topology A/B: off-node KB per round ({} nodes x {} cores)",
+            machine.nodes, machine.cores_per_node
+        ),
+        &[
+            "round",
+            "blind off-KB",
+            "topo off-KB",
+            "blind final %",
+            "topo final %",
+        ],
+    );
+    if let Some(tt) = &topo_trace {
+        for (b, r) in trace.rounds.iter().zip(&tt.rounds) {
+            ab.row(vec![
+                b.round.to_string(),
+                f(b.off_node_bytes as f64 / 1024.0, 1),
+                f(r.off_node_bytes as f64 / 1024.0, 1),
+                f(b.final_pct, 1),
+                f(r.final_pct, 1),
+            ]);
+        }
+        print_table(&ab);
+    }
+
+    // Hard invariant at any scale, for both legs: a ParMA step never makes
+    // the predicted imbalance worse. Strict per-round improvement is *not*
+    // an invariant of the diffusion heuristic — under stagnation (small
+    // `--n`/`--parts` configs put the whole shock band in one part with no
+    // admissible move; see EXPERIMENTS.md) it can move elements among
+    // non-peak parts while max/avg stays pinned by the spike.
     let worsened: Vec<String> = trace
         .rounds
         .iter()
+        .chain(topo_trace.iter().flat_map(|t| t.rounds.iter()))
         .filter(|r| r.balanced_pct > r.predicted_pct + 1e-9)
         .map(|r| {
             format!(
@@ -361,6 +505,16 @@ fn main() {
         last.final_pct,
         frozen.last().unwrap()
     );
+    let blind_off: u64 = trace.rounds.iter().map(|r| r.off_node_bytes).sum();
+    if let Some(tt) = &topo_trace {
+        let topo_off: u64 = tt.rounds.iter().map(|r| r.off_node_bytes).sum();
+        let topo_last = tt.rounds.last().unwrap();
+        println!(
+            "check: off-node bytes {topo_off} (topo) vs {blind_off} (blind) over {} rounds; \
+             final imbalance {:.1}% (topo) vs {:.1}% (blind)",
+            cfg.rounds, topo_last.final_pct, last.final_pct
+        );
+    }
     assert!(
         worsened.is_empty(),
         "a ParMA step increased the predicted imbalance:\n{}",
@@ -416,6 +570,33 @@ fn main() {
             "final-round migration {} did not decline from the round-2 peak {peak}: {moved:?}",
             moved.last().unwrap()
         );
+        // The topology acceptance criterion: hierarchy-aware ParMA moves
+        // fewer off-node bytes per adapt round than the blind leg, at
+        // equal (±1 pp) final imbalance.
+        if let Some(tt) = &topo_trace {
+            let topo_off: u64 = tt.rounds.iter().map(|r| r.off_node_bytes).sum();
+            assert!(
+                topo_off < blind_off,
+                "topology-aware leg moved {topo_off} off-node bytes, \
+                 blind leg {blind_off}"
+            );
+            for (b, r) in trace.rounds.iter().zip(&tt.rounds) {
+                assert!(
+                    r.off_node_bytes < b.off_node_bytes,
+                    "round {}: topo off-node bytes {} not below blind {}",
+                    b.round,
+                    r.off_node_bytes,
+                    b.off_node_bytes
+                );
+            }
+            let topo_final = tt.rounds.last().unwrap().final_pct;
+            assert!(
+                topo_final <= last.final_pct + 1.0,
+                "topo leg final imbalance {topo_final:.2}% more than 1 pp above \
+                 blind {:.2}%",
+                last.final_pct
+            );
+        }
     }
 
     // ---- results/adaptive_loop.json ----
@@ -427,13 +608,19 @@ fn main() {
             ("initial_elements", Json::U64(serial.num_elems() as u64)),
             ("parts", Json::U64(cfg.nparts as u64)),
             ("ranks", Json::U64(cfg.nranks as u64)),
+            ("nodes", Json::U64(cfg.nodes as u64)),
             ("rounds", Json::U64(cfg.rounds as u64)),
             ("tol", Json::F64(cfg.tol)),
             ("touchup_pct", Json::F64(cfg.touchup_pct)),
             ("calibrate", Json::Bool(cfg.calibrate)),
+            ("topo", Json::Bool(cfg.topo)),
         ]),
     );
     report.section("loop", trace.to_json());
+    report.section(
+        "topo_loop",
+        topo_trace.as_ref().map_or(Json::Null, |tt| tt.to_json()),
+    );
     report.section(
         "frozen_control",
         Json::arr(frozen.iter().map(|&pct| Json::F64(pct))),
@@ -443,11 +630,16 @@ fn main() {
     // imbalance/error rows are in basis points so they stay integers).
     let sfx = if cfg.is_default_scale() { "" } else { "@smoke" };
     let bp = |pct: f64| ((pct * 100.0).round() as u64).max(1);
-    let medians = [
+    let mut medians = vec![
         ("final_imbalance_bp", bp(last.final_pct)),
         ("pred_err_last_bp", bp(last.prediction_error_pct)),
         ("elements_moved", moved.iter().sum::<u64>().max(1)),
     ];
+    if let Some(tt) = &topo_trace {
+        let topo_off: u64 = tt.rounds.iter().map(|r| r.off_node_bytes).sum();
+        medians.push(("offnode_bytes", topo_off.max(1)));
+        medians.push(("offnode_bytes_blind", blind_off.max(1)));
+    }
     report.section(
         "medians",
         Json::arr(medians.iter().map(|(name, v)| {
@@ -459,6 +651,10 @@ fn main() {
         })),
     );
     report.section("obs", obs.unwrap_or(Json::Null));
-    report.section("tables", Json::arr([table_to_json(&t)]));
+    let mut tables = vec![table_to_json(&t)];
+    if topo_trace.is_some() {
+        tables.push(table_to_json(&ab));
+    }
+    report.section("tables", Json::arr(tables));
     write_report(&report);
 }

@@ -26,7 +26,11 @@
 //!   every leaf's root reference is mirrored by an entry in that root's
 //!   leaf list, and vice versa, in both directions of a phased exchange,
 //! * **field-copy coherence** — [`check_field_sync`] verifies that after an
-//!   `Insert`-mode `Field::sync` every copy is bit-identical to its owner.
+//!   `Insert`-mode `Field::sync` every copy is bit-identical to its owner,
+//! * **part placement** — every part is hosted exactly once, on the rank
+//!   its part map names, inside the machine model — the invariant
+//!   hierarchy-aware partitioning (`partition_hier`) and on-/off-node
+//!   boundary accounting rely on.
 //!
 //! Violations come back as typed [`CheckError`]s naming part, dimension and
 //! gid — the checker never asserts or panics on a broken mesh, so test
@@ -57,6 +61,10 @@ pub struct CheckOpts {
     /// Overlap closure-completeness (ghost closures stay inside the
     /// overlap region).
     pub overlap: bool,
+    /// Part → rank placement agreement with the part map and the machine
+    /// model (each part hosted exactly once, on the rank the map names,
+    /// inside the machine).
+    pub topology: bool,
 }
 
 impl Default for CheckOpts {
@@ -74,6 +82,7 @@ impl CheckOpts {
             ghosts: true,
             gids: true,
             overlap: true,
+            topology: true,
         }
     }
 
@@ -104,6 +113,12 @@ impl CheckOpts {
     /// Toggle the overlap closure-completeness check.
     pub fn overlap(mut self, on: bool) -> Self {
         self.overlap = on;
+        self
+    }
+
+    /// Toggle the part-placement topology audit.
+    pub fn topology(mut self, on: bool) -> Self {
+        self.topology = on;
         self
     }
 }
@@ -236,6 +251,31 @@ pub enum CheckError {
         /// Global id.
         gid: GlobalId,
     },
+    /// A part is hosted on a different rank than the part map places it on.
+    PartMisplaced {
+        /// The misplaced part.
+        part: PartId,
+        /// Rank actually hosting it.
+        rank: u32,
+        /// Rank the part map names.
+        mapped: u32,
+    },
+    /// A part id is hosted by zero ranks or by more than one rank.
+    PartMultiplicity {
+        /// The part in question.
+        part: PartId,
+        /// How many ranks host it.
+        count: u64,
+    },
+    /// The part map places a part on a rank outside the machine model.
+    PartOffMachine {
+        /// The part in question.
+        part: PartId,
+        /// The out-of-range rank.
+        rank: u32,
+        /// Ranks the machine actually has.
+        nranks: u32,
+    },
     /// A purely local structure is broken (missing gid, stale gid index,
     /// self-referential remote list, shared element, ghost in residence).
     LocalCorrupt {
@@ -293,6 +333,18 @@ impl std::fmt::Display for CheckError {
             FieldCopyMismatch { part, owner, dim, gid } => write!(
                 f,
                 "part {part}: field copy of dim {dim} gid {gid} differs from owner part {owner}"
+            ),
+            PartMisplaced { part, rank, mapped } => write!(
+                f,
+                "part {part} hosted on rank {rank} but the part map places it on rank {mapped}"
+            ),
+            PartMultiplicity { part, count } => write!(
+                f,
+                "part {part} hosted by {count} ranks (must be exactly 1)"
+            ),
+            PartOffMachine { part, rank, nranks } => write!(
+                f,
+                "part {part} mapped to rank {rank}, outside the {nranks}-rank machine"
             ),
             LocalCorrupt { part, dim, gid, what } => {
                 write!(f, "part {part}: {what} (dim {dim}, gid {gid})")
@@ -606,6 +658,52 @@ fn check_ghosts(comm: &Comm, dm: &DistMesh, errs: &mut Vec<CheckError>, stats: &
     }
 }
 
+/// Part-placement topology audit: every local part must be the one the part
+/// map names for this rank, every part id must be hosted exactly once
+/// world-wide, and the map must not point outside the machine model the
+/// world runs on. This is the invariant `partition_hier`-style placements
+/// (and any consumer of `MachineModel::node_of`) rely on to reason about
+/// on- vs off-node boundaries. Collective (one vector allreduce); the
+/// map-level findings are reported by rank 0 only, so world counts stay
+/// deduplicated.
+fn check_topology(comm: &Comm, dm: &DistMesh, errs: &mut Vec<CheckError>) {
+    let machine = comm.machine();
+    let nparts = dm.map.nparts();
+    let mut held = vec![0u64; nparts];
+    for part in &dm.parts {
+        held[part.id as usize] += 1;
+        let mapped = dm.map.rank_of(part.id);
+        if mapped != comm.rank() {
+            errs.push(CheckError::PartMisplaced {
+                part: part.id,
+                rank: comm.rank() as u32,
+                mapped: mapped as u32,
+            });
+        }
+    }
+    let held = comm.allreduce_sum_u64_vec(&held);
+    if comm.rank() == 0 {
+        for (p, &count) in held.iter().enumerate() {
+            if count != 1 {
+                errs.push(CheckError::PartMultiplicity {
+                    part: p as PartId,
+                    count,
+                });
+            }
+        }
+        for p in 0..nparts {
+            let rank = dm.map.rank_of(p as PartId);
+            if rank >= machine.nranks() {
+                errs.push(CheckError::PartOffMachine {
+                    part: p as PartId,
+                    rank: rank as u32,
+                    nranks: machine.nranks() as u32,
+                });
+            }
+        }
+    }
+}
+
 /// Global-id uniqueness: every owned non-ghost entity's `(dim, gid)` is
 /// hashed to a home part (`gid % nparts`); the home sees every ownership
 /// claim and reports any `(dim, gid)` claimed by more than one part.
@@ -709,6 +807,9 @@ pub fn check_dist(comm: &Comm, dm: &DistMesh, opts: CheckOpts) -> Result<CheckSt
     }
     if opts.gids {
         check_gid_uniqueness(comm, dm, &mut errs);
+    }
+    if opts.topology {
+        check_topology(comm, dm, &mut errs);
     }
 
     let world = comm.allreduce_sum_u64(errs.len() as u64);

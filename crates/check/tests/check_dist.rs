@@ -54,6 +54,37 @@ fn passes_after_migrate_and_ghosting() {
     });
 }
 
+/// The topology audit: a part map that disagrees with where parts actually
+/// live fails on every rank with typed placement errors; gating the audit
+/// off skips it.
+#[test]
+fn misplaced_part_map_fails_topology_audit() {
+    execute(2, |c| {
+        let mut dm = two_part_mesh(c);
+        // Swap the map: it now claims part 0 lives on rank 1 and vice
+        // versa, while the hosts are unchanged.
+        dm.map = PartMap::from_ranks(vec![1, 0], 2);
+        let only_topology = CheckOpts::all()
+            .symmetry(false)
+            .ownership(false)
+            .ghosts(false)
+            .gids(false)
+            .overlap(false);
+        let err = check_dist(c, &dm, only_topology).expect_err("misplacement undetected");
+        assert!(err.world_violations >= 2, "{err}");
+        assert!(
+            err.errors
+                .iter()
+                .any(|e| matches!(e, CheckError::PartMisplaced { .. })),
+            "rank {} saw: {err}",
+            c.rank()
+        );
+        // Audit off: the broken map goes unnoticed by the other families
+        // (they route by slot, which still matches the hosts here).
+        check_dist(c, &dm, only_topology.topology(false)).expect("gated-off audit must pass");
+    });
+}
+
 /// Corrupting a remote-copy list fails the check on *every* rank (the count
 /// is all-reduced), with a typed error naming the entity on the rank that
 /// observes the dangling link.

@@ -48,6 +48,12 @@ pub struct RoundRow {
     pub touchup_moved: u64,
     /// Global element count after adaptation.
     pub elements: u64,
+    /// Bytes exchanged between ranks on the *same* machine node during this
+    /// round (migration + sync traffic), summed over the world.
+    pub on_node_bytes: u64,
+    /// Bytes exchanged between ranks on *different* machine nodes during
+    /// this round. On a flat machine model this is all non-self traffic.
+    pub off_node_bytes: u64,
 }
 
 /// One full adaptive-loop run.
@@ -86,6 +92,8 @@ impl AdaptTrace {
                         ("elements_moved", Json::U64(r.elements_moved)),
                         ("touchup_moved", Json::U64(r.touchup_moved)),
                         ("elements", Json::U64(r.elements)),
+                        ("on_node_bytes", Json::U64(r.on_node_bytes)),
+                        ("off_node_bytes", Json::U64(r.off_node_bytes)),
                     ])
                 })),
             ),
@@ -171,6 +179,8 @@ mod tests {
             elements_moved: 40,
             touchup_moved: 7,
             elements: 5000,
+            on_node_bytes: 2048,
+            off_node_bytes: 512,
         }
     }
 
@@ -205,5 +215,6 @@ mod tests {
         assert!(j.contains("\"prediction_error_pct\": 12.5"));
         assert!(j.contains("\"corr_collapse\": 2"));
         assert!(j.contains("\"touchup_moved\": 7"));
+        assert!(j.contains("\"off_node_bytes\": 512"));
     }
 }

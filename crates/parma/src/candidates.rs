@@ -9,7 +9,8 @@
 //! the mesh entity type being balanced."
 
 use crate::balance::EntityLoads;
-use pumi_core::{Part, PtnModel};
+use crate::topo::TopologyOpts;
+use pumi_core::{Part, PartMap, PtnModel};
 use pumi_util::{Dim, PartId};
 
 /// Is `cand` lightly loaded for dimension `d`, absolutely (below average or
@@ -57,6 +58,50 @@ pub fn candidates(
             .then(a.cmp(&b))
     });
     cands
+}
+
+/// Topology-aware [`candidates`]: same light/lesser filters, but on-node
+/// candidates come first (each group still lightest-first), and off-node
+/// candidates are dropped entirely when the absolute on-node deficits can
+/// absorb the heavy part's excess — diffusion then stays inside the node.
+/// Returns the candidate list and whether any on-node candidate exists
+/// (the selection gate relaxes when none does, so isolated heavy parts can
+/// still shed load across nodes).
+///
+/// With `topo == None` this is exactly [`candidates`] (with `has_on_node`
+/// reported as true, leaving the gate strict-but-unused).
+pub fn candidates_topo(
+    part: &Part,
+    loads: &EntityLoads,
+    d: Dim,
+    lesser: &[Dim],
+    tol: f64,
+    topo: Option<(&TopologyOpts, &PartMap)>,
+) -> (Vec<PartId>, bool) {
+    let cands = candidates(part, loads, d, lesser, tol);
+    let Some((t, map)) = topo else {
+        return (cands, true);
+    };
+    if t.is_flat() {
+        return (cands, true);
+    }
+    let my_node = t.node_of_part(map, part.id);
+    let (on, off): (Vec<PartId>, Vec<PartId>) = cands
+        .into_iter()
+        .partition(|&q| t.node_of_part(map, q) == my_node);
+    let has_on = !on.is_empty();
+    if has_on {
+        let v = loads.of(d);
+        let avg = loads.avg(d);
+        let excess = v[part.id as usize] - avg * (1.0 + tol / 2.0);
+        let on_capacity: f64 = on.iter().map(|&q| (avg - v[q as usize]).max(0.0)).sum();
+        if on_capacity >= excess {
+            return (on, true);
+        }
+    }
+    let mut out = on;
+    out.extend(off);
+    (out, has_on)
 }
 
 /// The migration schedule for one heavy part (§III-A: "how much load must be

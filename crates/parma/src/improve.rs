@@ -8,9 +8,10 @@
 //! reached, the next mesh entity type is processed."
 
 use crate::balance::EntityLoads;
-use crate::candidates::{candidates, schedule};
+use crate::candidates::{candidates_topo, schedule};
 use crate::priority::Priority;
-use crate::select::{HarmGuard, SelectRequest, Selector};
+use crate::select::{HarmGuard, SelectRequest, Selector, TopoGate};
+use crate::topo::TopologyOpts;
 use pumi_check::CheckOpts;
 use pumi_core::{migrate, DistMesh, MigrationPlan};
 use pumi_pcu::Comm;
@@ -40,6 +41,10 @@ pub struct ImproveOpts {
     /// Run `pumi_check::check_dist` after every migration (collective;
     /// panics on the first violated invariant, naming the entity).
     pub check: Option<CheckOpts>,
+    /// Topology awareness: prefer on-node candidates and gate migrations
+    /// that create off-node boundary (see [`crate::topo`]). `None` (and any
+    /// flat machine) keeps diffusion byte-identical to the blind path.
+    pub topo: Option<TopologyOpts>,
 }
 
 impl Default for ImproveOpts {
@@ -52,6 +57,7 @@ impl Default for ImproveOpts {
             peak_caps: true,
             strict_selection: true,
             check: None,
+            topo: None,
         }
     }
 }
@@ -103,6 +109,12 @@ impl ImproveOpts {
     /// Verify distributed invariants after every migration.
     pub fn check(mut self, opts: CheckOpts) -> Self {
         self.check = Some(opts);
+        self
+    }
+
+    /// Make diffusion topology-aware against the given machine model.
+    pub fn topo(mut self, topo: TopologyOpts) -> Self {
+        self.topo = Some(topo);
         self
     }
 }
@@ -206,6 +218,18 @@ fn improve_inner(
     let mut types = Vec::new();
     let mut elements_moved = 0u64;
 
+    // Flat machines have no hierarchy: drop the topo options entirely so
+    // the code path (and result) is identical to the blind one.
+    let topo = opts.topo.filter(|t| !t.is_flat());
+    // The part → node placement is fixed for the whole run (migration moves
+    // entities between parts, never parts between ranks).
+    let topo_nodes: Vec<u32> = match &topo {
+        Some(t) => (0..dm.map.nparts())
+            .map(|p| t.machine.node_of(dm.map.rank_of(p as PartId)) as u32)
+            .collect(),
+        None => Vec::new(),
+    };
+
     for (d, li) in priority.order() {
         let protected = priority.protected(d, li);
         let lesser = priority.lesser(li);
@@ -286,14 +310,27 @@ fn improve_inner(
                 if !heavy.contains(&(part.id as usize)) {
                     continue;
                 }
-                let cands = candidates(part, &loads, d, &lesser, opts.tol);
+                let (cands, has_on_node) = candidates_topo(
+                    part,
+                    &loads,
+                    d,
+                    &lesser,
+                    opts.tol,
+                    topo.as_ref().map(|t| (t, &dm.map)),
+                );
                 let sched = schedule(&loads, d, part.id, &cands, opts.tol);
                 if sched.is_empty() {
                     continue;
                 }
+                let gate = topo.as_ref().map(|t| TopoGate {
+                    node_of_part: topo_nodes.clone(),
+                    penalty: t.off_node_penalty,
+                    relax: !has_on_node,
+                });
                 let mut sel = Selector::new(part)
                     .strict(opts.strict_selection)
-                    .weighted(weight);
+                    .weighted(weight)
+                    .topo(gate);
                 let mut guard = HarmGuard::new(all_guarded.clone(), caps, d);
                 let base = |q: PartId, dd: Dim| loads.of(dd)[q as usize];
                 let mut dests: Vec<PartId> = Vec::new();
@@ -559,6 +596,88 @@ mod tests {
             assert!(rep.elements_moved > 0);
             let after = EntityLoads::gather(c, &dm).imbalance_pct(Dim::Face);
             assert!(after <= 5.5, "touch-up did not balance: {after}%");
+        });
+    }
+
+    /// Topology-aware improve on a 2×2 machine: balances like the blind
+    /// path, with no more off-node boundary than it.
+    #[test]
+    fn topo_aware_improve_limits_off_node_boundary() {
+        use crate::topo::{off_node_boundary, TopologyOpts};
+        let machine = pumi_pcu::MachineModel::new(2, 2);
+        let results = pumi_pcu::execute_on(machine, |c| {
+            let serial = tri_rect(16, 8, 4.0, 2.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                let x = serial.centroid(e)[0];
+                elem_part[e.idx()] = if x < 2.2 {
+                    0
+                } else if x < 2.8 {
+                    1
+                } else if x < 3.4 {
+                    2
+                } else {
+                    3
+                };
+            }
+            let machine = c.machine();
+            let pr: Priority = "Face".parse().unwrap();
+
+            let mut blind = distribute(c, PartMap::contiguous(4, 4), &serial, &elem_part);
+            improve(c, &mut blind, &pr, ImproveOpts::default());
+            let blind_split = off_node_boundary(c, &blind, &machine);
+            let blind_pct = EntityLoads::gather(c, &blind).imbalance_pct(Dim::Face);
+
+            let mut topo = distribute(c, PartMap::contiguous(4, 4), &serial, &elem_part);
+            let opts = ImproveOpts::default().topo(TopologyOpts::new(machine));
+            improve(c, &mut topo, &pr, opts);
+            let topo_split = off_node_boundary(c, &topo, &machine);
+            let topo_pct = EntityLoads::gather(c, &topo).imbalance_pct(Dim::Face);
+
+            pumi_core::verify::assert_dist_valid(c, &topo);
+            (blind_split, blind_pct, topo_split, topo_pct)
+        });
+        let (blind_split, blind_pct, topo_split, topo_pct) = results[0];
+        assert!(
+            topo_split.off_copies <= blind_split.off_copies,
+            "topo off-node boundary {} exceeds blind {}",
+            topo_split.off_copies,
+            blind_split.off_copies
+        );
+        assert!(
+            topo_pct <= blind_pct + 5.0,
+            "topo imbalance {topo_pct:.1}% much worse than blind {blind_pct:.1}%"
+        );
+    }
+
+    /// A flat machine model in the options must leave improve byte-identical
+    /// to the blind path.
+    #[test]
+    fn topo_on_flat_machine_is_identical() {
+        use crate::topo::TopologyOpts;
+        execute(2, |c| {
+            let serial = tri_rect(10, 4, 10.0, 4.0);
+            let d = serial.elem_dim_t();
+            let mut elem_part = vec![0 as PartId; serial.index_space(d)];
+            for e in serial.iter(d) {
+                elem_part[e.idx()] = if serial.centroid(e)[0] < 7.0 { 0 } else { 1 };
+            }
+            let pr: Priority = "Face".parse().unwrap();
+
+            let mut blind = distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part);
+            let rb = improve(c, &mut blind, &pr, ImproveOpts::default());
+
+            let mut flat = distribute(c, PartMap::contiguous(2, 2), &serial, &elem_part);
+            let opts = ImproveOpts::default().topo(TopologyOpts::new(c.machine()));
+            let rf = improve(c, &mut flat, &pr, opts);
+
+            assert_eq!(rb.elements_moved, rf.elements_moved);
+            let lb = EntityLoads::gather(c, &blind);
+            let lf = EntityLoads::gather(c, &flat);
+            for dd in Dim::ALL {
+                assert_eq!(lb.of(dd), lf.of(dd), "loads diverge for {dd}");
+            }
         });
     }
 

@@ -15,6 +15,12 @@
 //!   [`select`] rules;
 //! * [`heavy_part_split`] — knapsack merges + maximal-independent-set
 //!   conflict resolution + heavy part splitting (§III-B).
+//!
+//! Both can run *topology-aware* by threading a [`TopologyOpts`] through
+//! [`ImproveOpts`] (see [`topo`]): diffusion then prefers on-node
+//! candidates and gates migrations that create off-node boundary.
+
+#![warn(missing_docs)]
 
 pub mod balance;
 pub mod candidates;
@@ -23,11 +29,13 @@ pub mod mis;
 pub mod priority;
 pub mod select;
 pub mod split;
+pub mod topo;
 
 pub use balance::EntityLoads;
 pub use improve::{
     improve, improve_above, improve_weighted, ImproveOpts, ImproveReport, TypeReport,
 };
 pub use priority::Priority;
-pub use select::{HarmGuard, SelectRequest, Selector};
+pub use select::{HarmGuard, SelectRequest, Selector, TopoGate};
 pub use split::{heavy_part_split, SplitOpts, SplitReport};
+pub use topo::{off_node_boundary, BoundarySplit, TopologyOpts};

@@ -16,9 +16,29 @@
 //! Selection is *harm-aware* (§III-A): a cavity is accepted only if the
 //! estimated growth of the destination part stays under the spike threshold
 //! for the balanced type and every higher-priority type.
+//!
+//! With a [`TopoGate`] installed, selection is also *topology-aware*: each
+//! cavity's exact off-node boundary-pair delta is computed from the
+//! residence sets of its closure, and cavities that would create new
+//! off-node boundary are rejected unless their balance credit pays for it
+//! (see [`crate::topo`]).
 
 use pumi_core::{MigrationPlan, Part};
 use pumi_util::{Dim, FxHashMap, FxHashSet, MeshEnt, PartId};
+
+/// Topology gate state for one heavy part's selection pass: the part → node
+/// placement, the price of new off-node boundary, and whether the gate is
+/// relaxed because the part has no on-node candidate at all.
+#[derive(Debug, Clone)]
+pub struct TopoGate {
+    /// Node hosting each part (indexed by part id).
+    pub node_of_part: Vec<u32>,
+    /// Off-node pairs a cavity may create per unit of balance credit.
+    pub penalty: f64,
+    /// Gate disabled for this part (no on-node candidate exists; blocking
+    /// off-node moves would strand the excess).
+    pub relax: bool,
+}
 
 /// Destination-side harm guard: running load estimates per (part, dim)
 /// against the spike caps.
@@ -124,6 +144,8 @@ pub struct Selector<'p> {
     /// adjacent cavities share closure entities, and double-counting them
     /// makes the harm guard block diffusion prematurely.
     counted: FxHashMap<PartId, FxHashSet<MeshEnt>>,
+    /// Topology gate: reject cavities that create unpaid off-node boundary.
+    topo: Option<TopoGate>,
 }
 
 /// A selection request: balance `target` by shipping ~`quota` target-dim
@@ -149,6 +171,7 @@ impl<'p> Selector<'p> {
             strict: true,
             weight: None,
             counted: FxHashMap::default(),
+            topo: None,
         }
     }
 
@@ -162,6 +185,12 @@ impl<'p> Selector<'p> {
     /// entry counts as 1.0).
     pub fn weighted(mut self, tag: Option<&str>) -> Self {
         self.weight = tag.and_then(|t| self.part.mesh.tags().find(t));
+        self
+    }
+
+    /// Install a topology gate (None leaves selection topology-blind).
+    pub fn topo(mut self, gate: Option<TopoGate>) -> Self {
+        self.topo = gate;
         self
     }
 
@@ -238,6 +267,9 @@ impl<'p> Selector<'p> {
                     if !ok {
                         continue;
                     }
+                    if !self.topo_admits(&[e], req.cand, self.elem_weight(e)) {
+                        continue;
+                    }
                     let gains = self.dest_gains(&[e], req.cand);
                     if guard.would_harm(req.cand, &gains, |d| base_load(req.cand, d)) {
                         continue;
@@ -297,6 +329,9 @@ impl<'p> Selector<'p> {
                 if gain_removed < 1.0 {
                     continue;
                 }
+                if !self.topo_admits(&cavity, req.cand, gain_removed) {
+                    continue;
+                }
                 let gains = self.dest_gains(&cavity, req.cand);
                 if guard.would_harm(req.cand, &gains, |d| base_load(req.cand, d)) {
                     continue;
@@ -334,6 +369,67 @@ impl<'p> Selector<'p> {
             }
         }
         n
+    }
+
+    /// Does the topology gate admit migrating `cavity` to `cand`? True when
+    /// no gate is installed, the gate is relaxed, the cavity reduces (or
+    /// keeps) the off-node boundary-pair count, or the balance `credit`
+    /// pays for the new pairs at the configured penalty.
+    fn topo_admits(&self, cavity: &[MeshEnt], cand: PartId, credit: f64) -> bool {
+        let Some(g) = &self.topo else {
+            return true;
+        };
+        if g.relax {
+            return true;
+        }
+        let delta = self.off_node_pair_delta(cavity, cand, g);
+        delta <= 0 || delta as f64 * g.penalty <= credit
+    }
+
+    /// The exact change in off-node boundary pairs if `cavity` migrates to
+    /// `cand`: for each closure entity, its holder set afterwards is the
+    /// holder set before, minus this part if every adjacent element is
+    /// leaving, plus the candidate; the delta is the difference in
+    /// node-crossing holder pairs. Elements themselves are interior (one
+    /// holder before and after) and contribute nothing.
+    fn off_node_pair_delta(&self, cavity: &[MeshEnt], cand: PartId, g: &TopoGate) -> i64 {
+        let mesh = &self.part.mesh;
+        let me = self.part.id;
+        let node = |p: PartId| g.node_of_part[p as usize];
+        let off_pairs = |res: &[PartId]| -> i64 {
+            let mut n = 0i64;
+            for i in 0..res.len() {
+                for j in (i + 1)..res.len() {
+                    if node(res[i]) != node(res[j]) {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        let mut seen: FxHashSet<MeshEnt> = FxHashSet::default();
+        let mut delta = 0i64;
+        for &e in cavity {
+            for sub in mesh.closure(e) {
+                if sub.dim() == self.elem_dim || !seen.insert(sub) {
+                    continue;
+                }
+                let mut res = self.part.residence(sub);
+                let before = off_pairs(&res);
+                let leaves = mesh
+                    .adjacent(sub, self.elem_dim)
+                    .iter()
+                    .all(|el| self.selected.contains(el) || cavity.contains(el));
+                if leaves {
+                    res.retain(|&p| p != me);
+                }
+                if !res.contains(&cand) {
+                    res.push(cand);
+                }
+                delta += off_pairs(&res) - before;
+            }
+        }
+        delta
     }
 
     /// Estimated new entities per dimension the destination gains from this

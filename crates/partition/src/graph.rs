@@ -16,7 +16,11 @@ pub struct DualGraph {
     pub xadj: Vec<u32>,
     /// CSR column indices (neighbour graph-node ids).
     pub adjncy: Vec<u32>,
-    /// Graph-node id → element handle.
+    /// Edge weights, parallel to `adjncy` (1 by default).
+    pub adjwgt: Vec<f64>,
+    /// Graph-node id → element handle. May be empty for synthetic graphs
+    /// (e.g. the part graph built by [`crate::hier`]) that never map nodes
+    /// back to mesh entities.
     pub elems: Vec<MeshEnt>,
     /// Node weights (element costs; 1 by default).
     pub vwgt: Vec<f64>,
@@ -42,28 +46,41 @@ impl DualGraph {
             xadj.push(adjncy.len() as u32);
         }
         let n = elems.len();
+        let nedges = adjncy.len();
         DualGraph {
             xadj,
             adjncy,
+            adjwgt: vec![1.0; nedges],
             elems,
             vwgt: vec![1.0; n],
         }
     }
 
-    /// Number of graph nodes (elements).
+    /// Number of graph nodes.
     pub fn len(&self) -> usize {
-        self.elems.len()
+        self.xadj.len() - 1
     }
 
     /// Whether the graph is empty.
     pub fn is_empty(&self) -> bool {
-        self.elems.is_empty()
+        self.len() == 0
     }
 
     /// Neighbours of node `u`.
     #[inline]
     pub fn neighbors(&self, u: u32) -> &[u32] {
         &self.adjncy[self.xadj[u as usize] as usize..self.xadj[u as usize + 1] as usize]
+    }
+
+    /// Neighbours of node `u` with their edge weights.
+    #[inline]
+    pub fn edges(&self, u: u32) -> impl Iterator<Item = (u32, f64)> + '_ {
+        let s = self.xadj[u as usize] as usize;
+        let e = self.xadj[u as usize + 1] as usize;
+        self.adjncy[s..e]
+            .iter()
+            .copied()
+            .zip(self.adjwgt[s..e].iter().copied())
     }
 
     /// Total node weight.
@@ -79,6 +96,21 @@ impl DualGraph {
             for &v in self.neighbors(u) {
                 if u < v && labels[u as usize] != labels[v as usize] {
                     cut += 1;
+                }
+            }
+        }
+        cut
+    }
+
+    /// The weighted edge cut of a labeling: sum of `adjwgt` over edges
+    /// whose endpoints have different labels (each edge counted once, using
+    /// the weight stored on its lower-endpoint direction).
+    pub fn edge_cut_weighted(&self, labels: &[u32]) -> f64 {
+        let mut cut = 0.0;
+        for u in 0..self.len() as u32 {
+            for (v, w) in self.edges(u) {
+                if u < v && labels[u as usize] != labels[v as usize] {
+                    cut += w;
                 }
             }
         }

@@ -14,10 +14,15 @@
 //! * [`local`] — split every part independently into k subparts
 //!   (§III-A: 16,384 × 96 → 1.5M parts on Mira),
 //! * [`twolevel`] — the hybrid node-then-core partitioner of §II-D,
+//! * [`hier`] — hierarchy-aware two-level partitioning against a
+//!   `MachineModel` (node-level cut minimization, then core placement),
 //! * [`quality`] — Table II's statistics: per-dimension means, imbalance
 //!   percentages, boundary-copy totals, edge cut.
 
+#![warn(missing_docs)]
+
 pub mod graph;
+pub mod hier;
 pub mod local;
 pub mod multilevel;
 pub mod quality;
@@ -25,6 +30,7 @@ pub mod rcb;
 pub mod twolevel;
 
 pub use graph::DualGraph;
+pub use hier::{partition_hier, partition_mesh_hier, HierOpts, HierPartition};
 pub use local::split_labels;
 pub use multilevel::{partition_graph, GraphPartOpts};
 pub use quality::PartitionQuality;

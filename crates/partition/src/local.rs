@@ -46,9 +46,11 @@ pub fn split_labels(mesh: &Mesh, labels: &[PartId], nparts_old: usize, k: usize)
             }
             xadj.push(adjncy.len() as u32);
         }
+        let nedges = adjncy.len();
         let sub = DualGraph {
             xadj,
             adjncy,
+            adjwgt: vec![1.0; nedges],
             elems: group.iter().map(|&u| g.elems[u as usize]).collect(),
             vwgt: vec![1.0; group.len()],
         };

@@ -146,17 +146,17 @@ fn bisect_connected(
     // already-grown neighbours (minimizes frontier).
     let seed = g.peripheral_node(nodes[0], &active);
     let mut side = vec![false; g.len()]; // true = left
-    let mut gain = vec![0i32; g.len()];
+    let mut gain = vec![0f64; g.len()];
     let mut in_frontier = vec![false; g.len()];
     let mut frontier: Vec<u32> = vec![seed];
     in_frontier[seed as usize] = true;
     let mut grown = 0.0;
     while grown < target && !frontier.is_empty() {
-        // Pick the frontier node with max grown-neighbour count.
+        // Pick the frontier node with max grown-neighbour edge weight.
         let (pos, &u) = frontier
             .iter()
             .enumerate()
-            .max_by_key(|&(_, &u)| gain[u as usize])
+            .max_by(|&(_, &a), &(_, &b)| gain[a as usize].partial_cmp(&gain[b as usize]).unwrap())
             .unwrap();
         frontier.swap_remove(pos);
         if side[u as usize] {
@@ -164,9 +164,9 @@ fn bisect_connected(
         }
         side[u as usize] = true;
         grown += g.vwgt[u as usize];
-        for &v in g.neighbors(u) {
+        for (v, w) in g.edges(u) {
             if active[v as usize] && !side[v as usize] {
-                gain[v as usize] += 1;
+                gain[v as usize] += w;
                 if !in_frontier[v as usize] {
                     in_frontier[v as usize] = true;
                     frontier.push(v);
@@ -187,16 +187,16 @@ fn bisect_connected(
             let mut moved = 0usize;
             for &u in nodes {
                 let us = side[u as usize];
-                let mut same = 0i32;
-                let mut other = 0i32;
-                for &v in g.neighbors(u) {
+                let mut same = 0f64;
+                let mut other = 0f64;
+                for (v, w) in g.edges(u) {
                     if !active[v as usize] {
                         continue;
                     }
                     if side[v as usize] == us {
-                        same += 1;
+                        same += w;
                     } else {
-                        other += 1;
+                        other += w;
                     }
                 }
                 if other <= same {
@@ -296,22 +296,22 @@ fn rebalance(
     while (*grown > hi || *grown < lo) && guard > 0 {
         let from_left = *grown > hi;
         // Best boundary node on the overweight side: max (other - same).
-        let mut best: Option<(i32, u32)> = None;
+        let mut best: Option<(f64, u32)> = None;
         for &u in nodes {
             if side[u as usize] != from_left {
                 continue;
             }
-            let mut same = 0i32;
-            let mut other = 0i32;
+            let mut same = 0f64;
+            let mut other = 0f64;
             let mut touches_other = false;
-            for &v in g.neighbors(u) {
+            for (v, w) in g.edges(u) {
                 if !active[v as usize] {
                     continue;
                 }
                 if side[v as usize] == side[u as usize] {
-                    same += 1;
+                    same += w;
                 } else {
-                    other += 1;
+                    other += w;
                     touches_other = true;
                 }
             }

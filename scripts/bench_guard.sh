@@ -75,18 +75,22 @@ if bad:
     sys.exit(f"smoke: non-positive medians: {bad}")
 print(f"smoke ok: checkpoint service legs present and positive")
 EOF
-    # Adaptive-loop smoke: a small predict → balance → adapt run. The bin
-    # itself asserts ParMA never worsens the predicted imbalance; here we
-    # assert the calibrated-trajectory rows land in the report.
+    # Adaptive-loop smoke: a small predict → balance → adapt run with both
+    # the topology-blind and hierarchy-aware legs on a 2-node machine
+    # model (4 ranks so the model is non-flat). The bin itself asserts
+    # ParMA never worsens the predicted imbalance; here we assert the
+    # calibrated-trajectory and off-node traffic rows land in the report.
     cargo run --release -p pumi-bench --bin adaptive_loop --locked -- \
-        --n 16 --parts 4 --ranks 2 --rounds 3
+        --n 16 --parts 8 --ranks 4 --rounds 3 --topo
     python3 - "$PUMI_RESULTS_DIR/adaptive_loop.json" <<'EOF'
 import json, sys
 
 rows = json.load(open(sys.argv[1])).get("medians", [])
 want = {"adaptive_loop/final_imbalance_bp@smoke",
         "adaptive_loop/pred_err_last_bp@smoke",
-        "adaptive_loop/elements_moved@smoke"}
+        "adaptive_loop/elements_moved@smoke",
+        "adaptive_loop/offnode_bytes@smoke",
+        "adaptive_loop/offnode_bytes_blind@smoke"}
 got = {r["bench"] for r in rows}
 missing = want - got
 if missing:
@@ -94,7 +98,7 @@ if missing:
 bad = [r for r in rows if not (isinstance(r["median_ns"], int) and r["median_ns"] > 0)]
 if bad:
     sys.exit(f"smoke: non-positive medians: {bad}")
-print(f"smoke ok: adaptive loop trajectory rows present and positive")
+print(f"smoke ok: adaptive loop trajectory + off-node traffic rows present and positive")
 EOF
     exit 0
 fi
